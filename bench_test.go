@@ -1,0 +1,421 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation, per-tool throughput benchmarks (Table V's
+// substance), and ablation benches for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each evaluation bench reports the headline counts of its experiment
+// as custom metrics so regressions in *results* (not just speed) are
+// visible in benchmark diffs.
+package fetch
+
+import (
+	"sync"
+	"testing"
+
+	"fetch/internal/baseline"
+	"fetch/internal/core"
+	"fetch/internal/disasm"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/eval"
+	"fetch/internal/groundtruth"
+	"fetch/internal/metrics"
+	"fetch/internal/stackan"
+	"fetch/internal/synth"
+	"fetch/internal/tailcall"
+	"fetch/internal/xref"
+)
+
+// benchCorpus is built once and shared by all evaluation benches.
+var (
+	benchOnce   sync.Once
+	benchCorp   *eval.Corpus
+	benchSingle *elfx.Image
+	benchTruth  *groundtruth.Truth
+)
+
+func corpusForBench(b *testing.B) *eval.Corpus {
+	b.Helper()
+	benchOnce.Do(func() {
+		c, err := eval.BuildSelfBuilt(0.01, 31000)
+		if err != nil {
+			panic(err)
+		}
+		if len(c.Bins) > 40 {
+			c.Bins = c.Bins[:40]
+		}
+		benchCorp = c
+		cfg := synth.DefaultConfig("bench-single", 31999, synth.O2, synth.GCC, synth.LangC)
+		cfg.NumFuncs = 200
+		img, truth, err := synth.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchSingle = img.Strip()
+		benchTruth = truth
+	})
+	return benchCorp
+}
+
+// --- Tables ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.TableI(int64(40000 + i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgRatio, "fde%")
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.TableII(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Overall, "fde%")
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.TableIII(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fetchFP, fetchFN int
+		for _, opt := range res.Opts {
+			cell := res.Cells[opt][baseline.ToolFETCH]
+			fetchFP += cell.FP
+			fetchFN += cell.FN
+		}
+		b.ReportMetric(float64(fetchFP), "fetch-fp")
+		b.ReportMetric(float64(fetchFN), "fetch-fn")
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.TableIV(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell := res.Cells[synth.O2][stackan.DyninstStyle]
+		b.ReportMetric(cell[0].Precision, "dyninst-pre")
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.TableV(c, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures ---
+
+func benchFigure(b *testing.B, run func(*eval.Corpus) (*eval.FigureResult, error)) {
+	b.Helper()
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(last.FullCoverage), "full-cov")
+		b.ReportMetric(float64(last.FullAccuracy), "full-acc")
+	}
+}
+
+func BenchmarkFigure5a(b *testing.B) { benchFigure(b, eval.Figure5a) }
+func BenchmarkFigure5b(b *testing.B) { benchFigure(b, eval.Figure5b) }
+func BenchmarkFigure5c(b *testing.B) { benchFigure(b, eval.Figure5c) }
+
+// --- Section experiments ---
+
+func BenchmarkSectionIVB(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SectionIVB(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CoverageRatio, "coverage%")
+	}
+}
+
+func BenchmarkSectionIVE(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SectionIVE(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.NewStarts), "found")
+		b.ReportMetric(float64(res.NewFPs), "fp")
+	}
+}
+
+func BenchmarkSectionVA(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SectionVA(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalFPs), "fde-fp")
+		b.ReportMetric(float64(res.ROPGadgets), "gadgets")
+	}
+}
+
+func BenchmarkSectionVC(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SectionVC(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.FPsBefore), "fp-before")
+		b.ReportMetric(float64(res.FPsAfter), "fp-after")
+	}
+}
+
+// --- Per-tool single-binary throughput (Table V's substance) ---
+
+func benchTool(b *testing.B, tool baseline.Tool) {
+	b.Helper()
+	corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Run(tool, benchSingle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkToolFETCHPerBinary(b *testing.B)   { benchTool(b, baseline.ToolFETCH) }
+func BenchmarkToolGhidraPerBinary(b *testing.B)  { benchTool(b, baseline.ToolGhidra) }
+func BenchmarkToolAngrPerBinary(b *testing.B)    { benchTool(b, baseline.ToolAngr) }
+func BenchmarkToolDyninstPerBinary(b *testing.B) { benchTool(b, baseline.ToolDyninst) }
+func BenchmarkToolBAPPerBinary(b *testing.B)     { benchTool(b, baseline.ToolBAP) }
+func BenchmarkToolRadare2PerBinary(b *testing.B) { benchTool(b, baseline.ToolRadare2) }
+func BenchmarkToolNucleusPerBinary(b *testing.B) { benchTool(b, baseline.ToolNucleus) }
+func BenchmarkToolIDAPerBinary(b *testing.B)     { benchTool(b, baseline.ToolIDA) }
+func BenchmarkToolNinjaPerBinary(b *testing.B)   { benchTool(b, baseline.ToolNinja) }
+
+// --- Component benchmarks ---
+
+func BenchmarkRecursiveDisassembly(b *testing.B) {
+	corpusForBench(b)
+	eh, _ := benchSingle.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := sec.FunctionStarts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disasm.Recursive(benchSingle, seeds, disasm.Options{
+			ResolveJumpTables: true, NonReturning: true,
+		})
+	}
+}
+
+func BenchmarkEhFrameDecode(b *testing.B) {
+	corpusForBench(b)
+	eh, _ := benchSingle.Section(".eh_frame")
+	b.SetBytes(int64(len(eh.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ehframe.Decode(eh.Data, eh.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearSweep(b *testing.B) {
+	corpusForBench(b)
+	text, _ := benchSingle.Section(".text")
+	b.SetBytes(int64(len(text.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disasm.LinearSweep(benchSingle, text.Addr, text.End())
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// fetchWithTailcall runs the FETCH front half then Algorithm 1 with
+// custom inputs, returning the FP/FN score.
+func fetchWithTailcall(b *testing.B, mutate func(*tailcall.Input)) metrics.Eval {
+	b.Helper()
+	rep, err := core.Analyze(benchSingle, core.Strategy{Recursive: true, Xref: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tailcall.Input{
+		Img:   benchSingle,
+		Sec:   rep.Sec,
+		Res:   rep.Res,
+		Funcs: rep.Funcs,
+		DataRefCount: func(a uint64) int {
+			return xref.DataRefCount(benchSingle, a)
+		},
+	}
+	if mutate != nil {
+		mutate(&in)
+	}
+	out := tailcall.Run(in)
+	return metrics.Evaluate(out.Funcs, benchTruth)
+}
+
+// BenchmarkAblationStackSource compares Algorithm 1 fed by CFI heights
+// (the paper's choice) against static stack analysis (Table IV's
+// argument for why not).
+func BenchmarkAblationStackSource(b *testing.B) {
+	corpusForBench(b)
+	b.Run("cfi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := fetchWithTailcall(b, nil)
+			b.ReportMetric(float64(e.FP), "fp")
+			b.ReportMetric(float64(e.FN), "fn")
+		}
+	})
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := fetchWithTailcall(b, func(in *tailcall.Input) { in.UseStaticHeights = true })
+			b.ReportMetric(float64(e.FP), "fp")
+			b.ReportMetric(float64(e.FN), "fn")
+		}
+	})
+}
+
+// BenchmarkAblationRefCriterion toggles the "target referenced
+// elsewhere" requirement of tail-call detection.
+func BenchmarkAblationRefCriterion(b *testing.B) {
+	corpusForBench(b)
+	b.Run("with-ref-criterion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := fetchWithTailcall(b, nil)
+			b.ReportMetric(float64(e.FP), "fp")
+		}
+	})
+	b.Run("without", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := fetchWithTailcall(b, func(in *tailcall.Input) { in.DisableRefCriterion = true })
+			b.ReportMetric(float64(e.FP), "fp")
+		}
+	})
+}
+
+// BenchmarkAblationXrefRules disables each §IV-E validation rule in
+// turn, measuring the false positives each rule prevents.
+func BenchmarkAblationXrefRules(b *testing.B) {
+	corpusForBench(b)
+	names := []string{"no-strict-walk", "no-mid-inst", "no-range-check", "no-callconv"}
+	run := func(b *testing.B, disable int) {
+		rep, err := core.Analyze(benchSingle, core.Strategy{Recursive: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ranges []disasm.FuncRange
+		for _, f := range rep.Sec.FDEs {
+			ranges = append(ranges, disasm.FuncRange{Start: f.PCBegin, End: f.End()})
+		}
+		opts := xref.Options{KnownRanges: ranges}
+		if disable >= 0 {
+			opts.DisableRule[disable] = true
+		}
+		newly := xref.Detect(benchSingle, rep.Res, rep.Funcs, opts)
+		fp := 0
+		for _, a := range newly {
+			if !benchTruth.IsStart(a) {
+				fp++
+			}
+		}
+		b.ReportMetric(float64(fp), "fp")
+		b.ReportMetric(float64(len(newly)), "found")
+	}
+	b.Run("all-rules", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, -1)
+		}
+	})
+	for d, name := range names {
+		d := d
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run(b, d)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlignmentFunctions measures the ANGR alignment
+// observation of §IV-C: preserving alignment-padded entries versus
+// splitting them.
+func BenchmarkAblationAlignmentFunctions(b *testing.B) {
+	c := corpusForBench(b)
+	score := func(b *testing.B, split bool) {
+		var agg metrics.Aggregate
+		for _, bin := range c.Bins {
+			d, err := baseline.FDE(bin.Img.Strip())
+			if err != nil {
+				b.Fatal(err)
+			}
+			d = baseline.Rec(bin.Img.Strip(), d)
+			if split {
+				d = baseline.Align(bin.Img.Strip(), d)
+			}
+			agg.Add(metrics.Evaluate(d.Funcs, bin.Truth))
+		}
+		b.ReportMetric(float64(agg.FP), "fp")
+		b.ReportMetric(float64(agg.FN), "fn")
+	}
+	b.Run("preserved", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			score(b, false)
+		}
+	})
+	b.Run("split", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			score(b, true)
+		}
+	})
+}
+
+// BenchmarkFETCHEndToEnd is the headline single-binary number
+// (Table V's FETCH row, ~3.3 s on the paper's corpus-sized binaries).
+func BenchmarkFETCHEndToEnd(b *testing.B) {
+	corpusForBench(b)
+	raw, err := elfx.WriteELF(benchSingle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command corpusgen materializes the synthetic evaluation corpora as
+// real ELF files plus JSON ground truth, for use with external tools.
+//
+// Usage:
+//
+//	corpusgen [-out DIR] [-scale F] [-seed N] [-wild]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/synth"
+)
+
+// truthJSON is the on-disk ground-truth schema.
+type truthJSON struct {
+	Binary        string   `json:"binary"`
+	FunctionStart []uint64 `json:"function_starts"`
+	PartStarts    []uint64 `json:"part_starts"`
+	CFIErrors     []uint64 `json:"cfi_error_fdes"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "corpus", "output directory")
+	scale := flag.Float64("scale", 0.05, "corpus scale in (0,1]")
+	seed := flag.Int64("seed", 1, "generation seed")
+	wild := flag.Bool("wild", false, "generate the Table I wild set instead")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, img *elfx.Image, truth *groundtruth.Truth) error {
+		raw, err := elfx.WriteELF(img)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(*out, name), raw, 0o755); err != nil {
+			return err
+		}
+		tj := truthJSON{Binary: name, FunctionStart: truth.SortedStarts()}
+		for _, p := range truth.Parts {
+			tj.PartStarts = append(tj.PartStarts, p.Addr)
+		}
+		tj.CFIErrors = append(tj.CFIErrors, truth.CFIErrorAddrs...)
+		blob, err := json.MarshalIndent(&tj, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*out, name+".truth.json"), blob, 0o644)
+	}
+
+	n := 0
+	if *wild {
+		for _, w := range synth.WildCorpus(*seed) {
+			img, truth, err := synth.Generate(w.Config)
+			if err != nil {
+				return err
+			}
+			if !w.HasSymbols {
+				img = img.Strip()
+			}
+			if err := write(w.Software, img, truth); err != nil {
+				return err
+			}
+			n++
+		}
+	} else {
+		for _, sp := range synth.SelfBuiltCorpus(*scale, *seed) {
+			img, truth, err := synth.Generate(sp.Config)
+			if err != nil {
+				return err
+			}
+			if err := write(sp.Config.Name, img, truth); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	fmt.Printf("wrote %d binaries to %s\n", n, *out)
+	return nil
+}

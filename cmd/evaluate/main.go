@@ -1,0 +1,81 @@
+// Command evaluate regenerates every table and figure of the paper's
+// evaluation on a synthesized corpus.
+//
+// Usage:
+//
+//	evaluate [-scale F] [-seed N] [-only LIST]
+//
+// where LIST is a comma-separated subset of:
+// table1,table2,table3,table4,table5,fig5a,fig5b,fig5c,iv-b,iv-e,v-a,v-c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fetch/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.Float64("scale", 0.05, "corpus scale in (0,1] (1 = paper-sized, 1,352 binaries)")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	only := flag.String("only", "", "comma-separated subset of experiments")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	start := time.Now()
+	corpus, err := eval.BuildSelfBuilt(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d binaries, %d true functions (scale %.2f, built in %v)\n\n",
+		len(corpus.Bins), corpus.TotalFuncs(), *scale, time.Since(start).Round(time.Millisecond))
+
+	type experiment struct {
+		key string
+		run func() (interface{ Format() string }, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (interface{ Format() string }, error) { return eval.TableI(*seed + 50000) }},
+		{"table2", func() (interface{ Format() string }, error) { return eval.TableII(corpus) }},
+		{"iv-b", func() (interface{ Format() string }, error) { return eval.SectionIVB(corpus) }},
+		{"fig5a", func() (interface{ Format() string }, error) { return eval.Figure5a(corpus) }},
+		{"fig5b", func() (interface{ Format() string }, error) { return eval.Figure5b(corpus) }},
+		{"fig5c", func() (interface{ Format() string }, error) { return eval.Figure5c(corpus) }},
+		{"iv-e", func() (interface{ Format() string }, error) { return eval.SectionIVE(corpus) }},
+		{"v-a", func() (interface{ Format() string }, error) { return eval.SectionVA(corpus) }},
+		{"v-c", func() (interface{ Format() string }, error) { return eval.SectionVC(corpus) }},
+		{"table3", func() (interface{ Format() string }, error) { return eval.TableIII(corpus) }},
+		{"table4", func() (interface{ Format() string }, error) { return eval.TableIV(corpus) }},
+		{"table5", func() (interface{ Format() string }, error) { return eval.TableV(corpus, 64) }},
+	}
+	for _, ex := range experiments {
+		if !sel(ex.key) {
+			continue
+		}
+		t0 := time.Now()
+		res, err := ex.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.key, err)
+		}
+		fmt.Printf("==== %s (%v) ====\n%s\n", ex.key, time.Since(t0).Round(time.Millisecond), res.Format())
+	}
+	return nil
+}

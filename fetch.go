@@ -1,0 +1,188 @@
+// Package fetch detects function starts in System-V x86-64 ELF binaries
+// from their exception-handling information, implementing the FETCH
+// system from "Towards Optimal Use of Exception Handling Information
+// for Function Detection" (DSN 2021).
+//
+// The pipeline extracts FDE PC Begin values from .eh_frame, runs safe
+// recursive disassembly (bounded jump tables, skipped indirect calls,
+// no tail-call guessing, fixed-point non-returning analysis including
+// the error/error_at_line first-argument slice), validates conservative
+// function-pointer candidates, and fixes the errors FDEs themselves
+// introduce — merging per-part FDEs of non-contiguous functions via
+// tail-call reasoning on CFI-recorded stack heights, and removing
+// hand-written FDEs that violate the calling convention.
+//
+// Basic use:
+//
+//	res, err := fetch.AnalyzeFile("/bin/something")
+//	if err != nil { ... }
+//	for _, start := range res.FunctionStarts { ... }
+package fetch
+
+import (
+	"fmt"
+	"os"
+
+	"fetch/internal/core"
+	"fetch/internal/elfx"
+	"fetch/internal/synth"
+)
+
+// Result reports the detected function starts and the pipeline's
+// corrections.
+type Result struct {
+	// FunctionStarts is the final detected set, in address order.
+	FunctionStarts []uint64
+	// FDEStarts are the raw PC Begin values extracted from .eh_frame.
+	FDEStarts []uint64
+	// NewFromPointers are starts accepted by §IV-E pointer validation.
+	NewFromPointers []uint64
+	// NewFromTailCalls are targets added by tail-call detection.
+	NewFromTailCalls []uint64
+	// MergedParts maps each non-contiguous-part FDE start that was
+	// merged away to the function start owning it.
+	MergedParts map[uint64]uint64
+	// RemovedBogusFDEs are FDE starts removed by the §V-B
+	// calling-convention sweep (hand-written CFI errors).
+	RemovedBogusFDEs []uint64
+	// SkippedIncompleteCFI counts functions Algorithm 1 skipped
+	// because their CFI carries no complete rsp-relative heights.
+	SkippedIncompleteCFI int
+}
+
+// Option adjusts the analysis strategy.
+type Option func(*core.Strategy)
+
+// FDEOnly restricts the analysis to raw FDE extraction (the paper's
+// "FDE" baseline row).
+func FDEOnly() Option {
+	return func(s *core.Strategy) { *s = core.Strategy{} }
+}
+
+// WithoutXref disables function-pointer detection.
+func WithoutXref() Option {
+	return func(s *core.Strategy) { s.Xref = false }
+}
+
+// WithoutTailCall disables Algorithm 1 (no FDE-error fixing).
+func WithoutTailCall() Option {
+	return func(s *core.Strategy) { s.TailCall = false }
+}
+
+// Analyze runs the FETCH pipeline on an ELF binary given as bytes.
+func Analyze(elfData []byte, opts ...Option) (*Result, error) {
+	img, err := elfx.LoadELF(elfData)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeImage(img, opts...)
+}
+
+// AnalyzeFile runs the FETCH pipeline on an ELF binary on disk.
+func AnalyzeFile(path string, opts ...Option) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fetch: %w", err)
+	}
+	return Analyze(data, opts...)
+}
+
+func analyzeImage(img *elfx.Image, opts ...Option) (*Result, error) {
+	strat := core.FETCH
+	for _, o := range opts {
+		o(&strat)
+	}
+	rep, err := core.Analyze(img.Strip(), strat)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		FunctionStarts:       rep.SortedFuncs(),
+		FDEStarts:            rep.FDEStarts,
+		NewFromPointers:      rep.XrefNew,
+		NewFromTailCalls:     rep.TailNew,
+		MergedParts:          rep.Merged,
+		RemovedBogusFDEs:     rep.CFIErrRemoved,
+		SkippedIncompleteCFI: rep.SkippedIncomplete,
+	}, nil
+}
+
+// SampleConfig parameterizes GenerateSample.
+type SampleConfig struct {
+	Seed     int64
+	NumFuncs int    // default 120
+	Opt      string // "O2" (default), "O3", "Os", "Ofast"
+	Compiler string // "gcc" (default) or "clang"
+	Lang     string // "c" (default) or "c++"
+	Stripped bool
+}
+
+// SampleTruth is the ground truth of a generated sample binary.
+type SampleTruth struct {
+	// FunctionStarts are the true starts.
+	FunctionStarts []uint64
+	// PartStarts are non-contiguous part addresses: FDE-carrying
+	// locations that are NOT function starts (false-positive bait).
+	PartStarts []uint64
+	// Names maps addresses to source-level names.
+	Names map[uint64]string
+}
+
+// GenerateSample synthesizes a small x64 ELF executable with known
+// ground truth — real machine code, .eh_frame, jump tables, tail
+// calls, and non-contiguous functions. Useful for demos, tests, and
+// fuzzing harnesses.
+func GenerateSample(cfg SampleConfig) ([]byte, *SampleTruth, error) {
+	sc := synth.DefaultConfig("sample", cfg.Seed, parseOpt(cfg.Opt),
+		parseCompiler(cfg.Compiler), parseLang(cfg.Lang))
+	if cfg.NumFuncs > 0 {
+		sc.NumFuncs = cfg.NumFuncs
+	}
+	img, truth, err := synth.Generate(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Stripped {
+		img = img.Strip()
+	}
+	raw, err := elfx.WriteELF(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &SampleTruth{Names: make(map[uint64]string)}
+	st.FunctionStarts = truth.SortedStarts()
+	for _, fn := range truth.Funcs {
+		st.Names[fn.Addr] = fn.Name
+	}
+	for _, p := range truth.Parts {
+		st.PartStarts = append(st.PartStarts, p.Addr)
+		st.Names[p.Addr] = p.Name
+	}
+	return raw, st, nil
+}
+
+func parseOpt(s string) synth.Opt {
+	switch s {
+	case "O3":
+		return synth.O3
+	case "Os":
+		return synth.Os
+	case "Ofast":
+		return synth.Ofast
+	}
+	return synth.O2
+}
+
+func parseCompiler(s string) synth.Compiler {
+	if s == "clang" {
+		return synth.Clang
+	}
+	return synth.GCC
+}
+
+func parseLang(s string) synth.Lang {
+	if s == "c++" || s == "cpp" {
+		return synth.LangCPP
+	}
+	return synth.LangC
+}

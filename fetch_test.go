@@ -1,0 +1,117 @@
+package fetch
+
+import (
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	raw, truth, err := GenerateSample(SampleConfig{Seed: 100})
+	if err != nil {
+		t.Fatalf("GenerateSample: %v", err)
+	}
+	res, err := Analyze(raw)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(res.FunctionStarts) == 0 {
+		t.Fatal("no functions detected")
+	}
+	detected := map[uint64]bool{}
+	for _, a := range res.FunctionStarts {
+		detected[a] = true
+	}
+	missed := 0
+	for _, a := range truth.FunctionStarts {
+		if !detected[a] {
+			missed++
+		}
+	}
+	// A handful of harmless misses (tail-only / unreachable asm) are
+	// expected; anything beyond that is a regression.
+	if missed > len(truth.FunctionStarts)/20 {
+		t.Errorf("missed %d/%d true starts", missed, len(truth.FunctionStarts))
+	}
+}
+
+func TestPublicAPIStrategies(t *testing.T) {
+	raw, truth, err := GenerateSample(SampleConfig{Seed: 101, Stripped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdeOnly, err := Analyze(raw, FDEOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Analyze(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FDE-only must report every part start (false positives by
+	// construction); the full pipeline must merge the mergeable ones.
+	fdeSet := map[uint64]bool{}
+	for _, a := range fdeOnly.FunctionStarts {
+		fdeSet[a] = true
+	}
+	fullSet := map[uint64]bool{}
+	for _, a := range full.FunctionStarts {
+		fullSet[a] = true
+	}
+	stillThere := 0
+	for _, p := range truth.PartStarts {
+		if !fdeSet[p] {
+			t.Errorf("FDE-only missing part FDE %#x", p)
+		}
+		if fullSet[p] {
+			stillThere++
+		}
+	}
+	if len(truth.PartStarts) > 0 && stillThere == len(truth.PartStarts) {
+		t.Error("full pipeline merged nothing")
+	}
+	if len(full.MergedParts) == 0 && len(truth.PartStarts) > 0 {
+		t.Error("MergedParts empty")
+	}
+}
+
+func TestPublicAPIOptionCombinations(t *testing.T) {
+	raw, _, err := GenerateSample(SampleConfig{Seed: 102, NumFuncs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{
+		nil,
+		{WithoutXref()},
+		{WithoutTailCall()},
+		{WithoutXref(), WithoutTailCall()},
+		{FDEOnly()},
+	} {
+		if _, err := Analyze(raw, opts...); err != nil {
+			t.Errorf("Analyze with %d opts: %v", len(opts), err)
+		}
+	}
+}
+
+func TestPublicAPIBadInput(t *testing.T) {
+	if _, err := Analyze([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := AnalyzeFile("/nonexistent/path/binary"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGenerateSampleVariants(t *testing.T) {
+	for _, cfg := range []SampleConfig{
+		{Seed: 1, Opt: "O3", Compiler: "clang", Lang: "c++"},
+		{Seed: 2, Opt: "Os", Compiler: "gcc", Lang: "c"},
+		{Seed: 3, Opt: "Ofast", NumFuncs: 40},
+	} {
+		raw, truth, err := GenerateSample(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if len(raw) == 0 || len(truth.FunctionStarts) == 0 {
+			t.Fatalf("%+v: empty output", cfg)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package callconv implements the calling-convention validation rule of
+// §IV-E: at a legitimate System-V x64 function entry, every register
+// other than the integer argument registers (rdi, rsi, rdx, rcx, r8,
+// r9) and the stack pointer must be initialized before it is used.
+// Saving a callee-saved register with a push does not count as a use.
+//
+// The rule rejects pointers into the middle of functions (which read
+// live callee-saved or temporary state) and the hand-written FDE
+// errors of §V-A (whose skewed entry misdecodes into instructions that
+// read uninitialized registers), while accepting real entries.
+package callconv
+
+import (
+	"fetch/internal/elfx"
+	"fetch/internal/x64"
+)
+
+// maxWalk bounds the validation walk; convention violations show up
+// within the first few instructions of a bogus "entry".
+const maxWalk = 48
+
+// Validate reports whether the code at addr can plausibly be a function
+// entry under the §IV-E register-initialization rule. The walk follows
+// straight-line flow (continuing past conditional branches on the
+// fall-through side and through calls, which define the caller-saved
+// set) and ends at any unconditional transfer.
+func Validate(img *elfx.Image, addr uint64) bool {
+	var written x64.RegSet
+	// The stack pointer is always live. rbp is deliberately NOT
+	// pre-initialized: reading the caller's frame pointer at entry
+	// (other than push-saving it) is the tell of a mid-function
+	// address.
+	written = written.Add(x64.RSP)
+
+	for steps := 0; steps < maxWalk; steps++ {
+		window, ok := img.BytesToSectionEnd(addr)
+		if !ok {
+			return false
+		}
+		in, err := x64.Decode(window, addr)
+		if err != nil {
+			return false
+		}
+		for r := x64.RAX; r <= x64.R15; r++ {
+			if !in.Reads().Has(r) {
+				continue
+			}
+			if x64.IsArgumentReg(r) || written.Has(r) {
+				continue
+			}
+			return false
+		}
+		written = written.Union(in.Writes())
+		if in.Op == x64.OpEnter || (in.Op == x64.OpMov && len(in.Args) == 2 &&
+			in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RBP) {
+			written = written.Add(x64.RBP)
+		}
+		switch in.Op {
+		case x64.OpRet, x64.OpJmp, x64.OpJmpInd, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+			return true
+		}
+		addr = in.Next()
+	}
+	return true
+}

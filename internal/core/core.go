@@ -1,0 +1,198 @@
+// Package core assembles the FETCH pipeline: FDE extraction, safe
+// recursive disassembly (§IV-C), conservative function-pointer
+// detection (§IV-E), and Algorithm 1's error fixing (§V-B) — the
+// "optimal strategies" configuration of Figure 5c, with each stage
+// individually switchable so the evaluation can reproduce every
+// strategy combination the paper measures.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fetch/internal/disasm"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/tailcall"
+	"fetch/internal/xref"
+)
+
+// Strategy selects which pipeline stages run. The zero value is the
+// paper's "FDE" row: PC Begin extraction only.
+type Strategy struct {
+	// Recursive runs safe recursive disassembly from FDE starts,
+	// adding direct-call targets (the paper's FDE+Rec).
+	Recursive bool
+	// Xref runs the §IV-E function-pointer detection (FDE+Rec+Xref).
+	Xref bool
+	// TailCall runs Algorithm 1 (FDE+Rec+Xref+Tcall — full FETCH).
+	TailCall bool
+}
+
+// FETCH is the full pipeline configuration.
+var FETCH = Strategy{Recursive: true, Xref: true, TailCall: true}
+
+// Report is the analysis outcome.
+type Report struct {
+	// Funcs is the final detected function-start set.
+	Funcs map[uint64]bool
+	// FDEStarts are the raw PC Begin values.
+	FDEStarts []uint64
+	// XrefNew are starts accepted by pointer validation.
+	XrefNew []uint64
+	// TailNew are starts added by tail-call detection.
+	TailNew []uint64
+	// Merged maps removed non-contiguous part starts to their owners.
+	Merged map[uint64]uint64
+	// CFIErrRemoved are FDE starts removed by the convention sweep.
+	CFIErrRemoved []uint64
+	// SkippedIncomplete counts FDE functions Algorithm 1 skipped.
+	SkippedIncomplete int
+
+	// Res is the final disassembly state.
+	Res *disasm.Result
+	// Sec is the decoded .eh_frame.
+	Sec *ehframe.Section
+}
+
+// SortedFuncs returns the detected starts in address order.
+func (r *Report) SortedFuncs() []uint64 {
+	out := make([]uint64, 0, len(r.Funcs))
+	for a := range r.Funcs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// safeOpts is the §IV-C conservative disassembly configuration.
+func safeOpts() disasm.Options {
+	return disasm.Options{ResolveJumpTables: true, NonReturning: true}
+}
+
+// Analyze runs the selected strategy on a binary image. Symbols are
+// never consulted: the pipeline treats every input as stripped.
+func Analyze(img *elfx.Image, strat Strategy) (*Report, error) {
+	eh, ok := img.Section(".eh_frame")
+	if !ok {
+		return nil, fmt.Errorf("core: binary has no .eh_frame section")
+	}
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	rep := &Report{
+		Funcs:  make(map[uint64]bool),
+		Merged: make(map[uint64]uint64),
+		Sec:    sec,
+	}
+	for _, f := range sec.FDEs {
+		if !rep.Funcs[f.PCBegin] {
+			rep.Funcs[f.PCBegin] = true
+			rep.FDEStarts = append(rep.FDEStarts, f.PCBegin)
+		}
+	}
+	sort.Slice(rep.FDEStarts, func(i, j int) bool { return rep.FDEStarts[i] < rep.FDEStarts[j] })
+	if !strat.Recursive {
+		return rep, nil
+	}
+
+	fdeRanges := func(exclude map[uint64]bool) []disasm.FuncRange {
+		var out []disasm.FuncRange
+		for _, f := range sec.FDEs {
+			if exclude != nil && exclude[f.PCBegin] {
+				continue
+			}
+			out = append(out, disasm.FuncRange{Start: f.PCBegin, End: f.End()})
+		}
+		return out
+	}
+
+	seeds := append([]uint64(nil), rep.FDEStarts...)
+	if img.IsExec(img.Entry) {
+		seeds = append(seeds, img.Entry)
+	}
+	res := disasm.Recursive(img, seeds, safeOpts())
+	for f := range res.Funcs {
+		rep.Funcs[f] = true
+	}
+	rep.Res = res
+
+	dataRefCount := func(a uint64) int { return xref.DataRefCount(img, a) }
+
+	// banned holds starts Algorithm 1 merged away or removed; later
+	// re-disassembly must not resurrect them (parts remain seeds for
+	// code coverage but are no longer reported as functions).
+	banned := map[uint64]bool{}
+	addFuncs := func(from map[uint64]bool) {
+		for f := range from {
+			if !banned[f] {
+				rep.Funcs[f] = true
+			}
+		}
+	}
+
+	runXref := func(exclude map[uint64]bool) {
+		for iter := 0; iter < 3; iter++ {
+			newly := xref.Detect(img, res, rep.Funcs, xref.Options{
+				KnownRanges: fdeRanges(exclude),
+			})
+			if len(newly) == 0 {
+				return
+			}
+			rep.XrefNew = append(rep.XrefNew, newly...)
+			seeds = append(seeds, newly...)
+			res = disasm.Recursive(img, seeds, safeOpts())
+			rep.Res = res
+			addFuncs(res.Funcs)
+		}
+	}
+
+	if strat.Xref {
+		runXref(nil)
+	}
+
+	if strat.TailCall {
+		out := tailcall.Run(tailcall.Input{
+			Img:          img,
+			Sec:          sec,
+			Res:          res,
+			Funcs:        rep.Funcs,
+			DataRefCount: dataRefCount,
+		})
+		rep.Funcs = out.Funcs
+		rep.TailNew = out.TailNew
+		rep.Merged = out.Merged
+		rep.CFIErrRemoved = out.CFIErrRemoved
+		rep.SkippedIncomplete = out.SkippedIncomplete
+		for part := range out.Merged {
+			banned[part] = true
+		}
+		for _, a := range out.CFIErrRemoved {
+			banned[a] = true
+		}
+
+		if strat.Xref && len(out.CFIErrRemoved) > 0 {
+			// Removing a hand-written FDE error can unmask the true
+			// entry it shadowed (§V-B): drop the poisoned decode by
+			// re-disassembling without the removed seeds, then re-run
+			// pointer detection without the removed ranges.
+			exclude := make(map[uint64]bool, len(out.CFIErrRemoved))
+			for _, a := range out.CFIErrRemoved {
+				exclude[a] = true
+			}
+			var cleanSeeds []uint64
+			for _, s := range seeds {
+				if !exclude[s] {
+					cleanSeeds = append(cleanSeeds, s)
+				}
+			}
+			seeds = cleanSeeds
+			res = disasm.Recursive(img, seeds, safeOpts())
+			rep.Res = res
+			runXref(exclude)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"testing"
+
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/synth"
+)
+
+func build(t *testing.T, seed int64, mutate func(*synth.Config)) (*elfx.Image, *groundtruth.Truth) {
+	t.Helper()
+	cfg := synth.DefaultConfig("core-test", seed, synth.O2, synth.GCC, synth.LangC)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	im, truth, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return im, truth
+}
+
+// classify splits a detection into FP/FN sets against the truth.
+func classify(funcs map[uint64]bool, truth *groundtruth.Truth) (fps, fns []uint64) {
+	for a := range funcs {
+		if !truth.IsStart(a) {
+			fps = append(fps, a)
+		}
+	}
+	for _, fn := range truth.Funcs {
+		if !funcs[fn.Addr] {
+			fns = append(fns, fn.Addr)
+		}
+	}
+	return
+}
+
+func TestFDEOnlyInheritsPartFalsePositives(t *testing.T) {
+	im, truth := build(t, 30, func(c *synth.Config) { c.NonContigRate = 0.2 })
+	rep, err := Analyze(im, Strategy{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	fps, _ := classify(rep.Funcs, truth)
+	if len(truth.Parts) == 0 {
+		t.Fatal("no parts generated")
+	}
+	// Every FP must be a part or a hand-written FDE error; every part
+	// must be an FP of the FDE-only strategy (§V-A).
+	partSet := map[uint64]bool{}
+	for _, p := range truth.Parts {
+		partSet[p.Addr] = true
+	}
+	errSet := map[uint64]bool{}
+	for _, a := range truth.CFIErrorAddrs {
+		errSet[a] = true
+	}
+	for _, fp := range fps {
+		if !partSet[fp] && !errSet[fp] {
+			t.Errorf("unexplained FDE-only FP at %#x", fp)
+		}
+	}
+	if len(fps) < len(truth.Parts) {
+		t.Errorf("FDE-only FPs = %d, want >= %d (all parts)", len(fps), len(truth.Parts))
+	}
+}
+
+func TestRecursiveAddsCallTargets(t *testing.T) {
+	im, truth := build(t, 31, nil)
+	fdeOnly, err := Analyze(im, Strategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Analyze(im, Strategy{Recursive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FDE+Rec covers everything FDE-only covers, plus call-reachable
+	// asm functions without FDEs.
+	for a := range fdeOnly.Funcs {
+		if !rec.Funcs[a] {
+			t.Errorf("FDE+Rec lost FDE start %#x", a)
+		}
+	}
+	for _, fn := range truth.Funcs {
+		if fn.Class == groundtruth.ClassAsm && fn.Reach == groundtruth.ReachCall {
+			if !rec.Funcs[fn.Addr] {
+				t.Errorf("FDE+Rec missed call-reachable asm %s", fn.Name)
+			}
+			if fdeOnly.Funcs[fn.Addr] {
+				t.Errorf("FDE-only should not see asm func %s", fn.Name)
+			}
+		}
+	}
+}
+
+func TestXrefFindsIndirectOnly(t *testing.T) {
+	im, truth := build(t, 32, func(c *synth.Config) {
+		c.IndirectOnlyRate = 0.08
+	})
+	noXref, err := Analyze(im, Strategy{Recursive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withXref, err := Analyze(im, Strategy{Recursive: true, Xref: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, missedBefore := 0, 0
+	for _, fn := range truth.Funcs {
+		if fn.Reach != groundtruth.ReachIndirectOnly || fn.Class != groundtruth.ClassAsm {
+			continue
+		}
+		if !noXref.Funcs[fn.Addr] {
+			missedBefore++
+		}
+		if withXref.Funcs[fn.Addr] {
+			found++
+		}
+	}
+	if missedBefore == 0 {
+		t.Fatal("no indirect-only functions were missed by FDE+Rec — nothing to test")
+	}
+	if found == 0 {
+		t.Error("xref found no indirect-only functions")
+	}
+	// Xref introduces no false positives (§IV-E).
+	fps, _ := classify(withXref.Funcs, truth)
+	fpsBefore, _ := classify(noXref.Funcs, truth)
+	if len(fps) > len(fpsBefore) {
+		t.Errorf("xref added FPs: %d -> %d", len(fpsBefore), len(fps))
+	}
+}
+
+func TestTailCallMergesParts(t *testing.T) {
+	im, truth := build(t, 33, func(c *synth.Config) {
+		c.NonContigRate = 0.25
+	})
+	rep, err := Analyze(im, FETCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var completeParts, mergedComplete, incompleteParts, residualIncomplete int
+	for _, p := range truth.Parts {
+		if p.IncompleteCFI {
+			incompleteParts++
+			if rep.Funcs[p.Addr] {
+				residualIncomplete++
+			}
+		} else {
+			completeParts++
+			if !rep.Funcs[p.Addr] {
+				mergedComplete++
+			}
+		}
+	}
+	if completeParts == 0 {
+		t.Fatal("no complete-CFI parts generated")
+	}
+	if mergedComplete != completeParts {
+		t.Errorf("merged %d/%d complete-CFI parts, want all", mergedComplete, completeParts)
+	}
+	// Incomplete-CFI parts must remain as the §V-C residue.
+	if incompleteParts > 0 && residualIncomplete != incompleteParts {
+		t.Errorf("incomplete-CFI residue = %d, want %d", residualIncomplete, incompleteParts)
+	}
+	// Merge targets recorded correctly.
+	for part, owner := range rep.Merged {
+		p, ok := truth.PartAt(part)
+		if !ok {
+			t.Errorf("merged non-part %#x", part)
+			continue
+		}
+		if p.Parent != owner {
+			t.Errorf("part %#x merged into %#x, want %#x", part, owner, p.Parent)
+		}
+	}
+}
+
+func TestTailCallHarmlessFalseNegatives(t *testing.T) {
+	im, truth := build(t, 34, func(c *synth.Config) {
+		c.TailOnlyRate = 0.06
+	})
+	rep, err := Analyze(im, FETCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fns := classify(rep.Funcs, truth)
+	// Every false negative must be harmless: tail-only, indirect-only
+	// (when unlucky), unreachable, or clang-terminate — never a
+	// call-reachable function.
+	for _, fn := range fns {
+		f, _ := truth.FuncAt(fn)
+		switch f.Reach {
+		case groundtruth.ReachEntry, groundtruth.ReachCall:
+			t.Errorf("harmful FN: %s (%#x) reach=%d", f.Name, fn, f.Reach)
+		}
+	}
+}
+
+func TestCFIErrorSweepAndUnmasking(t *testing.T) {
+	im, truth := build(t, 35, func(c *synth.Config) {
+		c.CFIErrorCount = 2
+	})
+	if len(truth.CFIErrorAddrs) != 2 {
+		t.Fatalf("generated %d CFI errors, want 2", len(truth.CFIErrorAddrs))
+	}
+	rep, err := Analyze(im, FETCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CFIErrRemoved) != 2 {
+		t.Fatalf("removed %d CFI-error starts, want 2 (got %x)", len(rep.CFIErrRemoved), rep.CFIErrRemoved)
+	}
+	for _, a := range truth.CFIErrorAddrs {
+		if rep.Funcs[a] {
+			t.Errorf("CFI-error FDE start %#x survived", a)
+		}
+		// The masked true entry (one past the bogus FDE begin) must be
+		// recovered by the re-run pointer detection.
+		if !rep.Funcs[a+1] {
+			t.Errorf("masked true entry %#x not recovered", a+1)
+		}
+	}
+}
+
+func TestFETCHAccuracySummary(t *testing.T) {
+	// Aggregate check across several seeds: FETCH eliminates the
+	// complete-CFI part FPs (≈92% in the paper's corpus mix) and
+	// introduces no new FP classes.
+	var totalFPs, totalParts, residue int
+	for seed := int64(40); seed < 46; seed++ {
+		im, truth := build(t, seed, nil)
+		rep, err := Analyze(im, FETCH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps, _ := classify(rep.Funcs, truth)
+		totalFPs += len(fps)
+		totalParts += len(truth.Parts)
+		for _, p := range truth.Parts {
+			if p.IncompleteCFI {
+				residue++
+			}
+		}
+		for _, fp := range fps {
+			p, isPart := truth.PartAt(fp)
+			if !isPart {
+				t.Errorf("seed %d: non-part FP %#x", seed, fp)
+				continue
+			}
+			if !p.IncompleteCFI {
+				t.Errorf("seed %d: complete-CFI part %#x survived", seed, fp)
+			}
+		}
+	}
+	if totalFPs > residue {
+		t.Errorf("FPs %d exceed incomplete-CFI residue %d", totalFPs, residue)
+	}
+	t.Logf("parts=%d residue=%d finalFPs=%d", totalParts, residue, totalFPs)
+}
+
+func TestAnalyzeRejectsNoEhFrame(t *testing.T) {
+	im := &elfx.Image{Sections: []*elfx.Section{{
+		Name: ".text", Addr: 0x1000, Data: []byte{0xC3},
+		Flags: elfx.FlagAlloc | elfx.FlagExec,
+	}}}
+	if _, err := Analyze(im, FETCH); err == nil {
+		t.Fatal("binary without .eh_frame accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fetch/internal/groundtruth"
+	"fetch/internal/synth"
+)
+
+// TestPipelineInvariantsMatrix sweeps compilers, languages, and
+// optimization levels across seeds, asserting the pipeline's safety
+// invariants hold everywhere:
+//
+//  1. every false positive is an incomplete-CFI non-contiguous part
+//     (the §V-C residue) — nothing else survives Algorithm 1;
+//  2. every false negative is harmless (tail-only, indirect-only when
+//     validation is legitimately conservative, or unreachable);
+//  3. the pipeline never reports fewer functions than FDE-only minus
+//     the parts it merged and the bogus FDEs it removed.
+func TestPipelineInvariantsMatrix(t *testing.T) {
+	seed := int64(20000)
+	for _, comp := range []synth.Compiler{synth.GCC, synth.Clang} {
+		for _, lang := range []synth.Lang{synth.LangC, synth.LangCPP} {
+			for _, opt := range synth.AllOpts {
+				seed++
+				name := fmt.Sprintf("%s-%s-%s", comp, lang, opt)
+				t.Run(name, func(t *testing.T) {
+					cfg := synth.DefaultConfig(name, seed, opt, comp, lang)
+					cfg.NumFuncs = 80
+					img, truth, err := synth.Generate(cfg)
+					if err != nil {
+						t.Fatalf("Generate: %v", err)
+					}
+					rep, err := Analyze(img.Strip(), FETCH)
+					if err != nil {
+						t.Fatalf("Analyze: %v", err)
+					}
+					for a := range rep.Funcs {
+						if truth.IsStart(a) {
+							continue
+						}
+						p, isPart := truth.PartAt(a)
+						if !isPart {
+							t.Errorf("FP %#x is not a part", a)
+							continue
+						}
+						if !p.IncompleteCFI {
+							t.Errorf("FP %#x is a mergeable part that survived", a)
+						}
+					}
+					for _, fn := range truth.Funcs {
+						if rep.Funcs[fn.Addr] {
+							continue
+						}
+						switch fn.Reach {
+						case groundtruth.ReachEntry, groundtruth.ReachCall:
+							t.Errorf("harmful FN: %s (%v)", fn.Name, fn.Reach)
+						}
+					}
+					want := len(rep.FDEStarts) - len(rep.Merged) - len(rep.CFIErrRemoved)
+					if len(rep.Funcs) < want {
+						t.Errorf("detection shrank below FDE floor: %d < %d",
+							len(rep.Funcs), want)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package disasm implements the disassembly machinery of the paper's
+// §IV: safe recursive descent from seed addresses (FDE starts, symbols,
+// the entry point) treating call targets as new function starts, with
+// conservative handling of the four error-prone constructs — jump
+// tables (bounded, DYNINST-style), indirect calls (skipped),
+// tail calls (not detected here), and non-returning functions
+// (fixed-point analysis with the error/error_at_line first-argument
+// backward slice). A strict mode records the §IV-E validation errors
+// used to vet function-pointer candidates, and a linear sweep supports
+// the NUCLEUS- and scan-style baselines.
+package disasm
+
+import (
+	"sort"
+
+	"fetch/internal/elfx"
+	"fetch/internal/x64"
+)
+
+// ErrorKind classifies strict-mode disassembly errors (§IV-E).
+type ErrorKind uint8
+
+// Strict-mode error kinds.
+const (
+	// ErrInvalidOpcode: bytes that cannot decode.
+	ErrInvalidOpcode ErrorKind = iota + 1
+	// ErrMidInstruction: decoding ran into the middle of a previously
+	// decoded instruction.
+	ErrMidInstruction
+	// ErrIntoFunction: a control transfer targets the middle of a
+	// previously detected function.
+	ErrIntoFunction
+	// ErrOutOfSection: control flow left the executable sections.
+	ErrOutOfSection
+)
+
+// Error is one strict-mode validation error.
+type Error struct {
+	Kind ErrorKind
+	At   uint64 // address where the problem was observed
+}
+
+// FuncRange is a known function extent (from FDEs) used for the
+// jump-into-function check.
+type FuncRange struct {
+	Start uint64
+	End   uint64
+}
+
+// Options configure a recursive disassembly run.
+type Options struct {
+	// ResolveJumpTables enables the bounded DYNINST-style jump-table
+	// analysis; unresolvable indirect jumps just end the path.
+	ResolveJumpTables bool
+	// NonReturning enables the fixed-point non-returning analysis; when
+	// off, every call is assumed to return.
+	NonReturning bool
+	// Strict records §IV-E validation errors and stops faulting paths.
+	Strict bool
+	// KnownRanges are previously detected function extents for the
+	// jump-into-function check (strict mode).
+	KnownRanges []FuncRange
+	// MaxInsts bounds total decoded instructions (0 = no bound).
+	MaxInsts int
+}
+
+// Result is the outcome of a recursive disassembly.
+type Result struct {
+	// Insts maps each decoded instruction start to its decoding.
+	Insts map[uint64]*x64.Inst
+	// Funcs is the detected function-start set: seeds plus direct
+	// call targets.
+	Funcs map[uint64]bool
+	// Refs maps a target address to the instructions referencing it
+	// via direct calls or jumps.
+	Refs map[uint64][]uint64
+	// Constants holds pointer-sized constants harvested from operands.
+	Constants map[uint64]bool
+	// NonRet marks function starts determined never to return.
+	NonRet map[uint64]bool
+	// CondNonRet marks error/error_at_line-like functions that return
+	// iff their first argument is zero.
+	CondNonRet map[uint64]bool
+	// JTTargets maps resolved indirect-jump instructions to their
+	// jump-table targets.
+	JTTargets map[uint64][]uint64
+	// TableBases records the table addresses of resolved jump tables;
+	// pointer detection must not treat them as function-pointer
+	// candidates (they are known data).
+	TableBases map[uint64]bool
+	// Errors holds strict-mode validation errors.
+	Errors []Error
+	// owner maps every byte of decoded instructions to the
+	// instruction start covering it.
+	owner map[uint64]uint64
+}
+
+// Covered reports whether addr lies inside any decoded instruction.
+func (r *Result) Covered(addr uint64) bool {
+	_, ok := r.owner[addr]
+	return ok
+}
+
+// InstStartAt returns the start of the instruction covering addr.
+func (r *Result) InstStartAt(addr uint64) (uint64, bool) {
+	s, ok := r.owner[addr]
+	return s, ok
+}
+
+// SortedFuncs returns detected function starts in address order.
+func (r *Result) SortedFuncs() []uint64 {
+	out := make([]uint64, 0, len(r.Funcs))
+	for a := range r.Funcs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rdiState tracks the §IV-C backward-slice approximation of the first
+// argument register along a straight-line decode path.
+type rdiState uint8
+
+const (
+	rdiUnknown rdiState = iota
+	rdiZero
+	rdiNonZero
+)
+
+// Recursive runs recursive descent from the seed addresses. With
+// opts.NonReturning it iterates disassembly and non-returning inference
+// to a fixed point so fall-through never crosses a call that cannot
+// return (§IV-C).
+func Recursive(img *elfx.Image, seeds []uint64, opts Options) *Result {
+	nonRet := map[uint64]bool{}
+	condNonRet := map[uint64]bool{}
+	var res *Result
+	for iter := 0; iter < 6; iter++ {
+		res = runPass(img, seeds, opts, nonRet, condNonRet)
+		if !opts.NonReturning {
+			return res
+		}
+		newNonRet, newCond := inferNonReturning(res)
+		if setsEqual(newNonRet, nonRet) && setsEqual(newCond, condNonRet) {
+			break
+		}
+		nonRet, condNonRet = newNonRet, newCond
+	}
+	res.NonRet = nonRet
+	res.CondNonRet = condNonRet
+	return res
+}
+
+func setsEqual(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// runPass performs one full recursive descent with the current
+// non-return knowledge.
+func runPass(img *elfx.Image, seeds []uint64, opts Options,
+	nonRet, condNonRet map[uint64]bool) *Result {
+
+	res := &Result{
+		Insts:      make(map[uint64]*x64.Inst),
+		Funcs:      make(map[uint64]bool),
+		Refs:       make(map[uint64][]uint64),
+		Constants:  make(map[uint64]bool),
+		NonRet:     nonRet,
+		CondNonRet: condNonRet,
+		JTTargets:  make(map[uint64][]uint64),
+		TableBases: make(map[uint64]bool),
+		owner:      make(map[uint64]uint64),
+	}
+
+	type workItem struct {
+		addr uint64
+		rdi  rdiState
+	}
+	var work []workItem
+	pushed := map[uint64]bool{}
+	push := func(addr uint64, rdi rdiState) {
+		if !pushed[addr] {
+			pushed[addr] = true
+			work = append(work, workItem{addr, rdi})
+		}
+	}
+	addRef := func(target, from uint64) {
+		res.Refs[target] = append(res.Refs[target], from)
+	}
+	strictErr := func(kind ErrorKind, at uint64) {
+		if opts.Strict {
+			res.Errors = append(res.Errors, Error{Kind: kind, At: at})
+		}
+	}
+	// intoFunctionMiddle checks the §IV-E rule (iii).
+	intoFunctionMiddle := func(t uint64) bool {
+		for _, r := range opts.KnownRanges {
+			if t > r.Start && t < r.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, s := range seeds {
+		res.Funcs[s] = true
+		push(s, rdiUnknown)
+	}
+
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		addr := item.addr
+		rdi := item.rdi
+
+		for {
+			if opts.MaxInsts > 0 && len(res.Insts) >= opts.MaxInsts {
+				return res
+			}
+			if _, seen := res.Insts[addr]; seen {
+				break
+			}
+			if owner, mid := res.owner[addr]; mid && owner != addr {
+				strictErr(ErrMidInstruction, addr)
+				break
+			}
+			window, ok := img.BytesToSectionEnd(addr)
+			if !ok || !img.IsExec(addr) {
+				strictErr(ErrOutOfSection, addr)
+				break
+			}
+			in, err := x64.Decode(window, addr)
+			if err != nil {
+				strictErr(ErrInvalidOpcode, addr)
+				break
+			}
+			inst := in // copy to heap once
+			res.Insts[addr] = &inst
+			for b := addr; b < addr+uint64(in.Len); b++ {
+				res.owner[b] = addr
+			}
+			for _, c := range in.Constants() {
+				if img.IsMapped(c) {
+					res.Constants[c] = true
+				}
+			}
+
+			// Track the first-argument state for the error/error_at_line
+			// call-site slice. Calls are excluded here: the clobber
+			// applies after the call-site gate below consumes the
+			// current state.
+			if w := in.Writes(); !in.IsCall() && w.Has(x64.RDI) {
+				rdi = rdiUnknown
+				if in.Op == x64.OpXor && len(in.Args) == 2 &&
+					in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI {
+					rdi = rdiZero
+				}
+				if in.Op == x64.OpMov && len(in.Args) == 2 &&
+					in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI &&
+					in.Args[1].Kind == x64.KindImm {
+					if in.Args[1].Imm == 0 {
+						rdi = rdiZero
+					} else {
+						rdi = rdiNonZero
+					}
+				}
+			}
+
+			switch in.Op {
+			case x64.OpCall:
+				t := in.Target
+				if !img.IsExec(t) {
+					strictErr(ErrOutOfSection, in.Addr)
+					break
+				}
+				if intoFunctionMiddle(t) {
+					strictErr(ErrIntoFunction, in.Addr)
+				}
+				addRef(t, in.Addr)
+				res.Funcs[t] = true
+				push(t, rdiUnknown)
+				// Fall through only when the callee can return here.
+				if opts.NonReturning {
+					if nonRet[t] {
+						goto pathDone
+					}
+					if condNonRet[t] && rdi != rdiZero {
+						goto pathDone
+					}
+				}
+				rdi = rdiUnknown // the callee clobbers rdi
+				addr = in.Next()
+				continue
+			case x64.OpJcc:
+				t := in.Target
+				if img.IsExec(t) {
+					if intoFunctionMiddle(t) {
+						strictErr(ErrIntoFunction, in.Addr)
+					}
+					addRef(t, in.Addr)
+					push(t, rdiUnknown)
+				} else {
+					strictErr(ErrOutOfSection, in.Addr)
+				}
+				addr = in.Next()
+				continue
+			case x64.OpJmp:
+				t := in.Target
+				if img.IsExec(t) {
+					if intoFunctionMiddle(t) {
+						strictErr(ErrIntoFunction, in.Addr)
+					}
+					addRef(t, in.Addr)
+					push(t, rdiUnknown)
+				} else {
+					strictErr(ErrOutOfSection, in.Addr)
+				}
+				goto pathDone
+			case x64.OpJmpInd:
+				if opts.ResolveJumpTables {
+					targets := resolveJumpTable(img, res, &inst)
+					if len(targets) > 0 {
+						res.JTTargets[in.Addr] = targets
+						if m, ok := inst.IndirectMem(); ok && m.Disp > 0 {
+							res.TableBases[uint64(m.Disp)] = true
+						}
+					}
+					for _, t := range targets {
+						addRef(t, in.Addr)
+						push(t, rdiUnknown)
+					}
+				}
+				goto pathDone
+			case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+				goto pathDone
+			}
+			addr = in.Next()
+		}
+	pathDone:
+	}
+	return res
+}

@@ -1,0 +1,175 @@
+package disasm
+
+import (
+	"fetch/internal/x64"
+)
+
+// inferNonReturning computes the non-returning function set over a
+// disassembly result by monotone fixed point: a function returns when
+// some intra-procedural path reaches a ret (call fall-through is only
+// taken past callees already known to return; tail jumps delegate to
+// the target). Functions never proven returning are non-returning —
+// the conservative direction for stopping fall-through decode.
+//
+// It additionally classifies error/error_at_line-style functions
+// (§IV-C): functions that do return, but whose body contains an entry
+// test of the first argument guarding a path into a non-returning call.
+func inferNonReturning(res *Result) (map[uint64]bool, map[uint64]bool) {
+	funcs := res.SortedFuncs()
+	// Optimistic greatest fixed point, as in DYNINST: every function
+	// is presumed returning until no path to a ret remains under the
+	// current knowledge. (A pessimistic least fixed point would
+	// deadlock on mutual recursion, wrongly marking the whole cycle
+	// non-returning.)
+	returns := make(map[uint64]bool, len(funcs))
+	for _, f := range funcs {
+		returns[f] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			if !returns[f] {
+				continue
+			}
+			if !funcReturns(res, f, returns) {
+				returns[f] = false
+				changed = true
+			}
+		}
+	}
+	nonRet := map[uint64]bool{}
+	for _, f := range funcs {
+		if !returns[f] {
+			nonRet[f] = true
+		}
+	}
+	cond := map[uint64]bool{}
+	for _, f := range funcs {
+		if returns[f] && isCondNonRet(res, f, nonRet) {
+			cond[f] = true
+		}
+	}
+	return nonRet, cond
+}
+
+// funcReturns walks the intra-procedural instructions of f (as decoded
+// so far) looking for a reachable ret, delegating through tail jumps.
+func funcReturns(res *Result, f uint64, returns map[uint64]bool) bool {
+	seen := map[uint64]bool{}
+	stack := []uint64{f}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for {
+			if seen[a] {
+				break
+			}
+			in, ok := res.Insts[a]
+			if !ok {
+				break
+			}
+			seen[a] = true
+			switch in.Op {
+			case x64.OpRet:
+				return true
+			case x64.OpJcc:
+				stack = append(stack, in.Target)
+				a = in.Next()
+				continue
+			case x64.OpJmp:
+				t := in.Target
+				if res.Funcs[t] && t != f {
+					// Tail edge: f returns iff the target does.
+					if returns[t] {
+						return true
+					}
+				} else {
+					stack = append(stack, t)
+				}
+			case x64.OpJmpInd:
+				for _, t := range res.JTTargets[a] {
+					stack = append(stack, t)
+				}
+			case x64.OpCall:
+				if returns[in.Target] {
+					a = in.Next()
+					continue
+				}
+				// Callee not (yet) proven returning: stop this path;
+				// the outer fixed point revisits when it flips.
+			case x64.OpUd2, x64.OpHlt, x64.OpInt3:
+				// Terminal.
+			default:
+				a = in.Next()
+				continue
+			}
+			break
+		}
+	}
+	return false
+}
+
+// isCondNonRet matches the error/error_at_line shape: an entry-block
+// test of the first argument register, a returning path, and a path
+// into a non-returning call.
+func isCondNonRet(res *Result, f uint64, nonRet map[uint64]bool) bool {
+	// Entry test within the first three instructions.
+	a := f
+	sawTest := false
+	for k := 0; k < 3; k++ {
+		in, ok := res.Insts[a]
+		if !ok {
+			return false
+		}
+		if in.Op == x64.OpTest && len(in.Args) == 2 &&
+			in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI &&
+			in.Args[1].Kind == x64.KindReg && in.Args[1].Reg == x64.RDI {
+			sawTest = true
+			break
+		}
+		if in.IsBranch() || in.IsCall() {
+			return false
+		}
+		a = in.Next()
+	}
+	if !sawTest {
+		return false
+	}
+	// A call into a non-returning function somewhere in the body.
+	seen := map[uint64]bool{}
+	stack := []uint64{f}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for {
+			if seen[a] {
+				break
+			}
+			in, ok := res.Insts[a]
+			if !ok {
+				break
+			}
+			seen[a] = true
+			if in.Op == x64.OpCall && nonRet[in.Target] {
+				return true
+			}
+			if in.Op == x64.OpJcc {
+				stack = append(stack, in.Target)
+				a = in.Next()
+				continue
+			}
+			if in.Op == x64.OpJmp {
+				if !res.Funcs[in.Target] {
+					stack = append(stack, in.Target)
+				}
+				break
+			}
+			if in.Terminates() || in.Op == x64.OpInt3 {
+				break
+			}
+			a = in.Next()
+			continue
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package disasm
+
+import (
+	"sort"
+
+	"fetch/internal/elfx"
+	"fetch/internal/x64"
+)
+
+// Range is a half-open address interval.
+type Range struct {
+	Start uint64
+	End   uint64
+}
+
+// Len returns the interval length in bytes.
+func (r Range) Len() uint64 { return r.End - r.Start }
+
+// LinearSweep decodes [start, end) sequentially, resynchronizing one
+// byte forward after undecodable bytes — the NUCLEUS-style front end
+// and the engine behind gap scans.
+func LinearSweep(img *elfx.Image, start, end uint64) map[uint64]*x64.Inst {
+	out := make(map[uint64]*x64.Inst)
+	addr := start
+	for addr < end {
+		window, ok := img.BytesToSectionEnd(addr)
+		if !ok {
+			break
+		}
+		if max := end - addr; uint64(len(window)) > max {
+			window = window[:max]
+		}
+		in, err := x64.Decode(window, addr)
+		if err != nil {
+			addr++
+			continue
+		}
+		cp := in
+		out[addr] = &cp
+		addr += uint64(in.Len)
+	}
+	return out
+}
+
+// Gaps returns the maximal runs of executable bytes not covered by the
+// result's decoded instructions — the regions pattern matchers and
+// linear scans probe (§IV-D).
+func Gaps(img *elfx.Image, res *Result) []Range {
+	var out []Range
+	for _, sec := range img.ExecSections() {
+		var cur *Range
+		for a := sec.Addr; a < sec.End(); a++ {
+			if res.Covered(a) {
+				if cur != nil {
+					out = append(out, *cur)
+					cur = nil
+				}
+				continue
+			}
+			if cur == nil {
+				cur = &Range{Start: a, End: a + 1}
+			} else {
+				cur.End = a + 1
+			}
+		}
+		if cur != nil {
+			out = append(out, *cur)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// IsPaddingRun reports whether every instruction in [start, end)
+// decodes as padding (NOPs or int3).
+func IsPaddingRun(img *elfx.Image, start, end uint64) bool {
+	addr := start
+	for addr < end {
+		window, ok := img.BytesToSectionEnd(addr)
+		if !ok {
+			return false
+		}
+		if max := end - addr; uint64(len(window)) > max {
+			window = window[:max]
+		}
+		in, err := x64.Decode(window, addr)
+		if err != nil || !in.IsPadding() {
+			return false
+		}
+		addr += uint64(in.Len)
+	}
+	return true
+}

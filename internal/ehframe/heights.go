@@ -1,0 +1,119 @@
+package ehframe
+
+// Stack-height evaluation of CFI programs (§V-B of the paper).
+//
+// The "stack height" at a code location is the number of bytes the
+// stack has grown since function entry: height = CFAOffset - 8 when the
+// CFA is defined relative to rsp (on entry CFA = rsp+8, so height 0).
+// A tail call requires height 0 — the stack pointer sits right below
+// the return address, so the target can return to the caller's caller.
+
+// HeightRow gives the stack height holding from Loc (inclusive) to the
+// next row's Loc (exclusive).
+type HeightRow struct {
+	Loc       uint64 // absolute code address
+	CFAOffset int64  // CFA = rsp + CFAOffset (valid only when rsp-based)
+}
+
+// HeightTable is the evaluated height profile of one FDE.
+type HeightTable struct {
+	FDE  *FDE
+	Rows []HeightRow
+
+	// Complete reports whether the CFI program gives trustworthy
+	// rsp-relative heights across the whole range, per the paper's
+	// conservativeness criteria: the CFA is rsp-based with initial
+	// offset 8, every CFA change is described by an rsp-relative
+	// redefinition, and no expression forms are used.
+	Complete bool
+}
+
+// cfaState is the evaluator's running CFA rule.
+type cfaState struct {
+	reg    uint64
+	offset int64
+	valid  bool // rule is a plain reg+offset (no expression)
+}
+
+// Heights evaluates the FDE's CFI program (prepended with its CIE's
+// initial instructions) into a height table.
+func (f *FDE) Heights() HeightTable {
+	t := HeightTable{FDE: f, Complete: true}
+	loc := f.PCBegin
+	st := cfaState{}
+	var stack []cfaState // remember_state/restore_state
+
+	apply := func(c CFI) {
+		switch c.Op {
+		case CFADefCFA:
+			st = cfaState{reg: c.Reg, offset: c.Offset, valid: true}
+		case CFADefCFARegister:
+			st.reg = c.Reg
+		case CFADefCFAOffset:
+			st.offset = c.Offset
+		case CFADefCFAExpression:
+			st.valid = false
+			t.Complete = false
+		case CFARememberState:
+			stack = append(stack, st)
+		case CFARestoreState:
+			if len(stack) > 0 {
+				st = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+
+	emit := func() {
+		if st.valid && st.reg == DwRSP {
+			t.Rows = append(t.Rows, HeightRow{Loc: loc, CFAOffset: st.offset})
+		} else {
+			// The CFA is not rsp-relative here (frame-pointer
+			// functions, expressions): heights are unknowable from
+			// CFI at this and later rsp-relative queries.
+			t.Complete = false
+		}
+	}
+
+	for _, c := range f.CIE.Initial {
+		apply(c)
+	}
+	if !st.valid || st.reg != DwRSP || st.offset != 8 {
+		// Paper criterion (i): CFA must start as rsp+8.
+		t.Complete = false
+	}
+	emit()
+	for _, c := range f.Program {
+		if c.Op == CFAAdvanceLoc {
+			loc += c.Delta
+			continue
+		}
+		before := st
+		apply(c)
+		if st != before {
+			emit()
+		}
+	}
+	return t
+}
+
+// HeightAt returns the stack height (bytes pushed since entry) at addr.
+// ok is false when addr precedes the first row or the table is not
+// Complete — callers implementing the paper's Algorithm 1 must skip
+// such functions entirely.
+func (t *HeightTable) HeightAt(addr uint64) (int64, bool) {
+	if !t.Complete {
+		return 0, false
+	}
+	var best *HeightRow
+	for k := range t.Rows {
+		r := &t.Rows[k]
+		if r.Loc <= addr && (best == nil || r.Loc >= best.Loc) {
+			best = r
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.CFAOffset - 8, true
+}

@@ -1,0 +1,85 @@
+// Package ehframe encodes and decodes the .eh_frame section: Common
+// Information Entries (CIEs), Frame Description Entries (FDEs), and
+// their Call Frame Instruction (CFI) programs, following the DWARF CFI
+// format as emitted by GCC and Clang for System-V x64 binaries.
+//
+// Beyond the codec, the package evaluates CFI programs into per-location
+// stack-height tables. The evaluation implements the conservativeness
+// test from §V-B of the FETCH paper: a function's height information is
+// "complete" only when the CFA is defined as rsp+8 on entry and a
+// DW_CFA_def_cfa_offset (or equivalent) re-defines it at every change,
+// with the CFA register remaining rsp throughout.
+package ehframe
+
+import "errors"
+
+// ErrTruncated is returned when a LEB128 value or structure runs past
+// the end of its buffer.
+var ErrTruncated = errors.New("ehframe: truncated data")
+
+// appendULEB appends an unsigned LEB128 value.
+func appendULEB(b []byte, v uint64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			c |= 0x80
+		}
+		b = append(b, c)
+		if v == 0 {
+			return b
+		}
+	}
+}
+
+// appendSLEB appends a signed LEB128 value.
+func appendSLEB(b []byte, v int64) []byte {
+	for {
+		c := byte(v & 0x7F)
+		v >>= 7
+		if (v == 0 && c&0x40 == 0) || (v == -1 && c&0x40 != 0) {
+			return append(b, c)
+		}
+		b = append(b, c|0x80)
+	}
+}
+
+// readULEB decodes an unsigned LEB128 value, returning it and the number
+// of bytes consumed.
+func readULEB(b []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		v |= uint64(c&0x7F) << shift
+		if c&0x80 == 0 {
+			return v, i + 1, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, 0, errors.New("ehframe: ULEB128 overflow")
+		}
+	}
+	return 0, 0, ErrTruncated
+}
+
+// readSLEB decodes a signed LEB128 value.
+func readSLEB(b []byte) (int64, int, error) {
+	var v int64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		v |= int64(c&0x7F) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			if shift < 64 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, i + 1, nil
+		}
+		if shift >= 64 {
+			return 0, 0, errors.New("ehframe: SLEB128 overflow")
+		}
+	}
+	return 0, 0, ErrTruncated
+}

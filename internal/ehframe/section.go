@@ -1,0 +1,351 @@
+package ehframe
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Pointer encodings (DW_EH_PE_*) supported by the codec; GCC and Clang
+// emit pcrel|sdata4 for FDE pointers in x64 executables.
+const (
+	PEAbsptr      = 0x00
+	PESData4      = 0x0B
+	PEPCRel       = 0x10
+	PEPCRelSData4 = PEPCRel | PESData4 // 0x1B
+	PEOmit        = 0xFF
+)
+
+// CIE is a Common Information Entry: shared prologue state for a group
+// of FDEs, typically one per object file.
+type CIE struct {
+	CodeAlign  uint64
+	DataAlign  int64
+	RetAddrReg uint64
+	FDEEnc     byte  // pointer encoding for PC Begin in owned FDEs
+	Initial    []CFI // initial instructions (usually def_cfa rsp,8; offset ra,8)
+}
+
+// NewDefaultCIE returns the CIE GCC emits for x64: code align 1, data
+// align -8, RA register 16, pcrel|sdata4 FDE pointers, and the standard
+// initial program defining CFA = rsp+8 with the return address at CFA-8.
+func NewDefaultCIE() *CIE {
+	return &CIE{
+		CodeAlign:  1,
+		DataAlign:  -8,
+		RetAddrReg: DwRA,
+		FDEEnc:     PEPCRelSData4,
+		Initial: []CFI{
+			{Op: CFADefCFA, Reg: DwRSP, Offset: 8},
+			{Op: CFAOffset, Reg: DwRA, Offset: 8},
+		},
+	}
+}
+
+// FDE is a Frame Description Entry covering one contiguous code range.
+type FDE struct {
+	CIE     *CIE
+	PCBegin uint64
+	PCRange uint64
+	Program []CFI
+}
+
+// End returns the first address past the FDE's range.
+func (f *FDE) End() uint64 { return f.PCBegin + f.PCRange }
+
+// Covers reports whether addr falls inside the FDE's range.
+func (f *FDE) Covers(addr uint64) bool { return addr >= f.PCBegin && addr < f.End() }
+
+// Section is a decoded (or to-be-encoded) .eh_frame section.
+type Section struct {
+	// Addr is the virtual address where the section is (or will be)
+	// mapped; pcrel pointer encodings are computed against it.
+	Addr uint64
+	CIEs []*CIE
+	FDEs []*FDE
+}
+
+// FunctionStarts returns the sorted-by-position list of PC Begin values,
+// the raw material of FDE-based function start detection. No
+// deduplication or correction is applied here.
+func (s *Section) FunctionStarts() []uint64 {
+	out := make([]uint64, 0, len(s.FDEs))
+	for _, f := range s.FDEs {
+		out = append(out, f.PCBegin)
+	}
+	return out
+}
+
+// FDEAt returns the FDE whose range covers addr, if any.
+func (s *Section) FDEAt(addr uint64) (*FDE, bool) {
+	for _, f := range s.FDEs {
+		if f.Covers(addr) {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// FDEStartingAt returns the FDE whose PCBegin equals addr, if any.
+func (s *Section) FDEStartingAt(addr uint64) (*FDE, bool) {
+	for _, f := range s.FDEs {
+		if f.PCBegin == addr {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Encode serializes the section. Each distinct CIE is emitted once,
+// immediately before its first FDE; the section ends with a zero
+// terminator as in real binaries.
+func (s *Section) Encode() ([]byte, error) {
+	var out []byte
+	ciePos := make(map[*CIE]int)
+
+	emitU32 := func(v uint32) {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+
+	encodeCIE := func(c *CIE) error {
+		start := len(out)
+		ciePos[c] = start
+		emitU32(0)           // length placeholder
+		emitU32(0)           // CIE id
+		out = append(out, 1) // version
+		out = append(out, 'z', 'R', 0)
+		out = appendULEB(out, c.CodeAlign)
+		out = appendSLEB(out, c.DataAlign)
+		out = append(out, byte(c.RetAddrReg)) // version-1 ubyte form
+		out = appendULEB(out, 1)              // augmentation data length
+		out = append(out, c.FDEEnc)
+		prog, err := encodeCFIs(c.Initial, c.CodeAlign, c.DataAlign)
+		if err != nil {
+			return err
+		}
+		out = append(out, prog...)
+		for (len(out)-start)%8 != 0 { // pad with nops to 8 alignment
+			out = append(out, rawNop)
+		}
+		binary.LittleEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+		return nil
+	}
+
+	for _, f := range s.FDEs {
+		if f.CIE == nil {
+			return nil, fmt.Errorf("ehframe: FDE at %#x has no CIE", f.PCBegin)
+		}
+		if _, seen := ciePos[f.CIE]; !seen {
+			if err := encodeCIE(f.CIE); err != nil {
+				return nil, err
+			}
+		}
+		start := len(out)
+		emitU32(0)                                 // length placeholder
+		emitU32(uint32(start + 4 - ciePos[f.CIE])) // CIE pointer: back-distance
+		switch f.CIE.FDEEnc {
+		case PEPCRelSData4:
+			fieldAddr := s.Addr + uint64(len(out))
+			emitU32(uint32(int32(int64(f.PCBegin) - int64(fieldAddr))))
+			emitU32(uint32(f.PCRange))
+		case PEAbsptr:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], f.PCBegin)
+			out = append(out, tmp[:]...)
+			binary.LittleEndian.PutUint64(tmp[:], f.PCRange)
+			out = append(out, tmp[:]...)
+		default:
+			return nil, fmt.Errorf("ehframe: unsupported FDE encoding %#x", f.CIE.FDEEnc)
+		}
+		out = appendULEB(out, 0) // augmentation data length
+		prog, err := encodeCFIs(f.Program, f.CIE.CodeAlign, f.CIE.DataAlign)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, prog...)
+		for (len(out)-start)%8 != 0 {
+			out = append(out, rawNop)
+		}
+		binary.LittleEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+	}
+	emitU32(0) // terminator
+	return out, nil
+}
+
+// Decode parses a .eh_frame section mapped at addr.
+func Decode(data []byte, addr uint64) (*Section, error) {
+	s := &Section{Addr: addr}
+	cies := make(map[int]*CIE)
+	i := 0
+	for i+4 <= len(data) {
+		length := binary.LittleEndian.Uint32(data[i:])
+		if length == 0 {
+			break // terminator
+		}
+		if length == 0xFFFFFFFF {
+			return nil, fmt.Errorf("ehframe: 64-bit DWARF format not supported")
+		}
+		start := i
+		i += 4
+		if i+int(length) > len(data) {
+			return nil, ErrTruncated
+		}
+		body := data[i : i+int(length)]
+		i += int(length)
+
+		id := binary.LittleEndian.Uint32(body)
+		if id == 0 {
+			cie, err := decodeCIE(body[4:])
+			if err != nil {
+				return nil, fmt.Errorf("ehframe: CIE at %#x: %w", start, err)
+			}
+			cies[start] = cie
+			s.CIEs = append(s.CIEs, cie)
+			continue
+		}
+		// FDE: id is the back-distance from the id field to the CIE.
+		ciePtr := start + 4 - int(id)
+		cie, ok := cies[ciePtr]
+		if !ok {
+			return nil, fmt.Errorf("ehframe: FDE at %#x references unknown CIE %#x", start, ciePtr)
+		}
+		fde, err := decodeFDE(body[4:], cie, addr+uint64(start)+8)
+		if err != nil {
+			return nil, fmt.Errorf("ehframe: FDE at %#x: %w", start, err)
+		}
+		s.FDEs = append(s.FDEs, fde)
+	}
+	return s, nil
+}
+
+func decodeCIE(b []byte) (*CIE, error) {
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	version := b[0]
+	if version != 1 && version != 3 {
+		return nil, fmt.Errorf("unsupported CIE version %d", version)
+	}
+	i := 1
+	augStart := i
+	for i < len(b) && b[i] != 0 {
+		i++
+	}
+	if i >= len(b) {
+		return nil, ErrTruncated
+	}
+	aug := string(b[augStart:i])
+	i++
+	c := &CIE{FDEEnc: PEAbsptr}
+	var n int
+	var err error
+	c.CodeAlign, n, err = readULEB(b[i:])
+	if err != nil {
+		return nil, err
+	}
+	i += n
+	c.DataAlign, n, err = readSLEB(b[i:])
+	if err != nil {
+		return nil, err
+	}
+	i += n
+	if version == 1 {
+		if i >= len(b) {
+			return nil, ErrTruncated
+		}
+		c.RetAddrReg = uint64(b[i])
+		i++
+	} else {
+		c.RetAddrReg, n, err = readULEB(b[i:])
+		if err != nil {
+			return nil, err
+		}
+		i += n
+	}
+	if len(aug) > 0 && aug[0] == 'z' {
+		augLen, n, err := readULEB(b[i:])
+		if err != nil {
+			return nil, err
+		}
+		i += n
+		augData := b[i : i+int(augLen)]
+		i += int(augLen)
+		k := 0
+		for _, ch := range aug[1:] {
+			switch ch {
+			case 'R':
+				if k < len(augData) {
+					c.FDEEnc = augData[k]
+					k++
+				}
+			case 'P': // personality: encoding byte + pointer (skip)
+				if k < len(augData) {
+					enc := augData[k]
+					k++
+					k += pointerSize(enc)
+				}
+			case 'L':
+				k++
+			}
+		}
+	}
+	c.Initial, err = decodeCFIs(b[i:], c.CodeAlign, c.DataAlign)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func pointerSize(enc byte) int {
+	switch enc & 0x0F {
+	case 0x00: // absptr
+		return 8
+	case 0x02, 0x0A: // udata2/sdata2
+		return 2
+	case 0x03, 0x0B:
+		return 4
+	case 0x04, 0x0C:
+		return 8
+	}
+	return 8
+}
+
+// decodeFDE parses an FDE body; pcFieldAddr is the virtual address of
+// the PC Begin field (needed for pcrel encodings).
+func decodeFDE(b []byte, cie *CIE, pcFieldAddr uint64) (*FDE, error) {
+	f := &FDE{CIE: cie}
+	i := 0
+	switch cie.FDEEnc {
+	case PEPCRelSData4:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		rel := int32(binary.LittleEndian.Uint32(b))
+		f.PCBegin = uint64(int64(pcFieldAddr) + int64(rel))
+		f.PCRange = uint64(binary.LittleEndian.Uint32(b[4:]))
+		i = 8
+	case PEAbsptr:
+		if len(b) < 16 {
+			return nil, ErrTruncated
+		}
+		f.PCBegin = binary.LittleEndian.Uint64(b)
+		f.PCRange = binary.LittleEndian.Uint64(b[8:])
+		i = 16
+	default:
+		return nil, fmt.Errorf("unsupported FDE pointer encoding %#x", cie.FDEEnc)
+	}
+	augLen, n, err := readULEB(b[i:])
+	if err != nil {
+		return nil, err
+	}
+	i += n + int(augLen)
+	if i > len(b) {
+		return nil, ErrTruncated
+	}
+	f.Program, err = decodeCFIs(b[i:], cie.CodeAlign, cie.DataAlign)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,243 @@
+package elfx
+
+import (
+	"bytes"
+	"debug/elf"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ELF constants not worth importing debug/elf values for at write time.
+const (
+	ehdrSize  = 64
+	phdrSize  = 56
+	shdrSize  = 64
+	symSize   = 24
+	pageAlign = 0x1000
+)
+
+// WriteELF serializes the image as a statically-linked-style ELF64
+// executable that debug/elf (and real tooling) can parse: one PT_LOAD
+// per allocated section, a section header table, and — unless the image
+// is stripped — .symtab/.strtab with function symbols.
+func WriteELF(im *Image) ([]byte, error) {
+	type outSec struct {
+		sec     *Section
+		nameOff uint32
+		fileOff uint64
+	}
+
+	secs := make([]*Section, len(im.Sections))
+	copy(secs, im.Sections)
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+
+	// Build .shstrtab incrementally.
+	shstr := []byte{0}
+	strOff := func(name string) uint32 {
+		off := uint32(len(shstr))
+		shstr = append(shstr, name...)
+		shstr = append(shstr, 0)
+		return off
+	}
+
+	var outs []outSec
+	for _, s := range secs {
+		outs = append(outs, outSec{sec: s, nameOff: strOff(s.Name)})
+	}
+
+	// Symbol table.
+	var symtab, strtab []byte
+	strtab = []byte{0}
+	symtab = make([]byte, symSize) // index 0: mandatory null symbol
+	if len(im.Symbols) > 0 {
+		findShndx := func(addr uint64) uint16 {
+			for k, o := range outs {
+				if o.sec.Contains(addr) {
+					return uint16(k + 1) // +1 for the NULL section
+				}
+			}
+			return 0
+		}
+		for _, sym := range im.Symbols {
+			nameOff := uint32(len(strtab))
+			strtab = append(strtab, sym.Name...)
+			strtab = append(strtab, 0)
+			ent := make([]byte, symSize)
+			binary.LittleEndian.PutUint32(ent[0:], nameOff)
+			info := byte(elf.STB_GLOBAL)<<4 | byte(elf.STT_OBJECT)
+			if sym.Func {
+				info = byte(elf.STB_GLOBAL)<<4 | byte(elf.STT_FUNC)
+			}
+			ent[4] = info
+			binary.LittleEndian.PutUint16(ent[6:], findShndx(sym.Addr))
+			binary.LittleEndian.PutUint64(ent[8:], sym.Addr)
+			binary.LittleEndian.PutUint64(ent[16:], sym.Size)
+			symtab = append(symtab, ent...)
+		}
+	}
+
+	symtabName := strOff(".symtab")
+	strtabName := strOff(".strtab")
+	shstrName := strOff(".shstrtab")
+
+	nPhdr := len(outs)
+	nShdr := 1 + len(outs) + 3 // NULL + sections + symtab,strtab,shstrtab
+
+	// File layout: ehdr | phdrs | section datas | symtab | strtab |
+	// shstrtab | shdrs.
+	off := uint64(ehdrSize + nPhdr*phdrSize)
+	align := func(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+	for k := range outs {
+		// Keep p_offset ≡ p_vaddr (mod page) for loader fidelity.
+		off = align(off, 16)
+		want := outs[k].sec.Addr % pageAlign
+		if off%pageAlign != want {
+			off += (want - off%pageAlign + pageAlign) % pageAlign
+		}
+		outs[k].fileOff = off
+		off += uint64(len(outs[k].sec.Data))
+	}
+	symtabOff := align(off, 8)
+	strtabOff := symtabOff + uint64(len(symtab))
+	shstrOff := strtabOff + uint64(len(strtab))
+	shdrOff := align(shstrOff+uint64(len(shstr)), 8)
+	total := shdrOff + uint64(nShdr*shdrSize)
+
+	out := make([]byte, total)
+
+	// ELF header.
+	copy(out, []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0}) // 64-bit LE SysV
+	binary.LittleEndian.PutUint16(out[16:], uint16(elf.ET_EXEC))
+	binary.LittleEndian.PutUint16(out[18:], uint16(elf.EM_X86_64))
+	binary.LittleEndian.PutUint32(out[20:], 1) // version
+	binary.LittleEndian.PutUint64(out[24:], im.Entry)
+	binary.LittleEndian.PutUint64(out[32:], ehdrSize) // phoff
+	binary.LittleEndian.PutUint64(out[40:], shdrOff)
+	binary.LittleEndian.PutUint16(out[52:], ehdrSize)
+	binary.LittleEndian.PutUint16(out[54:], phdrSize)
+	binary.LittleEndian.PutUint16(out[56:], uint16(nPhdr))
+	binary.LittleEndian.PutUint16(out[58:], shdrSize)
+	binary.LittleEndian.PutUint16(out[60:], uint16(nShdr))
+	binary.LittleEndian.PutUint16(out[62:], uint16(nShdr-1)) // shstrndx
+
+	// Program headers.
+	for k, o := range outs {
+		p := out[ehdrSize+k*phdrSize:]
+		binary.LittleEndian.PutUint32(p[0:], uint32(elf.PT_LOAD))
+		flags := uint32(elf.PF_R)
+		if o.sec.Flags&FlagExec != 0 {
+			flags |= uint32(elf.PF_X)
+		}
+		if o.sec.Flags&FlagWrite != 0 {
+			flags |= uint32(elf.PF_W)
+		}
+		binary.LittleEndian.PutUint32(p[4:], flags)
+		binary.LittleEndian.PutUint64(p[8:], o.fileOff)
+		binary.LittleEndian.PutUint64(p[16:], o.sec.Addr)
+		binary.LittleEndian.PutUint64(p[24:], o.sec.Addr)
+		binary.LittleEndian.PutUint64(p[32:], uint64(len(o.sec.Data)))
+		binary.LittleEndian.PutUint64(p[40:], uint64(len(o.sec.Data)))
+		binary.LittleEndian.PutUint64(p[48:], pageAlign)
+	}
+
+	// Section data.
+	for _, o := range outs {
+		copy(out[o.fileOff:], o.sec.Data)
+	}
+	copy(out[symtabOff:], symtab)
+	copy(out[strtabOff:], strtab)
+	copy(out[shstrOff:], shstr)
+
+	// Section headers.
+	putShdr := func(idx int, name uint32, typ elf.SectionType, flags uint64,
+		addr, foff, size uint64, link uint32, entsize uint64, info uint32) {
+		p := out[shdrOff+uint64(idx*shdrSize):]
+		binary.LittleEndian.PutUint32(p[0:], name)
+		binary.LittleEndian.PutUint32(p[4:], uint32(typ))
+		binary.LittleEndian.PutUint64(p[8:], flags)
+		binary.LittleEndian.PutUint64(p[16:], addr)
+		binary.LittleEndian.PutUint64(p[24:], foff)
+		binary.LittleEndian.PutUint64(p[32:], size)
+		binary.LittleEndian.PutUint32(p[40:], link)
+		binary.LittleEndian.PutUint32(p[44:], info)
+		binary.LittleEndian.PutUint64(p[48:], 16)
+		binary.LittleEndian.PutUint64(p[56:], entsize)
+	}
+	for k, o := range outs {
+		flags := uint64(elf.SHF_ALLOC)
+		if o.sec.Flags&FlagExec != 0 {
+			flags |= uint64(elf.SHF_EXECINSTR)
+		}
+		if o.sec.Flags&FlagWrite != 0 {
+			flags |= uint64(elf.SHF_WRITE)
+		}
+		putShdr(k+1, o.nameOff, elf.SHT_PROGBITS, flags,
+			o.sec.Addr, o.fileOff, uint64(len(o.sec.Data)), 0, 0, 0)
+	}
+	strtabIdx := uint32(len(outs) + 2)
+	putShdr(len(outs)+1, symtabName, elf.SHT_SYMTAB, 0, 0, symtabOff,
+		uint64(len(symtab)), strtabIdx, symSize, 1)
+	putShdr(len(outs)+2, strtabName, elf.SHT_STRTAB, 0, 0, strtabOff,
+		uint64(len(strtab)), 0, 0, 0)
+	putShdr(len(outs)+3, shstrName, elf.SHT_STRTAB, 0, 0, shstrOff,
+		uint64(len(shstr)), 0, 0, 0)
+
+	return out, nil
+}
+
+// LoadELF parses an ELF binary (as written by WriteELF or produced by a
+// real toolchain) into an Image using the standard library parser.
+func LoadELF(data []byte) (*Image, error) {
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("elfx: %w", err)
+	}
+	defer f.Close()
+	if f.Machine != elf.EM_X86_64 {
+		return nil, fmt.Errorf("elfx: not an x86-64 binary (machine %v)", f.Machine)
+	}
+	im := &Image{Entry: f.Entry}
+	for _, s := range f.Sections {
+		if s.Type == elf.SHT_NULL || s.Flags&elf.SHF_ALLOC == 0 {
+			continue
+		}
+		var body []byte
+		if s.Type != elf.SHT_NOBITS {
+			body, err = s.Data()
+			if err != nil {
+				return nil, fmt.Errorf("elfx: section %s: %w", s.Name, err)
+			}
+		} else {
+			body = make([]byte, s.Size)
+		}
+		flags := FlagAlloc
+		if s.Flags&elf.SHF_EXECINSTR != 0 {
+			flags |= FlagExec
+		}
+		if s.Flags&elf.SHF_WRITE != 0 {
+			flags |= FlagWrite
+		}
+		im.Sections = append(im.Sections, &Section{
+			Name:  s.Name,
+			Addr:  s.Addr,
+			Data:  body,
+			Flags: flags,
+		})
+	}
+	syms, err := f.Symbols()
+	if err == nil {
+		for _, sym := range syms {
+			if sym.Name == "" {
+				continue
+			}
+			im.Symbols = append(im.Symbols, Symbol{
+				Name: sym.Name,
+				Addr: sym.Value,
+				Size: sym.Size,
+				Func: elf.ST_TYPE(sym.Info) == elf.STT_FUNC,
+			})
+		}
+	}
+	return im, nil
+}

@@ -1,0 +1,190 @@
+package elfx
+
+import (
+	"testing"
+)
+
+// testImage builds a small two-section image with symbols.
+func testImage() *Image {
+	text := &Section{
+		Name:  ".text",
+		Addr:  0x401000,
+		Data:  []byte{0x55, 0x48, 0x89, 0xE5, 0x5D, 0xC3, 0xCC, 0xCC},
+		Flags: FlagAlloc | FlagExec,
+	}
+	rodata := &Section{
+		Name:  ".rodata",
+		Addr:  0x402000,
+		Data:  []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		Flags: FlagAlloc,
+	}
+	data := &Section{
+		Name:  ".data",
+		Addr:  0x403000,
+		Data:  make([]byte, 32),
+		Flags: FlagAlloc | FlagWrite,
+	}
+	return &Image{
+		Name:     "test",
+		Entry:    0x401000,
+		Sections: []*Section{text, rodata, data},
+		Symbols: []Symbol{
+			{Name: "main", Addr: 0x401000, Size: 6, Func: true},
+			{Name: "table", Addr: 0x402000, Size: 16, Func: false},
+		},
+	}
+}
+
+func TestImageLookups(t *testing.T) {
+	im := testImage()
+	if s, ok := im.Section(".text"); !ok || s.Addr != 0x401000 {
+		t.Fatalf("Section(.text) = %v, %v", s, ok)
+	}
+	if _, ok := im.Section(".bss"); ok {
+		t.Fatal("Section(.bss) should miss")
+	}
+	if !im.IsExec(0x401003) {
+		t.Error("IsExec(.text addr) = false")
+	}
+	if im.IsExec(0x402000) {
+		t.Error("IsExec(.rodata addr) = true")
+	}
+	if !im.IsMapped(0x403010) {
+		t.Error("IsMapped(.data addr) = false")
+	}
+	if im.IsMapped(0x500000) {
+		t.Error("IsMapped(unmapped) = true")
+	}
+	if s, ok := im.SectionAt(0x402008); !ok || s.Name != ".rodata" {
+		t.Errorf("SectionAt(0x402008) = %v, %v", s, ok)
+	}
+}
+
+func TestImageReads(t *testing.T) {
+	im := testImage()
+	b, err := im.Bytes(0x402000, 4)
+	if err != nil || len(b) != 4 || b[0] != 1 {
+		t.Fatalf("Bytes = % x, %v", b, err)
+	}
+	if _, err := im.Bytes(0x402000, 17); err == nil {
+		t.Error("Bytes crossing section end should fail")
+	}
+	if _, err := im.Bytes(0x999999, 1); err == nil {
+		t.Error("Bytes at unmapped address should fail")
+	}
+	v, err := im.ReadU64(0x402000)
+	if err != nil || v != 0x0807060504030201 {
+		t.Fatalf("ReadU64 = %#x, %v", v, err)
+	}
+	v32, err := im.ReadU32(0x402004)
+	if err != nil || v32 != 0x08070605 {
+		t.Fatalf("ReadU32 = %#x, %v", v32, err)
+	}
+	w, ok := im.BytesToSectionEnd(0x401004)
+	if !ok || len(w) != 4 {
+		t.Fatalf("BytesToSectionEnd = %d bytes, %v", len(w), ok)
+	}
+}
+
+func TestSectionClassification(t *testing.T) {
+	im := testImage()
+	ex := im.ExecSections()
+	if len(ex) != 1 || ex[0].Name != ".text" {
+		t.Fatalf("ExecSections = %v", ex)
+	}
+	ds := im.DataSections()
+	if len(ds) != 2 || ds[0].Name != ".rodata" || ds[1].Name != ".data" {
+		t.Fatalf("DataSections = %v", ds)
+	}
+}
+
+func TestFuncSymbolsAndStrip(t *testing.T) {
+	im := testImage()
+	fs := im.FuncSymbols()
+	if len(fs) != 1 || fs[0].Name != "main" {
+		t.Fatalf("FuncSymbols = %v", fs)
+	}
+	if _, ok := im.SymbolNamed("table"); !ok {
+		t.Error("SymbolNamed(table) missed")
+	}
+	st := im.Strip()
+	if len(st.Symbols) != 0 {
+		t.Error("Strip left symbols")
+	}
+	if len(im.Symbols) != 2 {
+		t.Error("Strip mutated the original")
+	}
+}
+
+func TestELFRoundTrip(t *testing.T) {
+	im := testImage()
+	raw, err := WriteELF(im)
+	if err != nil {
+		t.Fatalf("WriteELF: %v", err)
+	}
+	got, err := LoadELF(raw)
+	if err != nil {
+		t.Fatalf("LoadELF: %v", err)
+	}
+	if got.Entry != im.Entry {
+		t.Errorf("entry = %#x, want %#x", got.Entry, im.Entry)
+	}
+	if len(got.Sections) != 3 {
+		t.Fatalf("loaded %d sections, want 3", len(got.Sections))
+	}
+	for _, name := range []string{".text", ".rodata", ".data"} {
+		ws, _ := im.Section(name)
+		gs, ok := got.Section(name)
+		if !ok {
+			t.Fatalf("section %s lost", name)
+		}
+		if gs.Addr != ws.Addr || len(gs.Data) != len(ws.Data) {
+			t.Errorf("section %s = [%#x,+%d), want [%#x,+%d)",
+				name, gs.Addr, len(gs.Data), ws.Addr, len(ws.Data))
+		}
+		for k := range ws.Data {
+			if gs.Data[k] != ws.Data[k] {
+				t.Errorf("section %s byte %d = %#x, want %#x", name, k, gs.Data[k], ws.Data[k])
+				break
+			}
+		}
+		if gs.Flags != ws.Flags {
+			t.Errorf("section %s flags = %v, want %v", name, gs.Flags, ws.Flags)
+		}
+	}
+	if len(got.Symbols) != 2 {
+		t.Fatalf("loaded %d symbols, want 2", len(got.Symbols))
+	}
+	m, ok := got.SymbolNamed("main")
+	if !ok || m.Addr != 0x401000 || m.Size != 6 || !m.Func {
+		t.Errorf("main symbol = %+v, %v", m, ok)
+	}
+	tb, ok := got.SymbolNamed("table")
+	if !ok || tb.Func {
+		t.Errorf("table symbol = %+v, %v", tb, ok)
+	}
+}
+
+func TestELFStrippedRoundTrip(t *testing.T) {
+	im := testImage().Strip()
+	raw, err := WriteELF(im)
+	if err != nil {
+		t.Fatalf("WriteELF: %v", err)
+	}
+	got, err := LoadELF(raw)
+	if err != nil {
+		t.Fatalf("LoadELF: %v", err)
+	}
+	if len(got.Symbols) != 0 {
+		t.Errorf("stripped binary has %d symbols", len(got.Symbols))
+	}
+	if len(got.Sections) != 3 {
+		t.Errorf("stripped binary has %d sections, want 3", len(got.Sections))
+	}
+}
+
+func TestLoadELFRejectsGarbage(t *testing.T) {
+	if _, err := LoadELF([]byte("not an elf at all")); err == nil {
+		t.Fatal("LoadELF accepted garbage")
+	}
+}

@@ -1,0 +1,181 @@
+// Package elfx provides the in-memory binary image abstraction shared
+// by the synthetic compiler and the analyses, plus an ELF64 writer and
+// a loader (built on debug/elf) so the same analyses run on real
+// System-V x64 binaries.
+package elfx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// SectionFlags describe mapping permissions of a section.
+type SectionFlags uint8
+
+// Section flag bits.
+const (
+	FlagAlloc SectionFlags = 1 << iota
+	FlagExec
+	FlagWrite
+)
+
+// Section is one named, contiguous address range of the image.
+type Section struct {
+	Name  string
+	Addr  uint64
+	Data  []byte
+	Flags SectionFlags
+}
+
+// End returns the first address past the section.
+func (s *Section) End() uint64 { return s.Addr + uint64(len(s.Data)) }
+
+// Contains reports whether addr falls inside the section.
+func (s *Section) Contains(addr uint64) bool { return addr >= s.Addr && addr < s.End() }
+
+// Symbol is a (typically function) symbol.
+type Symbol struct {
+	Name string
+	Addr uint64
+	Size uint64
+	Func bool
+}
+
+// Image is a loaded or synthesized binary.
+type Image struct {
+	Name     string
+	Entry    uint64
+	Sections []*Section
+	// Symbols is empty for stripped binaries.
+	Symbols []Symbol
+}
+
+// Section returns the section with the given name, if present.
+func (im *Image) Section(name string) (*Section, bool) {
+	for _, s := range im.Sections {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// SectionAt returns the section containing addr, if any.
+func (im *Image) SectionAt(addr uint64) (*Section, bool) {
+	for _, s := range im.Sections {
+		if s.Contains(addr) {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// IsExec reports whether addr lies in an executable section.
+func (im *Image) IsExec(addr uint64) bool {
+	s, ok := im.SectionAt(addr)
+	return ok && s.Flags&FlagExec != 0
+}
+
+// IsMapped reports whether addr lies in any allocated section.
+func (im *Image) IsMapped(addr uint64) bool {
+	s, ok := im.SectionAt(addr)
+	return ok && s.Flags&FlagAlloc != 0
+}
+
+// Bytes returns n bytes starting at addr, or an error when the range
+// leaves its section.
+func (im *Image) Bytes(addr uint64, n int) ([]byte, error) {
+	s, ok := im.SectionAt(addr)
+	if !ok {
+		return nil, fmt.Errorf("elfx: address %#x not mapped", addr)
+	}
+	off := addr - s.Addr
+	if off+uint64(n) > uint64(len(s.Data)) {
+		return nil, fmt.Errorf("elfx: range [%#x,+%d) leaves section %s", addr, n, s.Name)
+	}
+	return s.Data[off : off+uint64(n)], nil
+}
+
+// BytesToSectionEnd returns the bytes from addr to the end of its
+// section (a decode window for the disassembler).
+func (im *Image) BytesToSectionEnd(addr uint64) ([]byte, bool) {
+	s, ok := im.SectionAt(addr)
+	if !ok {
+		return nil, false
+	}
+	return s.Data[addr-s.Addr:], true
+}
+
+// ReadU64 reads a little-endian 64-bit word at addr.
+func (im *Image) ReadU64(addr uint64) (uint64, error) {
+	b, err := im.Bytes(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// ReadU32 reads a little-endian 32-bit word at addr.
+func (im *Image) ReadU32(addr uint64) (uint32, error) {
+	b, err := im.Bytes(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// ExecSections returns all executable sections in address order.
+func (im *Image) ExecSections() []*Section {
+	var out []*Section
+	for _, s := range im.Sections {
+		if s.Flags&FlagExec != 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// DataSections returns allocated, non-executable sections in address
+// order — where §IV-E scans for function pointers.
+func (im *Image) DataSections() []*Section {
+	var out []*Section
+	for _, s := range im.Sections {
+		if s.Flags&FlagAlloc != 0 && s.Flags&FlagExec == 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// FuncSymbols returns the function symbols sorted by address.
+func (im *Image) FuncSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range im.Symbols {
+		if s.Func {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// SymbolNamed returns the first symbol with the given name.
+func (im *Image) SymbolNamed(name string) (Symbol, bool) {
+	for _, s := range im.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// Strip returns a shallow copy of the image without symbols, as a
+// distributor would ship it.
+func (im *Image) Strip() *Image {
+	cp := *im
+	cp.Symbols = nil
+	return &cp
+}

@@ -1,0 +1,60 @@
+// Package eval reproduces every table and figure of the paper's
+// evaluation on synthesized corpora: the dataset tables (I, II), the
+// coverage study (§IV, Figure 5), the accuracy study (§V), the tool
+// comparison (Table III), the stack-height comparison (Table IV), and
+// the efficiency table (V). Each driver returns structured results
+// plus a formatted text rendering, and is wired to both cmd/evaluate
+// and the bench harness.
+package eval
+
+import (
+	"fmt"
+
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/synth"
+)
+
+// Binary is one generated corpus member.
+type Binary struct {
+	Spec  synth.BinarySpec
+	Img   *elfx.Image
+	Truth *groundtruth.Truth
+}
+
+// Corpus is a generated self-built corpus (Table II shape).
+type Corpus struct {
+	Bins []*Binary
+}
+
+// BuildSelfBuilt generates the self-built corpus at the given scale.
+func BuildSelfBuilt(scale float64, seed int64) (*Corpus, error) {
+	specs := synth.SelfBuiltCorpus(scale, seed)
+	c := &Corpus{Bins: make([]*Binary, 0, len(specs))}
+	for _, sp := range specs {
+		img, truth, err := synth.Generate(sp.Config)
+		if err != nil {
+			return nil, fmt.Errorf("eval: generating %s: %w", sp.Config.Name, err)
+		}
+		c.Bins = append(c.Bins, &Binary{Spec: sp, Img: img, Truth: truth})
+	}
+	return c, nil
+}
+
+// ByOpt partitions the corpus by optimization level, in paper order.
+func (c *Corpus) ByOpt() map[synth.Opt][]*Binary {
+	out := make(map[synth.Opt][]*Binary, 4)
+	for _, b := range c.Bins {
+		out[b.Spec.Config.Opt] = append(out[b.Spec.Config.Opt], b)
+	}
+	return out
+}
+
+// TotalFuncs counts true functions across the corpus.
+func (c *Corpus) TotalFuncs() int {
+	n := 0
+	for _, b := range c.Bins {
+		n += len(b.Truth.Funcs)
+	}
+	return n
+}

@@ -1,0 +1,239 @@
+package eval
+
+import (
+	"testing"
+
+	"fetch/internal/baseline"
+	"fetch/internal/stackan"
+	"fetch/internal/synth"
+)
+
+// smallCorpus builds a fast test corpus (every project at minimum
+// program count would still be ~176 binaries; tests use a slice).
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := BuildSelfBuilt(0.01, 7000)
+	if err != nil {
+		t.Fatalf("BuildSelfBuilt: %v", err)
+	}
+	// Keep a manageable subset spanning all opt levels.
+	if len(c.Bins) > 48 {
+		c.Bins = c.Bins[:48]
+	}
+	return c
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	c := smallCorpus(t)
+
+	a, err := Figure5a(c)
+	if err != nil {
+		t.Fatalf("Figure5a: %v", err)
+	}
+	rows := map[string]StrategyRow{}
+	for _, r := range a.Rows {
+		rows[r.Name] = r
+	}
+	// CFR reduces coverage below plain Rec (the paper's key GHIDRA
+	// finding); the unsafe tail-call heuristic wrecks accuracy.
+	if rows["FDE+Rec+CFR"].FullCoverage > rows["FDE+Rec"].FullCoverage {
+		t.Errorf("CFR should not improve coverage: %d > %d",
+			rows["FDE+Rec+CFR"].FullCoverage, rows["FDE+Rec"].FullCoverage)
+	}
+	if rows["FDE+Rec+Tcall"].TotalFP <= rows["FDE+Rec"].TotalFP {
+		t.Errorf("ghidra Tcall should add FPs: %d <= %d",
+			rows["FDE+Rec+Tcall"].TotalFP, rows["FDE+Rec"].TotalFP)
+	}
+	if rows["FDE+Rec"].TotalFN >= rows["FDE"].TotalFN {
+		t.Errorf("Rec should reduce FNs: %d >= %d",
+			rows["FDE+Rec"].TotalFN, rows["FDE"].TotalFN)
+	}
+
+	b, err := Figure5b(c)
+	if err != nil {
+		t.Fatalf("Figure5b: %v", err)
+	}
+	rows = map[string]StrategyRow{}
+	for _, r := range b.Rows {
+		rows[r.Name] = r
+	}
+	// Scan must eliminate (nearly) all full-accuracy binaries.
+	if rows["FDE+Rec+Scan"].FullAccuracy > rows["FDE+Rec"].FullAccuracy/4 {
+		t.Errorf("Scan left %d full-accuracy binaries (Rec had %d)",
+			rows["FDE+Rec+Scan"].FullAccuracy, rows["FDE+Rec"].FullAccuracy)
+	}
+	if rows["FDE+Rec+Fmerg"].FullCoverage > rows["FDE+Rec"].FullCoverage {
+		t.Errorf("Fmerg should not improve coverage")
+	}
+
+	cRes, err := Figure5c(c)
+	if err != nil {
+		t.Fatalf("Figure5c: %v", err)
+	}
+	rows = map[string]StrategyRow{}
+	for _, r := range cRes.Rows {
+		rows[r.Name] = r
+	}
+	// The optimal pipeline: Xref adds no FPs, Tcall slashes them.
+	if rows["FDE+Rec+Xref"].TotalFP > rows["FDE+Rec"].TotalFP {
+		t.Errorf("Xref added FPs")
+	}
+	if rows["FDE+Rec+Xref+Tcall"].FullAccuracy <= rows["FDE+Rec+Xref"].FullAccuracy {
+		t.Errorf("safe Tcall should raise full-accuracy count: %d <= %d",
+			rows["FDE+Rec+Xref+Tcall"].FullAccuracy, rows["FDE+Rec+Xref"].FullAccuracy)
+	}
+	if got := rows["FDE+Rec+Xref+Tcall"].TotalFP; got*4 > rows["FDE"].TotalFP {
+		t.Errorf("FETCH FP reduction too weak: %d of %d remain", got, rows["FDE"].TotalFP)
+	}
+}
+
+func TestTableIIIOrdering(t *testing.T) {
+	c := smallCorpus(t)
+	res, err := TableIII(c)
+	if err != nil {
+		t.Fatalf("TableIII: %v", err)
+	}
+	sum := map[baseline.Tool]TableIIICell{}
+	for _, opt := range res.Opts {
+		for tool, cell := range res.Cells[opt] {
+			s := sum[tool]
+			s.FP += cell.FP
+			s.FN += cell.FN
+			sum[tool] = s
+		}
+	}
+	// The headline shape: FETCH has the best coverage (lowest FN) and
+	// the best accuracy (lowest FP) among all tools.
+	fetch := sum[baseline.ToolFETCH]
+	for _, tool := range baseline.AllTools {
+		if tool == baseline.ToolFETCH {
+			continue
+		}
+		if sum[tool].FN < fetch.FN {
+			t.Errorf("%s FN %d < FETCH FN %d", tool, sum[tool].FN, fetch.FN)
+		}
+		if sum[tool].FP < fetch.FP {
+			t.Errorf("%s FP %d < FETCH FP %d", tool, sum[tool].FP, fetch.FP)
+		}
+	}
+	// Pattern-driven tools must show order-of-magnitude more errors.
+	if sum[baseline.ToolBAP].FP < 10*fetch.FP+10 {
+		t.Errorf("BAP FP %d not clearly worse than FETCH %d", sum[baseline.ToolBAP].FP, fetch.FP)
+	}
+	t.Logf("%s", res.Format())
+}
+
+func TestTableIVShapes(t *testing.T) {
+	c := smallCorpus(t)
+	res, err := TableIV(c)
+	if err != nil {
+		t.Fatalf("TableIV: %v", err)
+	}
+	for _, opt := range res.Opts {
+		for _, style := range []stackan.Style{stackan.AngrStyle, stackan.DyninstStyle} {
+			cells := res.Cells[opt][style]
+			for scope := 0; scope < 2; scope++ {
+				p, r := cells[scope].Precision, cells[scope].Recall
+				if p > 100 || r > 100 || p < 50 || r < 50 {
+					t.Errorf("%v %v scope %d: implausible pre=%.2f rec=%.2f", opt, style, scope, p, r)
+				}
+			}
+			// The degraded analyses must be measurably imperfect.
+			if cells[0].Precision == 100 && cells[0].Recall == 100 {
+				t.Errorf("%v %v: suspiciously perfect", opt, style)
+			}
+		}
+	}
+	t.Logf("%s", res.Format())
+}
+
+func TestSectionDrivers(t *testing.T) {
+	c := smallCorpus(t)
+	ivb, err := SectionIVB(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivb.CoverageRatio < 98 {
+		t.Errorf("FDE coverage %.2f%% too low", ivb.CoverageRatio)
+	}
+	if ivb.MissedOther > 0 {
+		t.Errorf("unexplained FDE misses: %d", ivb.MissedOther)
+	}
+
+	ive, err := SectionIVE(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ive.NewFPs > 0 {
+		t.Errorf("xref introduced %d FPs", ive.NewFPs)
+	}
+	if ive.ResidualOther > 0 {
+		t.Errorf("harmful residual misses: %d", ive.ResidualOther)
+	}
+
+	va, err := SectionVA(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.NonContiguous+va.HandWritten != va.TotalFPs {
+		t.Errorf("FP classification incomplete: %d + %d != %d",
+			va.NonContiguous, va.HandWritten, va.TotalFPs)
+	}
+	if !va.SymbolFPsEqual {
+		t.Error("symbols should carry the same part entries")
+	}
+
+	vc, err := SectionVC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.FPsAfter > vc.FPsBefore {
+		t.Errorf("Algorithm 1 increased FPs: %d -> %d", vc.FPsBefore, vc.FPsAfter)
+	}
+	if vc.FullAccAfter < vc.FullAccBefore {
+		t.Errorf("Algorithm 1 reduced full-accuracy binaries")
+	}
+	if vc.FPsAfter != vc.ResidualIncomplete {
+		t.Errorf("residual FPs %d != incomplete-CFI residue %d", vc.FPsAfter, vc.ResidualIncomplete)
+	}
+	t.Logf("\n%s\n%s\n%s\n%s", ivb.Format(), ive.Format(), va.Format(), vc.Format())
+}
+
+func TestTableIAndII(t *testing.T) {
+	t1, err := TableI(9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 43 {
+		t.Errorf("Table I rows = %d, want 43", len(t1.Rows))
+	}
+	if t1.AvgRatio < 99 {
+		t.Errorf("wild FDE ratio %.2f%% too low", t1.AvgRatio)
+	}
+
+	c := smallCorpus(t)
+	t2, err := TableII(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Overall < 98 || t2.Overall > 100 {
+		t.Errorf("overall FDE ratio %.2f%% out of range", t2.Overall)
+	}
+	t.Logf("\n%s\n%s", t1.Format(), t2.Format())
+}
+
+func TestCorpusConstruction(t *testing.T) {
+	specs := synth.SelfBuiltCorpus(0.01, 1)
+	if len(specs) < 22*8 {
+		t.Errorf("scaled corpus too small: %d", len(specs))
+	}
+	perOpt := map[synth.Opt]int{}
+	for _, s := range specs {
+		perOpt[s.Config.Opt]++
+	}
+	for _, opt := range synth.AllOpts {
+		if perOpt[opt] == 0 {
+			t.Errorf("no binaries at %v", opt)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"fetch/internal/baseline"
+	"fetch/internal/elfx"
+	"fetch/internal/metrics"
+)
+
+// StrategyRow is one bar pair of Figure 5.
+type StrategyRow struct {
+	Name         string
+	FullCoverage int
+	FullAccuracy int
+	TotalFP      int
+	TotalFN      int
+}
+
+// FigureResult is one Figure 5 subfigure.
+type FigureResult struct {
+	Title    string
+	Binaries int
+	Rows     []StrategyRow
+}
+
+// Format renders the figure as a text table.
+func (f *FigureResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d binaries)\n", f.Title, f.Binaries)
+	fmt.Fprintf(&b, "%-18s %12s %12s %10s %10s\n", "strategy", "full-cov", "full-acc", "FP", "FN")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-18s %12d %12d %10d %10d\n",
+			r.Name, r.FullCoverage, r.FullAccuracy, r.TotalFP, r.TotalFN)
+	}
+	return b.String()
+}
+
+// strategy is a named detection pipeline over one image.
+type strategy struct {
+	name string
+	run  func(img *elfx.Image) (map[uint64]bool, error)
+}
+
+func runFigure(c *Corpus, title string, strats []strategy) (*FigureResult, error) {
+	out := &FigureResult{Title: title, Binaries: len(c.Bins)}
+	for _, st := range strats {
+		var agg metrics.Aggregate
+		for _, bin := range c.Bins {
+			funcs, err := st.run(bin.Img.Strip())
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s on %s: %w", st.name, bin.Spec.Config.Name, err)
+			}
+			agg.Add(metrics.Evaluate(funcs, bin.Truth))
+		}
+		out.Rows = append(out.Rows, StrategyRow{
+			Name:         st.name,
+			FullCoverage: agg.FullCoverage,
+			FullAccuracy: agg.FullAccuracy,
+			TotalFP:      agg.FP,
+			TotalFN:      agg.FN,
+		})
+	}
+	return out, nil
+}
+
+// fdeOnly is the "FDE" row shared by all three subfigures.
+func fdeOnly(img *elfx.Image) (map[uint64]bool, error) {
+	d, err := baseline.FDE(img)
+	if err != nil {
+		return nil, err
+	}
+	return d.Funcs, nil
+}
+
+// Figure5a reproduces the GHIDRA strategy study: its recursive
+// disassembly is coupled with the thunk heuristic, and the paper
+// additionally measures control-flow repairing, prologue matching, and
+// the unsafe tail-call heuristic.
+func Figure5a(c *Corpus) (*FigureResult, error) {
+	ghidraRec := func(img *elfx.Image) (*baseline.Detection, error) {
+		d, err := baseline.FDE(img)
+		if err != nil {
+			return nil, err
+		}
+		d = baseline.Rec(img, d)
+		return baseline.Thunk(img, d), nil
+	}
+	return runFigure(c, "Figure 5a: GHIDRA strategies", []strategy{
+		{"FDE", fdeOnly},
+		{"FDE+Rec+CFR", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := ghidraRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.CFR(img, d).Funcs, nil
+		}},
+		{"FDE+Rec", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := ghidraRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return d.Funcs, nil
+		}},
+		{"FDE+Rec+Fsig", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := ghidraRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.FsigGhidra(img, d).Funcs, nil
+		}},
+		{"FDE+Rec+Tcall", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := ghidraRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.TcallGhidra(img, d).Funcs, nil
+		}},
+	})
+}
+
+// Figure5b reproduces the ANGR strategy study: its recursion is
+// coupled with alignment-function splitting, and the paper measures
+// function merging, prologue matching, linear scanning, and its
+// tail-call heuristic on top.
+func Figure5b(c *Corpus) (*FigureResult, error) {
+	angrRec := func(img *elfx.Image) (*baseline.Detection, error) {
+		d, err := baseline.FDE(img)
+		if err != nil {
+			return nil, err
+		}
+		d = baseline.Rec(img, d)
+		return baseline.Align(img, d), nil
+	}
+	return runFigure(c, "Figure 5b: ANGR strategies", []strategy{
+		{"FDE", fdeOnly},
+		{"FDE+Rec+Fmerg", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := angrRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.Fmerg(img, d).Funcs, nil
+		}},
+		{"FDE+Rec", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := angrRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return d.Funcs, nil
+		}},
+		{"FDE+Rec+Fsig", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := angrRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.FsigAngr(img, d).Funcs, nil
+		}},
+		{"FDE+Rec+Scan", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := angrRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.Scan(img, d).Funcs, nil
+		}},
+		{"FDE+Rec+Tcall", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := angrRec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.TcallAngr(img, d).Funcs, nil
+		}},
+	})
+}
+
+// Figure5c reproduces the optimal-strategy study: safe recursion, then
+// conservative pointer detection, then Algorithm 1.
+func Figure5c(c *Corpus) (*FigureResult, error) {
+	rec := func(img *elfx.Image) (*baseline.Detection, error) {
+		d, err := baseline.FDE(img)
+		if err != nil {
+			return nil, err
+		}
+		return baseline.Rec(img, d), nil
+	}
+	return runFigure(c, "Figure 5c: optimal strategies", []strategy{
+		{"FDE", fdeOnly},
+		{"FDE+Rec", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := rec(img)
+			if err != nil {
+				return nil, err
+			}
+			return d.Funcs, nil
+		}},
+		{"FDE+Rec+Xref", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := rec(img)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.Xref(img, d).Funcs, nil
+		}},
+		{"FDE+Rec+Xref+Tcall", func(img *elfx.Image) (map[uint64]bool, error) {
+			d, err := rec(img)
+			if err != nil {
+				return nil, err
+			}
+			d = baseline.Xref(img, d)
+			return baseline.SafeTailCall(img, d).Funcs, nil
+		}},
+	})
+}

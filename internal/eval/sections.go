@@ -1,0 +1,278 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"fetch/internal/baseline"
+	"fetch/internal/core"
+	"fetch/internal/gadget"
+	"fetch/internal/groundtruth"
+	"fetch/internal/metrics"
+)
+
+// --- §IV-B: FDE coverage against ground truth ---
+
+// SectionIVBResult quantifies raw FDE coverage.
+type SectionIVBResult struct {
+	TotalFuncs         int
+	Covered            int
+	CoverageRatio      float64
+	BinariesWithMiss   int
+	AvgMissPerAffected float64
+	MissedAsm          int
+	MissedClangTerm    int
+	MissedOther        int
+}
+
+// Format renders the findings paragraph.
+func (r *SectionIVBResult) Format() string {
+	var b strings.Builder
+	b.WriteString("§IV-B: FDE coverage vs ground truth\n")
+	fmt.Fprintf(&b, "functions covered by FDEs: %d / %d (%.2f%%)\n", r.Covered, r.TotalFuncs, r.CoverageRatio)
+	fmt.Fprintf(&b, "binaries with misses: %d (avg %.2f missed each)\n", r.BinariesWithMiss, r.AvgMissPerAffected)
+	fmt.Fprintf(&b, "missed: %d assembly, %d __clang_call_terminate, %d other\n",
+		r.MissedAsm, r.MissedClangTerm, r.MissedOther)
+	return b.String()
+}
+
+// SectionIVB measures FDE-only detection against ground truth.
+func SectionIVB(c *Corpus) (*SectionIVBResult, error) {
+	out := &SectionIVBResult{}
+	missTotal := 0
+	for _, bin := range c.Bins {
+		d, err := baseline.FDE(bin.Img)
+		if err != nil {
+			return nil, err
+		}
+		e := metrics.Evaluate(d.Funcs, bin.Truth)
+		out.TotalFuncs += len(bin.Truth.Funcs)
+		out.Covered += e.TP
+		if e.FN > 0 {
+			out.BinariesWithMiss++
+			missTotal += e.FN
+		}
+		for _, a := range e.FNAddrs {
+			f, _ := bin.Truth.FuncAt(a)
+			switch f.Class {
+			case groundtruth.ClassAsm:
+				out.MissedAsm++
+			case groundtruth.ClassClangTerminate:
+				out.MissedClangTerm++
+			default:
+				out.MissedOther++
+			}
+		}
+	}
+	if out.TotalFuncs > 0 {
+		out.CoverageRatio = 100 * float64(out.Covered) / float64(out.TotalFuncs)
+	}
+	if out.BinariesWithMiss > 0 {
+		out.AvgMissPerAffected = float64(missTotal) / float64(out.BinariesWithMiss)
+	}
+	return out, nil
+}
+
+// --- §IV-E: function-pointer detection ---
+
+// SectionIVEResult quantifies the xref stage.
+type SectionIVEResult struct {
+	NewStarts       int
+	NewFPs          int
+	AvgReported     float64
+	ResidualTail    int
+	ResidualUnreach int
+	ResidualOther   int
+}
+
+// Format renders the findings paragraph.
+func (r *SectionIVEResult) Format() string {
+	var b strings.Builder
+	b.WriteString("§IV-E: conservative function-pointer detection\n")
+	fmt.Fprintf(&b, "new starts found: %d (false positives among them: %d)\n", r.NewStarts, r.NewFPs)
+	fmt.Fprintf(&b, "average starts reported per binary: %.2f\n", r.AvgReported)
+	fmt.Fprintf(&b, "residual misses: %d tail-call-only, %d unreachable, %d other\n",
+		r.ResidualTail, r.ResidualUnreach, r.ResidualOther)
+	return b.String()
+}
+
+// SectionIVE measures what pointer validation adds over FDE+Rec.
+func SectionIVE(c *Corpus) (*SectionIVEResult, error) {
+	out := &SectionIVEResult{}
+	for _, bin := range c.Bins {
+		img := bin.Img.Strip()
+		rec, err := core.Analyze(img, core.Strategy{Recursive: true})
+		if err != nil {
+			return nil, err
+		}
+		full, err := core.Analyze(img, core.Strategy{Recursive: true, Xref: true})
+		if err != nil {
+			return nil, err
+		}
+		out.NewStarts += len(full.XrefNew)
+		out.AvgReported += float64(len(full.XrefNew))
+		for _, a := range full.XrefNew {
+			if !bin.Truth.IsStart(a) {
+				out.NewFPs++
+			}
+		}
+		_ = rec
+		e := metrics.Evaluate(full.Funcs, bin.Truth)
+		for _, a := range e.FNAddrs {
+			f, _ := bin.Truth.FuncAt(a)
+			switch f.Reach {
+			case groundtruth.ReachTailOnly:
+				out.ResidualTail++
+			case groundtruth.ReachUnreachable:
+				out.ResidualUnreach++
+			default:
+				out.ResidualOther++
+			}
+		}
+	}
+	if len(c.Bins) > 0 {
+		out.AvgReported /= float64(len(c.Bins))
+	}
+	return out, nil
+}
+
+// --- §V-A: errors introduced by FDEs ---
+
+// SectionVAResult quantifies FDE-inherited false positives.
+type SectionVAResult struct {
+	TotalFPs       int
+	AffectedBins   int
+	NonContiguous  int
+	HandWritten    int
+	SymbolFPsEqual bool
+	ROPGadgets     int
+}
+
+// Format renders the findings paragraph.
+func (r *SectionVAResult) Format() string {
+	var b strings.Builder
+	b.WriteString("§V-A: false positives introduced by FDEs\n")
+	fmt.Fprintf(&b, "FDE false positives: %d across %d binaries\n", r.TotalFPs, r.AffectedBins)
+	fmt.Fprintf(&b, "  from non-contiguous functions: %d\n", r.NonContiguous)
+	fmt.Fprintf(&b, "  from hand-written CFI: %d\n", r.HandWritten)
+	fmt.Fprintf(&b, "symbols exhibit the same non-contiguous FPs: %v\n", r.SymbolFPsEqual)
+	fmt.Fprintf(&b, "ROP gadgets at false starts: %d\n", r.ROPGadgets)
+	return b.String()
+}
+
+// SectionVA measures the FDE-only false positives, their origin, and
+// their ROP-gadget payload.
+func SectionVA(c *Corpus) (*SectionVAResult, error) {
+	out := &SectionVAResult{SymbolFPsEqual: true}
+	for _, bin := range c.Bins {
+		d, err := baseline.FDE(bin.Img)
+		if err != nil {
+			return nil, err
+		}
+		e := metrics.Evaluate(d.Funcs, bin.Truth)
+		if e.FP > 0 {
+			out.AffectedBins++
+		}
+		out.TotalFPs += e.FP
+		for _, a := range e.FPAddrs {
+			if _, isPart := bin.Truth.PartAt(a); isPart {
+				out.NonContiguous++
+			} else {
+				out.HandWritten++
+			}
+		}
+		out.ROPGadgets += gadget.CountAll(bin.Img, e.FPAddrs)
+
+		// Symbols carry the same per-part entries (§V-A's observation
+		// that symbols share the problem).
+		symStarts := map[uint64]bool{}
+		for _, s := range bin.Img.FuncSymbols() {
+			symStarts[s.Addr] = true
+		}
+		for _, p := range bin.Truth.Parts {
+			if !symStarts[p.Addr] {
+				out.SymbolFPsEqual = false
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- §V-C: Algorithm 1 evaluation ---
+
+// SectionVCResult quantifies the error fixing.
+type SectionVCResult struct {
+	FPsBefore          int
+	FPsAfter           int
+	FullAccBefore      int
+	FullAccAfter       int
+	FullCovBefore      int
+	FullCovAfter       int
+	NewFNs             int
+	NewFNsHarmless     int
+	ResidualIncomplete int
+}
+
+// Format renders the findings paragraph.
+func (r *SectionVCResult) Format() string {
+	var b strings.Builder
+	b.WriteString("§V-C: Algorithm 1 evaluation\n")
+	fmt.Fprintf(&b, "FDE false positives: %d -> %d (%.1f%% eliminated)\n",
+		r.FPsBefore, r.FPsAfter, 100*(1-safeDiv(float64(r.FPsAfter), float64(r.FPsBefore))))
+	fmt.Fprintf(&b, "full-accuracy binaries: %d -> %d\n", r.FullAccBefore, r.FullAccAfter)
+	fmt.Fprintf(&b, "full-coverage binaries: %d -> %d\n", r.FullCovBefore, r.FullCovAfter)
+	fmt.Fprintf(&b, "new false negatives: %d (harmless tail-merge: %d)\n", r.NewFNs, r.NewFNsHarmless)
+	fmt.Fprintf(&b, "residual FPs from incomplete CFI: %d\n", r.ResidualIncomplete)
+	return b.String()
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// SectionVC measures Algorithm 1 on top of FDE+Rec+Xref.
+func SectionVC(c *Corpus) (*SectionVCResult, error) {
+	out := &SectionVCResult{}
+	for _, bin := range c.Bins {
+		img := bin.Img.Strip()
+		before, err := core.Analyze(img, core.Strategy{Recursive: true, Xref: true})
+		if err != nil {
+			return nil, err
+		}
+		after, err := core.Analyze(img, core.FETCH)
+		if err != nil {
+			return nil, err
+		}
+		eb := metrics.Evaluate(before.Funcs, bin.Truth)
+		ea := metrics.Evaluate(after.Funcs, bin.Truth)
+		out.FPsBefore += eb.FP
+		out.FPsAfter += ea.FP
+		if eb.FullAccuracy() {
+			out.FullAccBefore++
+		}
+		if ea.FullAccuracy() {
+			out.FullAccAfter++
+		}
+		if eb.FullCoverage() {
+			out.FullCovBefore++
+		}
+		if ea.FullCoverage() {
+			out.FullCovAfter++
+		}
+		out.NewFNs += ea.FN - eb.FN
+		for _, a := range ea.FNAddrs {
+			if _, merged := after.Merged[a]; merged {
+				out.NewFNsHarmless++
+			}
+		}
+		for _, a := range ea.FPAddrs {
+			if p, ok := bin.Truth.PartAt(a); ok && p.IncompleteCFI {
+				out.ResidualIncomplete++
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,428 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fetch/internal/baseline"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/metrics"
+	"fetch/internal/stackan"
+	"fetch/internal/synth"
+	"fetch/internal/x64"
+)
+
+// --- Table I ---
+
+// TableIRow is one wild binary.
+type TableIRow struct {
+	Software   string
+	Open       bool
+	EHFrame    bool
+	HasSymbols bool
+	// FDERatio is the percentage of symbol-reported functions covered
+	// by FDEs (only meaningful with symbols).
+	FDERatio float64
+}
+
+// TableIResult reproduces Table I.
+type TableIResult struct {
+	Rows     []TableIRow
+	AvgRatio float64
+}
+
+// Format renders the table.
+func (t *TableIResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: wild binaries (%d)\n", len(t.Rows))
+	fmt.Fprintf(&b, "%-18s %-6s %-4s %-4s %8s\n", "software", "open", "EHF", "sym", "FDE%")
+	for _, r := range t.Rows {
+		ratio := "   -"
+		if r.HasSymbols {
+			ratio = fmt.Sprintf("%7.2f", r.FDERatio)
+		}
+		fmt.Fprintf(&b, "%-18s %-6v %-4v %-4v %8s\n", r.Software, r.Open, r.EHFrame, r.HasSymbols, ratio)
+	}
+	fmt.Fprintf(&b, "average FDE coverage of symbols: %.2f%%\n", t.AvgRatio)
+	return b.String()
+}
+
+// TableI generates the wild corpus and measures FDE-vs-symbol coverage.
+func TableI(seed int64) (*TableIResult, error) {
+	out := &TableIResult{}
+	var sum float64
+	var n int
+	for _, w := range synth.WildCorpus(seed) {
+		img, _, err := synth.Generate(w.Config)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIRow{Software: w.Software, Open: w.Open, HasSymbols: w.HasSymbols}
+		eh, ok := img.Section(".eh_frame")
+		row.EHFrame = ok
+		if ok && w.HasSymbols {
+			sec, err := ehframe.Decode(eh.Data, eh.Addr)
+			if err != nil {
+				return nil, err
+			}
+			starts := map[uint64]bool{}
+			for _, s := range sec.FunctionStarts() {
+				starts[s] = true
+			}
+			syms := img.FuncSymbols()
+			covered := 0
+			for _, s := range syms {
+				if starts[s.Addr] {
+					covered++
+				}
+			}
+			if len(syms) > 0 {
+				row.FDERatio = 100 * float64(covered) / float64(len(syms))
+				sum += row.FDERatio
+				n++
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if n > 0 {
+		out.AvgRatio = sum / float64(n)
+	}
+	return out, nil
+}
+
+// --- Table II ---
+
+// TableIIRow is one project group.
+type TableIIRow struct {
+	Project  string
+	Type     string
+	Binaries int
+	EHFrame  bool
+	FDERatio float64 // FDE coverage of symbol-reported functions (%)
+}
+
+// TableIIResult reproduces Table II.
+type TableIIResult struct {
+	Rows     []TableIIRow
+	Overall  float64
+	Binaries int
+}
+
+// Format renders the table.
+func (t *TableIIResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: self-built corpus (%d binaries)\n", t.Binaries)
+	fmt.Fprintf(&b, "%-16s %-10s %6s %-4s %8s\n", "project", "type", "bins", "EHF", "FDE%")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-16s %-10s %6d %-4v %8.2f\n", r.Project, r.Type, r.Binaries, r.EHFrame, r.FDERatio)
+	}
+	fmt.Fprintf(&b, "overall FDE coverage of symbols: %.2f%%\n", t.Overall)
+	return b.String()
+}
+
+// TableII measures per-project FDE coverage of symbols on a generated
+// corpus.
+func TableII(c *Corpus) (*TableIIResult, error) {
+	type acc struct {
+		row     TableIIRow
+		syms    int
+		covered int
+	}
+	byProject := map[string]*acc{}
+	var order []string
+	var totalSyms, totalCovered int
+	for _, bin := range c.Bins {
+		a := byProject[bin.Spec.Project]
+		if a == nil {
+			a = &acc{row: TableIIRow{Project: bin.Spec.Project, Type: bin.Spec.Type, EHFrame: true}}
+			byProject[bin.Spec.Project] = a
+			order = append(order, bin.Spec.Project)
+		}
+		a.row.Binaries++
+		eh, ok := bin.Img.Section(".eh_frame")
+		if !ok {
+			a.row.EHFrame = false
+			continue
+		}
+		sec, err := ehframe.Decode(eh.Data, eh.Addr)
+		if err != nil {
+			return nil, err
+		}
+		starts := map[uint64]bool{}
+		for _, s := range sec.FunctionStarts() {
+			starts[s] = true
+		}
+		for _, s := range bin.Img.FuncSymbols() {
+			a.syms++
+			totalSyms++
+			if starts[s.Addr] {
+				a.covered++
+				totalCovered++
+			}
+		}
+	}
+	out := &TableIIResult{Binaries: len(c.Bins)}
+	for _, p := range order {
+		a := byProject[p]
+		if a.syms > 0 {
+			a.row.FDERatio = 100 * float64(a.covered) / float64(a.syms)
+		}
+		out.Rows = append(out.Rows, a.row)
+	}
+	if totalSyms > 0 {
+		out.Overall = 100 * float64(totalCovered) / float64(totalSyms)
+	}
+	return out, nil
+}
+
+// --- Table III ---
+
+// TableIIICell is one tool × optimization-level entry.
+type TableIIICell struct {
+	FP int
+	FN int
+}
+
+// TableIIIResult reproduces the tool comparison.
+type TableIIIResult struct {
+	Opts  []synth.Opt
+	Tools []baseline.Tool
+	// Cells[opt][tool]
+	Cells map[synth.Opt]map[baseline.Tool]TableIIICell
+}
+
+// Format renders the table.
+func (t *TableIIIResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Table III: FP/FN per tool and optimization level\n")
+	fmt.Fprintf(&b, "%-6s", "OPT")
+	for _, tool := range t.Tools {
+		fmt.Fprintf(&b, " %14s", tool)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-6s", "")
+	for range t.Tools {
+		fmt.Fprintf(&b, " %6s %7s", "FP", "FN")
+	}
+	b.WriteString("\n")
+	sumFP := map[baseline.Tool]int{}
+	sumFN := map[baseline.Tool]int{}
+	for _, opt := range t.Opts {
+		fmt.Fprintf(&b, "%-6s", opt)
+		for _, tool := range t.Tools {
+			cell := t.Cells[opt][tool]
+			fmt.Fprintf(&b, " %6d %7d", cell.FP, cell.FN)
+			sumFP[tool] += cell.FP
+			sumFN[tool] += cell.FN
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-6s", "Total")
+	for _, tool := range t.Tools {
+		fmt.Fprintf(&b, " %6d %7d", sumFP[tool], sumFN[tool])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// TableIII runs every comparator over the corpus, split by
+// optimization level.
+func TableIII(c *Corpus) (*TableIIIResult, error) {
+	out := &TableIIIResult{
+		Opts:  synth.AllOpts,
+		Tools: baseline.AllTools,
+		Cells: map[synth.Opt]map[baseline.Tool]TableIIICell{},
+	}
+	byOpt := c.ByOpt()
+	for _, opt := range out.Opts {
+		out.Cells[opt] = map[baseline.Tool]TableIIICell{}
+		for _, tool := range out.Tools {
+			var agg metrics.Aggregate
+			for _, bin := range byOpt[opt] {
+				funcs, err := baseline.Run(tool, bin.Img.Strip())
+				if err != nil {
+					return nil, fmt.Errorf("eval: %s on %s: %w", tool, bin.Spec.Config.Name, err)
+				}
+				agg.Add(metrics.Evaluate(funcs, bin.Truth))
+			}
+			out.Cells[opt][tool] = TableIIICell{FP: agg.FP, FN: agg.FN}
+		}
+	}
+	return out, nil
+}
+
+// --- Table IV ---
+
+// TableIVCell is precision/recall of one analysis in one scope.
+type TableIVCell struct {
+	Precision float64
+	Recall    float64
+}
+
+// TableIVResult reproduces the stack-height comparison.
+type TableIVResult struct {
+	Opts []synth.Opt
+	// Cells[opt][style][scope] with scope 0 = full, 1 = jump sites.
+	Cells map[synth.Opt]map[stackan.Style][2]TableIVCell
+}
+
+// Format renders the table.
+func (t *TableIVResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Table IV: stack-height precision/recall vs CFI baseline\n")
+	fmt.Fprintf(&b, "%-6s %28s %28s\n", "", "ANGR-style", "DYNINST-style")
+	fmt.Fprintf(&b, "%-6s %13s %14s %13s %14s\n", "OPT", "Full", "Jump", "Full", "Jump")
+	fmt.Fprintf(&b, "%-6s %6s %6s %6s %7s %6s %6s %6s %7s\n",
+		"", "Pre", "Rec", "Pre", "Rec", "Pre", "Rec", "Pre", "Rec")
+	for _, opt := range t.Opts {
+		row := t.Cells[opt]
+		a, d := row[stackan.AngrStyle], row[stackan.DyninstStyle]
+		fmt.Fprintf(&b, "%-6s %6.2f %6.2f %6.2f %7.2f %6.2f %6.2f %6.2f %7.2f\n",
+			opt,
+			a[0].Precision, a[0].Recall, a[1].Precision, a[1].Recall,
+			d[0].Precision, d[0].Recall, d[1].Precision, d[1].Recall)
+	}
+	return b.String()
+}
+
+// TableIV compares the degraded stack-height analyses against
+// CFI-recorded heights over complete-CFI whole functions.
+func TableIV(c *Corpus) (*TableIVResult, error) {
+	out := &TableIVResult{
+		Opts:  synth.AllOpts,
+		Cells: map[synth.Opt]map[stackan.Style][2]TableIVCell{},
+	}
+	type counts struct {
+		agree, reported, baseline int
+	}
+	byOpt := c.ByOpt()
+	for _, opt := range out.Opts {
+		tally := map[stackan.Style][2]counts{}
+		for _, bin := range byOpt[opt] {
+			eh, ok := bin.Img.Section(".eh_frame")
+			if !ok {
+				continue
+			}
+			sec, err := ehframe.Decode(eh.Data, eh.Addr)
+			if err != nil {
+				return nil, err
+			}
+			for _, fde := range sec.FDEs {
+				ht := fde.Heights()
+				if !ht.Complete {
+					continue
+				}
+				if h0, ok := ht.HeightAt(fde.PCBegin); !ok || h0 != 0 {
+					continue // cold parts: not whole functions
+				}
+				// The location universe is the full set of reachable
+				// instructions (from the precise analysis), so an
+				// analysis that never visits a region loses recall.
+				universe := stackan.Analyze(bin.Img, fde.PCBegin, fde.End(), stackan.Precise)
+				for _, style := range []stackan.Style{stackan.AngrStyle, stackan.DyninstStyle} {
+					res := stackan.Analyze(bin.Img, fde.PCBegin, fde.End(), style)
+					cur := tally[style]
+					for addr := range universe {
+						cfiH, ok := ht.HeightAt(addr)
+						if !ok {
+							continue
+						}
+						got, visited := res[addr]
+						isJump := isJumpSite(bin.Img, addr)
+						for scope := 0; scope < 2; scope++ {
+							if scope == 1 && !isJump {
+								continue
+							}
+							cur[scope].baseline++
+							if visited && got.Known {
+								cur[scope].reported++
+								if got.H == cfiH {
+									cur[scope].agree++
+								}
+							}
+						}
+					}
+					tally[style] = cur
+				}
+			}
+		}
+		out.Cells[opt] = map[stackan.Style][2]TableIVCell{}
+		for style, cs := range tally {
+			var cells [2]TableIVCell
+			for scope := 0; scope < 2; scope++ {
+				c := cs[scope]
+				cell := TableIVCell{Precision: 100, Recall: 100}
+				if c.reported > 0 {
+					cell.Precision = 100 * float64(c.agree) / float64(c.reported)
+				}
+				if c.baseline > 0 {
+					cell.Recall = 100 * float64(c.reported) / float64(c.baseline)
+				}
+				cells[scope] = cell
+			}
+			out.Cells[opt][style] = cells
+		}
+	}
+	return out, nil
+}
+
+// isJumpSite reports whether a direct jump or conditional branch
+// starts at addr.
+func isJumpSite(img *elfx.Image, addr uint64) bool {
+	w, ok := img.BytesToSectionEnd(addr)
+	if !ok {
+		return false
+	}
+	in, err := x64.Decode(w, addr)
+	if err != nil {
+		return false
+	}
+	return (in.Op == x64.OpJmp || in.Op == x64.OpJcc) && in.HasTarget
+}
+
+// --- Table V ---
+
+// TableVRow is one tool's mean per-binary analysis time.
+type TableVRow struct {
+	Tool baseline.Tool
+	Mean time.Duration
+}
+
+// TableVResult reproduces the efficiency comparison.
+type TableVResult struct {
+	Rows []TableVRow
+}
+
+// Format renders the table.
+func (t *TableVResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Table V: mean analysis time per binary\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %12s\n", r.Tool, r.Mean.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// TableV times every tool over (a sample of) the corpus.
+func TableV(c *Corpus, sample int) (*TableVResult, error) {
+	bins := c.Bins
+	if sample > 0 && sample < len(bins) {
+		bins = bins[:sample]
+	}
+	out := &TableVResult{}
+	for _, tool := range baseline.AllTools {
+		start := time.Now()
+		for _, bin := range bins {
+			if _, err := baseline.Run(tool, bin.Img.Strip()); err != nil {
+				return nil, err
+			}
+		}
+		mean := time.Duration(int64(time.Since(start)) / int64(len(bins)))
+		out.Rows = append(out.Rows, TableVRow{Tool: tool, Mean: mean})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].Tool < out.Rows[j].Tool })
+	return out, nil
+}

@@ -1,0 +1,62 @@
+// Package gadget implements a ROPgadget-style scanner for the §V-A
+// security-impact experiment: counting valid ROP gadgets inside the
+// code at FDE-introduced false function starts. A control-flow
+// integrity policy that admits every detected "function start" as an
+// indirect-branch target would leave those gadgets reachable.
+package gadget
+
+import (
+	"fetch/internal/elfx"
+	"fetch/internal/x64"
+)
+
+// maxGadgetLen bounds gadget length in instructions, matching
+// ROPgadget's default depth.
+const maxGadgetLen = 10
+
+// maxScanInsts bounds the forward scan from a start address.
+const maxScanInsts = 64
+
+// CountAt counts ROP/JOP/COP gadgets reachable by straight-line decode
+// from addr: each instruction position within maxGadgetLen of a
+// subsequent ret, indirect jump, or indirect call begins one gadget.
+func CountAt(img *elfx.Image, addr uint64) int {
+	total := 0
+	pending := 0 // instructions since the last terminal/reset
+	a := addr
+	for k := 0; k < maxScanInsts; k++ {
+		w, ok := img.BytesToSectionEnd(a)
+		if !ok {
+			break
+		}
+		in, err := x64.Decode(w, a)
+		if err != nil {
+			break
+		}
+		pending++
+		switch in.Op {
+		case x64.OpRet, x64.OpJmpInd, x64.OpCallInd:
+			if pending > maxGadgetLen {
+				pending = maxGadgetLen
+			}
+			total += pending
+			pending = 0
+			if in.Op == x64.OpRet {
+				return total // past a ret lies another context
+			}
+		case x64.OpJmp, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+			return total
+		}
+		a = in.Next()
+	}
+	return total
+}
+
+// CountAll sums CountAt over a set of addresses.
+func CountAll(img *elfx.Image, addrs []uint64) int {
+	total := 0
+	for _, a := range addrs {
+		total += CountAt(img, a)
+	}
+	return total
+}

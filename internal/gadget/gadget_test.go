@@ -1,0 +1,96 @@
+package gadget
+
+import (
+	"testing"
+
+	"fetch/internal/elfx"
+	"fetch/internal/synth"
+	"fetch/internal/x64"
+)
+
+func imageOf(t *testing.T, build func(a *x64.Asm)) *elfx.Image {
+	t.Helper()
+	var a x64.Asm
+	build(&a)
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatalf("asm: %v", err)
+	}
+	return &elfx.Image{Sections: []*elfx.Section{{
+		Name: ".text", Addr: 0x1000, Data: code,
+		Flags: elfx.FlagAlloc | elfx.FlagExec,
+	}}}
+}
+
+func TestCountAtRetBlock(t *testing.T) {
+	im := imageOf(t, func(a *x64.Asm) {
+		a.PopReg(x64.RAX) // gadget material
+		a.PopReg(x64.RDI)
+		a.Ret()
+	})
+	// Three positions reach the ret: pop/pop/ret, pop/ret, ret.
+	if n := CountAt(im, 0x1000); n != 3 {
+		t.Fatalf("CountAt = %d, want 3", n)
+	}
+}
+
+func TestCountAtDirectJmpIsNotAGadget(t *testing.T) {
+	im := imageOf(t, func(a *x64.Asm) {
+		a.PopReg(x64.RAX)
+		a.JmpSym("elsewhere")
+	})
+	if n := CountAt(im, 0x1000); n != 0 {
+		t.Fatalf("CountAt = %d, want 0 (direct jmp)", n)
+	}
+}
+
+func TestCountAtIndirectJmp(t *testing.T) {
+	im := imageOf(t, func(a *x64.Asm) {
+		a.PopReg(x64.RAX)
+		a.JmpReg(x64.RAX) // JOP gadget terminal
+	})
+	if n := CountAt(im, 0x1000); n != 2 {
+		t.Fatalf("CountAt = %d, want 2", n)
+	}
+}
+
+func TestCountAtLongBlockCapped(t *testing.T) {
+	im := imageOf(t, func(a *x64.Asm) {
+		for k := 0; k < 30; k++ {
+			a.MovRegImm32(x64.RAX, int32(k))
+		}
+		a.Ret()
+	})
+	// Only positions within maxGadgetLen of the ret count.
+	if n := CountAt(im, 0x1000); n != maxGadgetLen {
+		t.Fatalf("CountAt = %d, want %d", n, maxGadgetLen)
+	}
+}
+
+func TestCountAtUnmappedAndGarbage(t *testing.T) {
+	im := imageOf(t, func(a *x64.Asm) { a.Ret() })
+	if n := CountAt(im, 0x999999); n != 0 {
+		t.Fatalf("unmapped CountAt = %d", n)
+	}
+}
+
+func TestCountAllOnPartStarts(t *testing.T) {
+	cfg := synth.DefaultConfig("gadget-test", 12, synth.O2, synth.GCC, synth.LangC)
+	cfg.NonContigRate = 0.3
+	img, truth, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var parts []uint64
+	for _, p := range truth.Parts {
+		parts = append(parts, p.Addr)
+	}
+	if len(parts) == 0 {
+		t.Fatal("no parts")
+	}
+	// Parts that return (splitRet) carry gadget chains; the total must
+	// be positive across a 30% split corpus.
+	if n := CountAll(img, parts); n <= 0 {
+		t.Fatalf("CountAll = %d, want > 0", n)
+	}
+}

@@ -1,0 +1,159 @@
+// Package groundtruth records the compiler-side truth about a
+// synthesized binary: the set of true function starts, how each
+// function is reachable, and which addresses carry FDEs or symbols that
+// are *not* true starts (non-contiguous parts, hand-written CFI
+// errors). It plays the role of the compiler-interception framework the
+// paper uses to generate ground truth for its self-built dataset.
+package groundtruth
+
+import "sort"
+
+// Class describes what kind of function a true start belongs to.
+type Class uint8
+
+// Function classes.
+const (
+	ClassNormal Class = iota + 1
+	// ClassAsm marks a hand-written assembly function without CFI
+	// directives — it has a symbol but no FDE (§IV-B).
+	ClassAsm
+	// ClassClangTerminate marks __clang_call_terminate instances
+	// statically linked by Clang, which also lack FDEs.
+	ClassClangTerminate
+)
+
+// Reach describes the tightest way a function can be discovered.
+type Reach uint8
+
+// Reachability classes, ordered from easiest to hardest to detect.
+const (
+	// ReachEntry: the program entry point.
+	ReachEntry Reach = iota + 1
+	// ReachCall: target of at least one direct call.
+	ReachCall
+	// ReachTailOnly: referenced only by tail-call jumps.
+	ReachTailOnly
+	// ReachIndirectOnly: referenced only through function pointers.
+	ReachIndirectOnly
+	// ReachUnreachable: not referenced anywhere.
+	ReachUnreachable
+)
+
+// Func is one true source-level function.
+type Func struct {
+	Name   string
+	Addr   uint64
+	Size   uint64
+	Class  Class
+	Reach  Reach
+	HasFDE bool
+	// NonRet marks functions that never return to their caller.
+	NonRet bool
+	// TailTargets lists addresses this function tail-calls.
+	TailTargets []uint64
+}
+
+// Part is the non-beginning part of a non-contiguous function. Its
+// address carries an FDE (and usually a symbol) but is not a true
+// function start: any detector reporting it commits a false positive.
+type Part struct {
+	Name   string
+	Addr   uint64
+	Size   uint64
+	Parent uint64 // address of the true start of the owning function
+	// IncompleteCFI marks parts whose owning function has CFI without
+	// rsp-based height info; Algorithm 1 must skip these, leaving the
+	// false positive in place (§V-C residue).
+	IncompleteCFI bool
+}
+
+// Truth is the full ground-truth record of one binary.
+type Truth struct {
+	Funcs []Func
+	Parts []Part
+	// CFIErrorAddrs lists FDE PC Begin values that are wrong by
+	// construction (hand-written CFI, paper Figure 6b): addresses
+	// that do not coincide with any true start or part.
+	CFIErrorAddrs []uint64
+
+	starts map[uint64]*Func
+	parts  map[uint64]*Part
+}
+
+// index builds the lookup maps (idempotent).
+func (t *Truth) index() {
+	if t.starts != nil {
+		return
+	}
+	t.starts = make(map[uint64]*Func, len(t.Funcs))
+	for k := range t.Funcs {
+		t.starts[t.Funcs[k].Addr] = &t.Funcs[k]
+	}
+	t.parts = make(map[uint64]*Part, len(t.Parts))
+	for k := range t.Parts {
+		t.parts[t.Parts[k].Addr] = &t.Parts[k]
+	}
+}
+
+// IsStart reports whether addr is a true function start.
+func (t *Truth) IsStart(addr uint64) bool {
+	t.index()
+	_, ok := t.starts[addr]
+	return ok
+}
+
+// FuncAt returns the function record at a true start address.
+func (t *Truth) FuncAt(addr uint64) (*Func, bool) {
+	t.index()
+	f, ok := t.starts[addr]
+	return f, ok
+}
+
+// PartAt returns the part record at addr, if addr is a non-contiguous
+// function part.
+func (t *Truth) PartAt(addr uint64) (*Part, bool) {
+	t.index()
+	p, ok := t.parts[addr]
+	return p, ok
+}
+
+// StartSet returns a fresh set of all true start addresses.
+func (t *Truth) StartSet() map[uint64]bool {
+	out := make(map[uint64]bool, len(t.Funcs))
+	for k := range t.Funcs {
+		out[t.Funcs[k].Addr] = true
+	}
+	return out
+}
+
+// SortedStarts returns all true starts in address order.
+func (t *Truth) SortedStarts() []uint64 {
+	out := make([]uint64, 0, len(t.Funcs))
+	for k := range t.Funcs {
+		out = append(out, t.Funcs[k].Addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumWithFDE counts true functions that carry an FDE.
+func (t *Truth) NumWithFDE() int {
+	n := 0
+	for k := range t.Funcs {
+		if t.Funcs[k].HasFDE {
+			n++
+		}
+	}
+	return n
+}
+
+// CountReach counts true functions with the given reachability.
+func (t *Truth) CountReach(r Reach) int {
+	n := 0
+	for k := range t.Funcs {
+		if t.Funcs[k].Reach == r {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package groundtruth
+
+import "testing"
+
+func sample() *Truth {
+	return &Truth{
+		Funcs: []Func{
+			{Name: "main", Addr: 0x100, Class: ClassNormal, Reach: ReachEntry, HasFDE: true},
+			{Name: "f1", Addr: 0x200, Class: ClassNormal, Reach: ReachCall, HasFDE: true},
+			{Name: "asm1", Addr: 0x300, Class: ClassAsm, Reach: ReachTailOnly},
+			{Name: "term", Addr: 0x400, Class: ClassClangTerminate, Reach: ReachUnreachable},
+		},
+		Parts: []Part{
+			{Name: "f1.cold", Addr: 0x500, Parent: 0x200, IncompleteCFI: true},
+		},
+		CFIErrorAddrs: []uint64{0x5FF},
+	}
+}
+
+func TestLookups(t *testing.T) {
+	tr := sample()
+	if !tr.IsStart(0x100) || tr.IsStart(0x500) || tr.IsStart(0x101) {
+		t.Fatal("IsStart misclassifies")
+	}
+	f, ok := tr.FuncAt(0x300)
+	if !ok || f.Name != "asm1" || f.Class != ClassAsm {
+		t.Fatalf("FuncAt = %+v, %v", f, ok)
+	}
+	p, ok := tr.PartAt(0x500)
+	if !ok || p.Parent != 0x200 || !p.IncompleteCFI {
+		t.Fatalf("PartAt = %+v, %v", p, ok)
+	}
+	if _, ok := tr.PartAt(0x200); ok {
+		t.Fatal("PartAt hit a function start")
+	}
+}
+
+func TestSetsAndCounts(t *testing.T) {
+	tr := sample()
+	set := tr.StartSet()
+	if len(set) != 4 || !set[0x400] {
+		t.Fatalf("StartSet = %v", set)
+	}
+	sorted := tr.SortedStarts()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Fatal("SortedStarts not sorted")
+		}
+	}
+	if tr.NumWithFDE() != 2 {
+		t.Fatalf("NumWithFDE = %d", tr.NumWithFDE())
+	}
+	if tr.CountReach(ReachTailOnly) != 1 || tr.CountReach(ReachCall) != 1 {
+		t.Fatal("CountReach wrong")
+	}
+}
+
+func TestIndexIdempotent(t *testing.T) {
+	tr := sample()
+	_ = tr.IsStart(0x100)
+	_ = tr.IsStart(0x100) // second call must reuse the index
+	if !tr.IsStart(0x200) {
+		t.Fatal("index broken after reuse")
+	}
+}

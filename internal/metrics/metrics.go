@@ -1,0 +1,89 @@
+// Package metrics scores detections against ground truth using the
+// paper's definitions: a false positive is a reported start that is
+// not a true function start; a false negative is a true start that was
+// not reported. "Full coverage" means zero false negatives on a
+// binary; "full accuracy" means zero false positives (§IV, Figure 5).
+package metrics
+
+import (
+	"sort"
+
+	"fetch/internal/groundtruth"
+)
+
+// Eval is the per-binary score of one detection.
+type Eval struct {
+	TP int
+	FP int
+	FN int
+	// FPAddrs and FNAddrs list the offending addresses (sorted).
+	FPAddrs []uint64
+	FNAddrs []uint64
+}
+
+// FullCoverage reports zero false negatives.
+func (e Eval) FullCoverage() bool { return e.FN == 0 }
+
+// FullAccuracy reports zero false positives.
+func (e Eval) FullAccuracy() bool { return e.FP == 0 }
+
+// Precision returns TP/(TP+FP), 1 when nothing was reported.
+func (e Eval) Precision() float64 {
+	if e.TP+e.FP == 0 {
+		return 1
+	}
+	return float64(e.TP) / float64(e.TP+e.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 when there was nothing to find.
+func (e Eval) Recall() float64 {
+	if e.TP+e.FN == 0 {
+		return 1
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// Evaluate scores a detected start set against the truth.
+func Evaluate(funcs map[uint64]bool, truth *groundtruth.Truth) Eval {
+	var e Eval
+	for a := range funcs {
+		if truth.IsStart(a) {
+			e.TP++
+		} else {
+			e.FP++
+			e.FPAddrs = append(e.FPAddrs, a)
+		}
+	}
+	for _, fn := range truth.Funcs {
+		if !funcs[fn.Addr] {
+			e.FN++
+			e.FNAddrs = append(e.FNAddrs, fn.Addr)
+		}
+	}
+	sort.Slice(e.FPAddrs, func(i, j int) bool { return e.FPAddrs[i] < e.FPAddrs[j] })
+	sort.Slice(e.FNAddrs, func(i, j int) bool { return e.FNAddrs[i] < e.FNAddrs[j] })
+	return e
+}
+
+// Aggregate sums per-binary scores and counts full-coverage /
+// full-accuracy binaries.
+type Aggregate struct {
+	Binaries     int
+	TP, FP, FN   int
+	FullCoverage int
+	FullAccuracy int
+}
+
+// Add folds one binary's score into the aggregate.
+func (a *Aggregate) Add(e Eval) {
+	a.Binaries++
+	a.TP += e.TP
+	a.FP += e.FP
+	a.FN += e.FN
+	if e.FullCoverage() {
+		a.FullCoverage++
+	}
+	if e.FullAccuracy() {
+		a.FullAccuracy++
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fetch/internal/groundtruth"
+)
+
+func sampleTruth() *groundtruth.Truth {
+	return &groundtruth.Truth{
+		Funcs: []groundtruth.Func{
+			{Name: "a", Addr: 0x100},
+			{Name: "b", Addr: 0x200},
+			{Name: "c", Addr: 0x300},
+		},
+		Parts: []groundtruth.Part{
+			{Name: "a.cold", Addr: 0x400, Parent: 0x100},
+		},
+	}
+}
+
+func TestEvaluateExact(t *testing.T) {
+	truth := sampleTruth()
+	e := Evaluate(map[uint64]bool{0x100: true, 0x200: true, 0x300: true}, truth)
+	if e.TP != 3 || e.FP != 0 || e.FN != 0 {
+		t.Fatalf("exact: %+v", e)
+	}
+	if !e.FullCoverage() || !e.FullAccuracy() {
+		t.Fatal("exact detection should be full coverage and accuracy")
+	}
+	if e.Precision() != 1 || e.Recall() != 1 {
+		t.Fatalf("precision/recall = %v/%v", e.Precision(), e.Recall())
+	}
+}
+
+func TestEvaluateMixed(t *testing.T) {
+	truth := sampleTruth()
+	// Part start detected (FP), one function missed (FN).
+	e := Evaluate(map[uint64]bool{0x100: true, 0x200: true, 0x400: true}, truth)
+	if e.TP != 2 || e.FP != 1 || e.FN != 1 {
+		t.Fatalf("mixed: %+v", e)
+	}
+	if e.FullCoverage() || e.FullAccuracy() {
+		t.Fatal("mixed detection cannot be full anything")
+	}
+	if len(e.FPAddrs) != 1 || e.FPAddrs[0] != 0x400 {
+		t.Fatalf("FPAddrs = %#x", e.FPAddrs)
+	}
+	if len(e.FNAddrs) != 1 || e.FNAddrs[0] != 0x300 {
+		t.Fatalf("FNAddrs = %#x", e.FNAddrs)
+	}
+}
+
+func TestEvaluateEmptyDetection(t *testing.T) {
+	truth := sampleTruth()
+	e := Evaluate(map[uint64]bool{}, truth)
+	if e.TP != 0 || e.FP != 0 || e.FN != 3 {
+		t.Fatalf("empty: %+v", e)
+	}
+	if e.Precision() != 1 {
+		t.Fatal("empty detection has vacuous precision 1")
+	}
+	if e.Recall() != 0 {
+		t.Fatal("empty detection has recall 0")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	truth := sampleTruth()
+	var agg Aggregate
+	agg.Add(Evaluate(map[uint64]bool{0x100: true, 0x200: true, 0x300: true}, truth))
+	agg.Add(Evaluate(map[uint64]bool{0x100: true, 0x400: true}, truth))
+	if agg.Binaries != 2 {
+		t.Fatalf("binaries = %d", agg.Binaries)
+	}
+	if agg.FullCoverage != 1 || agg.FullAccuracy != 1 {
+		t.Fatalf("full counts = %d/%d", agg.FullCoverage, agg.FullAccuracy)
+	}
+	if agg.TP != 4 || agg.FP != 1 || agg.FN != 2 {
+		t.Fatalf("sums = %d/%d/%d", agg.TP, agg.FP, agg.FN)
+	}
+}
+
+// TestQuickEvaluateInvariants property-tests TP+FN == |truth| and that
+// every address is classified exactly once.
+func TestQuickEvaluateInvariants(t *testing.T) {
+	truth := sampleTruth()
+	f := func(sel uint8) bool {
+		det := map[uint64]bool{}
+		addrs := []uint64{0x100, 0x200, 0x300, 0x400, 0x500}
+		for k, a := range addrs {
+			if sel&(1<<k) != 0 {
+				det[a] = true
+			}
+		}
+		e := Evaluate(det, truth)
+		if e.TP+e.FN != len(truth.Funcs) {
+			return false
+		}
+		if e.TP+e.FP != len(det) {
+			return false
+		}
+		return len(e.FPAddrs) == e.FP && len(e.FNAddrs) == e.FN
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

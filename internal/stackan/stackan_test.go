@@ -1,0 +1,175 @@
+package stackan
+
+import (
+	"testing"
+
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/synth"
+	"fetch/internal/x64"
+)
+
+// asmImage builds a one-function image from assembled code.
+func asmImage(t *testing.T, build func(a *x64.Asm)) (*elfx.Image, uint64, uint64) {
+	t.Helper()
+	var a x64.Asm
+	build(&a)
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatalf("asm: %v", err)
+	}
+	im := &elfx.Image{Sections: []*elfx.Section{{
+		Name: ".text", Addr: 0x1000, Data: code,
+		Flags: elfx.FlagAlloc | elfx.FlagExec,
+	}}}
+	return im, 0x1000, 0x1000 + uint64(len(code))
+}
+
+func TestPreciseSimpleFrame(t *testing.T) {
+	im, start, end := asmImage(t, func(a *x64.Asm) {
+		a.PushReg(x64.RBX)            // 0x1000, h=0 before
+		a.SubRSP(0x10)                // 0x1001, h=8
+		a.MovRegReg(x64.RAX, x64.RDI) // 0x1005, h=24
+		a.AddRSP(0x10)                // h=24
+		a.PopReg(x64.RBX)             // h=8
+		a.Ret()                       // h=0
+	})
+	h := Analyze(im, start, end, Precise)
+	want := map[uint64]int64{
+		0x1000: 0, 0x1001: 8, 0x1005: 24,
+	}
+	for addr, wh := range want {
+		got, ok := h[addr]
+		if !ok || !got.Known {
+			t.Errorf("no height at %#x", addr)
+			continue
+		}
+		if got.H != wh {
+			t.Errorf("height at %#x = %d, want %d", addr, got.H, wh)
+		}
+	}
+}
+
+func TestPreciseEnterLeave(t *testing.T) {
+	im, start, end := asmImage(t, func(a *x64.Asm) {
+		a.Enter(0x20)                 // h=0 before; 0x28 after
+		a.MovRegReg(x64.RAX, x64.RDI) // h=0x28
+		a.Leave()                     // h=0x28 before, 0 after
+		a.Ret()                       // h=0
+	})
+	h := Analyze(im, start, end, Precise)
+	var retAddr uint64 = end - 1
+	got, ok := h[retAddr]
+	if !ok || !got.Known || got.H != 0 {
+		t.Fatalf("height at ret = %+v, want 0 known", got)
+	}
+	_ = ok
+}
+
+func TestDyninstMisModelsEnter(t *testing.T) {
+	im, start, end := asmImage(t, func(a *x64.Asm) {
+		a.Enter(0x20)
+		a.MovRegReg(x64.RAX, x64.RDI)
+		a.Leave()
+		a.Ret()
+	})
+	hp := Analyze(im, start, end, Precise)
+	hd := Analyze(im, start, end, DyninstStyle)
+	// After the enter, the dyninst variant must be wrong by 0x20.
+	movAddr := start + 4
+	if hp[movAddr].H == hd[movAddr].H {
+		t.Fatalf("dyninst enter mis-model ineffective: both %d", hp[movAddr].H)
+	}
+	if hd[movAddr].H != 8 {
+		t.Fatalf("dyninst height after enter = %d, want 8 (bare push)", hd[movAddr].H)
+	}
+}
+
+func TestAngrKeepsFirstOnConflict(t *testing.T) {
+	// Two paths reach the same block with different heights: precise
+	// marks the join unknown; angr keeps the first value.
+	im, start, end := asmImage(t, func(a *x64.Asm) {
+		a.CmpRegImm(x64.RDI, 0)
+		a.Jcc(x64.CondE, "b")
+		a.PushReg(x64.RBX) // path 1: +8
+		a.Label("b")
+		a.MovRegReg(x64.RAX, x64.RDI) // join with conflicting heights
+		a.Ret()
+	})
+	hp := Analyze(im, start, end, Precise)
+	ha := Analyze(im, start, end, AngrStyle)
+	// Find the join (the mov).
+	var joinAddr uint64
+	for a := start; a < end; a++ {
+		if h, ok := hp[a]; ok && !h.Known {
+			joinAddr = a
+			break
+		}
+	}
+	if joinAddr == 0 {
+		t.Fatal("no conflicted join found by precise analysis")
+	}
+	if got := ha[joinAddr]; !got.Known {
+		t.Fatal("angr variant should keep first value at conflict")
+	}
+}
+
+func TestAgainstCFIBaseline(t *testing.T) {
+	// On synthesized binaries, the precise analysis must agree with
+	// CFI heights at (nearly) every location of complete-CFI
+	// functions, while the degraded variants must disagree somewhere.
+	cfg := synth.DefaultConfig("stack-test", 77, synth.O2, synth.GCC, synth.LangC)
+	im, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	eh, _ := im.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var preciseChecked, preciseWrong, angrWrong, dyninstWrong int
+	for _, fde := range sec.FDEs {
+		ht := fde.Heights()
+		if !ht.Complete {
+			continue
+		}
+		// Non-contiguous cold parts legitimately start at a non-zero
+		// height; static analyses measure relative to their own entry,
+		// so only whole functions are comparable.
+		if h0, ok := ht.HeightAt(fde.PCBegin); !ok || h0 != 0 {
+			continue
+		}
+		hp := Analyze(im, fde.PCBegin, fde.End(), Precise)
+		ha := Analyze(im, fde.PCBegin, fde.End(), AngrStyle)
+		hd := Analyze(im, fde.PCBegin, fde.End(), DyninstStyle)
+		for addr, got := range hp {
+			cfiH, ok := ht.HeightAt(addr)
+			if !ok || !got.Known {
+				continue
+			}
+			preciseChecked++
+			if got.H != cfiH {
+				preciseWrong++
+			}
+			if g, ok2 := ha[addr]; ok2 && g.Known && g.H != cfiH {
+				angrWrong++
+			}
+			if g, ok2 := hd[addr]; ok2 && g.Known && g.H != cfiH {
+				dyninstWrong++
+			}
+		}
+	}
+	if preciseChecked < 500 {
+		t.Fatalf("only %d locations checked", preciseChecked)
+	}
+	if preciseWrong != 0 {
+		t.Errorf("precise analysis wrong at %d/%d locations", preciseWrong, preciseChecked)
+	}
+	if angrWrong == 0 {
+		t.Error("angr variant never wrong — degradation ineffective")
+	}
+	if dyninstWrong == 0 {
+		t.Error("dyninst variant never wrong — degradation ineffective")
+	}
+}

@@ -1,0 +1,218 @@
+// Package synth is a compiler-like generator of synthetic System-V x64
+// binaries with exact ground truth. It substitutes for the paper's
+// corpus of 1,395 real binaries: every phenomenon the paper measures —
+// FDE-per-part non-contiguous functions, hand-written assembly without
+// CFI directives, tail calls, jump tables, non-returning calls,
+// alignment padding, data-section function pointers, hand-written CFI
+// errors — is injected structurally at configurable rates, so the
+// analyses exercise the same code paths on genuine x86-64 machine code
+// and a genuine .eh_frame section.
+package synth
+
+import "fmt"
+
+// Opt is a compiler optimization level. The paper evaluates O2, O3,
+// Os and Ofast (O0/O1 omitted as "not widely used in practice").
+type Opt uint8
+
+// Optimization levels.
+const (
+	O2 Opt = iota + 1
+	O3
+	Os
+	Ofast
+)
+
+// String returns the conventional flag spelling.
+func (o Opt) String() string {
+	switch o {
+	case O2:
+		return "O2"
+	case O3:
+		return "O3"
+	case Os:
+		return "Os"
+	case Ofast:
+		return "Ofast"
+	}
+	return fmt.Sprintf("O?(%d)", uint8(o))
+}
+
+// AllOpts lists the evaluated optimization levels in paper order.
+var AllOpts = []Opt{O2, O3, Os, Ofast}
+
+// Compiler identifies the producing toolchain.
+type Compiler uint8
+
+// Compilers used for the self-built dataset.
+const (
+	GCC Compiler = iota + 1
+	Clang
+)
+
+// String returns the compiler name.
+func (c Compiler) String() string {
+	if c == GCC {
+		return "gcc"
+	}
+	return "clang"
+}
+
+// Lang is the source language of a synthesized program.
+type Lang uint8
+
+// Source languages.
+const (
+	LangC Lang = iota + 1
+	LangCPP
+)
+
+// String returns "c" or "c++".
+func (l Lang) String() string {
+	if l == LangC {
+		return "c"
+	}
+	return "c++"
+}
+
+// Config fully determines one synthesized binary (given its Seed the
+// generation is deterministic).
+type Config struct {
+	Name     string
+	Seed     int64
+	NumFuncs int
+	Opt      Opt
+	Compiler Compiler
+	Lang     Lang
+
+	// Rates are fractions of functions exhibiting each phenomenon.
+
+	// NonContigRate: functions split into a hot part and a distant
+	// cold part, each with its own FDE and symbol (§V-A's dominant
+	// false-positive source).
+	NonContigRate float64
+	// RBPFrameRate: functions using a frame-pointer CFA. Their CFI
+	// carries no rsp-relative heights, so Algorithm 1 must skip them;
+	// a non-contiguous split in such a function leaves a residual
+	// false positive (§V-C's 2,656).
+	RBPFrameRate float64
+	// AsmRate: hand-written assembly functions without FDEs (§IV-B's
+	// dominant coverage-gap source).
+	AsmRate float64
+	// TailCallRate: functions ending in a direct tail call.
+	TailCallRate float64
+	// TailOnlyRate: fraction of functions reachable *only* via tail
+	// calls (the harmless-miss class of §IV-E / §V-C).
+	TailOnlyRate float64
+	// IndirectOnlyRate: functions reachable only through function
+	// pointers (found by §IV-E xref detection).
+	IndirectOnlyRate float64
+	// UnreachableAsmRate: assembly functions referenced nowhere.
+	UnreachableAsmRate float64
+	// JumpTableRate: functions containing a bounded indirect jump
+	// through an absolute-address table in .rodata.
+	JumpTableRate float64
+	// CaseOnlyRate: functions whose only call site sits inside a
+	// jump-table case block — invisible to analyses that cannot
+	// resolve the table.
+	CaseOnlyRate float64
+	// NonRetCallRate: functions containing a call to a non-returning
+	// function (exit-like, or error-like with a non-zero first arg).
+	NonRetCallRate float64
+	// EarlyRetRate: functions with a branch over an early ret — the
+	// shape that breaks naive one-ret extent computations and feeds
+	// the unsafe tail-call heuristics false positives.
+	EarlyRetRate float64
+	// StartPadRate: functions whose FDE range begins with alignment
+	// NOPs (the ANGR alignment-function false-positive trigger).
+	StartPadRate float64
+	// DataIslandCount: byte blobs placed in .text that resemble
+	// prologues (feeds signature matchers and linear scans).
+	DataIslandCount int
+	// CodeIslandCount: data blobs in .text that decode as complete,
+	// convention-respecting code (e.g. cold literal copies) — the bait
+	// that defeats even validating pattern matchers.
+	CodeIslandCount int
+	// TextJumpTableRate: fraction of jump tables placed inside .text
+	// rather than .rodata (the inline data that desynchronizes linear
+	// sweeps).
+	TextJumpTableRate float64
+	// CFIErrorCount: hand-written FDEs whose PC Begin is one byte
+	// before the true entry (paper Figure 6b).
+	CFIErrorCount int
+	// ClangTerminate: emit a __clang_call_terminate without FDE
+	// (Clang C++ binaries only).
+	ClangTerminate bool
+}
+
+// Validate checks rate sanity.
+func (c *Config) Validate() error {
+	if c.NumFuncs < 8 {
+		return fmt.Errorf("synth: NumFuncs %d too small (need ≥ 8)", c.NumFuncs)
+	}
+	for _, r := range []float64{c.NonContigRate, c.RBPFrameRate, c.AsmRate,
+		c.TailCallRate, c.TailOnlyRate, c.IndirectOnlyRate,
+		c.UnreachableAsmRate, c.JumpTableRate, c.NonRetCallRate,
+		c.EarlyRetRate, c.StartPadRate} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("synth: rate %v out of [0,1]", r)
+		}
+	}
+	return nil
+}
+
+// DefaultConfig returns a config with rates calibrated against the
+// paper's corpus-wide counts (see EXPERIMENTS.md for the derivation).
+func DefaultConfig(name string, seed int64, opt Opt, comp Compiler, lang Lang) Config {
+	c := Config{
+		Name:     name,
+		Seed:     seed,
+		NumFuncs: 120,
+		Opt:      opt,
+		Compiler: comp,
+		Lang:     lang,
+
+		NonContigRate:      0.025,
+		RBPFrameRate:       0.12,
+		AsmRate:            0.001,
+		TailCallRate:       0.10,
+		TailOnlyRate:       0.002,
+		IndirectOnlyRate:   0.0015,
+		UnreachableAsmRate: 0.0005,
+		JumpTableRate:      0.05,
+		CaseOnlyRate:       0.006,
+		NonRetCallRate:     0.06,
+		EarlyRetRate:       0.25,
+		StartPadRate:       0.004,
+		DataIslandCount:    2,
+		CodeIslandCount:    2,
+		TextJumpTableRate:  0.3,
+	}
+	// Optimization-level adjustments mirroring the paper's trends:
+	// hot/cold splitting grows with optimization aggressiveness and
+	// almost disappears at Os; frame pointers are likeliest at Os.
+	switch opt {
+	case O3:
+		c.NonContigRate = 0.032
+		c.TailCallRate = 0.12
+	case Ofast:
+		c.NonContigRate = 0.038
+		c.TailCallRate = 0.12
+	case Os:
+		c.NonContigRate = 0.004
+		c.RBPFrameRate = 0.18
+		c.JumpTableRate = 0.03
+	}
+	// GCC splits cold paths much more aggressively than Clang.
+	if comp == Clang {
+		c.NonContigRate *= 0.45
+		if lang == LangCPP {
+			c.ClangTerminate = true
+		}
+	}
+	// C++ brings exception-heavy code: more cold paths.
+	if lang == LangCPP {
+		c.NonContigRate *= 1.3
+	}
+	return c
+}

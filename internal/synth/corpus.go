@@ -1,0 +1,180 @@
+package synth
+
+import "fmt"
+
+// ProjectSpec mirrors one row of Table II: a source project built into
+// one or more programs at every compiler × optimization combination.
+type ProjectSpec struct {
+	Name  string
+	Type  string // Utilities, Client, Server, Library, Benchmark
+	Progs int    // programs per build configuration (paper's "# Prog")
+	Lang  Lang
+	// FuncsPerProg sizes each program.
+	FuncsPerProg int
+	// AsmRate overrides the default hand-written-assembly density —
+	// the paper's FDE coverage gaps concentrate in a few asm-heavy
+	// projects (Openssl 96.40%, Nginx 98.97%, Glibc 99.97%).
+	AsmRate float64
+	// CFIErrors plants hand-written FDE errors (Glibc-style, Fig 6b).
+	CFIErrors int
+}
+
+// SelfBuiltProjects mirrors the 22 project groups of Table II. Program
+// counts are the paper's; corpus construction scales them.
+var SelfBuiltProjects = []ProjectSpec{
+	{Name: "coreutils", Type: "Utilities", Progs: 105, Lang: LangC, FuncsPerProg: 80},
+	{Name: "findutils", Type: "Utilities", Progs: 3, Lang: LangC, FuncsPerProg: 90},
+	{Name: "binutils", Type: "Utilities", Progs: 17, Lang: LangCPP, FuncsPerProg: 140},
+	{Name: "openssl", Type: "Client", Progs: 1, Lang: LangC, FuncsPerProg: 160, AsmRate: 0.036},
+	{Name: "d8", Type: "Client", Progs: 1, Lang: LangCPP, FuncsPerProg: 180},
+	{Name: "busybox", Type: "Client", Progs: 1, Lang: LangC, FuncsPerProg: 150},
+	{Name: "protobuf-c", Type: "Client", Progs: 1, Lang: LangCPP, FuncsPerProg: 100},
+	{Name: "zsh", Type: "Client", Progs: 1, Lang: LangC, FuncsPerProg: 120},
+	{Name: "openssh", Type: "Client", Progs: 7, Lang: LangC, FuncsPerProg: 100},
+	{Name: "mysql", Type: "Client", Progs: 1, Lang: LangCPP, FuncsPerProg: 170},
+	{Name: "git", Type: "Client", Progs: 1, Lang: LangC, FuncsPerProg: 150},
+	{Name: "filezilla", Type: "Client", Progs: 1, Lang: LangCPP, FuncsPerProg: 130},
+	{Name: "lighttpd", Type: "Server", Progs: 1, Lang: LangC, FuncsPerProg: 110},
+	{Name: "mysqld", Type: "Server", Progs: 1, Lang: LangCPP, FuncsPerProg: 200},
+	{Name: "nginx", Type: "Server", Progs: 1, Lang: LangC, FuncsPerProg: 140, AsmRate: 0.010},
+	{Name: "glibc", Type: "Library", Progs: 1, Lang: LangC, FuncsPerProg: 180, AsmRate: 0.0003, CFIErrors: 1},
+	{Name: "libpcap", Type: "Library", Progs: 1, Lang: LangC, FuncsPerProg: 90},
+	{Name: "libv8", Type: "Library", Progs: 1, Lang: LangCPP, FuncsPerProg: 170},
+	{Name: "libtiff", Type: "Library", Progs: 1, Lang: LangC, FuncsPerProg: 90},
+	{Name: "libxml2", Type: "Library", Progs: 1, Lang: LangC, FuncsPerProg: 120},
+	{Name: "libprotobuf-c", Type: "Library", Progs: 1, Lang: LangCPP, FuncsPerProg: 90},
+	{Name: "spec2006", Type: "Benchmark", Progs: 30, Lang: LangCPP, FuncsPerProg: 130},
+}
+
+// BinarySpec is one binary of a corpus: its generation config plus the
+// project metadata rows the drivers report.
+type BinarySpec struct {
+	Config  Config
+	Project string
+	Type    string
+}
+
+// SelfBuiltCorpus builds the Table II corpus: every project compiled
+// with GCC and Clang at O2/O3/Os/Ofast. scale ∈ (0,1] shrinks program
+// counts (at least one program per project survives); seed makes the
+// corpus reproducible.
+func SelfBuiltCorpus(scale float64, seed int64) []BinarySpec {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	var out []BinarySpec
+	next := seed
+	for _, p := range SelfBuiltProjects {
+		progs := int(float64(p.Progs)*scale + 0.5)
+		if progs < 1 {
+			progs = 1
+		}
+		for prog := 0; prog < progs; prog++ {
+			for _, comp := range []Compiler{GCC, Clang} {
+				for _, opt := range AllOpts {
+					name := fmt.Sprintf("%s-%d-%s-%s", p.Name, prog, comp, opt)
+					cfg := DefaultConfig(name, next, opt, comp, p.Lang)
+					next++
+					cfg.NumFuncs = p.FuncsPerProg
+					if p.AsmRate > 0 {
+						cfg.AsmRate = p.AsmRate
+						// Asm-heavy projects also concentrate the
+						// tail-only, unreachable, and pointer-only
+						// assembly functions.
+						cfg.TailOnlyRate = 0.006
+						cfg.UnreachableAsmRate = 0.002
+						cfg.IndirectOnlyRate = 0.008
+					} else {
+						cfg.AsmRate = 0
+						cfg.TailOnlyRate = 0.0008
+						cfg.UnreachableAsmRate = 0
+						cfg.IndirectOnlyRate = 0.0008
+					}
+					// Hand-written CFI errors are vanishingly rare:
+					// plant them only in one build of the one project.
+					if p.CFIErrors > 0 && comp == GCC && opt == O2 && prog == 0 {
+						cfg.CFIErrorCount = p.CFIErrors
+					}
+					out = append(out, BinarySpec{Config: cfg, Project: p.Name, Type: p.Type})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WildSpec is one Table I row: a binary "from the wild".
+type WildSpec struct {
+	Config     Config
+	Software   string
+	Open       bool
+	HasSymbols bool
+}
+
+// WildCorpus builds the Table I set: 43 binaries, a mix of open- and
+// closed-source software, 11 of which come with symbols.
+func WildCorpus(seed int64) []WildSpec {
+	rows := []struct {
+		name string
+		open bool
+		sym  bool
+		lang Lang
+		comp Compiler
+	}{
+		{"atom", true, false, LangCPP, GCC},
+		{"simplenote", true, false, LangCPP, GCC},
+		{"openshot", true, false, LangC, GCC},
+		{"seamonkey", true, false, LangCPP, GCC},
+		{"mupdf", true, false, LangC, GCC},
+		{"laverna", true, false, LangCPP, GCC},
+		{"franz", true, false, LangCPP, GCC},
+		{"nightingale", true, false, LangC, GCC},
+		{"palemoon", true, false, LangCPP, Clang},
+		{"evince", true, false, LangC, GCC},
+		{"amarok", true, false, LangC, GCC},
+		{"deadbeef", true, false, LangC, GCC},
+		{"qbittorrent", true, false, LangCPP, GCC},
+		{"pdftex", true, false, LangC, GCC},
+		{"eclipse", true, false, LangC, GCC},
+		{"vscode", true, false, LangCPP, GCC},
+		{"virtualbox", true, true, LangCPP, GCC},
+		{"gv", true, true, LangC, GCC},
+		{"okular", true, true, LangCPP, GCC},
+		{"gcc", true, true, LangC, GCC},
+		{"wkhtmltopdf", true, true, LangC, GCC},
+		{"firefox", true, true, LangCPP, Clang},
+		{"qemu-system", true, true, LangC, GCC},
+		{"thunderbird", true, true, LangCPP, GCC},
+		{"smuxi-server", true, true, LangC, GCC},
+		{"teamviewer", false, false, LangCPP, GCC},
+		{"skype", false, false, LangCPP, GCC},
+		{"trillian", false, false, LangCPP, GCC},
+		{"opera", false, false, LangCPP, Clang},
+		{"yandex-browser", false, false, LangCPP, Clang},
+		{"spideroak", false, false, LangC, GCC},
+		{"slack", false, false, LangCPP, GCC},
+		{"rainlendar2", false, false, LangCPP, GCC},
+		{"sublime", false, false, LangCPP, GCC},
+		{"netease-music", false, false, LangCPP, GCC},
+		{"wps", false, false, LangCPP, GCC},
+		{"wpp", false, false, LangCPP, GCC},
+		{"wpspdf", false, false, LangCPP, GCC},
+		{"wpsoffice", false, false, LangCPP, GCC},
+		{"ida64", false, false, LangCPP, GCC},
+		{"zoom", false, false, LangCPP, GCC},
+		{"binaryninja", false, true, LangCPP, GCC},
+		{"foxitreader", false, true, LangCPP, GCC},
+	}
+	var out []WildSpec
+	for k, r := range rows {
+		cfg := DefaultConfig(r.name, seed+int64(k), O2, r.comp, r.lang)
+		cfg.NumFuncs = 90 + (k*13)%120
+		out = append(out, WildSpec{
+			Config:     cfg,
+			Software:   r.name,
+			Open:       r.open,
+			HasSymbols: r.sym,
+		})
+	}
+	return out
+}

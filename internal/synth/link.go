@@ -1,0 +1,433 @@
+package synth
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/x64"
+)
+
+// Section base addresses for synthesized binaries.
+const (
+	textBase = 0x401000
+	pageSize = 0x1000
+)
+
+// Generate synthesizes one binary: machine code, data, .eh_frame,
+// symbols, and the matching ground truth.
+func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs, err := buildSpecs(&cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Emit code chunks.
+	var hot, cold []*chunk
+	for _, s := range specs {
+		h, c, err := emitFunc(s, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		hot = append(hot, h)
+		if c != nil {
+			cold = append(cold, c)
+		}
+	}
+
+	// Data islands: prologue-looking byte blobs inside .text.
+	var islands []*chunk
+	for k := 0; k < cfg.DataIslandCount; k++ {
+		islands = append(islands, &chunk{
+			name:   fmt.Sprintf(".island%d", k),
+			code:   makeIsland(rng),
+			isData: true,
+			align:  16,
+		})
+	}
+	// Code islands: .text data that decodes as complete, convention-
+	// respecting code. They sit 16-misaligned so strictly aligned
+	// matchers (GHIDRA Fsig) skip them while looser hybrids bite.
+	for k := 0; k < cfg.CodeIslandCount; k++ {
+		body, err := makeCodeIsland(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		islands = append(islands, &chunk{
+			name:   fmt.Sprintf(".cisland%d", k),
+			code:   body,
+			isData: true,
+			align:  8,
+			mis16:  true,
+		})
+	}
+	for _, island := range islands {
+		// Insert at a random position among the hot chunks (after
+		// the first three runtime functions).
+		pos := 3 + rng.Intn(len(hot)-3)
+		hot = append(hot[:pos], append([]*chunk{island}, hot[pos:]...)...)
+	}
+
+	// --- Layout .text ---
+	var text []byte
+	pad := func(align int) {
+		for (textBase+len(text))%align != 0 {
+			if rng.Intn(10) < 7 {
+				text = append(text, 0x90) // nop
+			} else {
+				text = append(text, 0xCC) // int3
+			}
+		}
+	}
+	// In-text jump tables live after the cold parts.
+	var textTables []*chunk
+	layout := append(append([]*chunk(nil), hot...), cold...)
+	for _, ch := range layout {
+		align := ch.align
+		if align == 0 {
+			align = 16
+		}
+		pad(align)
+		if ch.mis16 && (textBase+len(text))%16 == 0 {
+			for k := 0; k < 8; k++ {
+				text = append(text, 0x90)
+			}
+		}
+		ch.addr = uint64(textBase + len(text))
+		text = append(text, ch.code...)
+	}
+	pad(16)
+
+	// --- Symbol resolution table ---
+	symAddr := make(map[string]uint64)
+	for _, ch := range layout {
+		symAddr[ch.name] = ch.addr + uint64(ch.symOff)
+		for name, off := range ch.exports {
+			symAddr[name] = ch.addr + uint64(off)
+		}
+	}
+
+	// --- .rodata: jump tables + misc constants ---
+	// Jump tables: most live in .rodata; a fraction is placed inside
+	// .text (the inline data that desynchronizes linear sweeps).
+	type tableRef struct {
+		sym   string
+		off   int
+		cases []string
+		pic   bool
+	}
+	var tables []tableRef // .rodata tables, patched below
+	var rodata []byte
+	for _, s := range specs {
+		if s.jumpTable == 0 {
+			continue
+		}
+		var cases []string
+		for k := 0; k < s.jumpTable; k++ {
+			cases = append(cases, fmt.Sprintf("%s.c%d", s.name, k))
+		}
+		if s.picTable {
+			// PIC tables always live in .rodata with int32 entries.
+			for len(rodata)%4 != 0 {
+				rodata = append(rodata, 0)
+			}
+			tables = append(tables, tableRef{sym: s.name + ".tbl", off: len(rodata), cases: cases, pic: true})
+			rodata = append(rodata, make([]byte, 4*s.jumpTable)...)
+			continue
+		}
+		if rng.Float64() < cfg.TextJumpTableRate {
+			tbl := &chunk{
+				name:   s.name + ".tbl",
+				code:   make([]byte, 8*s.jumpTable),
+				isData: true,
+				align:  8,
+			}
+			for k, cs := range cases {
+				tbl.fixups = append(tbl.fixups, x64.Fixup{
+					Kind: x64.FixAbs64, Off: 8 * k, Sym: cs,
+				})
+			}
+			pad(8)
+			tbl.addr = uint64(textBase + len(text))
+			text = append(text, tbl.code...)
+			symAddr[tbl.name] = tbl.addr
+			textTables = append(textTables, tbl)
+			layout = append(layout, tbl)
+			continue
+		}
+		for len(rodata)%8 != 0 {
+			rodata = append(rodata, 0)
+		}
+		tables = append(tables, tableRef{sym: s.name + ".tbl", off: len(rodata), cases: cases})
+		rodata = append(rodata, make([]byte, 8*s.jumpTable)...)
+	}
+	roBase := alignUp(uint64(textBase)+uint64(len(text)), pageSize)
+	for _, t := range tables {
+		symAddr[t.sym] = roBase + uint64(t.off)
+	}
+	// Misc rodata: strings, integers, and a few mid-function addresses
+	// that look like pointers but must be rejected by §IV-E validation.
+	rodata = append(rodata, []byte("synthetic corpus \x00version 1\x00")...)
+	for len(rodata)%8 != 0 {
+		rodata = append(rodata, 0)
+	}
+	var midPtrOffs []int
+	for k := 0; k < 4; k++ {
+		midPtrOffs = append(midPtrOffs, len(rodata))
+		rodata = append(rodata, make([]byte, 8)...)
+	}
+	for k := 0; k < 8; k++ {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(rng.Intn(1<<30)))
+		rodata = append(rodata, tmp[:]...)
+	}
+
+	// --- .data: function-pointer slots ---
+	dataBase := alignUp(roBase+uint64(len(rodata)), pageSize)
+	var data []byte
+	type slotRef struct {
+		off int
+		sym string
+	}
+	var slots []slotRef
+	for _, s := range specs {
+		if s.dataPtrSlot {
+			slots = append(slots, slotRef{off: len(data), sym: s.name})
+			data = append(data, make([]byte, 8)...)
+		}
+	}
+	// Some pointer-looking noise.
+	for k := 0; k < 6; k++ {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(rng.Int63n(1<<40)))
+		data = append(data, tmp[:]...)
+	}
+	if len(data) == 0 {
+		data = make([]byte, 16)
+	}
+
+	// --- Patch fixups ---
+	patch := func(ch *chunk) error {
+		for _, f := range ch.fixups {
+			target, ok := symAddr[f.Sym]
+			if !ok {
+				return fmt.Errorf("synth: undefined symbol %q in %s", f.Sym, ch.name)
+			}
+			target += uint64(f.Addend)
+			at := ch.addr - textBase + uint64(f.Off)
+			switch f.Kind {
+			case x64.FixRel32:
+				rel := int64(target) - int64(ch.addr+uint64(f.End))
+				binary.LittleEndian.PutUint32(text[at:], uint32(int32(rel)))
+			case x64.FixAbs32:
+				binary.LittleEndian.PutUint32(text[at:], uint32(target))
+			case x64.FixAbs64:
+				binary.LittleEndian.PutUint64(text[at:], target)
+			}
+		}
+		return nil
+	}
+	for _, ch := range layout {
+		if err := patch(ch); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, t := range tables {
+		tblAddr := symAddr[t.sym]
+		for k, caseSym := range t.cases {
+			addr, ok := symAddr[caseSym]
+			if !ok {
+				return nil, nil, fmt.Errorf("synth: undefined case label %q", caseSym)
+			}
+			if t.pic {
+				binary.LittleEndian.PutUint32(rodata[t.off+4*k:], uint32(int32(int64(addr)-int64(tblAddr))))
+			} else {
+				binary.LittleEndian.PutUint64(rodata[t.off+8*k:], addr)
+			}
+		}
+	}
+	for k, off := range midPtrOffs {
+		// Point into the middle of some function body.
+		ch := hot[(k*7+5)%len(hot)]
+		if ch.isData {
+			ch = hot[0]
+		}
+		binary.LittleEndian.PutUint64(rodata[off:], ch.addr+uint64(len(ch.code))/2)
+	}
+	for _, s := range slots {
+		addr, ok := symAddr[s.sym]
+		if !ok {
+			return nil, nil, fmt.Errorf("synth: undefined pointer target %q", s.sym)
+		}
+		binary.LittleEndian.PutUint64(data[s.off:], addr)
+	}
+
+	// --- .eh_frame ---
+	ehBase := alignUp(dataBase+uint64(len(data)), pageSize)
+	sec := &ehframe.Section{Addr: ehBase}
+	// Group FDEs under a handful of CIEs, mimicking per-object CIEs.
+	var cies []*ehframe.CIE
+	cieFor := func(i int) *ehframe.CIE {
+		want := i / 24
+		for len(cies) <= want {
+			cies = append(cies, ehframe.NewDefaultCIE())
+		}
+		return cies[want]
+	}
+	fdeIdx := 0
+	for _, ch := range layout {
+		if !ch.hasFDE || ch.isData {
+			continue
+		}
+		fde := &ehframe.FDE{
+			CIE:     cieFor(fdeIdx),
+			PCBegin: ch.addr,
+			PCRange: uint64(len(ch.code)),
+			Program: convertCFI(ch.cfi),
+		}
+		sec.FDEs = append(sec.FDEs, fde)
+		fdeIdx++
+	}
+	sort.Slice(sec.FDEs, func(i, j int) bool { return sec.FDEs[i].PCBegin < sec.FDEs[j].PCBegin })
+	ehBytes, err := sec.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- Image assembly ---
+	im := &elfx.Image{
+		Name:  cfg.Name,
+		Entry: symAddr["main"],
+		Sections: []*elfx.Section{
+			{Name: ".text", Addr: textBase, Data: text, Flags: elfx.FlagAlloc | elfx.FlagExec},
+			{Name: ".rodata", Addr: roBase, Data: rodata, Flags: elfx.FlagAlloc},
+			{Name: ".data", Addr: dataBase, Data: data, Flags: elfx.FlagAlloc | elfx.FlagWrite},
+			{Name: ".eh_frame", Addr: ehBase, Data: ehBytes, Flags: elfx.FlagAlloc},
+		},
+	}
+	for _, ch := range layout {
+		if !ch.hasSym || ch.isData {
+			continue
+		}
+		im.Symbols = append(im.Symbols, elfx.Symbol{
+			Name: ch.name,
+			Addr: ch.addr + uint64(ch.symOff),
+			Size: uint64(len(ch.code) - ch.symOff),
+			Func: true,
+		})
+	}
+
+	// --- Ground truth ---
+	truth := &groundtruth.Truth{}
+	chunkByName := make(map[string]*chunk, len(layout))
+	for _, ch := range layout {
+		chunkByName[ch.name] = ch
+	}
+	for _, s := range specs {
+		ch := chunkByName[s.name]
+		gt := groundtruth.Func{
+			Name:   s.name,
+			Addr:   ch.addr + uint64(ch.symOff),
+			Size:   uint64(len(ch.code) - ch.symOff),
+			Class:  gtClass(s.class),
+			Reach:  s.reach,
+			HasFDE: s.hasFDE,
+			NonRet: s.nonRet,
+		}
+		if s.tailCall != "" {
+			gt.TailTargets = append(gt.TailTargets, symAddr[s.tailCall])
+		}
+		truth.Funcs = append(truth.Funcs, gt)
+		if s.class == clsCFIErr {
+			truth.CFIErrorAddrs = append(truth.CFIErrorAddrs, ch.addr)
+		}
+	}
+	for _, ch := range layout {
+		if !ch.isPart {
+			continue
+		}
+		parent := chunkByName[ch.parent]
+		truth.Parts = append(truth.Parts, groundtruth.Part{
+			Name:          ch.name,
+			Addr:          ch.addr,
+			Size:          uint64(len(ch.code)),
+			Parent:        parent.addr + uint64(parent.symOff),
+			IncompleteCFI: ch.spec.frame == frameRBP,
+		})
+	}
+	return im, truth, nil
+}
+
+// gtClass maps generator classes onto ground-truth classes.
+func gtClass(c funcClass) groundtruth.Class {
+	switch c {
+	case clsAsm, clsTailAsm, clsIndirAsm, clsUnreach:
+		return groundtruth.ClassAsm
+	case clsClangTerm:
+		return groundtruth.ClassClangTerminate
+	}
+	return groundtruth.ClassNormal
+}
+
+// convertCFI turns offset-tagged CFI events into an FDE program with
+// advance_loc instructions between state changes.
+func convertCFI(events []cfiAt) []ehframe.CFI {
+	var prog []ehframe.CFI
+	prev := 0
+	for _, e := range events {
+		if e.off > prev {
+			prog = append(prog, ehframe.CFI{
+				Op:    ehframe.CFAAdvanceLoc,
+				Delta: uint64(e.off - prev),
+			})
+			prev = e.off
+		}
+		prog = append(prog, e.in)
+	}
+	return prog
+}
+
+// makeIsland produces a data blob that begins like a canonical GCC
+// prologue and continues with pointer-free noise — the bait for
+// signature matchers and linear scans.
+func makeIsland(rng *rand.Rand) []byte {
+	out := []byte{0x55, 0x48, 0x89, 0xE5} // push rbp; mov rbp,rsp
+	n := 16 + rng.Intn(32)
+	for k := 0; k < n; k++ {
+		out = append(out, byte(rng.Intn(256)))
+	}
+	return out
+}
+
+// makeCodeIsland produces .text data that decodes as a complete,
+// convention-respecting function body — indistinguishable from code to
+// any pattern matcher, yet never referenced and absent from the ground
+// truth (a stale literal copy, in effect).
+func makeCodeIsland(rng *rand.Rand) ([]byte, error) {
+	var a x64.Asm
+	a.PushReg(x64.RBP)
+	a.MovRegReg(x64.RBP, x64.RSP)
+	a.SubRSP(16 + int32(rng.Intn(3))*16)
+	a.MovRegReg(x64.RAX, x64.RDI)
+	for k := 0; k < 2+rng.Intn(3); k++ {
+		a.AddRegImm(x64.RAX, int32(rng.Intn(64)+1))
+	}
+	a.MovRegReg(x64.RSP, x64.RBP)
+	a.PopReg(x64.RBP)
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil || len(fixups) != 0 {
+		return nil, fmt.Errorf("synth: code island: %v", err)
+	}
+	return code, nil
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

@@ -1,0 +1,348 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fetch/internal/groundtruth"
+	"fetch/internal/x64"
+)
+
+// countFor converts an expected value into an integer count, flipping a
+// biased coin for the fractional part so small rates still occur across
+// a corpus.
+func countFor(rng *rand.Rand, expected float64) int {
+	n := int(expected)
+	if rng.Float64() < expected-float64(n) {
+		n++
+	}
+	return n
+}
+
+// buildSpecs assigns classes, features, and reference wiring for all
+// functions of one binary.
+func buildSpecs(cfg *Config, rng *rand.Rand) ([]*funcSpec, error) {
+	n := cfg.NumFuncs
+	specs := make([]*funcSpec, 0, n)
+
+	mk := func(class funcClass) *funcSpec {
+		s := &funcSpec{
+			idx:         len(specs),
+			name:        fmt.Sprintf("f%03d", len(specs)),
+			class:       class,
+			hasFDE:      true,
+			hasSym:      true,
+			codePtrFrom: -1,
+		}
+		specs = append(specs, s)
+		return s
+	}
+
+	main := mk(clsMain)
+	main.name = "main"
+	main.reach = groundtruth.ReachEntry
+
+	exit := mk(clsExit)
+	exit.name = symExit
+	exit.reach = groundtruth.ReachCall
+	exit.nonRet = true
+
+	errf := mk(clsError)
+	errf.name = symError
+	errf.reach = groundtruth.ReachCall
+
+	// Special-class budget.
+	fn := float64(n)
+	nAsm := countFor(rng, cfg.AsmRate*fn)
+	nTailFDE := countFor(rng, cfg.TailOnlyRate*fn*0.4)
+	nTailAsm := countFor(rng, cfg.TailOnlyRate*fn*0.6)
+	nIndir := countFor(rng, cfg.IndirectOnlyRate*fn)
+	nUnreach := countFor(rng, cfg.UnreachableAsmRate*fn)
+	nThunk := countFor(rng, 0.008*fn)
+	nCFIErr := cfg.CFIErrorCount
+
+	type classCount struct {
+		class funcClass
+		count int
+	}
+	for _, cc := range []classCount{
+		{clsAsm, nAsm}, {clsTailFDE, nTailFDE}, {clsTailAsm, nTailAsm},
+		{clsIndirAsm, nIndir}, {clsUnreach, nUnreach},
+		{clsThunkMid, nThunk}, {clsCFIErr, nCFIErr},
+	} {
+		for k := 0; k < cc.count && len(specs) < n-1; k++ {
+			s := mk(cc.class)
+			switch cc.class {
+			case clsAsm:
+				s.hasFDE = false
+				s.reach = groundtruth.ReachCall
+			case clsTailFDE:
+				s.reach = groundtruth.ReachTailOnly
+			case clsTailAsm:
+				s.hasFDE = false
+				s.reach = groundtruth.ReachTailOnly
+			case clsIndirAsm:
+				s.hasFDE = false
+				s.reach = groundtruth.ReachIndirectOnly
+				if rng.Intn(5) < 3 {
+					s.dataPtrSlot = true
+				} // else wired to a code lea below
+			case clsUnreach:
+				s.hasFDE = false
+				s.reach = groundtruth.ReachUnreachable
+			case clsThunkMid:
+				s.reach = groundtruth.ReachCall
+			case clsCFIErr:
+				s.reach = groundtruth.ReachIndirectOnly
+				s.dataPtrSlot = true
+			}
+		}
+	}
+	if cfg.ClangTerminate && len(specs) < n-1 {
+		s := mk(clsClangTerm)
+		s.name = "__clang_call_terminate"
+		s.hasFDE = false
+		// Referenced only from exception tables, modeled as a data
+		// pointer slot — recoverable via §IV-E pointer detection.
+		s.reach = groundtruth.ReachIndirectOnly
+		s.dataPtrSlot = true
+	}
+
+	// Fill the remainder with normal compiled functions.
+	for len(specs) < n {
+		s := mk(clsNormal)
+		s.reach = groundtruth.ReachCall
+	}
+
+	// Feature assignment for compiled functions (normal, main, the
+	// tail-only compiled class, and the CFI-error class share the
+	// compiled code generator).
+	isCompiled := func(s *funcSpec) bool {
+		switch s.class {
+		case clsNormal, clsMain, clsTailFDE, clsCFIErr:
+			return true
+		}
+		return false
+	}
+	for _, s := range specs {
+		if !isCompiled(s) {
+			continue
+		}
+		if rng.Float64() < cfg.RBPFrameRate {
+			s.frame = frameRBP
+		} else {
+			s.frame = frameRSP
+		}
+		pool := []x64.Reg{x64.RBX, x64.R12, x64.R13, x64.R14}
+		nPush := rng.Intn(4)
+		for k := 0; k < nPush; k++ {
+			s.pushRegs = append(s.pushRegs, pool[k])
+		}
+		s.frameSize = int32(rng.Intn(5)) * 16
+		s.numOps = 4 + rng.Intn(8)
+		// A slice of functions use enter/leave framing (kept free of
+		// saved registers and splits for simplicity).
+		if s.class == clsNormal && s.frame == frameRSP && !s.split && rng.Float64() < 0.10 {
+			s.useEnter = true
+			s.pushRegs = nil
+			if s.frameSize == 0 {
+				s.frameSize = 16
+			}
+		}
+		if s.class == clsNormal {
+			if rng.Float64() < cfg.NonContigRate {
+				s.split = true
+				s.splitRet = rng.Intn(2) == 0
+				s.useEnter = false // splits keep the standard framing
+				// Parent CFA style determines whether Algorithm 1 can
+				// merge the part back (§V-C residue rate).
+				if rng.Float64() < 0.08 {
+					s.frame = frameRBP
+				} else {
+					s.frame = frameRSP
+				}
+				// The cold part reads rbx; make sure it is saved.
+				if len(s.pushRegs) == 0 {
+					s.pushRegs = []x64.Reg{x64.RBX}
+				}
+			}
+			if rng.Float64() < cfg.JumpTableRate {
+				s.jumpTable = 3 + rng.Intn(6)
+				s.picTable = rng.Float64() < 0.4
+			}
+			if rng.Float64() < cfg.NonRetCallRate {
+				s.nonRetTail = true
+			}
+			if rng.Float64() < cfg.StartPadRate {
+				s.startPad = 4 + 4*rng.Intn(2)
+			}
+		}
+		if rng.Float64() < cfg.EarlyRetRate {
+			s.earlyRet = true
+		}
+		if s.class == clsMain {
+			s.numOps += 6
+		}
+		if s.class == clsCFIErr {
+			// Keep the shape simple and deterministic for the
+			// Figure-6b byte trick: entry begins with push rbx.
+			s.frame = frameRSP
+			s.startPad = 0
+			s.earlyRet = false
+			s.split = false
+			s.pushRegs = []x64.Reg{x64.RBX}
+		}
+	}
+
+	// Case-only functions: their only call site lives inside a
+	// jump-table case block. Force a prologue-less shape so pattern
+	// matchers cannot recover them either.
+	var jtHosts []*funcSpec
+	for _, s := range specs {
+		if s.class == clsNormal && s.jumpTable > 0 && !s.caseOnly {
+			jtHosts = append(jtHosts, s)
+		}
+	}
+	nCaseOnly := countFor(rng, cfg.CaseOnlyRate*fn)
+	if nCaseOnly > 0 && len(jtHosts) == 0 {
+		// Promote one plain function into a jump-table host.
+		for _, s := range specs {
+			if s.class == clsNormal && !s.split {
+				s.jumpTable = 4
+				jtHosts = append(jtHosts, s)
+				break
+			}
+		}
+	}
+	if len(jtHosts) > 0 {
+		assigned := 0
+		for _, s := range specs {
+			if assigned >= nCaseOnly {
+				break
+			}
+			if s.class != clsNormal || s.split || s.jumpTable > 0 ||
+				s.tailCall != "" || s.caseOnly {
+				continue
+			}
+			host := jtHosts[rng.Intn(len(jtHosts))]
+			if len(host.caseCallees) >= host.jumpTable {
+				continue
+			}
+			s.caseOnly = true
+			s.noEndbr = true
+			s.pushRegs = nil
+			s.frameSize = 0
+			s.useEnter = false
+			s.frame = frameRSP
+			s.startPad = 0
+			host.caseCallees = append(host.caseCallees, s.name)
+			assigned++
+		}
+	}
+
+	// --- Reference wiring ---
+
+	var normals []*funcSpec // compiled functions that can host calls
+	for _, s := range specs {
+		if (s.class == clsNormal && !s.caseOnly) || s.class == clsMain {
+			normals = append(normals, s)
+		}
+	}
+	if len(normals) < 3 {
+		return nil, fmt.Errorf("synth: too few normal functions (%d)", len(normals))
+	}
+	randNormal := func() *funcSpec { return normals[rng.Intn(len(normals))] }
+
+	// Every call-reachable function gets at least one direct caller.
+	// The exit-like and error-like runtime functions are excluded: a
+	// stray mid-body `call exit` would make its caller genuinely
+	// non-returning and falsify the ground truth. Exit is reached
+	// through the error-like function; error through the dedicated
+	// call sites wired below.
+	for _, s := range specs {
+		if s.reach != groundtruth.ReachCall || s.class == clsMain ||
+			s.class == clsExit || s.class == clsError || s.caseOnly {
+			continue
+		}
+		caller := randNormal()
+		for caller == s {
+			caller = randNormal()
+		}
+		caller.callees = append(caller.callees, callRef{sym: s.name})
+	}
+	// Extra call edges for graph density.
+	for _, s := range normals {
+		for k := rng.Intn(3); k > 0; k-- {
+			t := randNormal()
+			if t != s {
+				s.callees = append(s.callees, callRef{sym: t.name})
+			}
+		}
+	}
+	// A few returning calls to the error-like function (first arg 0),
+	// exercising the §IV-C backward slice.
+	for k := 0; k < 2; k++ {
+		c := randNormal()
+		c.callees = append(c.callees, callRef{sym: symError, isErr: true, errArg: 0})
+	}
+
+	// Ordinary tail calls to multi-referenced functions. Half target
+	// the next normal function in layout order, creating the adjacent
+	// pairs ANGR's function-merging heuristic wrongly merges.
+	for i, s := range normals {
+		if s.class != clsNormal || s.tailCall != "" || s.nonRetTail {
+			continue
+		}
+		if rng.Float64() >= cfg.TailCallRate {
+			continue
+		}
+		var target *funcSpec
+		if rng.Intn(2) == 0 && i+1 < len(normals) && normals[i+1].class == clsNormal {
+			target = normals[i+1]
+		} else {
+			target = randNormal()
+		}
+		if target != s {
+			s.tailCall = target.name
+		}
+	}
+	// Tail-only functions: exactly one tail-call reference each.
+	for _, s := range specs {
+		if s.reach != groundtruth.ReachTailOnly {
+			continue
+		}
+		var caller *funcSpec
+		for try := 0; try < 50; try++ {
+			c := randNormal()
+			if c.tailCall == "" && c != s && c.class == clsNormal && !c.nonRetTail {
+				caller = c
+				break
+			}
+		}
+		if caller == nil {
+			// No free tail-call slot: demote to an ordinary callee so
+			// the function stays reachable and the truth stays honest.
+			s.reach = groundtruth.ReachCall
+			c := randNormal()
+			c.callees = append(c.callees, callRef{sym: s.name})
+			continue
+		}
+		caller.tailCall = s.name
+	}
+	// Indirect-only functions not covered by a data slot get their
+	// address materialized by a lea in some caller.
+	for _, s := range specs {
+		if s.reach == groundtruth.ReachIndirectOnly && !s.dataPtrSlot {
+			host := randNormal()
+			s.codePtrFrom = host.idx
+			host.codePtrCalls = append(host.codePtrCalls, s.name)
+		}
+	}
+	// Thunks need targets with a .mid export (any compiled function).
+	for _, s := range specs {
+		if s.class == clsThunkMid {
+			s.thunkMidOf = randNormal().name
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,338 @@
+package synth
+
+import (
+	"testing"
+
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/x64"
+)
+
+func genTest(t *testing.T, cfg Config) (*elfx.Image, *groundtruth.Truth) {
+	t.Helper()
+	im, truth, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return im, truth
+}
+
+func defaultTestConfig(seed int64) Config {
+	return DefaultConfig("test", seed, O2, GCC, LangC)
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	im, truth := genTest(t, defaultTestConfig(1))
+	for _, name := range []string{".text", ".rodata", ".data", ".eh_frame"} {
+		if _, ok := im.Section(name); !ok {
+			t.Errorf("missing section %s", name)
+		}
+	}
+	if len(truth.Funcs) != 120 {
+		t.Errorf("got %d true functions, want 120", len(truth.Funcs))
+	}
+	if im.Entry == 0 {
+		t.Error("entry not set")
+	}
+	if !truth.IsStart(im.Entry) {
+		t.Error("entry is not a true start")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	im1, _ := genTest(t, defaultTestConfig(7))
+	im2, _ := genTest(t, defaultTestConfig(7))
+	s1, _ := im1.Section(".text")
+	s2, _ := im2.Section(".text")
+	if len(s1.Data) != len(s2.Data) {
+		t.Fatalf("text sizes differ: %d vs %d", len(s1.Data), len(s2.Data))
+	}
+	for k := range s1.Data {
+		if s1.Data[k] != s2.Data[k] {
+			t.Fatalf("text differs at offset %d", k)
+		}
+	}
+}
+
+func TestGenerateEhFrameParses(t *testing.T) {
+	im, truth := genTest(t, defaultTestConfig(2))
+	eh, _ := im.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("eh_frame decode: %v", err)
+	}
+	// Every FDE must cover executable bytes.
+	for _, f := range sec.FDEs {
+		if !im.IsExec(f.PCBegin) {
+			t.Errorf("FDE %#x not in exec section", f.PCBegin)
+		}
+	}
+	// FDE count = funcs with FDE + non-contig parts.
+	want := truth.NumWithFDE() + len(truth.Parts)
+	if len(sec.FDEs) != want {
+		t.Errorf("decoded %d FDEs, want %d", len(sec.FDEs), want)
+	}
+	// All truth funcs with HasFDE have an FDE starting at their addr,
+	// except CFI-error functions whose FDE is skewed by -1.
+	errAddr := map[uint64]bool{}
+	for _, a := range truth.CFIErrorAddrs {
+		errAddr[a+1] = true
+	}
+	for _, fn := range truth.Funcs {
+		if !fn.HasFDE {
+			continue
+		}
+		if errAddr[fn.Addr] {
+			if _, ok := sec.FDEStartingAt(fn.Addr - 1); !ok {
+				t.Errorf("CFI-error func %s: no FDE at addr-1", fn.Name)
+			}
+			continue
+		}
+		if _, ok := sec.FDEStartingAt(fn.Addr); !ok {
+			t.Errorf("func %s at %#x has no FDE", fn.Name, fn.Addr)
+		}
+	}
+	// Part FDEs exist too.
+	for _, p := range truth.Parts {
+		if _, ok := sec.FDEStartingAt(p.Addr); !ok {
+			t.Errorf("part %s at %#x has no FDE", p.Name, p.Addr)
+		}
+	}
+}
+
+func TestGenerateCodeDecodes(t *testing.T) {
+	im, truth := genTest(t, defaultTestConfig(3))
+	// Every true function start must decode as valid code from its
+	// entry for at least a few instructions.
+	for _, fn := range truth.Funcs {
+		w, ok := im.BytesToSectionEnd(fn.Addr)
+		if !ok {
+			t.Fatalf("func %s at %#x unmapped", fn.Name, fn.Addr)
+		}
+		off := 0
+		for k := 0; k < 4 && off < int(fn.Size); k++ {
+			in, err := x64.Decode(w[off:], fn.Addr+uint64(off))
+			if err != nil {
+				t.Errorf("func %s: decode at +%d: %v", fn.Name, off, err)
+				break
+			}
+			off += in.Len
+		}
+	}
+}
+
+func TestGenerateHeightsAtSplitJumps(t *testing.T) {
+	// Non-contiguous parents with rsp frames must expose complete CFI
+	// heights; rbp-framed parents must not.
+	cfg := defaultTestConfig(4)
+	cfg.NonContigRate = 0.5 // force many splits
+	im, truth := genTest(t, cfg)
+	eh, _ := im.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(truth.Parts) == 0 {
+		t.Fatal("no parts generated at 50% rate")
+	}
+	var complete, incomplete int
+	for _, p := range truth.Parts {
+		fde, ok := sec.FDEStartingAt(p.Parent)
+		if !ok {
+			t.Fatalf("parent FDE missing for %s", p.Name)
+		}
+		ht := fde.Heights()
+		if p.IncompleteCFI {
+			incomplete++
+			if ht.Complete {
+				t.Errorf("part %s: parent CFI should be incomplete", p.Name)
+			}
+		} else {
+			complete++
+			if !ht.Complete {
+				t.Errorf("part %s: parent CFI should be complete", p.Name)
+			}
+		}
+	}
+	if complete == 0 {
+		t.Error("no complete-CFI parents generated")
+	}
+}
+
+func TestGenerateTailCallHeightZero(t *testing.T) {
+	// At every generated tail-call jump the CFI height must be zero:
+	// decode each tail-calling function, find the terminal jmp whose
+	// target is the tail target, and query the height there.
+	cfg := defaultTestConfig(5)
+	cfg.TailCallRate = 0.5
+	im, truth := genTest(t, cfg)
+	eh, _ := im.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	checked := 0
+	for _, fn := range truth.Funcs {
+		if len(fn.TailTargets) == 0 || !fn.HasFDE {
+			continue
+		}
+		fde, ok := sec.FDEStartingAt(fn.Addr)
+		if !ok {
+			continue
+		}
+		ht := fde.Heights()
+		if !ht.Complete {
+			continue // rbp-framed tail callers are legitimately opaque
+		}
+		// Scan the function for the direct jmp to the tail target.
+		w, _ := im.BytesToSectionEnd(fn.Addr)
+		off := 0
+		for off < int(fn.Size) {
+			in, err := x64.Decode(w[off:], fn.Addr+uint64(off))
+			if err != nil {
+				break
+			}
+			if in.Op == x64.OpJmp && in.HasTarget && in.Target == fn.TailTargets[0] {
+				h, ok := ht.HeightAt(in.Addr)
+				if !ok {
+					t.Errorf("%s: no height at tail jmp %#x", fn.Name, in.Addr)
+				} else if h != 0 {
+					t.Errorf("%s: height at tail jmp = %d, want 0", fn.Name, h)
+				}
+				checked++
+				break
+			}
+			off += in.Len
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no tail-call jumps verified")
+	}
+}
+
+func TestGenerateELFRoundTrip(t *testing.T) {
+	im, _ := genTest(t, defaultTestConfig(6))
+	raw, err := elfx.WriteELF(im)
+	if err != nil {
+		t.Fatalf("WriteELF: %v", err)
+	}
+	got, err := elfx.LoadELF(raw)
+	if err != nil {
+		t.Fatalf("LoadELF: %v", err)
+	}
+	// eh_frame must decode identically after the round trip.
+	eh, ok := got.Section(".eh_frame")
+	if !ok {
+		t.Fatal("eh_frame lost in round trip")
+	}
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("decode after round trip: %v", err)
+	}
+	if len(sec.FDEs) == 0 {
+		t.Fatal("no FDEs after round trip")
+	}
+	if len(got.Symbols) != len(im.Symbols) {
+		t.Errorf("symbols: %d after round trip, want %d", len(got.Symbols), len(im.Symbols))
+	}
+}
+
+func TestGenerateSymbolsMatchTruth(t *testing.T) {
+	im, truth := genTest(t, defaultTestConfig(8))
+	// Every function with a symbol: symbol addr == truth addr.
+	for _, fn := range truth.Funcs {
+		sym, ok := im.SymbolNamed(fn.Name)
+		if !ok {
+			t.Errorf("func %s has no symbol", fn.Name)
+			continue
+		}
+		if sym.Addr != fn.Addr {
+			t.Errorf("func %s symbol at %#x, truth %#x", fn.Name, sym.Addr, fn.Addr)
+		}
+	}
+	// Parts carry their own symbols (the paper's observation that
+	// symbols share the non-contiguous false-positive problem).
+	for _, p := range truth.Parts {
+		sym, ok := im.SymbolNamed(p.Name)
+		if !ok {
+			t.Errorf("part %s has no symbol", p.Name)
+			continue
+		}
+		if sym.Addr != p.Addr {
+			t.Errorf("part %s symbol at %#x, truth %#x", p.Name, sym.Addr, p.Addr)
+		}
+	}
+}
+
+func TestGenerateDataSlotsHoldFunctionAddrs(t *testing.T) {
+	cfg := defaultTestConfig(9)
+	cfg.IndirectOnlyRate = 0.1
+	im, truth := genTest(t, cfg)
+	ds, _ := im.Section(".data")
+	// Collect all 8-byte values in .data; every indirect-only function
+	// with a data slot must appear.
+	values := map[uint64]bool{}
+	for off := 0; off+8 <= len(ds.Data); off += 8 {
+		v, _ := im.ReadU64(ds.Addr + uint64(off))
+		values[v] = true
+	}
+	found := 0
+	for _, fn := range truth.Funcs {
+		if fn.Reach == groundtruth.ReachIndirectOnly && values[fn.Addr] {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no indirect-only function addresses in .data")
+	}
+}
+
+func TestGenerateClassInventory(t *testing.T) {
+	cfg := defaultTestConfig(10)
+	cfg.NumFuncs = 400
+	cfg.AsmRate = 0.02
+	cfg.TailOnlyRate = 0.02
+	cfg.IndirectOnlyRate = 0.02
+	cfg.UnreachableAsmRate = 0.01
+	cfg.CFIErrorCount = 1
+	im, truth := genTest(t, cfg)
+	_ = im
+	if truth.CountReach(groundtruth.ReachTailOnly) == 0 {
+		t.Error("no tail-only functions")
+	}
+	if truth.CountReach(groundtruth.ReachIndirectOnly) == 0 {
+		t.Error("no indirect-only functions")
+	}
+	if truth.CountReach(groundtruth.ReachUnreachable) == 0 {
+		t.Error("no unreachable functions")
+	}
+	if len(truth.CFIErrorAddrs) != 1 {
+		t.Errorf("CFI errors = %d, want 1", len(truth.CFIErrorAddrs))
+	}
+	var asm int
+	for _, fn := range truth.Funcs {
+		if fn.Class == groundtruth.ClassAsm {
+			asm++
+			if fn.HasFDE {
+				t.Errorf("asm func %s has an FDE", fn.Name)
+			}
+		}
+	}
+	if asm == 0 {
+		t.Error("no asm functions")
+	}
+}
+
+func TestGenerateValidateRejectsBadConfig(t *testing.T) {
+	cfg := defaultTestConfig(1)
+	cfg.NumFuncs = 2
+	if _, _, err := Generate(cfg); err == nil {
+		t.Error("tiny NumFuncs accepted")
+	}
+	cfg = defaultTestConfig(1)
+	cfg.AsmRate = 1.5
+	if _, _, err := Generate(cfg); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Package tailcall implements Algorithm 1 of the paper (§V-B): fixing
+// FDE-introduced false function starts by proving that the jump
+// connecting two call frames cannot be a tail call and merging the
+// frames, plus the calling-convention sweep that removes hand-written
+// FDE errors (Figure 6b).
+//
+// A jump is a tail call only when (1) the stack pointer at the jump
+// site sits right below the return address — stack height zero, taken
+// from CFI-recorded heights, never from static analysis (Table IV's
+// argument) — (2) the target satisfies the calling convention, and
+// (3) the target is referenced somewhere else. A non-tail jump whose
+// target owns an FDE and has no other reference identifies a distant
+// part of the same non-contiguous function, which is merged away.
+// Functions whose CFI lacks complete height information are skipped
+// wholesale (the §V-C residue).
+package tailcall
+
+import (
+	"sort"
+
+	"fetch/internal/callconv"
+	"fetch/internal/disasm"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/stackan"
+	"fetch/internal/x64"
+)
+
+// Input carries the state Algorithm 1 operates on.
+type Input struct {
+	Img *elfx.Image
+	Sec *ehframe.Section
+	// Res is the accumulated safe disassembly (provides decoded
+	// instructions and code-level references).
+	Res *disasm.Result
+	// Funcs is the current detected function-start set; it is not
+	// mutated — the output carries the corrected copy.
+	Funcs map[uint64]bool
+	// DataRefCount reports how many data-section pointer slots hold a
+	// given address (the §IV-E conservative reference collection).
+	DataRefCount func(uint64) int
+
+	// UseStaticHeights replaces CFI-recorded heights with the static
+	// dataflow analysis — the ablation the paper argues against via
+	// Table IV (static heights are incomplete and inaccurate).
+	UseStaticHeights bool
+	// DisableRefCriterion drops the "target referenced elsewhere"
+	// requirement from tail-call detection — the ablation showing why
+	// the criterion is needed to avoid false tail calls.
+	DisableRefCriterion bool
+}
+
+// Output reports the corrections.
+type Output struct {
+	// Funcs is the corrected function-start set.
+	Funcs map[uint64]bool
+	// Merged maps each removed part start to the function it was
+	// merged into.
+	Merged map[uint64]uint64
+	// TailNew lists targets newly added by tail-call detection.
+	TailNew []uint64
+	// CFIErrRemoved lists FDE starts removed by the convention sweep.
+	CFIErrRemoved []uint64
+	// SkippedIncomplete counts FDE functions skipped for lacking
+	// complete CFI height information.
+	SkippedIncomplete int
+}
+
+// Run executes the convention sweep followed by Algorithm 1.
+func Run(in Input) Output {
+	out := Output{
+		Funcs:  make(map[uint64]bool, len(in.Funcs)),
+		Merged: make(map[uint64]uint64),
+	}
+	for f := range in.Funcs {
+		out.Funcs[f] = true
+	}
+	dataRefs := in.DataRefCount
+	if dataRefs == nil {
+		dataRefs = func(uint64) int { return 0 }
+	}
+
+	fdeAt := make(map[uint64]*ehframe.FDE, len(in.Sec.FDEs))
+	for _, f := range in.Sec.FDEs {
+		fdeAt[f.PCBegin] = f
+	}
+
+	// Hand-written FDE errors: an FDE start that violates the calling
+	// convention cannot be a function entry (§V-B, the "3 false
+	// positives").
+	for _, f := range in.Sec.FDEs {
+		if out.Funcs[f.PCBegin] && !callconv.Validate(in.Img, f.PCBegin) {
+			delete(out.Funcs, f.PCBegin)
+			out.CFIErrRemoved = append(out.CFIErrRemoved, f.PCBegin)
+		}
+	}
+
+	// Sorted instruction addresses for per-FDE iteration.
+	instAddrs := make([]uint64, 0, len(in.Res.Insts))
+	for a := range in.Res.Insts {
+		instAddrs = append(instAddrs, a)
+	}
+	sort.Slice(instAddrs, func(i, j int) bool { return instAddrs[i] < instAddrs[j] })
+
+	instsIn := func(lo, hi uint64) []uint64 {
+		i := sort.Search(len(instAddrs), func(k int) bool { return instAddrs[k] >= lo })
+		j := sort.Search(len(instAddrs), func(k int) bool { return instAddrs[k] >= hi })
+		return instAddrs[i:j]
+	}
+
+	// refsOtherThan counts references to t besides the jump j itself.
+	refsOtherThan := func(t, j uint64) int {
+		n := 0
+		for _, r := range in.Res.Refs[t] {
+			if r != j {
+				n++
+			}
+		}
+		if in.Res.Constants[t] {
+			n++
+		}
+		n += dataRefs(t)
+		return n
+	}
+
+	for _, fde := range in.Sec.FDEs {
+		if !out.Funcs[fde.PCBegin] {
+			continue
+		}
+		heights := fde.Heights()
+		var static map[uint64]stackan.Height
+		if in.UseStaticHeights {
+			static = stackan.Analyze(in.Img, fde.PCBegin, fde.End(), stackan.Precise)
+		} else if !heights.Complete {
+			out.SkippedIncomplete++
+			continue
+		}
+		for _, ia := range instsIn(fde.PCBegin, fde.End()) {
+			inst := in.Res.Insts[ia]
+			if (inst.Op != x64.OpJmp && inst.Op != x64.OpJcc) || !inst.HasTarget {
+				continue
+			}
+			t := inst.Target
+			if fde.Covers(t) {
+				continue // jump inside the function
+			}
+			var h int64
+			var ok bool
+			if in.UseStaticHeights {
+				s, found := static[inst.Addr]
+				h, ok = s.H, found && s.Known
+			} else {
+				h, ok = heights.HeightAt(inst.Addr)
+			}
+			if !ok {
+				continue
+			}
+			isTailCall := false
+			if h == 0 {
+				refOK := refsOtherThan(t, inst.Addr) > 0 || in.DisableRefCriterion
+				if refOK && callconv.Validate(in.Img, t) {
+					if !out.Funcs[t] {
+						out.Funcs[t] = true
+						out.TailNew = append(out.TailNew, t)
+					}
+					isTailCall = true
+				}
+			}
+			if !isTailCall && out.Funcs[t] {
+				if _, hasFDE := fdeAt[t]; hasFDE && refsOtherThan(t, inst.Addr) == 0 {
+					delete(out.Funcs, t)
+					out.Merged[t] = fde.PCBegin
+				}
+			}
+		}
+	}
+	sort.Slice(out.TailNew, func(i, j int) bool { return out.TailNew[i] < out.TailNew[j] })
+	sort.Slice(out.CFIErrRemoved, func(i, j int) bool { return out.CFIErrRemoved[i] < out.CFIErrRemoved[j] })
+	return out
+}

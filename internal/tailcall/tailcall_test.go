@@ -1,0 +1,147 @@
+package tailcall
+
+import (
+	"testing"
+
+	"fetch/internal/disasm"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/synth"
+	"fetch/internal/xref"
+)
+
+// setup builds a binary and runs the pre-stages of the pipeline.
+func setup(t *testing.T, mutate func(*synth.Config)) (*elfx.Image, *groundtruth.Truth, Input) {
+	t.Helper()
+	cfg := synth.DefaultConfig("tc-test", 600, synth.O2, synth.GCC, synth.LangC)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	img, truth, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	img = img.Strip()
+	eh, _ := img.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	seeds := sec.FunctionStarts()
+	res := disasm.Recursive(img, seeds, disasm.Options{
+		ResolveJumpTables: true, NonReturning: true,
+	})
+	funcs := map[uint64]bool{}
+	for _, s := range seeds {
+		funcs[s] = true
+	}
+	for f := range res.Funcs {
+		funcs[f] = true
+	}
+	return img, truth, Input{
+		Img: img, Sec: sec, Res: res, Funcs: funcs,
+		DataRefCount: func(a uint64) int { return xref.DataRefCount(img, a) },
+	}
+}
+
+func TestRunMergesCompleteParts(t *testing.T) {
+	_, truth, in := setup(t, func(c *synth.Config) { c.NonContigRate = 0.3 })
+	out := Run(in)
+	for _, p := range truth.Parts {
+		if p.IncompleteCFI {
+			if !out.Funcs[p.Addr] {
+				t.Errorf("incomplete-CFI part %s wrongly removed", p.Name)
+			}
+			continue
+		}
+		if out.Funcs[p.Addr] {
+			t.Errorf("complete-CFI part %s not merged", p.Name)
+		}
+		if owner := out.Merged[p.Addr]; owner != p.Parent {
+			t.Errorf("part %s merged into %#x, want %#x", p.Name, owner, p.Parent)
+		}
+	}
+	if out.SkippedIncomplete == 0 {
+		t.Error("expected some skipped incomplete-CFI functions")
+	}
+}
+
+func TestRunNeverRemovesCallReachable(t *testing.T) {
+	_, truth, in := setup(t, nil)
+	out := Run(in)
+	for _, fn := range truth.Funcs {
+		if fn.Reach != groundtruth.ReachCall && fn.Reach != groundtruth.ReachEntry {
+			continue
+		}
+		if in.Funcs[fn.Addr] && !out.Funcs[fn.Addr] {
+			// A call-reachable function may only disappear when it is
+			// a single-tail-call-referenced merge victim; those have
+			// reach TailOnly, so this is always a bug.
+			t.Errorf("call-reachable %s removed", fn.Name)
+		}
+	}
+}
+
+func TestRunInputNotMutated(t *testing.T) {
+	_, _, in := setup(t, func(c *synth.Config) { c.NonContigRate = 0.3 })
+	before := len(in.Funcs)
+	_ = Run(in)
+	if len(in.Funcs) != before {
+		t.Fatal("Run mutated the input function set")
+	}
+}
+
+func TestRunCFIErrorSweep(t *testing.T) {
+	_, truth, in := setup(t, func(c *synth.Config) { c.CFIErrorCount = 2 })
+	out := Run(in)
+	if len(truth.CFIErrorAddrs) != 2 {
+		t.Fatalf("want 2 planted errors, got %d", len(truth.CFIErrorAddrs))
+	}
+	removed := map[uint64]bool{}
+	for _, a := range out.CFIErrRemoved {
+		removed[a] = true
+	}
+	for _, a := range truth.CFIErrorAddrs {
+		if !removed[a] {
+			t.Errorf("planted CFI error %#x not removed", a)
+		}
+	}
+	// The sweep must remove nothing else.
+	if len(out.CFIErrRemoved) != 2 {
+		t.Errorf("sweep removed %d starts, want 2: %x", len(out.CFIErrRemoved), out.CFIErrRemoved)
+	}
+}
+
+func TestRunStaticHeightsAblation(t *testing.T) {
+	_, truth, in := setup(t, func(c *synth.Config) { c.NonContigRate = 0.3 })
+	in.UseStaticHeights = true
+	out := Run(in)
+	// With static heights nothing is skipped for incomplete CFI...
+	if out.SkippedIncomplete != 0 {
+		t.Errorf("static-heights run skipped %d", out.SkippedIncomplete)
+	}
+	// ...and rsp-framed parts still merge.
+	merged := 0
+	for _, p := range truth.Parts {
+		if !p.IncompleteCFI && !out.Funcs[p.Addr] {
+			merged++
+		}
+	}
+	if merged == 0 {
+		t.Error("static-heights run merged nothing")
+	}
+}
+
+func TestRunDisableRefCriterion(t *testing.T) {
+	_, _, in := setup(t, func(c *synth.Config) { c.TailCallRate = 0.4 })
+	strict := Run(in)
+	in2 := in
+	in2.DisableRefCriterion = true
+	loose := Run(in2)
+	// Dropping the criterion can only add tail-call targets.
+	if len(loose.TailNew) < len(strict.TailNew) {
+		t.Errorf("loose found fewer tail targets (%d < %d)",
+			len(loose.TailNew), len(strict.TailNew))
+	}
+}

@@ -1,0 +1,501 @@
+package x64
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FixupKind describes how a linker must patch a fixup site.
+type FixupKind uint8
+
+// Fixup kinds.
+const (
+	// FixRel32: *site = sym+addend - (chunkBase + End), i.e. a
+	// PC-relative 32-bit displacement (call/jmp rel32, RIP-relative
+	// addressing).
+	FixRel32 FixupKind = iota + 1
+	// FixAbs32: *site = sym+addend as a zero-extended 32-bit absolute
+	// address (jump-table bases in non-PIC code).
+	FixAbs32
+	// FixAbs64: *site = sym+addend as a full 64-bit absolute address
+	// (data-section function pointers).
+	FixAbs64
+)
+
+// Fixup is an unresolved reference to a symbol defined outside the
+// assembled chunk. Offsets are relative to the chunk start.
+type Fixup struct {
+	Kind   FixupKind
+	Off    int    // offset of the 4- or 8-byte field to patch
+	End    int    // offset just past the instruction (for PC-relative)
+	Sym    string // target symbol
+	Addend int64
+}
+
+// Asm assembles a chunk of x86-64 machine code with local labels and
+// external fixups. The zero value is ready to use.
+type Asm struct {
+	buf    []byte
+	labels map[string]int
+	// pending local references, patched at Finish.
+	localRefs []localRef
+	fixups    []Fixup
+	err       error
+}
+
+type localRef struct {
+	off   int // offset of rel field
+	end   int // offset just past the instruction
+	size  int // 1 or 4
+	label string
+}
+
+func (a *Asm) setErr(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Len returns the current chunk length.
+func (a *Asm) Len() int { return len(a.buf) }
+
+// Label defines a local label at the current position.
+func (a *Asm) Label(name string) {
+	if a.labels == nil {
+		a.labels = make(map[string]int)
+	}
+	if _, dup := a.labels[name]; dup {
+		a.setErr("duplicate label %q", name)
+		return
+	}
+	a.labels[name] = len(a.buf)
+}
+
+// LabelOff returns the chunk offset of a defined label.
+func (a *Asm) LabelOff(name string) (int, bool) {
+	off, ok := a.labels[name]
+	return off, ok
+}
+
+// Finish resolves local references and returns the machine code and the
+// remaining external fixups.
+func (a *Asm) Finish() ([]byte, []Fixup, error) {
+	for _, r := range a.localRefs {
+		target, ok := a.labels[r.label]
+		if !ok {
+			a.setErr("undefined local label %q", r.label)
+			break
+		}
+		rel := target - r.end
+		switch r.size {
+		case 1:
+			if rel < -128 || rel > 127 {
+				a.setErr("label %q out of rel8 range (%d)", r.label, rel)
+			}
+			a.buf[r.off] = byte(int8(rel))
+		case 4:
+			binary.LittleEndian.PutUint32(a.buf[r.off:], uint32(int32(rel)))
+		}
+	}
+	if a.err != nil {
+		return nil, nil, a.err
+	}
+	return a.buf, a.fixups, nil
+}
+
+func (a *Asm) emit(bs ...byte) { a.buf = append(a.buf, bs...) }
+
+func (a *Asm) emitU32(v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	a.buf = append(a.buf, tmp[:]...)
+}
+
+func (a *Asm) emitU64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	a.buf = append(a.buf, tmp[:]...)
+}
+
+// rex builds a REX prefix; w sets 64-bit operand size, r/x/b extend the
+// ModRM reg, SIB index, and ModRM rm / SIB base fields.
+func rex(w bool, r, x, b Reg) byte {
+	v := byte(0x40)
+	if w {
+		v |= 8
+	}
+	if r.Valid() && r >= R8 {
+		v |= 4
+	}
+	if x.Valid() && x >= R8 {
+		v |= 2
+	}
+	if b.Valid() && b >= R8 {
+		v |= 1
+	}
+	return v
+}
+
+func modrmByte(mod, reg, rm byte) byte { return mod<<6 | (reg&7)<<3 | rm&7 }
+
+// emitModRMReg emits a register-direct ModRM (mod=11).
+func (a *Asm) emitModRMReg(reg, rm Reg) {
+	a.emit(modrmByte(3, byte(reg), byte(rm)))
+}
+
+// emitModRMMem emits ModRM+SIB+disp for [base+disp] addressing.
+// base must be a real register (not RIP).
+func (a *Asm) emitModRMMem(reg, base Reg, disp int32) {
+	needSIB := base&7 == 4 // rsp/r12 require SIB
+	var mod byte
+	switch {
+	case disp == 0 && base&7 != 5: // rbp/r13 need disp8 even for 0
+		mod = 0
+	case disp >= -128 && disp <= 127:
+		mod = 1
+	default:
+		mod = 2
+	}
+	if needSIB {
+		a.emit(modrmByte(mod, byte(reg), 4))
+		a.emit(0x24) // scale=1, index=none(100), base=rsp/r12
+	} else {
+		a.emit(modrmByte(mod, byte(reg), byte(base)))
+	}
+	switch mod {
+	case 1:
+		a.emit(byte(int8(disp)))
+	case 2:
+		a.emitU32(uint32(disp))
+	}
+}
+
+// --- Stack and frame ---
+
+// PushReg emits push r.
+func (a *Asm) PushReg(r Reg) {
+	if r >= R8 {
+		a.emit(0x41)
+	}
+	a.emit(0x50 + byte(r&7))
+}
+
+// PopReg emits pop r.
+func (a *Asm) PopReg(r Reg) {
+	if r >= R8 {
+		a.emit(0x41)
+	}
+	a.emit(0x58 + byte(r&7))
+}
+
+// PushImm32 emits push imm32.
+func (a *Asm) PushImm32(v int32) {
+	a.emit(0x68)
+	a.emitU32(uint32(v))
+}
+
+// SubRSP emits sub rsp, imm (imm8 or imm32 form).
+func (a *Asm) SubRSP(imm int32) { a.aluRSP(5, imm) }
+
+// AddRSP emits add rsp, imm.
+func (a *Asm) AddRSP(imm int32) { a.aluRSP(0, imm) }
+
+func (a *Asm) aluRSP(ext byte, imm int32) {
+	if imm >= -128 && imm <= 127 {
+		a.emit(0x48, 0x83, modrmByte(3, ext, byte(RSP)), byte(int8(imm)))
+	} else {
+		a.emit(0x48, 0x81, modrmByte(3, ext, byte(RSP)))
+		a.emitU32(uint32(imm))
+	}
+}
+
+// AndRSP emits and rsp, imm8 (stack alignment).
+func (a *Asm) AndRSP(imm int8) {
+	a.emit(0x48, 0x83, modrmByte(3, 4, byte(RSP)), byte(imm))
+}
+
+// Enter emits enter frameSize, 0.
+func (a *Asm) Enter(frameSize uint16) {
+	a.emit(0xC8, byte(frameSize), byte(frameSize>>8), 0)
+}
+
+// Leave emits leave.
+func (a *Asm) Leave() { a.emit(0xC9) }
+
+// Ret emits ret.
+func (a *Asm) Ret() { a.emit(0xC3) }
+
+// --- Moves and arithmetic ---
+
+// MovRegReg emits a 64-bit mov dst, src.
+func (a *Asm) MovRegReg(dst, src Reg) {
+	a.emit(rex(true, src, RegNone, dst), 0x89)
+	a.emitModRMReg(src, dst)
+}
+
+// MovRegImm32 emits mov r32, imm32 (zero-extends into the 64-bit reg).
+func (a *Asm) MovRegImm32(dst Reg, v int32) {
+	if dst >= R8 {
+		a.emit(0x41)
+	}
+	a.emit(0xB8 + byte(dst&7))
+	a.emitU32(uint32(v))
+}
+
+// MovRegImm64 emits movabs dst, imm64.
+func (a *Asm) MovRegImm64(dst Reg, v uint64) {
+	a.emit(rex(true, RegNone, RegNone, dst), 0xB8+byte(dst&7))
+	a.emitU64(v)
+}
+
+// MovRegMem emits a 64-bit mov dst, [base+disp].
+func (a *Asm) MovRegMem(dst, base Reg, disp int32) {
+	a.emit(rex(true, dst, RegNone, base), 0x8B)
+	a.emitModRMMem(dst, base, disp)
+}
+
+// MovMemReg emits a 64-bit mov [base+disp], src.
+func (a *Asm) MovMemReg(base Reg, disp int32, src Reg) {
+	a.emit(rex(true, src, RegNone, base), 0x89)
+	a.emitModRMMem(src, base, disp)
+}
+
+// MovMemImm32 emits mov dword [base+disp], imm32.
+func (a *Asm) MovMemImm32(base Reg, disp int32, v int32) {
+	if base >= R8 {
+		a.emit(0x41)
+	}
+	a.emit(0xC7)
+	a.emitModRMMem(0, base, disp)
+	a.emitU32(uint32(v))
+}
+
+// XorRegReg emits a 32-bit xor dst, dst (the canonical zeroing idiom).
+func (a *Asm) XorRegReg(dst Reg) {
+	if dst >= R8 {
+		a.emit(0x45)
+	}
+	a.emit(0x31)
+	a.emitModRMReg(dst, dst)
+}
+
+// AddRegReg emits a 64-bit add dst, src.
+func (a *Asm) AddRegReg(dst, src Reg) {
+	a.emit(rex(true, src, RegNone, dst), 0x01)
+	a.emitModRMReg(src, dst)
+}
+
+// SubRegReg emits a 64-bit sub dst, src.
+func (a *Asm) SubRegReg(dst, src Reg) {
+	a.emit(rex(true, src, RegNone, dst), 0x29)
+	a.emitModRMReg(src, dst)
+}
+
+// AddRegImm emits a 64-bit add dst, imm.
+func (a *Asm) AddRegImm(dst Reg, imm int32) { a.aluRegImm(0, dst, imm) }
+
+// SubRegImm emits a 64-bit sub dst, imm.
+func (a *Asm) SubRegImm(dst Reg, imm int32) { a.aluRegImm(5, dst, imm) }
+
+// CmpRegImm emits a 64-bit cmp dst, imm.
+func (a *Asm) CmpRegImm(dst Reg, imm int32) { a.aluRegImm(7, dst, imm) }
+
+func (a *Asm) aluRegImm(ext byte, dst Reg, imm int32) {
+	a.emit(rex(true, RegNone, RegNone, dst))
+	if imm >= -128 && imm <= 127 {
+		a.emit(0x83, modrmByte(3, ext, byte(dst)), byte(int8(imm)))
+	} else {
+		a.emit(0x81, modrmByte(3, ext, byte(dst)))
+		a.emitU32(uint32(imm))
+	}
+}
+
+// CmpRegReg emits a 64-bit cmp a, b.
+func (a *Asm) CmpRegReg(x, y Reg) {
+	a.emit(rex(true, y, RegNone, x), 0x39)
+	a.emitModRMReg(y, x)
+}
+
+// TestRegReg emits a 64-bit test x, y.
+func (a *Asm) TestRegReg(x, y Reg) {
+	a.emit(rex(true, y, RegNone, x), 0x85)
+	a.emitModRMReg(y, x)
+}
+
+// ImulRegReg emits a 64-bit imul dst, src.
+func (a *Asm) ImulRegReg(dst, src Reg) {
+	a.emit(rex(true, dst, RegNone, src), 0x0F, 0xAF)
+	a.emitModRMReg(dst, src)
+}
+
+// ShlRegImm emits a 64-bit shl dst, imm8.
+func (a *Asm) ShlRegImm(dst Reg, imm uint8) {
+	a.emit(rex(true, RegNone, RegNone, dst), 0xC1, modrmByte(3, 4, byte(dst)), imm)
+}
+
+// LeaRegMem emits a 64-bit lea dst, [base+disp].
+func (a *Asm) LeaRegMem(dst, base Reg, disp int32) {
+	a.emit(rex(true, dst, RegNone, base), 0x8D)
+	a.emitModRMMem(dst, base, disp)
+}
+
+// MovsxdRegMemIdx emits movsxd dst, dword [base + index*4].
+func (a *Asm) MovsxdRegMemIdx(dst, base, index Reg) {
+	a.emit(rex(true, dst, index, base), 0x63)
+	sib := byte(2<<6) | byte(index&7)<<3 | byte(base&7)
+	if base&7 == 5 {
+		// rbp/r13 bases require an explicit disp8 under mod=01.
+		a.emit(modrmByte(1, byte(dst), 4), sib, 0)
+	} else {
+		a.emit(modrmByte(0, byte(dst), 4), sib)
+	}
+}
+
+// --- RIP-relative and externally-fixed-up forms ---
+
+// LeaRIP emits lea dst, [rip+disp32] referring to sym+addend.
+func (a *Asm) LeaRIP(dst Reg, sym string, addend int64) {
+	a.emit(rex(true, dst, RegNone, RegNone), 0x8D, modrmByte(0, byte(dst), 5))
+	off := len(a.buf)
+	a.emitU32(0)
+	a.fixups = append(a.fixups, Fixup{Kind: FixRel32, Off: off, End: len(a.buf), Sym: sym, Addend: addend})
+}
+
+// MovRegRIP emits mov dst, qword [rip+disp32] referring to sym+addend.
+func (a *Asm) MovRegRIP(dst Reg, sym string, addend int64) {
+	a.emit(rex(true, dst, RegNone, RegNone), 0x8B, modrmByte(0, byte(dst), 5))
+	off := len(a.buf)
+	a.emitU32(0)
+	a.fixups = append(a.fixups, Fixup{Kind: FixRel32, Off: off, End: len(a.buf), Sym: sym, Addend: addend})
+}
+
+// CallSym emits call rel32 to an external symbol.
+func (a *Asm) CallSym(sym string) {
+	a.emit(0xE8)
+	off := len(a.buf)
+	a.emitU32(0)
+	a.fixups = append(a.fixups, Fixup{Kind: FixRel32, Off: off, End: len(a.buf), Sym: sym})
+}
+
+// JmpSym emits jmp rel32 to an external symbol (tail calls, part links).
+func (a *Asm) JmpSym(sym string) {
+	a.emit(0xE9)
+	off := len(a.buf)
+	a.emitU32(0)
+	a.fixups = append(a.fixups, Fixup{Kind: FixRel32, Off: off, End: len(a.buf), Sym: sym})
+}
+
+// JccSym emits a conditional jump rel32 to an external symbol.
+func (a *Asm) JccSym(c Cond, sym string) {
+	a.emit(0x0F, 0x80+byte(c))
+	off := len(a.buf)
+	a.emitU32(0)
+	a.fixups = append(a.fixups, Fixup{Kind: FixRel32, Off: off, End: len(a.buf), Sym: sym})
+}
+
+// CallReg emits call r.
+func (a *Asm) CallReg(r Reg) {
+	if r >= R8 {
+		a.emit(0x41)
+	}
+	a.emit(0xFF, modrmByte(3, 2, byte(r)))
+}
+
+// JmpReg emits jmp r.
+func (a *Asm) JmpReg(r Reg) {
+	if r >= R8 {
+		a.emit(0x41)
+	}
+	a.emit(0xFF, modrmByte(3, 4, byte(r)))
+}
+
+// JmpTableAbs emits jmp qword [index*8 + table] with an absolute 32-bit
+// table address fixed up to sym (the classic non-PIC jump-table idiom).
+func (a *Asm) JmpTableAbs(index Reg, sym string) {
+	if index >= R8 {
+		a.emit(0x42) // REX.X
+	}
+	a.emit(0xFF, modrmByte(0, 4, 4))
+	// SIB: scale=8, index, base=101 (disp32, no base)
+	a.emit(byte(3<<6) | byte(index&7)<<3 | 5)
+	off := len(a.buf)
+	a.emitU32(0)
+	a.fixups = append(a.fixups, Fixup{Kind: FixAbs32, Off: off, End: len(a.buf), Sym: sym})
+}
+
+// --- Local control flow ---
+
+// Jmp emits jmp rel32 to a local label.
+func (a *Asm) Jmp(label string) {
+	a.emit(0xE9)
+	off := len(a.buf)
+	a.emitU32(0)
+	a.localRefs = append(a.localRefs, localRef{off: off, end: len(a.buf), size: 4, label: label})
+}
+
+// JmpShort emits jmp rel8 to a local label.
+func (a *Asm) JmpShort(label string) {
+	a.emit(0xEB)
+	off := len(a.buf)
+	a.emit(0)
+	a.localRefs = append(a.localRefs, localRef{off: off, end: len(a.buf), size: 1, label: label})
+}
+
+// Jcc emits a conditional jump rel32 to a local label.
+func (a *Asm) Jcc(c Cond, label string) {
+	a.emit(0x0F, 0x80+byte(c))
+	off := len(a.buf)
+	a.emitU32(0)
+	a.localRefs = append(a.localRefs, localRef{off: off, end: len(a.buf), size: 4, label: label})
+}
+
+// JccShort emits a conditional jump rel8 to a local label.
+func (a *Asm) JccShort(c Cond, label string) {
+	a.emit(0x70 + byte(c))
+	off := len(a.buf)
+	a.emit(0)
+	a.localRefs = append(a.localRefs, localRef{off: off, end: len(a.buf), size: 1, label: label})
+}
+
+// --- Misc ---
+
+// AppendRaw appends raw bytes verbatim (deliberately malformed data,
+// data islands, hand-written oddities).
+func (a *Asm) AppendRaw(bs ...byte) { a.buf = append(a.buf, bs...) }
+
+// Endbr64 emits endbr64.
+func (a *Asm) Endbr64() { a.emit(0xF3, 0x0F, 0x1E, 0xFA) }
+
+// Int3 emits int3.
+func (a *Asm) Int3() { a.emit(0xCC) }
+
+// Ud2 emits ud2.
+func (a *Asm) Ud2() { a.emit(0x0F, 0x0B) }
+
+// Syscall emits syscall.
+func (a *Asm) Syscall() { a.emit(0x0F, 0x05) }
+
+// Nop emits n bytes of padding using the canonical multi-byte NOP forms
+// compilers use for alignment.
+func (a *Asm) Nop(n int) {
+	for n > 0 {
+		k := n
+		if k > 9 {
+			k = 9
+		}
+		a.emit(nopForms[k]...)
+		n -= k
+	}
+}
+
+var nopForms = [...][]byte{
+	1: {0x90},
+	2: {0x66, 0x90},
+	3: {0x0F, 0x1F, 0x00},
+	4: {0x0F, 0x1F, 0x40, 0x00},
+	5: {0x0F, 0x1F, 0x44, 0x00, 0x00},
+	6: {0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00},
+	7: {0x0F, 0x1F, 0x80, 0x00, 0x00, 0x00, 0x00},
+	8: {0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+	9: {0x66, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+}

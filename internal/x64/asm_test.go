@@ -1,0 +1,302 @@
+package x64
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// finish is a test helper that finalizes the chunk.
+func finish(t *testing.T, a *Asm) []byte {
+	t.Helper()
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return code
+}
+
+func TestAsmRoundTripSimple(t *testing.T) {
+	var a Asm
+	a.PushReg(RBP)
+	a.MovRegReg(RBP, RSP)
+	a.SubRSP(0x20)
+	a.XorRegReg(RAX)
+	a.MovRegImm32(RDI, 42)
+	a.AddRSP(0x20)
+	a.PopReg(RBP)
+	a.Ret()
+	code := finish(t, &a)
+
+	insts, err := DecodeAll(code, 0x401000)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	wantOps := []Op{OpPush, OpMov, OpSub, OpXor, OpMov, OpAdd, OpPop, OpRet}
+	if len(insts) != len(wantOps) {
+		t.Fatalf("decoded %d instructions, want %d", len(insts), len(wantOps))
+	}
+	for k, in := range insts {
+		if in.Op != wantOps[k] {
+			t.Errorf("inst %d op = %v, want %v", k, in.Op, wantOps[k])
+		}
+	}
+}
+
+func TestAsmLocalBranches(t *testing.T) {
+	var a Asm
+	a.Label("top")
+	a.SubRegImm(RDI, 1)
+	a.CmpRegImm(RDI, 0)
+	a.Jcc(CondNE, "top")
+	a.JccShort(CondE, "done")
+	a.Jmp("top")
+	a.Label("done")
+	a.Ret()
+	code := finish(t, &a)
+
+	insts, err := DecodeAll(code, 0x1000)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	// The jne must target chunk start.
+	var sawBack, sawFwd bool
+	for _, in := range insts {
+		if in.Op == OpJcc && in.Cond == CondNE {
+			sawBack = true
+			if in.Target != 0x1000 {
+				t.Errorf("jne target = %#x, want 0x1000", in.Target)
+			}
+		}
+		if in.Op == OpJcc && in.Cond == CondE {
+			sawFwd = true
+			ret := insts[len(insts)-1]
+			if in.Target != ret.Addr {
+				t.Errorf("je target = %#x, want %#x", in.Target, ret.Addr)
+			}
+		}
+	}
+	if !sawBack || !sawFwd {
+		t.Fatal("missing expected branches")
+	}
+}
+
+func TestAsmFixups(t *testing.T) {
+	var a Asm
+	a.CallSym("callee")
+	a.LeaRIP(RAX, "data", 8)
+	a.JmpSym("tail")
+	code, fixups, err := a.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if len(fixups) != 3 {
+		t.Fatalf("got %d fixups, want 3", len(fixups))
+	}
+	for _, f := range fixups {
+		if f.Kind != FixRel32 {
+			t.Errorf("fixup kind = %v, want FixRel32", f.Kind)
+		}
+		if f.End != f.Off+4 {
+			t.Errorf("fixup end = %d, want off+4", f.End)
+		}
+	}
+	if fixups[1].Sym != "data" || fixups[1].Addend != 8 {
+		t.Errorf("lea fixup = %+v", fixups[1])
+	}
+	// Unpatched (zero) rel32s still decode with correct lengths.
+	if _, err := DecodeAll(code, 0); err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+}
+
+func TestAsmJmpTableEncoding(t *testing.T) {
+	var a Asm
+	a.JmpTableAbs(RAX, "table")
+	code, fixups, err := a.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if len(fixups) != 1 || fixups[0].Kind != FixAbs32 {
+		t.Fatalf("fixups = %+v", fixups)
+	}
+	in, err := Decode(code, 0)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	m, ok := in.IndirectMem()
+	if !ok || m.Index != RAX || m.Scale != 8 || m.Base != RegNone {
+		t.Fatalf("mem = %+v ok=%v", m, ok)
+	}
+}
+
+func TestAsmAllRegisters(t *testing.T) {
+	for r := RAX; r <= R15; r++ {
+		var a Asm
+		a.PushReg(r)
+		a.PopReg(r)
+		a.MovRegReg(r, RSP)
+		a.MovRegImm32(r, 7)
+		a.XorRegReg(r)
+		if r != RSP {
+			a.AddRegImm(r, 1000)
+			a.CmpRegImm(r, -1)
+		}
+		a.MovRegMem(r, RBP, -16)
+		a.MovMemReg(RSP, 8, r)
+		a.LeaRegMem(r, RSP, 0x40)
+		a.CallReg(r)
+		a.JmpReg(r)
+		code := finish(t, &a)
+		insts, err := DecodeAll(code, 0)
+		if err != nil {
+			t.Fatalf("reg %v: DecodeAll: %v", r, err)
+		}
+		// push/pop must reference the right register.
+		if got := insts[0].Args[0].Reg; got != r {
+			t.Errorf("push reg = %v, want %v", got, r)
+		}
+		if got := insts[1].Args[0].Reg; got != r {
+			t.Errorf("pop reg = %v, want %v", got, r)
+		}
+	}
+}
+
+func TestAsmNopLengths(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		var a Asm
+		a.Nop(n)
+		code := finish(t, &a)
+		if len(code) != n {
+			t.Fatalf("Nop(%d) emitted %d bytes", n, len(code))
+		}
+		insts, err := DecodeAll(code, 0)
+		if err != nil {
+			t.Fatalf("Nop(%d): %v", n, err)
+		}
+		for _, in := range insts {
+			if in.Op != OpNop {
+				t.Errorf("Nop(%d) decoded %v", n, in.Op)
+			}
+		}
+	}
+}
+
+func TestAsmMemoryFormsRoundTrip(t *testing.T) {
+	disps := []int32{0, 1, -1, 127, -128, 128, -129, 0x1000, -0x1000}
+	bases := []Reg{RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI, R8, R12, R13, R15}
+	for _, base := range bases {
+		for _, d := range disps {
+			var a Asm
+			a.MovRegMem(RAX, base, d)
+			code := finish(t, &a)
+			in, err := Decode(code, 0)
+			if err != nil {
+				t.Fatalf("base=%v disp=%d: %v", base, d, err)
+			}
+			if in.Len != len(code) {
+				t.Fatalf("base=%v disp=%d: len %d != %d", base, d, in.Len, len(code))
+			}
+			if len(in.Args) != 2 || in.Args[1].Kind != KindMem {
+				t.Fatalf("base=%v disp=%d: args %+v", base, d, in.Args)
+			}
+			m := in.Args[1].Mem
+			if m.Base != base || m.Disp != int64(d) {
+				t.Errorf("base=%v disp=%d: decoded [%v%+d]", base, d, m.Base, m.Disp)
+			}
+		}
+	}
+}
+
+// TestQuickImmediateRoundTrip property-tests that 32-bit immediates
+// survive an encode/decode round trip through several forms.
+func TestQuickImmediateRoundTrip(t *testing.T) {
+	f := func(v int32, regRaw uint8) bool {
+		r := Reg(regRaw % 16)
+		var a Asm
+		a.MovRegImm32(r, v)
+		code, _, err := a.Finish()
+		if err != nil {
+			return false
+		}
+		in, derr := Decode(code, 0)
+		if derr != nil || in.Op != OpMov || in.Len != len(code) {
+			return false
+		}
+		return in.Args[0].Reg == r && int32(in.Args[1].Imm) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubAddRSPRoundTrip property-tests stack adjustments: the
+// decoded StackDelta must be the negation/value of the encoded amount.
+func TestQuickSubAddRSPRoundTrip(t *testing.T) {
+	f := func(raw int32) bool {
+		amount := raw & 0x7FFFFFF // keep positive and in range
+		var a Asm
+		a.SubRSP(amount)
+		a.AddRSP(amount)
+		code, _, err := a.Finish()
+		if err != nil {
+			return false
+		}
+		insts, derr := DecodeAll(code, 0)
+		if derr != nil || len(insts) != 2 {
+			return false
+		}
+		d0, k0 := insts[0].StackDelta()
+		d1, k1 := insts[1].StackDelta()
+		return k0 && k1 && d0 == -int64(amount) && d1 == int64(amount)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanicsOrOverruns feeds random bytes to the
+// decoder: it must never panic, never report a length beyond the
+// buffer, and never report length 0 on success.
+func TestQuickDecodeNeverPanicsOrOverruns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20000; trial++ {
+		n := 1 + rng.Intn(18)
+		b := make([]byte, n)
+		for k := range b {
+			b[k] = byte(rng.Intn(256))
+		}
+		in, err := Decode(b, 0x400000)
+		if err != nil {
+			continue
+		}
+		if in.Len <= 0 || in.Len > len(b) || in.Len > 15 {
+			t.Fatalf("Decode(% x) len = %d out of bounds", b, in.Len)
+		}
+	}
+}
+
+// TestQuickLocalBranchTargets property-tests that a local forward jcc
+// always lands exactly on its label across random padding sizes.
+func TestQuickLocalBranchTargets(t *testing.T) {
+	f := func(padRaw uint8) bool {
+		pad := int(padRaw % 100)
+		var a Asm
+		a.Jcc(CondNE, "dst")
+		a.Nop(pad)
+		a.Label("dst")
+		a.Ret()
+		code, _, err := a.Finish()
+		if err != nil {
+			return false
+		}
+		in, derr := Decode(code, 0x7000)
+		if derr != nil {
+			return false
+		}
+		return in.HasTarget && in.Target == uint64(0x7000+6+pad)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package x64 implements an x86-64 instruction decoder and encoder.
+//
+// The decoder is a table-driven length decoder over the one-byte and 0F
+// opcode maps with semantic classification for the instruction classes
+// that function-start detection cares about: control flow (call, jmp,
+// jcc, ret), stack-pointer arithmetic, register moves, and immediate /
+// RIP-relative constant operands. The encoder emits genuine machine code
+// and is used by the synthetic binary generator, so every byte the rest
+// of the system analyzes round-trips through a real decode.
+package x64
+
+import "fmt"
+
+// Reg identifies an x86-64 general-purpose register. The numbering
+// matches the hardware encoding (REX.B/R/X extends into 8-15) so that
+// ModRM/SIB fields map directly onto Reg values.
+type Reg uint8
+
+// General-purpose registers in hardware encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	// RIP is a pseudo-register used for RIP-relative memory operands.
+	RIP
+	// RegNone marks an absent base or index register.
+	RegNone Reg = 0xFF
+)
+
+var regNames = [...]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "rip",
+}
+
+// String returns the conventional 64-bit register name.
+func (r Reg) String() string {
+	if r == RegNone {
+		return "none"
+	}
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Valid reports whether r names a real general-purpose register
+// (RIP and RegNone are not).
+func (r Reg) Valid() bool { return r < RIP }
+
+// ArgumentRegs lists the System-V AMD64 integer argument registers in
+// call order. The calling-convention validation rule in the paper
+// (§IV-E) permits these to be read before being written.
+var ArgumentRegs = [6]Reg{RDI, RSI, RDX, RCX, R8, R9}
+
+// IsArgumentReg reports whether r is a System-V integer argument register.
+func IsArgumentReg(r Reg) bool {
+	for _, a := range ArgumentRegs {
+		if r == a {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeSavedRegs lists the System-V AMD64 callee-saved registers.
+var CalleeSavedRegs = [6]Reg{RBX, RBP, R12, R13, R14, R15}
+
+// IsCalleeSaved reports whether r must be preserved across calls under
+// the System-V AMD64 ABI.
+func IsCalleeSaved(r Reg) bool {
+	for _, c := range CalleeSavedRegs {
+		if r == c {
+			return true
+		}
+	}
+	return false
+}
+
+// RegSet is a bitmask over the 16 general-purpose registers.
+type RegSet uint16
+
+// Add returns s with r added; registers outside the GPR file are ignored.
+func (s RegSet) Add(r Reg) RegSet {
+	if !r.Valid() {
+		return s
+	}
+	return s | 1<<r
+}
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r Reg) bool {
+	return r.Valid() && s&(1<<r) != 0
+}
+
+// Union returns the union of both sets.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// String lists the members for debugging.
+func (s RegSet) String() string {
+	out := ""
+	for r := RAX; r <= R15; r++ {
+		if s.Has(r) {
+			if out != "" {
+				out += ","
+			}
+			out += r.String()
+		}
+	}
+	return "{" + out + "}"
+}

@@ -1,0 +1,277 @@
+package x64
+
+// This file derives dataflow facts from classified instructions:
+// register read/write sets (for calling-convention validation), stack
+// pointer deltas (for stack-height analysis), and constant operands
+// (for function-pointer detection).
+
+// regsOfMem returns the registers a memory operand reads.
+func regsOfMem(m MemRef) RegSet {
+	var s RegSet
+	s = s.Add(m.Base)
+	s = s.Add(m.Index)
+	return s
+}
+
+// Reads returns the set of general-purpose registers the instruction
+// reads. For unclassified instructions it returns the empty set; callers
+// that need soundness must check Classified.
+//
+// Two deliberate modeling choices mirror the paper's calling-convention
+// rule (§IV-E): a PUSH of a register is treated as a *save*, not a use,
+// and reads through RSP/RBP-based memory operands still count the base
+// register as read.
+func (i *Inst) Reads() RegSet {
+	var s RegSet
+	if !i.Classified {
+		return s
+	}
+	addOp := func(o Operand, includeReg bool) {
+		switch o.Kind {
+		case KindReg:
+			if includeReg {
+				s = s.Add(o.Reg)
+			}
+		case KindMem:
+			s = s.Union(regsOfMem(o.Mem))
+		}
+	}
+	switch i.Op {
+	case OpMov, OpMovsxd, OpMovzx, OpMovsx, OpCwd:
+		// dst written only; src read.
+		if len(i.Args) == 2 {
+			addOp(i.Args[0], false)
+			addOp(i.Args[1], true)
+		}
+	case OpLea:
+		if len(i.Args) == 2 {
+			// LEA reads only the address components.
+			addOp(i.Args[1], false)
+		}
+	case OpXor, OpSub, OpSbb:
+		// xor r,r and sub r,r zero the register: not a true read.
+		if len(i.Args) == 2 && i.Args[0].Kind == KindReg &&
+			i.Args[1].Kind == KindReg && i.Args[0].Reg == i.Args[1].Reg {
+			return s
+		}
+		for _, a := range i.Args {
+			addOp(a, true)
+		}
+	case OpAdd, OpAdc, OpAnd, OpOr, OpCmp, OpTest, OpImul, OpXchg,
+		OpShl, OpShr, OpSar, OpRol, OpRor, OpXadd, OpCmpxchg, OpBt:
+		for _, a := range i.Args {
+			addOp(a, true)
+		}
+	case OpPush:
+		// Saving a register is not a use under the paper's rule, but
+		// pushing a memory operand reads its address registers.
+		if len(i.Args) == 1 {
+			addOp(i.Args[0], false)
+		}
+		s = s.Add(RSP)
+	case OpPop:
+		if len(i.Args) == 1 {
+			addOp(i.Args[0], false)
+		}
+		s = s.Add(RSP)
+	case OpInc, OpDec, OpNeg, OpNot, OpSetcc:
+		if len(i.Args) == 1 {
+			addOp(i.Args[0], i.Op != OpSetcc)
+		}
+	case OpMul, OpDiv, OpIdiv:
+		if len(i.Args) == 1 {
+			addOp(i.Args[0], true)
+		}
+		s = s.Add(RAX)
+		s = s.Add(RDX)
+	case OpCmovcc, OpBsf, OpBsr, OpPopcnt:
+		if len(i.Args) == 2 {
+			addOp(i.Args[1], true)
+		}
+	case OpBswap:
+		if len(i.Args) == 1 {
+			addOp(i.Args[0], true)
+		}
+	case OpCallInd, OpJmpInd:
+		if len(i.Args) == 1 {
+			addOp(i.Args[0], true)
+		}
+	case OpRet:
+		s = s.Add(RSP)
+	case OpLeave:
+		s = s.Add(RBP)
+	case OpMovStr:
+		s = s.Add(RSI)
+		s = s.Add(RDI)
+		s = s.Add(RCX)
+	}
+	return s
+}
+
+// Writes returns the set of general-purpose registers the instruction
+// writes. Flags are not modeled.
+func (i *Inst) Writes() RegSet {
+	var s RegSet
+	if !i.Classified {
+		return s
+	}
+	writeDst := func() {
+		if len(i.Args) > 0 && i.Args[0].Kind == KindReg {
+			s = s.Add(i.Args[0].Reg)
+		}
+	}
+	switch i.Op {
+	case OpMov, OpMovsxd, OpMovzx, OpMovsx, OpLea, OpAdd, OpSub, OpAdc,
+		OpSbb, OpAnd, OpOr, OpXor, OpInc, OpDec, OpNeg, OpNot, OpShl,
+		OpShr, OpSar, OpRol, OpRor, OpSetcc, OpCmovcc, OpBsf, OpBsr,
+		OpPopcnt, OpBswap, OpXadd, OpImul:
+		writeDst()
+	case OpXchg:
+		for _, a := range i.Args {
+			if a.Kind == KindReg {
+				s = s.Add(a.Reg)
+			}
+		}
+	case OpPop:
+		writeDst()
+		s = s.Add(RSP)
+	case OpPush:
+		s = s.Add(RSP)
+	case OpMul, OpDiv, OpIdiv:
+		s = s.Add(RAX)
+		s = s.Add(RDX)
+	case OpCwd:
+		s = s.Add(RAX)
+		s = s.Add(RDX)
+	case OpCall, OpCallInd:
+		// A call clobbers all caller-saved registers and, on return,
+		// defines RAX. Modeling them as written makes later reads of
+		// caller-saved registers legitimate, which is conservative in
+		// the right direction for the §IV-E validation.
+		for _, r := range []Reg{RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11} {
+			s = s.Add(r)
+		}
+	case OpLeave:
+		s = s.Add(RSP)
+		s = s.Add(RBP)
+	case OpRet:
+		s = s.Add(RSP)
+	case OpEnter:
+		s = s.Add(RSP)
+		s = s.Add(RBP)
+	case OpMovStr:
+		s = s.Add(RSI)
+		s = s.Add(RDI)
+		s = s.Add(RCX)
+	case OpSyscall:
+		s = s.Add(RAX)
+		s = s.Add(RCX)
+		s = s.Add(R11)
+	}
+	return s
+}
+
+// StackDelta returns the change this instruction applies to RSP, and
+// whether the change is statically known. CALL/RET pairs are modeled as
+// balanced (delta 0 across the call) because stack-height analyses track
+// heights within one frame.
+func (i *Inst) StackDelta() (delta int64, known bool) {
+	if !i.Classified {
+		return 0, true // treat opaque instructions as stack-neutral
+	}
+	switch i.Op {
+	case OpPush:
+		return -8, true
+	case OpPop:
+		return 8, true
+	case OpEnter:
+		if len(i.Args) == 1 {
+			return -8 - i.Args[0].Imm, true
+		}
+		return 0, false
+	case OpLeave:
+		// rsp = rbp; pop rbp — height becomes frame-pointer relative,
+		// which the linear analyses cannot track without rbp state.
+		return 0, false
+	case OpAdd:
+		if i.targetsRSP() {
+			if v, ok := i.immArg(); ok {
+				return v, true
+			}
+			return 0, false
+		}
+	case OpSub:
+		if i.targetsRSP() {
+			if v, ok := i.immArg(); ok {
+				return -v, true
+			}
+			return 0, false
+		}
+	case OpAnd:
+		if i.targetsRSP() {
+			// Alignment such as and rsp, -16: height becomes unknown.
+			return 0, false
+		}
+	case OpMov, OpLea:
+		if i.targetsRSP() {
+			return 0, false
+		}
+	case OpCall, OpCallInd:
+		return 0, true
+	case OpRet:
+		return 8, true
+	}
+	if i.Writes().Has(RSP) && i.Op != OpCall && i.Op != OpCallInd {
+		return 0, false
+	}
+	return 0, true
+}
+
+func (i *Inst) targetsRSP() bool {
+	return len(i.Args) > 0 && i.Args[0].Kind == KindReg && i.Args[0].Reg == RSP
+}
+
+func (i *Inst) immArg() (int64, bool) {
+	for _, a := range i.Args {
+		if a.Kind == KindImm {
+			return a.Imm, true
+		}
+	}
+	return 0, false
+}
+
+// Constants returns the absolute-address constants this instruction
+// materializes: immediates wide enough to be pointers and resolved
+// RIP-relative addresses. These feed the function-pointer super-set
+// collection of §IV-E.
+func (i *Inst) Constants() []uint64 {
+	if !i.Classified {
+		return nil
+	}
+	var out []uint64
+	for _, a := range i.Args {
+		switch a.Kind {
+		case KindImm:
+			if a.Imm > 0x1000 { // skip tiny values that cannot be text addresses
+				out = append(out, uint64(a.Imm))
+			}
+		case KindMem:
+			if a.Mem.RIPRel {
+				out = append(out, uint64(int64(i.Addr)+int64(i.Len)+a.Mem.Disp))
+			} else if a.Mem.Disp > 0x1000 {
+				out = append(out, uint64(a.Mem.Disp))
+			}
+		}
+	}
+	return out
+}
+
+// IndirectMem returns the memory operand of an indirect jump or call and
+// whether there is one (register-indirect forms return false).
+func (i *Inst) IndirectMem() (MemRef, bool) {
+	if (i.Op == OpJmpInd || i.Op == OpCallInd) && len(i.Args) == 1 &&
+		i.Args[0].Kind == KindMem {
+		return i.Args[0].Mem, true
+	}
+	return MemRef{}, false
+}

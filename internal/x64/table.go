@@ -1,0 +1,254 @@
+package x64
+
+// Immediate-size codes for the opcode tables. The actual byte count of
+// immZ and immV depends on prefixes and is resolved during decode.
+const (
+	immNone  = 0
+	immB     = 1 // 1 byte
+	immW     = 2 // 2 bytes
+	immZ     = 3 // 4 bytes (2 with 66 prefix)
+	immV     = 4 // 4 bytes; 8 with REX.W; 2 with 66 (B8+r mov)
+	immJb    = 5 // rel8
+	immJz    = 6 // rel32 (rel16 with 66, not emitted by compilers)
+	immWB    = 7 // imm16 + imm8 (ENTER)
+	immMoffs = 8 // 8-byte absolute moffs (A0-A3 in 64-bit mode)
+)
+
+// opInfo describes one opcode map entry.
+type opInfo struct {
+	valid bool
+	modrm bool
+	imm   uint8
+}
+
+var (
+	entInvalid = opInfo{}
+	entPlain   = opInfo{valid: true}
+	entM       = opInfo{valid: true, modrm: true}
+	entIb      = opInfo{valid: true, imm: immB}
+	entIw      = opInfo{valid: true, imm: immW}
+	entIz      = opInfo{valid: true, imm: immZ}
+	entMIb     = opInfo{valid: true, modrm: true, imm: immB}
+	entMIz     = opInfo{valid: true, modrm: true, imm: immZ}
+	entJb      = opInfo{valid: true, imm: immJb}
+	entJz      = opInfo{valid: true, imm: immJz}
+)
+
+// oneByte is the one-byte opcode map for 64-bit mode. Prefix bytes
+// (26, 2E, 36, 3E, 40-4F, 64-67, F0, F2, F3) are handled before table
+// lookup and marked invalid here so stray lookups fail loudly.
+var oneByte = buildOneByte()
+
+func buildOneByte() [256]opInfo {
+	var t [256]opInfo
+	// ALU blocks: ADD, OR, ADC, SBB, AND, SUB, XOR, CMP share a layout:
+	// op r/m,r | op r,r/m (byte and word/dword forms) then AL,Ib / eAX,Iz.
+	for _, base := range []int{0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x30, 0x38} {
+		t[base+0] = entM
+		t[base+1] = entM
+		t[base+2] = entM
+		t[base+3] = entM
+		t[base+4] = entIb
+		t[base+5] = entIz
+		// base+6, base+7 are invalid in 64-bit mode (or prefixes,
+		// which are intercepted earlier).
+	}
+	for b := 0x50; b <= 0x5F; b++ { // PUSH r / POP r
+		t[b] = entPlain
+	}
+	t[0x63] = entM // MOVSXD
+	t[0x68] = entIz
+	t[0x69] = entMIz
+	t[0x6A] = entIb
+	t[0x6B] = entMIb
+	for b := 0x6C; b <= 0x6F; b++ { // INS/OUTS
+		t[b] = entPlain
+	}
+	for b := 0x70; b <= 0x7F; b++ { // Jcc rel8
+		t[b] = entJb
+	}
+	t[0x80] = entMIb
+	t[0x81] = entMIz
+	t[0x83] = entMIb
+	t[0x84] = entM
+	t[0x85] = entM
+	t[0x86] = entM
+	t[0x87] = entM
+	for b := 0x88; b <= 0x8B; b++ { // MOV
+		t[b] = entM
+	}
+	t[0x8C] = entM
+	t[0x8D] = entM // LEA
+	t[0x8E] = entM
+	t[0x8F] = entM                  // POP r/m
+	for b := 0x90; b <= 0x97; b++ { // XCHG eAX / NOP
+		t[b] = entPlain
+	}
+	t[0x98] = entPlain              // CWDE/CDQE
+	t[0x99] = entPlain              // CDQ/CQO
+	t[0x9B] = entPlain              // WAIT
+	t[0x9C] = entPlain              // PUSHF
+	t[0x9D] = entPlain              // POPF
+	t[0x9E] = entPlain              // SAHF
+	t[0x9F] = entPlain              // LAHF
+	for b := 0xA0; b <= 0xA3; b++ { // MOV moffs
+		t[b] = opInfo{valid: true, imm: immMoffs}
+	}
+	for b := 0xA4; b <= 0xA7; b++ { // MOVS/CMPS
+		t[b] = entPlain
+	}
+	t[0xA8] = entIb
+	t[0xA9] = entIz
+	for b := 0xAA; b <= 0xAF; b++ { // STOS/LODS/SCAS
+		t[b] = entPlain
+	}
+	for b := 0xB0; b <= 0xB7; b++ { // MOV r8, imm8
+		t[b] = entIb
+	}
+	for b := 0xB8; b <= 0xBF; b++ { // MOV r, immV
+		t[b] = opInfo{valid: true, imm: immV}
+	}
+	t[0xC0] = entMIb
+	t[0xC1] = entMIb
+	t[0xC2] = entIw    // RET imm16
+	t[0xC3] = entPlain // RET
+	t[0xC6] = entMIb
+	t[0xC7] = entMIz
+	t[0xC8] = opInfo{valid: true, imm: immWB} // ENTER
+	t[0xC9] = entPlain                        // LEAVE
+	t[0xCA] = entIw                           // RETF imm16
+	t[0xCB] = entPlain                        // RETF
+	t[0xCC] = entPlain                        // INT3
+	t[0xCD] = entIb                           // INT imm8
+	t[0xCF] = entPlain                        // IRET
+	t[0xD0] = entM
+	t[0xD1] = entM
+	t[0xD2] = entM
+	t[0xD3] = entM
+	t[0xD7] = entPlain              // XLAT
+	for b := 0xD8; b <= 0xDF; b++ { // x87 escapes
+		t[b] = entM
+	}
+	for b := 0xE0; b <= 0xE3; b++ { // LOOPcc / JRCXZ
+		t[b] = entJb
+	}
+	t[0xE4] = entIb // IN
+	t[0xE5] = entIb
+	t[0xE6] = entIb // OUT
+	t[0xE7] = entIb
+	t[0xE8] = entJz                 // CALL rel32
+	t[0xE9] = entJz                 // JMP rel32
+	t[0xEB] = entJb                 // JMP rel8
+	for b := 0xEC; b <= 0xEF; b++ { // IN/OUT dx
+		t[b] = entPlain
+	}
+	t[0xF1] = entPlain              // INT1
+	t[0xF4] = entPlain              // HLT
+	t[0xF5] = entPlain              // CMC
+	t[0xF6] = entM                  // grp3: imm8 added when /0 or /1 (TEST)
+	t[0xF7] = entM                  // grp3: immZ added when /0 or /1 (TEST)
+	for b := 0xF8; b <= 0xFD; b++ { // CLC..STD
+		t[b] = entPlain
+	}
+	t[0xFE] = entM // grp4
+	t[0xFF] = entM // grp5
+	return t
+}
+
+// twoByte is the 0F-escaped opcode map.
+var twoByte = buildTwoByte()
+
+func buildTwoByte() [256]opInfo {
+	var t [256]opInfo
+	t[0x00] = entM                  // grp6
+	t[0x01] = entM                  // grp7
+	t[0x02] = entM                  // LAR
+	t[0x03] = entM                  // LSL
+	t[0x05] = entPlain              // SYSCALL
+	t[0x06] = entPlain              // CLTS
+	t[0x07] = entPlain              // SYSRET
+	t[0x08] = entPlain              // INVD
+	t[0x09] = entPlain              // WBINVD
+	t[0x0B] = entPlain              // UD2
+	t[0x0D] = entM                  // prefetch
+	for b := 0x10; b <= 0x17; b++ { // SSE moves
+		t[b] = entM
+	}
+	for b := 0x18; b <= 0x1F; b++ { // hint NOPs, ENDBR64 (F3 0F 1E FA)
+		t[b] = entM
+	}
+	for b := 0x28; b <= 0x2F; b++ { // SSE
+		t[b] = entM
+	}
+	t[0x30] = entPlain // WRMSR
+	t[0x31] = entPlain // RDTSC
+	t[0x32] = entPlain // RDMSR
+	t[0x33] = entPlain // RDPMC
+	t[0x34] = entPlain // SYSENTER
+	t[0x35] = entPlain // SYSEXIT
+	// 0x38 and 0x3A are three-byte escapes handled in the decoder.
+	for b := 0x40; b <= 0x4F; b++ { // CMOVcc
+		t[b] = entM
+	}
+	for b := 0x50; b <= 0x6F; b++ { // SSE/MMX
+		t[b] = entM
+	}
+	t[0x70] = entMIb // PSHUF*
+	t[0x71] = entMIb // grp12
+	t[0x72] = entMIb // grp13
+	t[0x73] = entMIb // grp14
+	t[0x74] = entM
+	t[0x75] = entM
+	t[0x76] = entM
+	t[0x77] = entPlain // EMMS
+	t[0x7E] = entM
+	t[0x7F] = entM
+	for b := 0x80; b <= 0x8F; b++ { // Jcc rel32
+		t[b] = entJz
+	}
+	for b := 0x90; b <= 0x9F; b++ { // SETcc
+		t[b] = entM
+	}
+	t[0xA0] = entPlain // PUSH FS
+	t[0xA1] = entPlain // POP FS
+	t[0xA2] = entPlain // CPUID
+	t[0xA3] = entM     // BT
+	t[0xA4] = entMIb   // SHLD imm8
+	t[0xA5] = entM     // SHLD cl
+	t[0xA8] = entPlain // PUSH GS
+	t[0xA9] = entPlain // POP GS
+	t[0xAA] = entPlain // RSM
+	t[0xAB] = entM     // BTS
+	t[0xAC] = entMIb   // SHRD imm8
+	t[0xAD] = entM     // SHRD cl
+	t[0xAE] = entM     // grp15 (fences, xsave)
+	t[0xAF] = entM     // IMUL r, r/m
+	t[0xB0] = entM     // CMPXCHG
+	t[0xB1] = entM
+	t[0xB3] = entM   // BTR
+	t[0xB6] = entM   // MOVZX r, r/m8
+	t[0xB7] = entM   // MOVZX r, r/m16
+	t[0xB8] = entM   // POPCNT (with F3)
+	t[0xBA] = entMIb // grp8: BT/BTS/BTR/BTC imm8
+	t[0xBB] = entM   // BTC
+	t[0xBC] = entM   // BSF/TZCNT
+	t[0xBD] = entM   // BSR/LZCNT
+	t[0xBE] = entM   // MOVSX r, r/m8
+	t[0xBF] = entM   // MOVSX r, r/m16
+	t[0xC0] = entM   // XADD
+	t[0xC1] = entM
+	t[0xC2] = entMIb                // CMPPS imm8
+	t[0xC3] = entM                  // MOVNTI
+	t[0xC4] = entMIb                // PINSRW
+	t[0xC5] = entMIb                // PEXTRW
+	t[0xC6] = entMIb                // SHUFPS
+	t[0xC7] = entM                  // grp9 (CMPXCHG8B/16B)
+	for b := 0xC8; b <= 0xCF; b++ { // BSWAP
+		t[b] = entPlain
+	}
+	for b := 0xD0; b <= 0xFE; b++ { // SSE/MMX block
+		t[b] = entM
+	}
+	// 0xFF (UD0) left invalid.
+	return t
+}

@@ -1,0 +1,203 @@
+// Package xref implements the soundness-driven function-pointer
+// detection of §IV-E: collect a super-set of potential function
+// pointers (every consecutive eight bytes of the data sections plus
+// every constant operand in disassembled code), then validate each
+// candidate by conservative recursive disassembly — rejecting on
+// (i) invalid opcodes, (ii) decoding into the middle of previously
+// disassembled instructions, (iii) control transfers into the middle of
+// previously detected functions, and (iv) calling-convention
+// violations. Accepted pointers become function starts and their
+// disassembly refreshes the candidate pool.
+package xref
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"fetch/internal/callconv"
+	"fetch/internal/disasm"
+	"fetch/internal/elfx"
+)
+
+// Candidates returns the §IV-E pointer super-set: all data-section
+// eight-byte windows whose value lands in executable code, plus all
+// harvested constants.
+func Candidates(img *elfx.Image, res *disasm.Result) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	add := func(v uint64) {
+		if !seen[v] && img.IsExec(v) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, sec := range img.DataSections() {
+		for off := 0; off+8 <= len(sec.Data); off++ {
+			add(binary.LittleEndian.Uint64(sec.Data[off:]))
+		}
+	}
+	for c := range res.Constants {
+		if res.TableBases[c] {
+			continue // a resolved jump-table base is known data
+		}
+		add(c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DataRefCount counts how many data-section windows hold the value
+// addr — the reference evidence Algorithm 1's RefTo uses beyond
+// code-level refs.
+func DataRefCount(img *elfx.Image, addr uint64) int {
+	n := 0
+	for _, sec := range img.DataSections() {
+		for off := 0; off+8 <= len(sec.Data); off++ {
+			if binary.LittleEndian.Uint64(sec.Data[off:]) == addr {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Options configure a detection run.
+type Options struct {
+	// KnownRanges are detected function extents (FDE ranges): rule
+	// (iii) rejects candidates and transfers into their interiors.
+	KnownRanges []disasm.FuncRange
+	// MaxValidationInsts bounds each candidate's validation walk.
+	MaxValidationInsts int
+	// DisableRule turns individual §IV-E validation rules off for
+	// ablation: [0] invalid opcodes / strict walk, [1] mid-instruction
+	// landings, [2] transfers into function interiors, [3] calling
+	// conventions.
+	DisableRule [4]bool
+}
+
+// Detect validates candidates against the current disassembly and
+// returns the accepted new function starts, iterating as accepted
+// pointers contribute new constants (§IV-E's pool refresh).
+func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Options) []uint64 {
+	if opts.MaxValidationInsts == 0 {
+		opts.MaxValidationInsts = 2000
+	}
+	var accepted []uint64
+	acceptedSet := map[uint64]bool{}
+	pending := Candidates(img, res)
+	tried := map[uint64]bool{}
+	// acceptedRanges protects the (approximate) extents of pointers
+	// accepted earlier in this run: a later candidate into their
+	// interior is a mid-function pointer (§IV-E pool refresh).
+	var acceptedRanges []disasm.FuncRange
+	insideAccepted := func(c uint64) bool {
+		for _, r := range acceptedRanges {
+			if c > r.Start && c < r.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(pending) > 0 {
+		var next []uint64
+		for _, c := range pending {
+			if tried[c] || funcs[c] || acceptedSet[c] {
+				continue
+			}
+			tried[c] = true
+			if insideAccepted(c) {
+				continue
+			}
+			newRes, ok := validate(img, res, c, opts)
+			if !ok {
+				continue
+			}
+			acceptedSet[c] = true
+			accepted = append(accepted, c)
+			acceptedRanges = append(acceptedRanges, disasm.FuncRange{
+				Start: c, End: contiguousEnd(newRes, c),
+			})
+			// Refresh the pool from the new disassembly's constants.
+			for v := range newRes.Constants {
+				if img.IsExec(v) && !tried[v] && !funcs[v] && !acceptedSet[v] {
+					next = append(next, v)
+				}
+			}
+		}
+		pending = next
+	}
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i] < accepted[j] })
+	return accepted
+}
+
+// contiguousEnd returns the end of the contiguous instruction run the
+// validation walk decoded from c — the approximate extent of the newly
+// accepted function.
+func contiguousEnd(v *disasm.Result, c uint64) uint64 {
+	addrs := make([]uint64, 0, len(v.Insts))
+	for a := range v.Insts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	end := c
+	for _, a := range addrs {
+		if a < c {
+			continue
+		}
+		if a != end {
+			break
+		}
+		end = v.Insts[a].Next()
+	}
+	return end
+}
+
+// validate applies rules (i)-(iv) to one candidate.
+func validate(img *elfx.Image, res *disasm.Result, c uint64, opts Options) (*disasm.Result, bool) {
+	// Rule (iii), seed form: the candidate itself must not point into
+	// a previously detected function's interior.
+	if !opts.DisableRule[2] {
+		for _, r := range opts.KnownRanges {
+			if c > r.Start && c < r.End {
+				return nil, false
+			}
+		}
+	}
+	// Rule (ii), seed form: the candidate must not point into the
+	// middle of an already-decoded instruction.
+	if !opts.DisableRule[1] {
+		if start, covered := res.InstStartAt(c); covered && start != c {
+			return nil, false
+		}
+	}
+	// Rules (i)-(iii), walk form: conservative recursive disassembly.
+	ranges := opts.KnownRanges
+	if opts.DisableRule[2] {
+		ranges = nil
+	}
+	v := disasm.Recursive(img, []uint64{c}, disasm.Options{
+		ResolveJumpTables: true,
+		Strict:            true,
+		KnownRanges:       ranges,
+		MaxInsts:          opts.MaxValidationInsts,
+	})
+	if !opts.DisableRule[0] && len(v.Errors) > 0 {
+		return nil, false
+	}
+	// Rule (ii) against the pre-existing disassembly: any instruction
+	// decoded by the validation walk that overlaps a previously
+	// decoded instruction at a different phase is a misalignment.
+	if !opts.DisableRule[1] {
+		for addr := range v.Insts {
+			if start, covered := res.InstStartAt(addr); covered && start != addr {
+				return nil, false
+			}
+		}
+	}
+	// Rule (iv): calling convention at the candidate entry.
+	if !opts.DisableRule[3] && !callconv.Validate(img, c) {
+		return nil, false
+	}
+	return v, true
+}

@@ -1,0 +1,142 @@
+package xref
+
+import (
+	"testing"
+
+	"fetch/internal/disasm"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/synth"
+)
+
+func setup(t *testing.T, mutate func(*synth.Config)) (*elfx.Image, *groundtruth.Truth, *disasm.Result, map[uint64]bool, Options) {
+	t.Helper()
+	cfg := synth.DefaultConfig("xref-test", 700, synth.O2, synth.GCC, synth.LangC)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	img, truth, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	img = img.Strip()
+	eh, _ := img.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	seeds := sec.FunctionStarts()
+	res := disasm.Recursive(img, seeds, disasm.Options{
+		ResolveJumpTables: true, NonReturning: true,
+	})
+	funcs := map[uint64]bool{}
+	for _, s := range seeds {
+		funcs[s] = true
+	}
+	for f := range res.Funcs {
+		funcs[f] = true
+	}
+	var ranges []disasm.FuncRange
+	for _, f := range sec.FDEs {
+		ranges = append(ranges, disasm.FuncRange{Start: f.PCBegin, End: f.End()})
+	}
+	return img, truth, res, funcs, Options{KnownRanges: ranges}
+}
+
+func TestCandidatesIncludeDataSlotsAndConstants(t *testing.T) {
+	img, truth, res, _, _ := setup(t, func(c *synth.Config) {
+		c.IndirectOnlyRate = 0.08
+	})
+	cands := map[uint64]bool{}
+	for _, c := range Candidates(img, res) {
+		cands[c] = true
+	}
+	found := 0
+	for _, fn := range truth.Funcs {
+		if fn.Reach == groundtruth.ReachIndirectOnly && cands[fn.Addr] {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no indirect-only entry among candidates")
+	}
+	// Candidates are all executable addresses.
+	for c := range cands {
+		if !img.IsExec(c) {
+			t.Fatalf("non-exec candidate %#x", c)
+		}
+	}
+}
+
+func TestDetectFindsIndirectOnlyWithoutFPs(t *testing.T) {
+	img, truth, res, funcs, opts := setup(t, func(c *synth.Config) {
+		c.IndirectOnlyRate = 0.08
+	})
+	newly := Detect(img, res, funcs, opts)
+	if len(newly) == 0 {
+		t.Fatal("nothing detected")
+	}
+	for _, a := range newly {
+		if !truth.IsStart(a) {
+			t.Errorf("false positive at %#x", a)
+		}
+	}
+}
+
+func TestDetectRejectsMidFunctionPointers(t *testing.T) {
+	// The generator plants rodata values pointing into function
+	// middles; none may be accepted.
+	img, truth, res, funcs, opts := setup(t, nil)
+	newly := Detect(img, res, funcs, opts)
+	for _, a := range newly {
+		for _, fn := range truth.Funcs {
+			if a > fn.Addr && a < fn.Addr+fn.Size {
+				t.Errorf("accepted mid-function pointer %#x (inside %s)", a, fn.Name)
+			}
+		}
+	}
+}
+
+func TestDetectIdempotent(t *testing.T) {
+	img, _, res, funcs, opts := setup(t, func(c *synth.Config) {
+		c.IndirectOnlyRate = 0.08
+	})
+	first := Detect(img, res, funcs, opts)
+	for _, a := range first {
+		funcs[a] = true
+	}
+	second := Detect(img, res, funcs, opts)
+	if len(second) != 0 {
+		t.Fatalf("second run found %d more", len(second))
+	}
+}
+
+func TestDataRefCount(t *testing.T) {
+	img, truth, _, _, _ := setup(t, func(c *synth.Config) {
+		c.IndirectOnlyRate = 0.08
+	})
+	counted := 0
+	for _, fn := range truth.Funcs {
+		if fn.Reach == groundtruth.ReachIndirectOnly && DataRefCount(img, fn.Addr) > 0 {
+			counted++
+		}
+	}
+	if counted == 0 {
+		t.Fatal("no data references counted for indirect-only functions")
+	}
+	if DataRefCount(img, 0xdeadbeef) != 0 {
+		t.Fatal("bogus address has data refs")
+	}
+}
+
+func TestDisableCallConvRuleAdmitsMore(t *testing.T) {
+	img, _, res, funcs, opts := setup(t, nil)
+	strict := Detect(img, res, funcs, opts)
+	loose := opts
+	loose.DisableRule[3] = true
+	relaxed := Detect(img, res, funcs, loose)
+	if len(relaxed) < len(strict) {
+		t.Fatalf("disabling a rule reduced acceptance: %d < %d", len(relaxed), len(strict))
+	}
+}
