@@ -1,0 +1,181 @@
+package fetch
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// batchSamples generates n distinct in-memory sample binaries.
+func batchSamples(t *testing.T, n int) []Input {
+	t.Helper()
+	inputs := make([]Input, n)
+	for i := range inputs {
+		raw, _, err := GenerateSample(SampleConfig{Seed: int64(7100 + i), NumFuncs: 40, Stripped: true})
+		if err != nil {
+			t.Fatalf("GenerateSample %d: %v", i, err)
+		}
+		inputs[i] = Input{Name: string(rune('a' + i)), Data: raw}
+	}
+	return inputs
+}
+
+func TestAnalyzeBatch(t *testing.T) {
+	valid := batchSamples(t, 4)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	tests := []struct {
+		name    string
+		inputs  []Input
+		opts    BatchOptions
+		wantErr map[int]bool // index -> item must fail
+	}{
+		{
+			name:   "empty input",
+			inputs: nil,
+			opts:   BatchOptions{Jobs: 4},
+		},
+		{
+			name:   "all valid",
+			inputs: valid,
+			opts:   BatchOptions{Jobs: 2},
+		},
+		{
+			name: "corrupt ELF among valid ones",
+			inputs: []Input{
+				valid[0],
+				{Name: "corrupt", Data: []byte("\x7fELF not really")},
+				valid[1],
+			},
+			opts:    BatchOptions{Jobs: 3},
+			wantErr: map[int]bool{1: true},
+		},
+		{
+			name: "missing file among valid ones",
+			inputs: []Input{
+				valid[0],
+				{Path: "/nonexistent/binary"},
+				valid[1],
+			},
+			opts:    BatchOptions{Jobs: 2},
+			wantErr: map[int]bool{1: true},
+		},
+		{
+			name:    "context cancellation stops early",
+			inputs:  valid,
+			opts:    BatchOptions{Jobs: 2, Context: cancelled},
+			wantErr: map[int]bool{0: true, 1: true, 2: true, 3: true},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			results := AnalyzeBatch(tc.inputs, tc.opts)
+			if len(results) != len(tc.inputs) {
+				t.Fatalf("got %d results for %d inputs", len(results), len(tc.inputs))
+			}
+			for i, br := range results {
+				wantName := tc.inputs[i].Name
+				if wantName == "" {
+					wantName = tc.inputs[i].Path
+				}
+				if br.Name != wantName {
+					t.Errorf("result %d name %q, want %q (order broken?)", i, br.Name, wantName)
+				}
+				if tc.wantErr[i] {
+					if br.Err == nil {
+						t.Errorf("result %d (%s): expected error", i, br.Name)
+					}
+					continue
+				}
+				if br.Err != nil {
+					t.Errorf("result %d (%s): unexpected error %v", i, br.Name, br.Err)
+					continue
+				}
+				if br.Result == nil || len(br.Result.FunctionStarts) == 0 {
+					t.Errorf("result %d (%s): empty analysis", i, br.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzeBatchCancelledContextError pins the per-item error to the
+// context cause.
+func TestAnalyzeBatchCancelledContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, br := range AnalyzeBatch(batchSamples(t, 3), BatchOptions{Context: ctx, Jobs: 2}) {
+		if !errors.Is(br.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", br.Name, br.Err)
+		}
+	}
+}
+
+// TestAnalyzeBatchDeterminism proves jobs=1 and jobs=NumCPU produce
+// identical results, and that both match the sequential Analyze path.
+func TestAnalyzeBatchDeterminism(t *testing.T) {
+	inputs := batchSamples(t, 6)
+	seq := AnalyzeBatch(inputs, BatchOptions{Jobs: 1})
+	par := AnalyzeBatch(inputs, BatchOptions{Jobs: runtime.NumCPU() * 2})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("jobs=1 and parallel batch results differ")
+	}
+	for i, in := range inputs {
+		direct, err := Analyze(in.Data)
+		if err != nil {
+			t.Fatalf("Analyze %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(seq[i].Result, direct) {
+			t.Errorf("batch result %d differs from direct Analyze", i)
+		}
+	}
+}
+
+// TestAnalyzeBatchOptionsApply confirms per-batch Options reach every
+// item (FDEOnly must suppress pointer- and tail-call-derived starts).
+func TestAnalyzeBatchOptionsApply(t *testing.T) {
+	inputs := batchSamples(t, 2)
+	for _, br := range AnalyzeBatch(inputs, BatchOptions{Jobs: 2, Options: []Option{FDEOnly()}}) {
+		if br.Err != nil {
+			t.Fatalf("%s: %v", br.Name, br.Err)
+		}
+		if n := len(br.Result.NewFromPointers); n != 0 {
+			t.Errorf("%s: FDEOnly batch still found %d pointer starts", br.Name, n)
+		}
+		if n := len(br.Result.NewFromTailCalls); n != 0 {
+			t.Errorf("%s: FDEOnly batch still found %d tail-call starts", br.Name, n)
+		}
+	}
+}
+
+// TestAnalyzeBatchFromDisk exercises the Path side of Input.
+func TestAnalyzeBatchFromDisk(t *testing.T) {
+	raw, _, err := GenerateSample(SampleConfig{Seed: 7200, NumFuncs: 30, Stripped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.elf")
+	if err := os.WriteFile(path, raw, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	results := AnalyzeBatch([]Input{{Path: path}}, BatchOptions{})
+	if results[0].Err != nil {
+		t.Fatalf("%v", results[0].Err)
+	}
+	if results[0].Name != path {
+		t.Errorf("name defaulted to %q, want path %q", results[0].Name, path)
+	}
+	direct, err := AnalyzeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0].Result, direct) {
+		t.Error("batch-from-disk result differs from AnalyzeFile")
+	}
+}

@@ -11,6 +11,8 @@
 package fetch
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -39,7 +41,11 @@ var (
 func corpusForBench(b *testing.B) *eval.Corpus {
 	b.Helper()
 	benchOnce.Do(func() {
-		c, err := eval.BuildSelfBuilt(0.01, 31000)
+		// Jobs pinned to 1: these per-driver benches measure sequential
+		// cost, comparable across machines and to pre-pool baselines.
+		// BenchmarkAnalyzeBatch/BenchmarkCorpusParallel carry the
+		// parallel legs.
+		c, err := eval.BuildSelfBuiltJobs(0.01, 31000, 1)
 		if err != nil {
 			panic(err)
 		}
@@ -63,7 +69,7 @@ func corpusForBench(b *testing.B) *eval.Corpus {
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := eval.TableI(int64(40000 + i))
+		res, err := eval.TableIJobs(int64(40000+i), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -401,6 +407,60 @@ func BenchmarkAblationAlignmentFunctions(b *testing.B) {
 			score(b, true)
 		}
 	})
+}
+
+// --- Batch engine ---
+
+// batchBenchInputs builds a fixed set of in-memory sample binaries for
+// the batch benchmarks.
+func batchBenchInputs(b *testing.B, n int) []Input {
+	b.Helper()
+	inputs := make([]Input, n)
+	for i := range inputs {
+		raw, _, err := GenerateSample(SampleConfig{Seed: int64(52000 + i), NumFuncs: 80, Stripped: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs[i] = Input{Name: fmt.Sprintf("bench-%d", i), Data: raw}
+	}
+	return inputs
+}
+
+// BenchmarkAnalyzeBatch measures the worker-pool batch API at one
+// worker versus one per CPU over the same inputs. The jobs=1 /
+// jobs=NumCPU ratio is the headline parallel speedup; results are
+// identical by construction (see TestAnalyzeBatchDeterminism).
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	inputs := batchBenchInputs(b, 16)
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := AnalyzeBatch(inputs, BatchOptions{Jobs: jobs})
+				for _, br := range results {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "binaries/s")
+		})
+	}
+}
+
+// BenchmarkCorpusParallel measures parallel corpus generation, the
+// front half of every evaluation run.
+func BenchmarkCorpusParallel(b *testing.B) {
+	for _, jobs := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := eval.BuildSelfBuiltJobs(0.01, 31000, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(c.Bins)), "bins")
+			}
+		})
+	}
 }
 
 // BenchmarkFETCHEndToEnd is the headline single-binary number

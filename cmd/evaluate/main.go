@@ -3,79 +3,147 @@
 //
 // Usage:
 //
-//	evaluate [-scale F] [-seed N] [-only LIST]
+//	evaluate [-scale F] [-seed N] [-jobs N] [-only LIST]
 //
 // where LIST is a comma-separated subset of:
 // table1,table2,table3,table4,table5,fig5a,fig5b,fig5c,iv-b,iv-e,v-a,v-c
+// (an unknown name is an error) and -jobs bounds the worker count used
+// for corpus generation and per-binary analysis (0 = one per CPU).
+// Parallel runs render output identical to -jobs 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"fetch/internal/eval"
+	"fetch/internal/pool"
 )
 
+// experimentKeys lists every -only selector, in execution order.
+var experimentKeys = []string{
+	"table1", "table2", "iv-b", "fig5a", "fig5b", "fig5c",
+	"iv-e", "v-a", "v-c", "table3", "table4", "table5",
+}
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	scale := flag.Float64("scale", 0.05, "corpus scale in (0,1] (1 = paper-sized, 1,352 binaries)")
-	seed := flag.Int64("seed", 1, "corpus seed")
-	only := flag.String("only", "", "comma-separated subset of experiments")
-	flag.Parse()
-
+// parseOnly validates a comma-separated -only value against the known
+// experiment keys. An empty value selects everything; an unknown name
+// is an error rather than a silent no-op.
+func parseOnly(only string) (map[string]bool, error) {
 	want := map[string]bool{}
-	if *only != "" {
-		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
-		}
+	if only == "" {
+		return want, nil
 	}
-	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	known := map[string]bool{}
+	for _, k := range experimentKeys {
+		known[k] = true
+	}
+	for _, k := range strings.Split(only, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		if !known[k] {
+			sorted := append([]string(nil), experimentKeys...)
+			sort.Strings(sorted)
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)", k, strings.Join(sorted, ", "))
+		}
+		want[k] = true
+	}
+	return want, nil
+}
 
-	start := time.Now()
-	corpus, err := eval.BuildSelfBuilt(*scale, *seed)
+// newRunners binds every experiment to its driver. The closures
+// dereference corpus at call time, so the map can be built (and its
+// keys checked against experimentKeys) before the corpus exists.
+func newRunners(corpus **eval.Corpus, seed int64, jobs int) map[string]func() (interface{ Format() string }, error) {
+	return map[string]func() (interface{ Format() string }, error){
+		"table1": func() (interface{ Format() string }, error) { return eval.TableIJobs(seed+50000, jobs) },
+		"table2": func() (interface{ Format() string }, error) { return eval.TableII(*corpus) },
+		"iv-b":   func() (interface{ Format() string }, error) { return eval.SectionIVB(*corpus) },
+		"fig5a":  func() (interface{ Format() string }, error) { return eval.Figure5a(*corpus) },
+		"fig5b":  func() (interface{ Format() string }, error) { return eval.Figure5b(*corpus) },
+		"fig5c":  func() (interface{ Format() string }, error) { return eval.Figure5c(*corpus) },
+		"iv-e":   func() (interface{ Format() string }, error) { return eval.SectionIVE(*corpus) },
+		"v-a":    func() (interface{ Format() string }, error) { return eval.SectionVA(*corpus) },
+		"v-c":    func() (interface{ Format() string }, error) { return eval.SectionVC(*corpus) },
+		"table3": func() (interface{ Format() string }, error) { return eval.TableIII(*corpus) },
+		"table4": func() (interface{ Format() string }, error) { return eval.TableIV(*corpus) },
+		"table5": func() (interface{ Format() string }, error) { return eval.TableV(*corpus, 64) },
+	}
+}
+
+// run executes the command against args, writing results to w and
+// flag/usage diagnostics to errW. It is separated from main so tests
+// can drive flag handling directly.
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	scale := fs.Float64("scale", 0.05, "corpus scale in (0,1] (1 = paper-sized, 1,352 binaries)")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	only := fs.String("only", "", "comma-separated subset of experiments")
+	jobs := fs.Int("jobs", runtime.NumCPU(), "worker count for generation and analysis (0 = one per CPU)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	want, err := parseOnly(*only)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("corpus: %d binaries, %d true functions (scale %.2f, built in %v)\n\n",
-		len(corpus.Bins), corpus.TotalFuncs(), *scale, time.Since(start).Round(time.Millisecond))
+	*jobs = pool.Jobs(*jobs)
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
-	type experiment struct {
-		key string
-		run func() (interface{ Format() string }, error)
+	var corpus *eval.Corpus
+	runners := newRunners(&corpus, *seed, *jobs)
+
+	// table1 generates its own wild corpus; skip the self-built corpus
+	// (the dominant startup cost) when nothing selected consumes it.
+	needCorpus := len(want) == 0
+	for k := range want {
+		if k != "table1" {
+			needCorpus = true
+		}
 	}
-	experiments := []experiment{
-		{"table1", func() (interface{ Format() string }, error) { return eval.TableI(*seed + 50000) }},
-		{"table2", func() (interface{ Format() string }, error) { return eval.TableII(corpus) }},
-		{"iv-b", func() (interface{ Format() string }, error) { return eval.SectionIVB(corpus) }},
-		{"fig5a", func() (interface{ Format() string }, error) { return eval.Figure5a(corpus) }},
-		{"fig5b", func() (interface{ Format() string }, error) { return eval.Figure5b(corpus) }},
-		{"fig5c", func() (interface{ Format() string }, error) { return eval.Figure5c(corpus) }},
-		{"iv-e", func() (interface{ Format() string }, error) { return eval.SectionIVE(corpus) }},
-		{"v-a", func() (interface{ Format() string }, error) { return eval.SectionVA(corpus) }},
-		{"v-c", func() (interface{ Format() string }, error) { return eval.SectionVC(corpus) }},
-		{"table3", func() (interface{ Format() string }, error) { return eval.TableIII(corpus) }},
-		{"table4", func() (interface{ Format() string }, error) { return eval.TableIV(corpus) }},
-		{"table5", func() (interface{ Format() string }, error) { return eval.TableV(corpus, 64) }},
+	if needCorpus {
+		start := time.Now()
+		corpus, err = eval.BuildSelfBuiltJobs(*scale, *seed, *jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "corpus: %d binaries, %d true functions (scale %.2f, jobs %d, built in %v)\n\n",
+			len(corpus.Bins), corpus.TotalFuncs(), *scale, *jobs, time.Since(start).Round(time.Millisecond))
 	}
-	for _, ex := range experiments {
-		if !sel(ex.key) {
+
+	for _, key := range experimentKeys {
+		if !sel(key) {
 			continue
 		}
 		t0 := time.Now()
-		res, err := ex.run()
+		res, err := runners[key]()
 		if err != nil {
-			return fmt.Errorf("%s: %w", ex.key, err)
+			return fmt.Errorf("%s: %w", key, err)
 		}
-		fmt.Printf("==== %s (%v) ====\n%s\n", ex.key, time.Since(t0).Round(time.Millisecond), res.Format())
+		fmt.Fprintf(w, "==== %s (%v) ====\n%s\n", key, time.Since(t0).Round(time.Millisecond), res.Format())
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"fetch/internal/eval"
+)
+
+func TestParseOnly(t *testing.T) {
+	tests := []struct {
+		name    string
+		only    string
+		want    []string
+		wantErr string
+	}{
+		{name: "empty selects everything", only: "", want: nil},
+		{name: "single known key", only: "table3", want: []string{"table3"}},
+		{name: "several keys with spaces", only: " fig5a , v-c ,table1", want: []string{"fig5a", "v-c", "table1"}},
+		{name: "trailing comma tolerated", only: "iv-b,", want: []string{"iv-b"}},
+		{name: "unknown key errors", only: "table9", wantErr: `unknown experiment "table9"`},
+		{name: "unknown among known still errors", only: "table1,bogus,v-a", wantErr: `unknown experiment "bogus"`},
+		{name: "case matters", only: "Table1", wantErr: `unknown experiment "Table1"`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseOnly(tc.only)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseOnly(%q) succeeded, want error containing %q", tc.only, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				// The message must teach the valid names.
+				if !strings.Contains(err.Error(), "table5") || !strings.Contains(err.Error(), "iv-e") {
+					t.Errorf("error %q does not list the known experiments", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseOnly(%q): %v", tc.only, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parseOnly(%q) = %v, want keys %v", tc.only, got, tc.want)
+			}
+			for _, k := range tc.want {
+				if !got[k] {
+					t.Errorf("parseOnly(%q) missing %q", tc.only, k)
+				}
+			}
+		})
+	}
+}
+
+// TestRunRejectsUnknownExperiment drives the full run helper: an
+// unknown -only name must error out before any corpus is built (the
+// old behavior silently ran zero experiments).
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"-only", "tableX"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("run accepted an unknown experiment name")
+	}
+	if !strings.Contains(err.Error(), `unknown experiment "tableX"`) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard, io.Discard); err == nil {
+		t.Error("run accepted an unknown flag")
+	}
+	if err := run([]string{"stray-arg"}, io.Discard, io.Discard); err == nil {
+		t.Error("run accepted a stray positional argument")
+	}
+}
+
+func TestRunHelpIsNotAFailure(t *testing.T) {
+	err := run([]string{"-h"}, io.Discard, io.Discard)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp (main exits 0 on it)", err)
+	}
+}
+
+// TestExperimentKeysMatchRunners guards the -only vocabulary against
+// drift: every key must have a runner, every runner a key, and
+// parseOnly must accept exactly that set.
+func TestExperimentKeysMatchRunners(t *testing.T) {
+	var corpus *eval.Corpus
+	runners := newRunners(&corpus, 1, 1)
+	seen := map[string]bool{}
+	for _, k := range experimentKeys {
+		if seen[k] {
+			t.Errorf("duplicate experiment key %q", k)
+		}
+		seen[k] = true
+		if runners[k] == nil {
+			t.Errorf("experiment key %q has no runner", k)
+		}
+		if _, err := parseOnly(k); err != nil {
+			t.Errorf("parseOnly rejects its own key %q: %v", k, err)
+		}
+	}
+	for k := range runners {
+		if !seen[k] {
+			t.Errorf("runner %q is unreachable: not in experimentKeys", k)
+		}
+	}
+	if len(experimentKeys) != 12 {
+		t.Errorf("expected 12 experiments, have %d", len(experimentKeys))
+	}
+}

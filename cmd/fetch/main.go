@@ -1,18 +1,23 @@
-// Command fetch analyzes a System-V x64 ELF binary and prints the
+// Command fetch analyzes System-V x64 ELF binaries and prints the
 // detected function starts along with the corrections the pipeline
 // applied (merged non-contiguous parts, removed bogus FDEs, starts
 // recovered from function pointers and tail calls).
 //
 // Usage:
 //
-//	fetch [-fde-only] [-no-xref] [-no-tailcall] [-v] BINARY
+//	fetch [-fde-only] [-no-xref] [-no-tailcall] [-jobs N] [-v] BINARY...
 //	fetch -sample [-seed N] [-v]        analyze a generated sample
+//
+// Multiple binaries are analyzed concurrently (-jobs bounds the worker
+// count, 0 = one per CPU) and reported in argument order; a failure on
+// one binary does not stop the others.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"fetch"
 )
@@ -24,12 +29,36 @@ func main() {
 	}
 }
 
+func printResult(res *fetch.Result, verbose bool) {
+	fmt.Printf("function starts:        %d\n", len(res.FunctionStarts))
+	fmt.Printf("raw FDE starts:         %d\n", len(res.FDEStarts))
+	fmt.Printf("from pointers (§IV-E):  %d\n", len(res.NewFromPointers))
+	fmt.Printf("from tail calls:        %d\n", len(res.NewFromTailCalls))
+	fmt.Printf("merged parts (Alg. 1):  %d\n", len(res.MergedParts))
+	fmt.Printf("removed bogus FDEs:     %d\n", len(res.RemovedBogusFDEs))
+	fmt.Printf("skipped (no CFI info):  %d\n", res.SkippedIncompleteCFI)
+	if verbose {
+		for _, a := range res.FunctionStarts {
+			fmt.Printf("%#x\n", a)
+		}
+		parts := make([]uint64, 0, len(res.MergedParts))
+		for part := range res.MergedParts {
+			parts = append(parts, part)
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+		for _, part := range parts {
+			fmt.Printf("merged %#x -> %#x\n", part, res.MergedParts[part])
+		}
+	}
+}
+
 func run() error {
 	fdeOnly := flag.Bool("fde-only", false, "only extract FDE PC Begin values")
 	noXref := flag.Bool("no-xref", false, "disable function-pointer detection")
 	noTail := flag.Bool("no-tailcall", false, "disable Algorithm 1 error fixing")
 	sample := flag.Bool("sample", false, "analyze a generated sample binary instead of a file")
 	seed := flag.Int64("seed", 1, "sample generation seed")
+	jobs := flag.Int("jobs", 0, "concurrent analyses for multiple binaries (0 = one per CPU)")
 	verbose := flag.Bool("v", false, "list every detected start")
 	flag.Parse()
 
@@ -44,40 +73,53 @@ func run() error {
 		opts = append(opts, fetch.WithoutTailCall())
 	}
 
-	var res *fetch.Result
-	var err error
 	switch {
 	case *sample:
-		var raw []byte
-		raw, _, err = fetch.GenerateSample(fetch.SampleConfig{Seed: *seed, Stripped: true})
+		raw, _, err := fetch.GenerateSample(fetch.SampleConfig{Seed: *seed, Stripped: true})
 		if err != nil {
 			return err
 		}
-		res, err = fetch.Analyze(raw, opts...)
-	case flag.NArg() == 1:
-		res, err = fetch.AnalyzeFile(flag.Arg(0), opts...)
+		res, err := fetch.Analyze(raw, opts...)
+		if err != nil {
+			return err
+		}
+		printResult(res, *verbose)
+		return nil
+	case flag.NArg() >= 1:
+		inputs := make([]fetch.Input, flag.NArg())
+		for i, p := range flag.Args() {
+			inputs[i] = fetch.Input{Path: p}
+		}
+		results := fetch.AnalyzeBatch(inputs, fetch.BatchOptions{Jobs: *jobs, Options: opts})
+		var firstErr error
+		for _, br := range results {
+			if len(results) > 1 {
+				fmt.Printf("== %s ==\n", br.Name)
+			}
+			if br.Err != nil {
+				fmt.Fprintf(os.Stderr, "fetch: %s: %v\n", br.Name, br.Err)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%d of %d binaries failed", failures(results), len(results))
+				}
+				continue
+			}
+			printResult(br.Result, *verbose)
+		}
+		return firstErr
 	default:
 		flag.Usage()
 		os.Exit(2)
+		return nil
 	}
-	if err != nil {
-		return err
-	}
+}
 
-	fmt.Printf("function starts:        %d\n", len(res.FunctionStarts))
-	fmt.Printf("raw FDE starts:         %d\n", len(res.FDEStarts))
-	fmt.Printf("from pointers (§IV-E):  %d\n", len(res.NewFromPointers))
-	fmt.Printf("from tail calls:        %d\n", len(res.NewFromTailCalls))
-	fmt.Printf("merged parts (Alg. 1):  %d\n", len(res.MergedParts))
-	fmt.Printf("removed bogus FDEs:     %d\n", len(res.RemovedBogusFDEs))
-	fmt.Printf("skipped (no CFI info):  %d\n", res.SkippedIncompleteCFI)
-	if *verbose {
-		for _, a := range res.FunctionStarts {
-			fmt.Printf("%#x\n", a)
-		}
-		for part, owner := range res.MergedParts {
-			fmt.Printf("merged %#x -> %#x\n", part, owner)
+// failures counts the batch items that reported an error.
+func failures(results []fetch.BatchResult) int {
+	n := 0
+	for _, br := range results {
+		if br.Err != nil {
+			n++
 		}
 	}
-	return nil
+	return n
 }

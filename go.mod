@@ -1,0 +1,3 @@
+module fetch
+
+go 1.21

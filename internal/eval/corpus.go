@@ -5,13 +5,21 @@
 // the efficiency table (V). Each driver returns structured results
 // plus a formatted text rendering, and is wired to both cmd/evaluate
 // and the bench harness.
+//
+// Corpus generation and every per-binary driver loop fan out over a
+// bounded worker pool (internal/pool) sized by Corpus.Jobs. Parallel
+// runs render byte-identical output to sequential ones — results are
+// collected in corpus order and folded sequentially — so the
+// evaluation stays a faithful reproduction at any concurrency.
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"fetch/internal/elfx"
 	"fetch/internal/groundtruth"
+	"fetch/internal/pool"
 	"fetch/internal/synth"
 )
 
@@ -25,20 +33,47 @@ type Binary struct {
 // Corpus is a generated self-built corpus (Table II shape).
 type Corpus struct {
 	Bins []*Binary
+	// Jobs bounds the per-binary concurrency of the driver loops;
+	// non-positive means one worker per available CPU. Any value
+	// yields output identical to Jobs = 1.
+	Jobs int
 }
 
-// BuildSelfBuilt generates the self-built corpus at the given scale.
+// BuildSelfBuilt generates the self-built corpus at the given scale,
+// using one generation worker per available CPU.
 func BuildSelfBuilt(scale float64, seed int64) (*Corpus, error) {
+	return BuildSelfBuiltJobs(scale, seed, 0)
+}
+
+// BuildSelfBuiltJobs is BuildSelfBuilt with an explicit worker count
+// (non-positive means one per available CPU). Generation is seeded per
+// binary, so the corpus is identical at every worker count. The
+// returned corpus keeps jobs as its driver concurrency.
+func BuildSelfBuiltJobs(scale float64, seed int64, jobs int) (*Corpus, error) {
 	specs := synth.SelfBuiltCorpus(scale, seed)
-	c := &Corpus{Bins: make([]*Binary, 0, len(specs))}
-	for _, sp := range specs {
-		img, truth, err := synth.Generate(sp.Config)
-		if err != nil {
-			return nil, fmt.Errorf("eval: generating %s: %w", sp.Config.Name, err)
-		}
-		c.Bins = append(c.Bins, &Binary{Spec: sp, Img: img, Truth: truth})
+	bins, err := pool.Values(pool.Map(context.Background(), jobs, specs,
+		func(_ context.Context, _ int, sp synth.BinarySpec) (*Binary, error) {
+			img, truth, err := synth.Generate(sp.Config)
+			if err != nil {
+				return nil, fmt.Errorf("eval: generating %s: %w", sp.Config.Name, err)
+			}
+			return &Binary{Spec: sp, Img: img, Truth: truth}, nil
+		}))
+	if err != nil {
+		return nil, err
 	}
-	return c, nil
+	return &Corpus{Bins: bins, Jobs: jobs}, nil
+}
+
+// overBins computes fn for every binary with at most jobs workers and
+// returns the per-binary values in input order, failing with the first
+// error in input order. Drivers fold the returned slice sequentially,
+// which keeps their rendered output independent of the worker count.
+func overBins[R any](jobs int, bins []*Binary, fn func(*Binary) (R, error)) ([]R, error) {
+	return pool.Values(pool.Map(context.Background(), jobs, bins,
+		func(_ context.Context, _ int, b *Binary) (R, error) {
+			return fn(b)
+		}))
 }
 
 // ByOpt partitions the corpus by optimization level, in paper order.

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+
+	"fetch/internal/elfx"
+)
+
+// determinismCorpora builds the same seeded corpus sequentially and
+// with four workers, trimmed to a manageable subset spanning all opt
+// levels (same trim as smallCorpus).
+func determinismCorpora(t *testing.T) (seq, par *Corpus) {
+	t.Helper()
+	seq, err := BuildSelfBuiltJobs(0.01, 4242, 1)
+	if err != nil {
+		t.Fatalf("sequential build: %v", err)
+	}
+	par, err = BuildSelfBuiltJobs(0.01, 4242, 4)
+	if err != nil {
+		t.Fatalf("parallel build: %v", err)
+	}
+	if len(seq.Bins) != len(par.Bins) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(seq.Bins), len(par.Bins))
+	}
+	if len(seq.Bins) > 32 {
+		seq.Bins = seq.Bins[:32]
+		par.Bins = par.Bins[:32]
+	}
+	return seq, par
+}
+
+// TestCorpusGenerationDeterminism proves parallel corpus generation
+// yields binaries byte-identical to the sequential build, in the same
+// order, with the same ground truth.
+func TestCorpusGenerationDeterminism(t *testing.T) {
+	seq, par := determinismCorpora(t)
+	for i := range seq.Bins {
+		s, p := seq.Bins[i], par.Bins[i]
+		if s.Spec.Config.Name != p.Spec.Config.Name {
+			t.Fatalf("bin %d: order differs: %s vs %s", i, s.Spec.Config.Name, p.Spec.Config.Name)
+		}
+		sStarts, pStarts := s.Truth.SortedStarts(), p.Truth.SortedStarts()
+		if len(sStarts) != len(pStarts) {
+			t.Fatalf("%s: truth sizes differ", s.Spec.Config.Name)
+		}
+		for j := range sStarts {
+			if sStarts[j] != pStarts[j] {
+				t.Fatalf("%s: truth starts differ at %d", s.Spec.Config.Name, j)
+			}
+		}
+		sRaw, err := elfx.WriteELF(s.Img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRaw, err := elfx.WriteELF(p.Img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sRaw, pRaw) {
+			t.Fatalf("%s: parallel generation changed the binary image", s.Spec.Config.Name)
+		}
+	}
+}
+
+// TestDriverDeterminism runs every table and figure driver (minus the
+// wall-clock Table V) on the same corpus sequentially and with four
+// workers and requires identical rendered output — parallelism must
+// change wall-clock time, never results.
+func TestDriverDeterminism(t *testing.T) {
+	seq, par := determinismCorpora(t)
+	if seq.Jobs != 1 || par.Jobs != 4 {
+		t.Fatalf("corpus jobs not as configured: %d, %d", seq.Jobs, par.Jobs)
+	}
+
+	type formatter interface{ Format() string }
+	drivers := []struct {
+		name string
+		run  func(*Corpus) (formatter, error)
+	}{
+		{"TableII", func(c *Corpus) (formatter, error) { return TableII(c) }},
+		{"TableIII", func(c *Corpus) (formatter, error) { return TableIII(c) }},
+		{"TableIV", func(c *Corpus) (formatter, error) { return TableIV(c) }},
+		{"SectionIVB", func(c *Corpus) (formatter, error) { return SectionIVB(c) }},
+		{"SectionIVE", func(c *Corpus) (formatter, error) { return SectionIVE(c) }},
+		{"SectionVA", func(c *Corpus) (formatter, error) { return SectionVA(c) }},
+		{"SectionVC", func(c *Corpus) (formatter, error) { return SectionVC(c) }},
+		{"Figure5a", func(c *Corpus) (formatter, error) { return Figure5a(c) }},
+		{"Figure5b", func(c *Corpus) (formatter, error) { return Figure5b(c) }},
+		{"Figure5c", func(c *Corpus) (formatter, error) { return Figure5c(c) }},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			sRes, err := d.run(seq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			pRes, err := d.run(par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			sOut, pOut := sRes.Format(), pRes.Format()
+			if sOut != pOut {
+				t.Errorf("rendered output differs between jobs=1 and jobs=4:\n--- sequential ---\n%s\n--- parallel ---\n%s", sOut, pOut)
+			}
+		})
+	}
+}
+
+// TestTableIDeterminism covers the wild-corpus table, which manages
+// its own generation fan-out.
+func TestTableIDeterminism(t *testing.T) {
+	seq, err := TableIJobs(8123, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TableIJobs(8123, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Format() != par.Format() {
+		t.Errorf("Table I differs between jobs=1 and jobs=4:\n%s\n%s", seq.Format(), par.Format())
+	}
+}

@@ -46,13 +46,20 @@ type strategy struct {
 func runFigure(c *Corpus, title string, strats []strategy) (*FigureResult, error) {
 	out := &FigureResult{Title: title, Binaries: len(c.Bins)}
 	for _, st := range strats {
-		var agg metrics.Aggregate
-		for _, bin := range c.Bins {
+		st := st
+		evals, err := overBins(c.Jobs, c.Bins, func(bin *Binary) (metrics.Eval, error) {
 			funcs, err := st.run(bin.Img.Strip())
 			if err != nil {
-				return nil, fmt.Errorf("eval: %s on %s: %w", st.name, bin.Spec.Config.Name, err)
+				return metrics.Eval{}, fmt.Errorf("eval: %s on %s: %w", st.name, bin.Spec.Config.Name, err)
 			}
-			agg.Add(metrics.Evaluate(funcs, bin.Truth))
+			return metrics.Evaluate(funcs, bin.Truth), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var agg metrics.Aggregate
+		for _, e := range evals {
+			agg.Add(e)
 		}
 		out.Rows = append(out.Rows, StrategyRow{
 			Name:         st.name,

@@ -36,33 +36,52 @@ func (r *SectionIVBResult) Format() string {
 	return b.String()
 }
 
+// ivbPart is one binary's contribution to §IV-B.
+type ivbPart struct {
+	funcs, covered, misses int
+	asm, clang, other      int
+}
+
 // SectionIVB measures FDE-only detection against ground truth.
 func SectionIVB(c *Corpus) (*SectionIVBResult, error) {
-	out := &SectionIVBResult{}
-	missTotal := 0
-	for _, bin := range c.Bins {
+	parts, err := overBins(c.Jobs, c.Bins, func(bin *Binary) (ivbPart, error) {
+		var p ivbPart
 		d, err := baseline.FDE(bin.Img)
 		if err != nil {
-			return nil, err
+			return p, err
 		}
 		e := metrics.Evaluate(d.Funcs, bin.Truth)
-		out.TotalFuncs += len(bin.Truth.Funcs)
-		out.Covered += e.TP
-		if e.FN > 0 {
-			out.BinariesWithMiss++
-			missTotal += e.FN
-		}
+		p.funcs = len(bin.Truth.Funcs)
+		p.covered = e.TP
+		p.misses = e.FN
 		for _, a := range e.FNAddrs {
 			f, _ := bin.Truth.FuncAt(a)
 			switch f.Class {
 			case groundtruth.ClassAsm:
-				out.MissedAsm++
+				p.asm++
 			case groundtruth.ClassClangTerminate:
-				out.MissedClangTerm++
+				p.clang++
 			default:
-				out.MissedOther++
+				p.other++
 			}
 		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SectionIVBResult{}
+	missTotal := 0
+	for _, p := range parts {
+		out.TotalFuncs += p.funcs
+		out.Covered += p.covered
+		if p.misses > 0 {
+			out.BinariesWithMiss++
+			missTotal += p.misses
+		}
+		out.MissedAsm += p.asm
+		out.MissedClangTerm += p.clang
+		out.MissedOther += p.other
 	}
 	if out.TotalFuncs > 0 {
 		out.CoverageRatio = 100 * float64(out.Covered) / float64(out.TotalFuncs)
@@ -96,39 +115,52 @@ func (r *SectionIVEResult) Format() string {
 	return b.String()
 }
 
+// ivePart is one binary's contribution to §IV-E.
+type ivePart struct {
+	newStarts, newFPs                   int
+	residTail, residUnreach, residOther int
+}
+
 // SectionIVE measures what pointer validation adds over FDE+Rec.
 func SectionIVE(c *Corpus) (*SectionIVEResult, error) {
-	out := &SectionIVEResult{}
-	for _, bin := range c.Bins {
+	parts, err := overBins(c.Jobs, c.Bins, func(bin *Binary) (ivePart, error) {
+		var p ivePart
 		img := bin.Img.Strip()
-		rec, err := core.Analyze(img, core.Strategy{Recursive: true})
-		if err != nil {
-			return nil, err
-		}
 		full, err := core.Analyze(img, core.Strategy{Recursive: true, Xref: true})
 		if err != nil {
-			return nil, err
+			return p, err
 		}
-		out.NewStarts += len(full.XrefNew)
-		out.AvgReported += float64(len(full.XrefNew))
+		p.newStarts = len(full.XrefNew)
 		for _, a := range full.XrefNew {
 			if !bin.Truth.IsStart(a) {
-				out.NewFPs++
+				p.newFPs++
 			}
 		}
-		_ = rec
 		e := metrics.Evaluate(full.Funcs, bin.Truth)
 		for _, a := range e.FNAddrs {
 			f, _ := bin.Truth.FuncAt(a)
 			switch f.Reach {
 			case groundtruth.ReachTailOnly:
-				out.ResidualTail++
+				p.residTail++
 			case groundtruth.ReachUnreachable:
-				out.ResidualUnreach++
+				p.residUnreach++
 			default:
-				out.ResidualOther++
+				p.residOther++
 			}
 		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SectionIVEResult{}
+	for _, p := range parts {
+		out.NewStarts += p.newStarts
+		out.NewFPs += p.newFPs
+		out.AvgReported += float64(p.newStarts)
+		out.ResidualTail += p.residTail
+		out.ResidualUnreach += p.residUnreach
+		out.ResidualOther += p.residOther
 	}
 	if len(c.Bins) > 0 {
 		out.AvgReported /= float64(len(c.Bins))
@@ -160,28 +192,31 @@ func (r *SectionVAResult) Format() string {
 	return b.String()
 }
 
+// vaPart is one binary's contribution to §V-A.
+type vaPart struct {
+	fps, noncontig, handwritten, gadgets int
+	symsDiffer                           bool
+}
+
 // SectionVA measures the FDE-only false positives, their origin, and
 // their ROP-gadget payload.
 func SectionVA(c *Corpus) (*SectionVAResult, error) {
-	out := &SectionVAResult{SymbolFPsEqual: true}
-	for _, bin := range c.Bins {
+	parts, err := overBins(c.Jobs, c.Bins, func(bin *Binary) (vaPart, error) {
+		var p vaPart
 		d, err := baseline.FDE(bin.Img)
 		if err != nil {
-			return nil, err
+			return p, err
 		}
 		e := metrics.Evaluate(d.Funcs, bin.Truth)
-		if e.FP > 0 {
-			out.AffectedBins++
-		}
-		out.TotalFPs += e.FP
+		p.fps = e.FP
 		for _, a := range e.FPAddrs {
 			if _, isPart := bin.Truth.PartAt(a); isPart {
-				out.NonContiguous++
+				p.noncontig++
 			} else {
-				out.HandWritten++
+				p.handwritten++
 			}
 		}
-		out.ROPGadgets += gadget.CountAll(bin.Img, e.FPAddrs)
+		p.gadgets = gadget.CountAll(bin.Img, e.FPAddrs)
 
 		// Symbols carry the same per-part entries (§V-A's observation
 		// that symbols share the problem).
@@ -189,10 +224,27 @@ func SectionVA(c *Corpus) (*SectionVAResult, error) {
 		for _, s := range bin.Img.FuncSymbols() {
 			symStarts[s.Addr] = true
 		}
-		for _, p := range bin.Truth.Parts {
-			if !symStarts[p.Addr] {
-				out.SymbolFPsEqual = false
+		for _, part := range bin.Truth.Parts {
+			if !symStarts[part.Addr] {
+				p.symsDiffer = true
 			}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SectionVAResult{SymbolFPsEqual: true}
+	for _, p := range parts {
+		if p.fps > 0 {
+			out.AffectedBins++
+		}
+		out.TotalFPs += p.fps
+		out.NonContiguous += p.noncontig
+		out.HandWritten += p.handwritten
+		out.ROPGadgets += p.gadgets
+		if p.symsDiffer {
+			out.SymbolFPsEqual = false
 		}
 	}
 	return out, nil
@@ -233,46 +285,70 @@ func safeDiv(a, b float64) float64 {
 	return a / b
 }
 
+// vcPart is one binary's contribution to §V-C.
+type vcPart struct {
+	fpBefore, fpAfter              int
+	fullAccBefore, fullAccAfter    bool
+	fullCovBefore, fullCovAfter    bool
+	newFNs, harmless, residIncompl int
+}
+
 // SectionVC measures Algorithm 1 on top of FDE+Rec+Xref.
 func SectionVC(c *Corpus) (*SectionVCResult, error) {
-	out := &SectionVCResult{}
-	for _, bin := range c.Bins {
+	parts, err := overBins(c.Jobs, c.Bins, func(bin *Binary) (vcPart, error) {
+		var p vcPart
 		img := bin.Img.Strip()
 		before, err := core.Analyze(img, core.Strategy{Recursive: true, Xref: true})
 		if err != nil {
-			return nil, err
+			return p, err
 		}
 		after, err := core.Analyze(img, core.FETCH)
 		if err != nil {
-			return nil, err
+			return p, err
 		}
 		eb := metrics.Evaluate(before.Funcs, bin.Truth)
 		ea := metrics.Evaluate(after.Funcs, bin.Truth)
-		out.FPsBefore += eb.FP
-		out.FPsAfter += ea.FP
-		if eb.FullAccuracy() {
-			out.FullAccBefore++
-		}
-		if ea.FullAccuracy() {
-			out.FullAccAfter++
-		}
-		if eb.FullCoverage() {
-			out.FullCovBefore++
-		}
-		if ea.FullCoverage() {
-			out.FullCovAfter++
-		}
-		out.NewFNs += ea.FN - eb.FN
+		p.fpBefore = eb.FP
+		p.fpAfter = ea.FP
+		p.fullAccBefore = eb.FullAccuracy()
+		p.fullAccAfter = ea.FullAccuracy()
+		p.fullCovBefore = eb.FullCoverage()
+		p.fullCovAfter = ea.FullCoverage()
+		p.newFNs = ea.FN - eb.FN
 		for _, a := range ea.FNAddrs {
 			if _, merged := after.Merged[a]; merged {
-				out.NewFNsHarmless++
+				p.harmless++
 			}
 		}
 		for _, a := range ea.FPAddrs {
-			if p, ok := bin.Truth.PartAt(a); ok && p.IncompleteCFI {
-				out.ResidualIncomplete++
+			if part, ok := bin.Truth.PartAt(a); ok && part.IncompleteCFI {
+				p.residIncompl++
 			}
 		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SectionVCResult{}
+	for _, p := range parts {
+		out.FPsBefore += p.fpBefore
+		out.FPsAfter += p.fpAfter
+		if p.fullAccBefore {
+			out.FullAccBefore++
+		}
+		if p.fullAccAfter {
+			out.FullAccAfter++
+		}
+		if p.fullCovBefore {
+			out.FullCovBefore++
+		}
+		if p.fullCovAfter {
+			out.FullCovAfter++
+		}
+		out.NewFNs += p.newFNs
+		out.NewFNsHarmless += p.harmless
+		out.ResidualIncomplete += p.residIncompl
 	}
 	return out, nil
 }

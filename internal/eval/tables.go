@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
 	"fetch/internal/metrics"
+	"fetch/internal/pool"
 	"fetch/internal/stackan"
 	"fetch/internal/synth"
 	"fetch/internal/x64"
@@ -50,42 +52,66 @@ func (t *TableIResult) Format() string {
 	return b.String()
 }
 
-// TableI generates the wild corpus and measures FDE-vs-symbol coverage.
+// TableI generates the wild corpus and measures FDE-vs-symbol
+// coverage, using one worker per available CPU.
 func TableI(seed int64) (*TableIResult, error) {
+	return TableIJobs(seed, 0)
+}
+
+// tableIPart is one wild binary's row plus its average contribution.
+type tableIPart struct {
+	row     TableIRow
+	counted bool
+}
+
+// TableIJobs is TableI with an explicit worker count (non-positive
+// means one per available CPU). Output is identical at every count.
+func TableIJobs(seed int64, jobs int) (*TableIResult, error) {
+	parts, err := pool.Values(pool.Map(context.Background(), jobs, synth.WildCorpus(seed),
+		func(_ context.Context, _ int, w synth.WildSpec) (tableIPart, error) {
+			var p tableIPart
+			img, _, err := synth.Generate(w.Config)
+			if err != nil {
+				return p, err
+			}
+			p.row = TableIRow{Software: w.Software, Open: w.Open, HasSymbols: w.HasSymbols}
+			eh, ok := img.Section(".eh_frame")
+			p.row.EHFrame = ok
+			if ok && w.HasSymbols {
+				sec, err := ehframe.Decode(eh.Data, eh.Addr)
+				if err != nil {
+					return p, err
+				}
+				starts := map[uint64]bool{}
+				for _, s := range sec.FunctionStarts() {
+					starts[s] = true
+				}
+				syms := img.FuncSymbols()
+				covered := 0
+				for _, s := range syms {
+					if starts[s.Addr] {
+						covered++
+					}
+				}
+				if len(syms) > 0 {
+					p.row.FDERatio = 100 * float64(covered) / float64(len(syms))
+					p.counted = true
+				}
+			}
+			return p, nil
+		}))
+	if err != nil {
+		return nil, err
+	}
 	out := &TableIResult{}
 	var sum float64
 	var n int
-	for _, w := range synth.WildCorpus(seed) {
-		img, _, err := synth.Generate(w.Config)
-		if err != nil {
-			return nil, err
+	for _, p := range parts {
+		out.Rows = append(out.Rows, p.row)
+		if p.counted {
+			sum += p.row.FDERatio
+			n++
 		}
-		row := TableIRow{Software: w.Software, Open: w.Open, HasSymbols: w.HasSymbols}
-		eh, ok := img.Section(".eh_frame")
-		row.EHFrame = ok
-		if ok && w.HasSymbols {
-			sec, err := ehframe.Decode(eh.Data, eh.Addr)
-			if err != nil {
-				return nil, err
-			}
-			starts := map[uint64]bool{}
-			for _, s := range sec.FunctionStarts() {
-				starts[s] = true
-			}
-			syms := img.FuncSymbols()
-			covered := 0
-			for _, s := range syms {
-				if starts[s.Addr] {
-					covered++
-				}
-			}
-			if len(syms) > 0 {
-				row.FDERatio = 100 * float64(covered) / float64(len(syms))
-				sum += row.FDERatio
-				n++
-			}
-		}
-		out.Rows = append(out.Rows, row)
 	}
 	if n > 0 {
 		out.AvgRatio = sum / float64(n)
@@ -123,9 +149,42 @@ func (t *TableIIResult) Format() string {
 	return b.String()
 }
 
+// tableIIPart is one binary's symbol-coverage contribution.
+type tableIIPart struct {
+	project, typ  string
+	ehFrame       bool
+	syms, covered int
+}
+
 // TableII measures per-project FDE coverage of symbols on a generated
 // corpus.
 func TableII(c *Corpus) (*TableIIResult, error) {
+	parts, err := overBins(c.Jobs, c.Bins, func(bin *Binary) (tableIIPart, error) {
+		p := tableIIPart{project: bin.Spec.Project, typ: bin.Spec.Type}
+		eh, ok := bin.Img.Section(".eh_frame")
+		if !ok {
+			return p, nil
+		}
+		p.ehFrame = true
+		sec, err := ehframe.Decode(eh.Data, eh.Addr)
+		if err != nil {
+			return p, err
+		}
+		starts := map[uint64]bool{}
+		for _, s := range sec.FunctionStarts() {
+			starts[s] = true
+		}
+		for _, s := range bin.Img.FuncSymbols() {
+			p.syms++
+			if starts[s.Addr] {
+				p.covered++
+			}
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	type acc struct {
 		row     TableIIRow
 		syms    int
@@ -134,35 +193,22 @@ func TableII(c *Corpus) (*TableIIResult, error) {
 	byProject := map[string]*acc{}
 	var order []string
 	var totalSyms, totalCovered int
-	for _, bin := range c.Bins {
-		a := byProject[bin.Spec.Project]
+	for _, p := range parts {
+		a := byProject[p.project]
 		if a == nil {
-			a = &acc{row: TableIIRow{Project: bin.Spec.Project, Type: bin.Spec.Type, EHFrame: true}}
-			byProject[bin.Spec.Project] = a
-			order = append(order, bin.Spec.Project)
+			a = &acc{row: TableIIRow{Project: p.project, Type: p.typ, EHFrame: true}}
+			byProject[p.project] = a
+			order = append(order, p.project)
 		}
 		a.row.Binaries++
-		eh, ok := bin.Img.Section(".eh_frame")
-		if !ok {
+		if !p.ehFrame {
 			a.row.EHFrame = false
 			continue
 		}
-		sec, err := ehframe.Decode(eh.Data, eh.Addr)
-		if err != nil {
-			return nil, err
-		}
-		starts := map[uint64]bool{}
-		for _, s := range sec.FunctionStarts() {
-			starts[s] = true
-		}
-		for _, s := range bin.Img.FuncSymbols() {
-			a.syms++
-			totalSyms++
-			if starts[s.Addr] {
-				a.covered++
-				totalCovered++
-			}
-		}
+		a.syms += p.syms
+		a.covered += p.covered
+		totalSyms += p.syms
+		totalCovered += p.covered
 	}
 	out := &TableIIResult{Binaries: len(c.Bins)}
 	for _, p := range order {
@@ -229,7 +275,8 @@ func (t *TableIIIResult) Format() string {
 }
 
 // TableIII runs every comparator over the corpus, split by
-// optimization level.
+// optimization level. Each binary's tool runs happen on one worker;
+// binaries fan out across the pool.
 func TableIII(c *Corpus) (*TableIIIResult, error) {
 	out := &TableIIIResult{
 		Opts:  synth.AllOpts,
@@ -238,15 +285,26 @@ func TableIII(c *Corpus) (*TableIIIResult, error) {
 	}
 	byOpt := c.ByOpt()
 	for _, opt := range out.Opts {
-		out.Cells[opt] = map[baseline.Tool]TableIIICell{}
-		for _, tool := range out.Tools {
-			var agg metrics.Aggregate
-			for _, bin := range byOpt[opt] {
-				funcs, err := baseline.Run(tool, bin.Img.Strip())
+		parts, err := overBins(c.Jobs, byOpt[opt], func(bin *Binary) (map[baseline.Tool]metrics.Eval, error) {
+			evals := make(map[baseline.Tool]metrics.Eval, len(out.Tools))
+			stripped := bin.Img.Strip()
+			for _, tool := range out.Tools {
+				funcs, err := baseline.Run(tool, stripped)
 				if err != nil {
 					return nil, fmt.Errorf("eval: %s on %s: %w", tool, bin.Spec.Config.Name, err)
 				}
-				agg.Add(metrics.Evaluate(funcs, bin.Truth))
+				evals[tool] = metrics.Evaluate(funcs, bin.Truth)
+			}
+			return evals, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Cells[opt] = map[baseline.Tool]TableIIICell{}
+		for _, tool := range out.Tools {
+			var agg metrics.Aggregate
+			for _, evals := range parts {
+				agg.Add(evals[tool])
 			}
 			out.Cells[opt][tool] = TableIIICell{FP: agg.FP, FN: agg.FN}
 		}
@@ -288,6 +346,12 @@ func (t *TableIVResult) Format() string {
 	return b.String()
 }
 
+// tableIVCounts tallies agreement between a degraded analysis and the
+// CFI baseline.
+type tableIVCounts struct {
+	agree, reported, baseline int
+}
+
 // TableIV compares the degraded stack-height analyses against
 // CFI-recorded heights over complete-CFI whole functions.
 func TableIV(c *Corpus) (*TableIVResult, error) {
@@ -295,16 +359,13 @@ func TableIV(c *Corpus) (*TableIVResult, error) {
 		Opts:  synth.AllOpts,
 		Cells: map[synth.Opt]map[stackan.Style][2]TableIVCell{},
 	}
-	type counts struct {
-		agree, reported, baseline int
-	}
 	byOpt := c.ByOpt()
 	for _, opt := range out.Opts {
-		tally := map[stackan.Style][2]counts{}
-		for _, bin := range byOpt[opt] {
+		parts, err := overBins(c.Jobs, byOpt[opt], func(bin *Binary) (map[stackan.Style][2]tableIVCounts, error) {
+			tally := map[stackan.Style][2]tableIVCounts{}
 			eh, ok := bin.Img.Section(".eh_frame")
 			if !ok {
-				continue
+				return tally, nil
 			}
 			sec, err := ehframe.Decode(eh.Data, eh.Addr)
 			if err != nil {
@@ -347,6 +408,22 @@ func TableIV(c *Corpus) (*TableIVResult, error) {
 					}
 					tally[style] = cur
 				}
+			}
+			return tally, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tally := map[stackan.Style][2]tableIVCounts{}
+		for _, part := range parts {
+			for style, cs := range part {
+				cur := tally[style]
+				for scope := 0; scope < 2; scope++ {
+					cur[scope].agree += cs[scope].agree
+					cur[scope].reported += cs[scope].reported
+					cur[scope].baseline += cs[scope].baseline
+				}
+				tally[style] = cur
 			}
 		}
 		out.Cells[opt] = map[stackan.Style][2]TableIVCell{}
@@ -406,7 +483,10 @@ func (t *TableVResult) Format() string {
 	return b.String()
 }
 
-// TableV times every tool over (a sample of) the corpus.
+// TableV times every tool over (a sample of) the corpus. It runs
+// strictly sequentially regardless of Corpus.Jobs: the table measures
+// per-binary latency, and concurrent runs would contend for cores and
+// distort the means.
 func TableV(c *Corpus, sample int) (*TableVResult, error) {
 	bins := c.Bins
 	if sample > 0 && sample < len(bins) {

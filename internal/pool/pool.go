@@ -1,0 +1,105 @@
+// Package pool provides a bounded worker pool with deterministic,
+// input-ordered result collection.
+//
+// Every batch-shaped layer of the reproduction (corpus generation, the
+// table/figure drivers, the public batch API) fans its per-item work
+// out through Map. The contract that makes that safe for a paper
+// reproduction: parallelism changes wall-clock time only, never
+// results. Each item writes to its own pre-allocated slot, results
+// come back in input order, errors are captured per item, and the
+// first error reported by Values is the first in input order — not the
+// first in completion order — so a parallel run is indistinguishable
+// from a sequential one.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Result carries one item's outcome.
+type Result[R any] struct {
+	Value R
+	Err   error
+}
+
+// Jobs normalizes a requested worker count: anything non-positive
+// means one worker per available CPU.
+func Jobs(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map applies fn to every item using at most jobs concurrent workers
+// and returns one Result per item, in input order.
+//
+// A nil ctx means context.Background. Once ctx is cancelled no new
+// item is started: every unstarted item's Result carries ctx.Err(),
+// while items already in flight run to completion. fn receives the
+// item's index alongside the item so callers can correlate without
+// closing over shared state.
+func Map[T, R any](ctx context.Context, jobs int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) []Result[R] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result[R], len(items))
+	if len(items) == 0 {
+		return results
+	}
+	if jobs = Jobs(jobs); jobs > len(items) {
+		jobs = len(items)
+	}
+	if jobs == 1 {
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				results[i].Err = err
+				continue
+			}
+			v, err := fn(ctx, i, items[i])
+			results[i] = Result[R]{Value: v, Err: err}
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+					continue
+				}
+				v, err := fn(ctx, i, items[i])
+				results[i] = Result[R]{Value: v, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Values unwraps a Result slice into its values, returning the first
+// error in input order (deterministic regardless of which item failed
+// first in wall-clock time). The values slice is complete even on
+// error; failed items hold their zero value.
+func Values[R any](rs []Result[R]) ([]R, error) {
+	vals := make([]R, len(rs))
+	var first error
+	for i, r := range rs {
+		vals[i] = r.Value
+		if r.Err != nil && first == nil {
+			first = r.Err
+		}
+	}
+	return vals, first
+}

@@ -1,0 +1,163 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 100} {
+		items := make([]int, 57)
+		for i := range items {
+			items[i] = i
+		}
+		rs := Map(nil, jobs, items, func(_ context.Context, i, item int) (int, error) {
+			return item * 2, nil
+		})
+		if len(rs) != len(items) {
+			t.Fatalf("jobs=%d: got %d results, want %d", jobs, len(rs), len(items))
+		}
+		for i, r := range rs {
+			if r.Err != nil {
+				t.Fatalf("jobs=%d item %d: %v", jobs, i, r.Err)
+			}
+			if r.Value != i*2 {
+				t.Errorf("jobs=%d: results[%d] = %d, want %d (order broken)", jobs, i, r.Value, i*2)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	rs := Map(nil, 4, nil, func(_ context.Context, i int, item struct{}) (int, error) {
+		t.Error("fn called on empty input")
+		return 0, nil
+	})
+	if len(rs) != 0 {
+		t.Errorf("got %d results for empty input", len(rs))
+	}
+}
+
+func TestMapPerItemErrors(t *testing.T) {
+	boom := errors.New("boom")
+	items := []int{0, 1, 2, 3, 4}
+	rs := Map(nil, 3, items, func(_ context.Context, i, item int) (int, error) {
+		if item == 1 || item == 3 {
+			return 0, fmt.Errorf("item %d: %w", item, boom)
+		}
+		return item + 10, nil
+	})
+	for i, r := range rs {
+		wantErr := i == 1 || i == 3
+		if (r.Err != nil) != wantErr {
+			t.Errorf("item %d: err = %v, want error: %v", i, r.Err, wantErr)
+		}
+		if !wantErr && r.Value != i+10 {
+			t.Errorf("item %d: value = %d, want %d", i, r.Value, i+10)
+		}
+		if wantErr && !errors.Is(r.Err, boom) {
+			t.Errorf("item %d: error %v lost its cause", i, r.Err)
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	// A pre-cancelled context must mark every item with the context
+	// error without invoking fn.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	rs := Map(ctx, 4, make([]int, 20), func(context.Context, int, int) (int, error) {
+		calls.Add(1)
+		return 0, nil
+	})
+	if n := calls.Load(); n != 0 {
+		t.Errorf("fn ran %d times after cancellation", n)
+	}
+	for i, r := range rs {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("item %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestMapMidRunCancellation(t *testing.T) {
+	// Sequential path: cancelling at item 2 stops items 3+.
+	ctx, cancel := context.WithCancel(context.Background())
+	rs := Map(ctx, 1, make([]int, 10), func(_ context.Context, i, _ int) (int, error) {
+		if i == 2 {
+			cancel()
+		}
+		return i, nil
+	})
+	for i, r := range rs {
+		if i <= 2 && (r.Err != nil || r.Value != i) {
+			t.Errorf("item %d should have run: %+v", i, r)
+		}
+		if i > 2 && !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("item %d should be cancelled, got %+v", i, r)
+		}
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	var active, peak atomic.Int32
+	jobs := 4
+	rs := Map(nil, jobs, make([]int, 64), func(context.Context, int, int) (int, error) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		active.Add(-1)
+		return 0, nil
+	})
+	if p := peak.Load(); p > int32(jobs) {
+		t.Errorf("observed %d concurrent workers, bound was %d", p, jobs)
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+	}
+}
+
+func TestJobsNormalization(t *testing.T) {
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs(-3) = %d", got)
+	}
+	if got := Jobs(7); got != 7 {
+		t.Errorf("Jobs(7) = %d", got)
+	}
+}
+
+func TestValuesFirstErrorInInputOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	rs := []Result[int]{
+		{Value: 1},
+		{Err: errB},
+		{Value: 3},
+		{Err: errA},
+	}
+	vals, err := Values(rs)
+	if !errors.Is(err, errB) {
+		t.Errorf("first error = %v, want input-order first %v", err, errB)
+	}
+	if len(vals) != 4 || vals[0] != 1 || vals[2] != 3 {
+		t.Errorf("values incomplete: %v", vals)
+	}
+	if _, err := Values([]Result[int]{{Value: 9}}); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
