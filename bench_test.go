@@ -246,6 +246,73 @@ func BenchmarkRecursiveDisassembly(b *testing.B) {
 	}
 }
 
+// sessionBenchSeeds splits the bench binary's FDE starts into an
+// initial bulk plus the small late batches an xref-style fixed point
+// adds, so the two benchmarks below replay the same iterative growth
+// with and without incremental state.
+func sessionBenchSeeds(b *testing.B) (initial []uint64, batches [][]uint64) {
+	b.Helper()
+	corpusForBench(b)
+	eh, _ := benchSingle.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := sec.FunctionStarts()
+	if len(seeds) < 24 {
+		b.Fatalf("bench binary has only %d seeds", len(seeds))
+	}
+	cut := len(seeds) - 12
+	initial = seeds[:cut]
+	for k := cut; k < len(seeds); k += 3 {
+		end := k + 3
+		if end > len(seeds) {
+			end = len(seeds)
+		}
+		batches = append(batches, seeds[k:end])
+	}
+	return initial, batches
+}
+
+// BenchmarkScratchResweep is the pre-session baseline: every seed
+// batch pays a full from-scratch recursive disassembly over the
+// cumulative list — the O(binary)-per-iteration cost the Session
+// removes.
+func BenchmarkScratchResweep(b *testing.B) {
+	initial, batches := sessionBenchSeeds(b)
+	opts := disasm.Options{ResolveJumpTables: true, NonReturning: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cum := append([]uint64(nil), initial...)
+		disasm.Recursive(benchSingle, cum, opts)
+		for _, batch := range batches {
+			cum = append(cum, batch...)
+			disasm.Recursive(benchSingle, cum, opts)
+		}
+	}
+}
+
+// BenchmarkSessionExtend performs the identical growth through one
+// Session, reusing every already-decoded instruction; results are
+// byte-identical to the scratch variant (see the equivalence suite).
+func BenchmarkSessionExtend(b *testing.B) {
+	initial, batches := sessionBenchSeeds(b)
+	opts := disasm.Options{ResolveJumpTables: true, NonReturning: true}
+	b.ResetTimer()
+	var st disasm.Stats
+	for i := 0; i < b.N; i++ {
+		sess := disasm.NewSession(benchSingle, opts)
+		sess.Extend(initial)
+		for _, batch := range batches {
+			sess.Extend(batch)
+		}
+		st = sess.Stats()
+	}
+	if total := st.InstsDecoded + st.InstsReused; total > 0 {
+		b.ReportMetric(100*float64(st.InstsReused)/float64(total), "reused%")
+	}
+}
+
 func BenchmarkEhFrameDecode(b *testing.B) {
 	corpusForBench(b)
 	eh, _ := benchSingle.Section(".eh_frame")

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	corpusgen [-out DIR] [-scale F] [-seed N] [-wild]
+//	corpusgen [-out DIR] [-scale F] [-seed N] [-jobs N] [-wild]
+//
+// Generation fans out over -jobs workers (0 = one per CPU); output is
+// byte-identical to a sequential run. A failing item does not stop the
+// others: corpusgen writes what it can, prints a per-item error
+// summary, and exits non-zero when anything failed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -15,6 +21,7 @@ import (
 
 	"fetch/internal/elfx"
 	"fetch/internal/groundtruth"
+	"fetch/internal/pool"
 	"fetch/internal/synth"
 )
 
@@ -24,6 +31,13 @@ type truthJSON struct {
 	FunctionStart []uint64 `json:"function_starts"`
 	PartStarts    []uint64 `json:"part_starts"`
 	CFIErrors     []uint64 `json:"cfi_error_fdes"`
+}
+
+// item is one corpus entry to generate and write.
+type item struct {
+	name  string
+	cfg   synth.Config
+	strip bool
 }
 
 func main() {
@@ -37,59 +51,78 @@ func run() error {
 	out := flag.String("out", "corpus", "output directory")
 	scale := flag.Float64("scale", 0.05, "corpus scale in (0,1]")
 	seed := flag.Int64("seed", 1, "generation seed")
+	jobs := flag.Int("jobs", 0, "concurrent generation workers (0 = one per CPU)")
 	wild := flag.Bool("wild", false, "generate the Table I wild set instead")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
-	write := func(name string, img *elfx.Image, truth *groundtruth.Truth) error {
-		raw, err := elfx.WriteELF(img)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(*out, name), raw, 0o755); err != nil {
-			return err
-		}
-		tj := truthJSON{Binary: name, FunctionStart: truth.SortedStarts()}
-		for _, p := range truth.Parts {
-			tj.PartStarts = append(tj.PartStarts, p.Addr)
-		}
-		tj.CFIErrors = append(tj.CFIErrors, truth.CFIErrorAddrs...)
-		blob, err := json.MarshalIndent(&tj, "", "  ")
-		if err != nil {
-			return err
-		}
-		return os.WriteFile(filepath.Join(*out, name+".truth.json"), blob, 0o644)
-	}
 
-	n := 0
+	var items []item
 	if *wild {
 		for _, w := range synth.WildCorpus(*seed) {
-			img, truth, err := synth.Generate(w.Config)
-			if err != nil {
-				return err
-			}
-			if !w.HasSymbols {
-				img = img.Strip()
-			}
-			if err := write(w.Software, img, truth); err != nil {
-				return err
-			}
-			n++
+			items = append(items, item{name: w.Software, cfg: w.Config, strip: !w.HasSymbols})
 		}
 	} else {
 		for _, sp := range synth.SelfBuiltCorpus(*scale, *seed) {
-			img, truth, err := synth.Generate(sp.Config)
-			if err != nil {
-				return err
-			}
-			if err := write(sp.Config.Name, img, truth); err != nil {
-				return err
-			}
-			n++
+			items = append(items, item{name: sp.Config.Name, cfg: sp.Config})
 		}
 	}
+
+	// Each worker generates AND writes its item (file contents are
+	// per-item, so write order doesn't matter), keeping peak memory at
+	// O(jobs) binaries; the error summary below still reads the
+	// results in input order, so output is deterministic.
+	results := pool.Map(context.Background(), *jobs, items,
+		func(_ context.Context, _ int, it item) (struct{}, error) {
+			img, truth, err := synth.Generate(it.cfg)
+			if err != nil {
+				return struct{}{}, err
+			}
+			if it.strip {
+				img = img.Strip()
+			}
+			return struct{}{}, write(*out, it.name, img, truth)
+		})
+
+	n := 0
+	var failed []string
+	for i, r := range results {
+		if r.Err != nil {
+			failed = append(failed, fmt.Sprintf("  %s: %v", items[i].name, r.Err))
+			continue
+		}
+		n++
+	}
 	fmt.Printf("wrote %d binaries to %s\n", n, *out)
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "corpusgen: %d of %d items failed:\n", len(failed), len(items))
+		for _, line := range failed {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		return fmt.Errorf("%d of %d items failed", len(failed), len(items))
+	}
 	return nil
+}
+
+// write materializes one binary and its ground truth.
+func write(dir, name string, img *elfx.Image, truth *groundtruth.Truth) error {
+	raw, err := elfx.WriteELF(img)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o755); err != nil {
+		return err
+	}
+	tj := truthJSON{Binary: name, FunctionStart: truth.SortedStarts()}
+	for _, p := range truth.Parts {
+		tj.PartStarts = append(tj.PartStarts, p.Addr)
+	}
+	tj.CFIErrors = append(tj.CFIErrors, truth.CFIErrorAddrs...)
+	blob, err := json.MarshalIndent(&tj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".truth.json"), blob, 0o644)
 }

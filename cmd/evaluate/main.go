@@ -100,6 +100,7 @@ func run(args []string, w, errW io.Writer) error {
 	seed := fs.Int64("seed", 1, "corpus seed")
 	only := fs.String("only", "", "comma-separated subset of experiments")
 	jobs := fs.Int("jobs", runtime.NumCPU(), "worker count for generation and analysis (0 = one per CPU)")
+	verbose := fs.Bool("v", false, "print incremental-session statistics for the corpus")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,6 +133,13 @@ func run(args []string, w, errW io.Writer) error {
 		}
 		fmt.Fprintf(w, "corpus: %d binaries, %d true functions (scale %.2f, jobs %d, built in %v)\n\n",
 			len(corpus.Bins), corpus.TotalFuncs(), *scale, *jobs, time.Since(start).Round(time.Millisecond))
+		if *verbose {
+			st, err := eval.SessionStats(corpus)
+			if err != nil {
+				return fmt.Errorf("session stats: %w", err)
+			}
+			fmt.Fprintf(w, "%s\n", st.Format())
+		}
 	}
 
 	for _, key := range experimentKeys {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"fetch"
 )
@@ -38,6 +39,21 @@ func printResult(res *fetch.Result, verbose bool) {
 	fmt.Printf("removed bogus FDEs:     %d\n", len(res.RemovedBogusFDEs))
 	fmt.Printf("skipped (no CFI info):  %d\n", res.SkippedIncompleteCFI)
 	if verbose {
+		st := res.Stats
+		total := st.InstsDecoded + st.InstsReused
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.InstsReused) / float64(total)
+		}
+		fmt.Printf("insts decoded/reused:   %d/%d (%.1f%% reused)\n",
+			st.InstsDecoded, st.InstsReused, pct)
+		fmt.Printf("session ops:            %d extend, %d retract, %d fork, %d probe\n",
+			st.Extends, st.Retracts, st.Forks, st.Probes)
+		fmt.Printf("xref iterations:        %d (converged: %v)\n",
+			st.XrefIterations, st.XrefConverged)
+		for _, ps := range st.Passes {
+			fmt.Printf("pass %-10s         %v\n", ps.Name, ps.Wall.Round(time.Microsecond))
+		}
 		for _, a := range res.FunctionStarts {
 			fmt.Printf("%#x\n", a)
 		}
@@ -59,7 +75,7 @@ func run() error {
 	sample := flag.Bool("sample", false, "analyze a generated sample binary instead of a file")
 	seed := flag.Int64("seed", 1, "sample generation seed")
 	jobs := flag.Int("jobs", 0, "concurrent analyses for multiple binaries (0 = one per CPU)")
-	verbose := flag.Bool("v", false, "list every detected start")
+	verbose := flag.Bool("v", false, "list every detected start plus per-pass timing and session statistics")
 	flag.Parse()
 
 	var opts []fetch.Option

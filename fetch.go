@@ -36,6 +36,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"fetch/internal/core"
 	"fetch/internal/elfx"
@@ -63,6 +64,48 @@ type Result struct {
 	// SkippedIncompleteCFI counts functions Algorithm 1 skipped
 	// because their CFI carries no complete rsp-relative heights.
 	SkippedIncompleteCFI int
+	// Stats reports per-pass wall times and the incremental-analysis
+	// counters of the pipeline's shared disassembly session.
+	Stats Stats
+}
+
+// PassStat is one pipeline pass's wall-clock cost. Wall times are the
+// only non-deterministic part of a Result.
+type PassStat struct {
+	// Name is the pass label: "fde", "recursive", "xref", "tailcall".
+	Name string
+	// Wall is the pass's elapsed time.
+	Wall time.Duration
+}
+
+// Stats makes the pipeline's incremental behavior observable: after
+// the initial recursive sweep, pointer-detection rounds re-analyze via
+// session Extend, §V-B CFI-error recovery via Retract, and candidate
+// validation via fork Probes — never a cold resweep (ColdStarts stays
+// 1). All fields except the pass wall times are deterministic.
+type Stats struct {
+	// Passes lists the executed pipeline passes in order.
+	Passes []PassStat
+	// InstsDecoded and InstsReused count instruction-decode cache
+	// misses and hits across the whole analysis, including candidate
+	// validation probes.
+	InstsDecoded int64
+	InstsReused  int64
+	// ColdStarts counts disassembly sessions started with an empty
+	// decode cache; the incremental pipeline reports exactly 1.
+	ColdStarts int
+	// Extends, Retracts, Forks, and Probes count the session
+	// operations the pipeline performed.
+	Extends  int
+	Retracts int
+	Forks    int
+	Probes   int
+	// XrefIterations counts pointer-detection rounds run;
+	// XrefConverged reports whether every round sequence reached its
+	// fixed point rather than hitting the iteration cap (truncation
+	// used to be silent).
+	XrefIterations int
+	XrefConverged  bool
 }
 
 // Option adjusts the analysis strategy.
@@ -111,6 +154,20 @@ func analyzeImage(img *elfx.Image, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := Stats{
+		InstsDecoded:   rep.Stats.Disasm.InstsDecoded,
+		InstsReused:    rep.Stats.Disasm.InstsReused,
+		ColdStarts:     rep.Stats.Disasm.ColdStarts,
+		Extends:        rep.Stats.Disasm.Extends,
+		Retracts:       rep.Stats.Disasm.Retracts,
+		Forks:          rep.Stats.Disasm.Forks,
+		Probes:         rep.Stats.Disasm.Probes,
+		XrefIterations: rep.Stats.XrefIterations,
+		XrefConverged:  rep.Stats.XrefConverged,
+	}
+	for _, ps := range rep.Stats.Passes {
+		st.Passes = append(st.Passes, PassStat{Name: ps.Name, Wall: ps.Wall})
+	}
 	return &Result{
 		FunctionStarts:       rep.SortedFuncs(),
 		FDEStarts:            rep.FDEStarts,
@@ -119,6 +176,7 @@ func analyzeImage(img *elfx.Image, opts ...Option) (*Result, error) {
 		MergedParts:          rep.Merged,
 		RemovedBogusFDEs:     rep.CFIErrRemoved,
 		SkippedIncompleteCFI: rep.SkippedIncomplete,
+		Stats:                st,
 	}, nil
 }
 

@@ -21,14 +21,20 @@ type Detection struct {
 	Funcs map[uint64]bool
 	Res   *disasm.Result
 	Sec   *ehframe.Section
+	// Sess is the incremental disassembly session created by Rec;
+	// later passes re-analyze through it instead of resweeping.
+	Sess *disasm.Session
 }
 
-// Clone deep-copies the function set (the disassembly is shared).
+// Clone deep-copies the function set (the disassembly and session are
+// shared — session runs depend only on their seed list, so branching
+// strategy chains off one session is deterministic).
 func (d *Detection) Clone() *Detection {
 	cp := &Detection{
 		Funcs: make(map[uint64]bool, len(d.Funcs)),
 		Res:   d.Res,
 		Sec:   d.Sec,
+		Sess:  d.Sess,
 	}
 	for a := range d.Funcs {
 		cp.Funcs[a] = true
@@ -75,7 +81,8 @@ func Rec(img *elfx.Image, d *Detection) *Detection {
 	if img.IsExec(img.Entry) {
 		seeds = append(seeds, img.Entry)
 	}
-	res := disasm.Recursive(img, seeds, safeOpts())
+	out.Sess = disasm.NewSession(img, safeOpts())
+	res := out.Sess.Extend(seeds)
 	for f := range res.Funcs {
 		out.Funcs[f] = true
 	}
@@ -462,13 +469,21 @@ func Xref(img *elfx.Image, d *Detection) *Detection {
 	}
 	newly := xref.Detect(img, out.Res, out.Funcs, xref.Options{
 		KnownRanges: fdeRangesOf(out),
+		Session:     out.Sess,
 	})
 	for _, a := range newly {
 		out.Funcs[a] = true
 	}
 	if len(newly) > 0 {
+		// The historical seed list is the sorted accepted set, not an
+		// append of newly — Rerun keeps that exact order while reusing
+		// the decode cache.
 		seeds := out.sortedFuncs()
-		out.Res = disasm.Recursive(img, seeds, safeOpts())
+		if out.Sess != nil {
+			out.Res = out.Sess.Rerun(seeds)
+		} else {
+			out.Res = disasm.Recursive(img, seeds, safeOpts())
+		}
 		for f := range out.Res.Funcs {
 			out.Funcs[f] = true
 		}
@@ -491,6 +506,7 @@ func SafeTailCall(img *elfx.Image, d *Detection) *Detection {
 		DataRefCount: func(a uint64) int {
 			return xref.DataRefCount(img, a)
 		},
+		Sess: out.Sess,
 	})
 	out.Funcs = tc.Funcs
 	return out

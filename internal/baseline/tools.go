@@ -151,9 +151,13 @@ func hybridTool(img *elfx.Image, p hybridProfile) map[uint64]bool {
 	if p.noTables {
 		opts.ResolveJumpTables = false
 	}
+	// One session across the match-recurse rounds: each round extends
+	// with the newly matched starts instead of resweeping.
+	sess := disasm.NewSession(img, opts)
 	var res *disasm.Result
+	newSeeds := seeds
 	for iter := 0; iter < 8; iter++ {
-		res = disasm.Recursive(img, seeds, opts)
+		res = sess.Extend(newSeeds)
 		for f := range res.Funcs {
 			funcs[f] = true
 		}
@@ -184,7 +188,7 @@ func hybridTool(img *elfx.Image, p hybridProfile) map[uint64]bool {
 		for _, a := range found {
 			funcs[a] = true
 		}
-		seeds = append(seeds, found...)
+		newSeeds = found
 	}
 	return funcs
 }
@@ -361,13 +365,16 @@ func ninjaTool(img *elfx.Image) map[uint64]bool {
 	funcs := hybridTool(img, hybridProfile{broadPrologues: true, noTables: true})
 	opts := safeOpts()
 	opts.ResolveJumpTables = false
+	// The seed list is rebuilt (sorted) each round, so Rerun rather
+	// than Extend keeps the historical order with cached decoding.
+	sess := disasm.NewSession(img, opts)
 	for iter := 0; iter < 6; iter++ {
 		seeds := make([]uint64, 0, len(funcs))
 		for f := range funcs {
 			seeds = append(seeds, f)
 		}
 		sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
-		res := disasm.Recursive(img, seeds, opts)
+		res := sess.Rerun(seeds)
 		for f := range res.Funcs {
 			funcs[f] = true
 		}

@@ -4,11 +4,20 @@
 // "optimal strategies" configuration of Figure 5c, with each stage
 // individually switchable so the evaluation can reproduce every
 // strategy combination the paper measures.
+//
+// The pipeline is an explicit ordered pass list (fde, recursive, xref,
+// tailcall) running over one shared incremental disasm.Session and one
+// Report. After the initial sweep no pass pays a cold resweep: xref
+// iterations re-analyze via Session.Extend, the §V-B CFI-error
+// recovery via Session.Retract, and candidate validation probes via
+// Session.Fork — all byte-identical to from-scratch runs by the
+// Session contract.
 package core
 
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"fetch/internal/disasm"
 	"fetch/internal/ehframe"
@@ -32,6 +41,37 @@ type Strategy struct {
 // FETCH is the full pipeline configuration.
 var FETCH = Strategy{Recursive: true, Xref: true, TailCall: true}
 
+// maxXrefIters caps the pointer-detection fixed point per invocation.
+// Stats record whether the cap truncated the iteration.
+const maxXrefIters = 3
+
+// PassStat is one pipeline pass's wall-clock cost.
+type PassStat struct {
+	Name string
+	Wall time.Duration
+}
+
+// Stats makes the pipeline's incremental behavior observable: per-pass
+// wall time, the shared session's decode-reuse counters, and the
+// pointer-detection iteration outcome (the fixed point is capped, and
+// truncation used to be silent).
+type Stats struct {
+	// Passes lists the executed passes in order with wall times.
+	Passes []PassStat
+	// Disasm aggregates the shared session's counters, including its
+	// forks' candidate-validation probes.
+	Disasm disasm.Stats
+	// XrefIterations counts xref.Detect rounds actually run, summed
+	// over every pointer-detection invocation (the initial fixed point
+	// and the post-CFI-recovery re-run).
+	XrefIterations int
+	// XrefConverged reports whether every pointer-detection invocation
+	// reached its fixed point (a Detect round that found nothing new)
+	// rather than being truncated by the iteration cap. Vacuously true
+	// when the xref stage is disabled.
+	XrefConverged bool
+}
+
 // Report is the analysis outcome.
 type Report struct {
 	// Funcs is the final detected function-start set.
@@ -48,6 +88,9 @@ type Report struct {
 	CFIErrRemoved []uint64
 	// SkippedIncomplete counts FDE functions Algorithm 1 skipped.
 	SkippedIncomplete int
+
+	// Stats reports the pipeline's incremental-analysis counters.
+	Stats Stats
 
 	// Res is the final disassembly state.
 	Res *disasm.Result
@@ -70,129 +113,218 @@ func safeOpts() disasm.Options {
 	return disasm.Options{ResolveJumpTables: true, NonReturning: true}
 }
 
+// pipeline is the shared state the ordered passes operate on.
+type pipeline struct {
+	img   *elfx.Image
+	strat Strategy
+	rep   *Report
+	// sess is the one incremental disassembly session every pass
+	// reuses; created by the recursive pass.
+	sess *disasm.Session
+	// banned holds starts Algorithm 1 merged away or removed; later
+	// re-analysis must not resurrect them (parts remain seeds for code
+	// coverage but are no longer reported as functions).
+	banned map[uint64]bool
+}
+
+// Pass is one ordered pipeline stage.
+type Pass struct {
+	// Name labels the pass in Stats.Passes.
+	Name string
+	// Need reports whether the strategy enables the pass.
+	Need func(Strategy) bool
+	// Run executes the pass against the shared pipeline state.
+	Run func(*pipeline) error
+}
+
+// Passes is the FETCH pipeline in execution order. The slice is the
+// single source of truth for stage ordering; Analyze walks it,
+// skipping passes the strategy disables.
+var Passes = []Pass{
+	{
+		Name: "fde",
+		Need: func(Strategy) bool { return true },
+		Run:  (*pipeline).runFDE,
+	},
+	{
+		Name: "recursive",
+		Need: func(s Strategy) bool { return s.Recursive },
+		Run:  (*pipeline).runRecursive,
+	},
+	{
+		Name: "xref",
+		Need: func(s Strategy) bool { return s.Recursive && s.Xref },
+		Run:  (*pipeline).runXrefPass,
+	},
+	{
+		Name: "tailcall",
+		Need: func(s Strategy) bool { return s.Recursive && s.TailCall },
+		Run:  (*pipeline).runTailCall,
+	},
+}
+
 // Analyze runs the selected strategy on a binary image. Symbols are
 // never consulted: the pipeline treats every input as stripped.
 func Analyze(img *elfx.Image, strat Strategy) (*Report, error) {
-	eh, ok := img.Section(".eh_frame")
+	p := &pipeline{
+		img:    img,
+		strat:  strat,
+		banned: map[uint64]bool{},
+		rep: &Report{
+			Funcs:  make(map[uint64]bool),
+			Merged: make(map[uint64]uint64),
+			Stats:  Stats{XrefConverged: true},
+		},
+	}
+	for _, pass := range Passes {
+		if !pass.Need(strat) {
+			continue
+		}
+		t0 := time.Now()
+		if err := pass.Run(p); err != nil {
+			return nil, err
+		}
+		p.rep.Stats.Passes = append(p.rep.Stats.Passes,
+			PassStat{Name: pass.Name, Wall: time.Since(t0)})
+	}
+	if p.sess != nil {
+		p.rep.Stats.Disasm = p.sess.Stats()
+	}
+	return p.rep, nil
+}
+
+// runFDE decodes .eh_frame and seeds the function set with the PC
+// Begin values (the paper's "FDE" row).
+func (p *pipeline) runFDE() error {
+	eh, ok := p.img.Section(".eh_frame")
 	if !ok {
-		return nil, fmt.Errorf("core: binary has no .eh_frame section")
+		return fmt.Errorf("core: binary has no .eh_frame section")
 	}
 	sec, err := ehframe.Decode(eh.Data, eh.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return fmt.Errorf("core: %w", err)
 	}
-
-	rep := &Report{
-		Funcs:  make(map[uint64]bool),
-		Merged: make(map[uint64]uint64),
-		Sec:    sec,
-	}
+	p.rep.Sec = sec
 	for _, f := range sec.FDEs {
-		if !rep.Funcs[f.PCBegin] {
-			rep.Funcs[f.PCBegin] = true
-			rep.FDEStarts = append(rep.FDEStarts, f.PCBegin)
+		if !p.rep.Funcs[f.PCBegin] {
+			p.rep.Funcs[f.PCBegin] = true
+			p.rep.FDEStarts = append(p.rep.FDEStarts, f.PCBegin)
 		}
 	}
-	sort.Slice(rep.FDEStarts, func(i, j int) bool { return rep.FDEStarts[i] < rep.FDEStarts[j] })
-	if !strat.Recursive {
-		return rep, nil
-	}
+	sort.Slice(p.rep.FDEStarts, func(i, j int) bool {
+		return p.rep.FDEStarts[i] < p.rep.FDEStarts[j]
+	})
+	return nil
+}
 
-	fdeRanges := func(exclude map[uint64]bool) []disasm.FuncRange {
-		var out []disasm.FuncRange
-		for _, f := range sec.FDEs {
-			if exclude != nil && exclude[f.PCBegin] {
-				continue
-			}
-			out = append(out, disasm.FuncRange{Start: f.PCBegin, End: f.End()})
-		}
-		return out
+// runRecursive performs the initial safe sweep from the FDE starts and
+// the entry point — the only cold analysis of the pipeline; everything
+// after it re-analyzes through the session.
+func (p *pipeline) runRecursive() error {
+	seeds := append([]uint64(nil), p.rep.FDEStarts...)
+	if p.img.IsExec(p.img.Entry) {
+		seeds = append(seeds, p.img.Entry)
 	}
-
-	seeds := append([]uint64(nil), rep.FDEStarts...)
-	if img.IsExec(img.Entry) {
-		seeds = append(seeds, img.Entry)
-	}
-	res := disasm.Recursive(img, seeds, safeOpts())
+	p.sess = disasm.NewSession(p.img, safeOpts())
+	res := p.sess.Extend(seeds)
 	for f := range res.Funcs {
-		rep.Funcs[f] = true
+		p.rep.Funcs[f] = true
 	}
-	rep.Res = res
+	p.rep.Res = res
+	return nil
+}
 
-	dataRefCount := func(a uint64) int { return xref.DataRefCount(img, a) }
+// fdeRanges returns the FDE extents minus the excluded starts, for the
+// §IV-E jump-into-function rule.
+func (p *pipeline) fdeRanges(exclude map[uint64]bool) []disasm.FuncRange {
+	var out []disasm.FuncRange
+	for _, f := range p.rep.Sec.FDEs {
+		if exclude != nil && exclude[f.PCBegin] {
+			continue
+		}
+		out = append(out, disasm.FuncRange{Start: f.PCBegin, End: f.End()})
+	}
+	return out
+}
 
-	// banned holds starts Algorithm 1 merged away or removed; later
-	// re-disassembly must not resurrect them (parts remain seeds for
-	// code coverage but are no longer reported as functions).
-	banned := map[uint64]bool{}
-	addFuncs := func(from map[uint64]bool) {
-		for f := range from {
-			if !banned[f] {
-				rep.Funcs[f] = true
-			}
+// addFuncs merges newly reachable starts, skipping banned ones.
+func (p *pipeline) addFuncs(from map[uint64]bool) {
+	for f := range from {
+		if !p.banned[f] {
+			p.rep.Funcs[f] = true
 		}
 	}
+}
 
-	runXref := func(exclude map[uint64]bool) {
-		for iter := 0; iter < 3; iter++ {
-			newly := xref.Detect(img, res, rep.Funcs, xref.Options{
-				KnownRanges: fdeRanges(exclude),
-			})
-			if len(newly) == 0 {
-				return
-			}
-			rep.XrefNew = append(rep.XrefNew, newly...)
-			seeds = append(seeds, newly...)
-			res = disasm.Recursive(img, seeds, safeOpts())
-			rep.Res = res
-			addFuncs(res.Funcs)
-		}
-	}
-
-	if strat.Xref {
-		runXref(nil)
-	}
-
-	if strat.TailCall {
-		out := tailcall.Run(tailcall.Input{
-			Img:          img,
-			Sec:          sec,
-			Res:          res,
-			Funcs:        rep.Funcs,
-			DataRefCount: dataRefCount,
+// runXref iterates pointer detection to a fixed point (capped at
+// maxXrefIters rounds), extending the session with each accepted
+// batch. Candidate validation probes run on a session fork, so
+// speculative decodes land in the shared cache without corrupting the
+// committed state. Iteration count and convergence are recorded in
+// Stats — the cap used to truncate silently.
+func (p *pipeline) runXref(exclude map[uint64]bool) {
+	for iter := 0; iter < maxXrefIters; iter++ {
+		newly := xref.Detect(p.img, p.sess.Result(), p.rep.Funcs, xref.Options{
+			KnownRanges: p.fdeRanges(exclude),
+			Session:     p.sess,
 		})
-		rep.Funcs = out.Funcs
-		rep.TailNew = out.TailNew
-		rep.Merged = out.Merged
-		rep.CFIErrRemoved = out.CFIErrRemoved
-		rep.SkippedIncomplete = out.SkippedIncomplete
-		for part := range out.Merged {
-			banned[part] = true
+		p.rep.Stats.XrefIterations++
+		if len(newly) == 0 {
+			return
 		}
-		for _, a := range out.CFIErrRemoved {
-			banned[a] = true
-		}
-
-		if strat.Xref && len(out.CFIErrRemoved) > 0 {
-			// Removing a hand-written FDE error can unmask the true
-			// entry it shadowed (§V-B): drop the poisoned decode by
-			// re-disassembling without the removed seeds, then re-run
-			// pointer detection without the removed ranges.
-			exclude := make(map[uint64]bool, len(out.CFIErrRemoved))
-			for _, a := range out.CFIErrRemoved {
-				exclude[a] = true
-			}
-			var cleanSeeds []uint64
-			for _, s := range seeds {
-				if !exclude[s] {
-					cleanSeeds = append(cleanSeeds, s)
-				}
-			}
-			seeds = cleanSeeds
-			res = disasm.Recursive(img, seeds, safeOpts())
-			rep.Res = res
-			runXref(exclude)
-		}
+		p.rep.XrefNew = append(p.rep.XrefNew, newly...)
+		res := p.sess.Extend(newly)
+		p.rep.Res = res
+		p.addFuncs(res.Funcs)
 	}
-	return rep, nil
+	p.rep.Stats.XrefConverged = false
+}
+
+// runXrefPass is the strategy-gated initial pointer-detection stage.
+func (p *pipeline) runXrefPass() error {
+	p.runXref(nil)
+	return nil
+}
+
+// runTailCall applies Algorithm 1, then — when it removed hand-written
+// FDE errors — performs the §V-B re-analysis: retracting the removed
+// seeds drops their poisoned decode, and a fresh pointer-detection
+// round can recover the true entries they shadowed.
+func (p *pipeline) runTailCall() error {
+	out := tailcall.Run(tailcall.Input{
+		Img:   p.img,
+		Sec:   p.rep.Sec,
+		Res:   p.sess.Result(),
+		Funcs: p.rep.Funcs,
+		DataRefCount: func(a uint64) int {
+			return xref.DataRefCount(p.img, a)
+		},
+		Sess: p.sess,
+	})
+	p.rep.Funcs = out.Funcs
+	p.rep.TailNew = out.TailNew
+	p.rep.Merged = out.Merged
+	p.rep.CFIErrRemoved = out.CFIErrRemoved
+	p.rep.SkippedIncomplete = out.SkippedIncomplete
+	for part := range out.Merged {
+		p.banned[part] = true
+	}
+	for _, a := range out.CFIErrRemoved {
+		p.banned[a] = true
+	}
+
+	if p.strat.Xref && len(out.CFIErrRemoved) > 0 {
+		// Removing a hand-written FDE error can unmask the true entry
+		// it shadowed (§V-B): drop the poisoned decode by retracting
+		// the removed seeds, then re-run pointer detection without the
+		// removed ranges.
+		exclude := make(map[uint64]bool, len(out.CFIErrRemoved))
+		for _, a := range out.CFIErrRemoved {
+			exclude[a] = true
+		}
+		res := p.sess.Retract(out.CFIErrRemoved)
+		p.rep.Res = res
+		p.runXref(exclude)
+	}
+	return nil
 }

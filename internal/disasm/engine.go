@@ -92,19 +92,18 @@ type Result struct {
 	Errors []Error
 	// owner maps every byte of decoded instructions to the
 	// instruction start covering it.
-	owner map[uint64]uint64
+	owner ownerMap
 }
 
 // Covered reports whether addr lies inside any decoded instruction.
 func (r *Result) Covered(addr uint64) bool {
-	_, ok := r.owner[addr]
+	_, ok := r.owner.get(addr)
 	return ok
 }
 
 // InstStartAt returns the start of the instruction covering addr.
 func (r *Result) InstStartAt(addr uint64) (uint64, bool) {
-	s, ok := r.owner[addr]
-	return s, ok
+	return r.owner.get(addr)
 }
 
 // SortedFuncs returns detected function starts in address order.
@@ -131,24 +130,12 @@ const (
 // opts.NonReturning it iterates disassembly and non-returning inference
 // to a fixed point so fall-through never crosses a call that cannot
 // return (§IV-C).
+//
+// Each call creates a throwaway Session, so every decode starts cold;
+// iterative consumers should hold a Session and use Extend/Retract/
+// Probe to reuse decodes across rounds.
 func Recursive(img *elfx.Image, seeds []uint64, opts Options) *Result {
-	nonRet := map[uint64]bool{}
-	condNonRet := map[uint64]bool{}
-	var res *Result
-	for iter := 0; iter < 6; iter++ {
-		res = runPass(img, seeds, opts, nonRet, condNonRet)
-		if !opts.NonReturning {
-			return res
-		}
-		newNonRet, newCond := inferNonReturning(res)
-		if setsEqual(newNonRet, nonRet) && setsEqual(newCond, condNonRet) {
-			break
-		}
-		nonRet, condNonRet = newNonRet, newCond
-	}
-	res.NonRet = nonRet
-	res.CondNonRet = condNonRet
-	return res
+	return NewSession(img, opts).Extend(seeds)
 }
 
 func setsEqual(a, b map[uint64]bool) bool {
@@ -161,190 +148,4 @@ func setsEqual(a, b map[uint64]bool) bool {
 		}
 	}
 	return true
-}
-
-// runPass performs one full recursive descent with the current
-// non-return knowledge.
-func runPass(img *elfx.Image, seeds []uint64, opts Options,
-	nonRet, condNonRet map[uint64]bool) *Result {
-
-	res := &Result{
-		Insts:      make(map[uint64]*x64.Inst),
-		Funcs:      make(map[uint64]bool),
-		Refs:       make(map[uint64][]uint64),
-		Constants:  make(map[uint64]bool),
-		NonRet:     nonRet,
-		CondNonRet: condNonRet,
-		JTTargets:  make(map[uint64][]uint64),
-		TableBases: make(map[uint64]bool),
-		owner:      make(map[uint64]uint64),
-	}
-
-	type workItem struct {
-		addr uint64
-		rdi  rdiState
-	}
-	var work []workItem
-	pushed := map[uint64]bool{}
-	push := func(addr uint64, rdi rdiState) {
-		if !pushed[addr] {
-			pushed[addr] = true
-			work = append(work, workItem{addr, rdi})
-		}
-	}
-	addRef := func(target, from uint64) {
-		res.Refs[target] = append(res.Refs[target], from)
-	}
-	strictErr := func(kind ErrorKind, at uint64) {
-		if opts.Strict {
-			res.Errors = append(res.Errors, Error{Kind: kind, At: at})
-		}
-	}
-	// intoFunctionMiddle checks the §IV-E rule (iii).
-	intoFunctionMiddle := func(t uint64) bool {
-		for _, r := range opts.KnownRanges {
-			if t > r.Start && t < r.End {
-				return true
-			}
-		}
-		return false
-	}
-
-	for _, s := range seeds {
-		res.Funcs[s] = true
-		push(s, rdiUnknown)
-	}
-
-	for len(work) > 0 {
-		item := work[len(work)-1]
-		work = work[:len(work)-1]
-		addr := item.addr
-		rdi := item.rdi
-
-		for {
-			if opts.MaxInsts > 0 && len(res.Insts) >= opts.MaxInsts {
-				return res
-			}
-			if _, seen := res.Insts[addr]; seen {
-				break
-			}
-			if owner, mid := res.owner[addr]; mid && owner != addr {
-				strictErr(ErrMidInstruction, addr)
-				break
-			}
-			window, ok := img.BytesToSectionEnd(addr)
-			if !ok || !img.IsExec(addr) {
-				strictErr(ErrOutOfSection, addr)
-				break
-			}
-			in, err := x64.Decode(window, addr)
-			if err != nil {
-				strictErr(ErrInvalidOpcode, addr)
-				break
-			}
-			inst := in // copy to heap once
-			res.Insts[addr] = &inst
-			for b := addr; b < addr+uint64(in.Len); b++ {
-				res.owner[b] = addr
-			}
-			for _, c := range in.Constants() {
-				if img.IsMapped(c) {
-					res.Constants[c] = true
-				}
-			}
-
-			// Track the first-argument state for the error/error_at_line
-			// call-site slice. Calls are excluded here: the clobber
-			// applies after the call-site gate below consumes the
-			// current state.
-			if w := in.Writes(); !in.IsCall() && w.Has(x64.RDI) {
-				rdi = rdiUnknown
-				if in.Op == x64.OpXor && len(in.Args) == 2 &&
-					in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI {
-					rdi = rdiZero
-				}
-				if in.Op == x64.OpMov && len(in.Args) == 2 &&
-					in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI &&
-					in.Args[1].Kind == x64.KindImm {
-					if in.Args[1].Imm == 0 {
-						rdi = rdiZero
-					} else {
-						rdi = rdiNonZero
-					}
-				}
-			}
-
-			switch in.Op {
-			case x64.OpCall:
-				t := in.Target
-				if !img.IsExec(t) {
-					strictErr(ErrOutOfSection, in.Addr)
-					break
-				}
-				if intoFunctionMiddle(t) {
-					strictErr(ErrIntoFunction, in.Addr)
-				}
-				addRef(t, in.Addr)
-				res.Funcs[t] = true
-				push(t, rdiUnknown)
-				// Fall through only when the callee can return here.
-				if opts.NonReturning {
-					if nonRet[t] {
-						goto pathDone
-					}
-					if condNonRet[t] && rdi != rdiZero {
-						goto pathDone
-					}
-				}
-				rdi = rdiUnknown // the callee clobbers rdi
-				addr = in.Next()
-				continue
-			case x64.OpJcc:
-				t := in.Target
-				if img.IsExec(t) {
-					if intoFunctionMiddle(t) {
-						strictErr(ErrIntoFunction, in.Addr)
-					}
-					addRef(t, in.Addr)
-					push(t, rdiUnknown)
-				} else {
-					strictErr(ErrOutOfSection, in.Addr)
-				}
-				addr = in.Next()
-				continue
-			case x64.OpJmp:
-				t := in.Target
-				if img.IsExec(t) {
-					if intoFunctionMiddle(t) {
-						strictErr(ErrIntoFunction, in.Addr)
-					}
-					addRef(t, in.Addr)
-					push(t, rdiUnknown)
-				} else {
-					strictErr(ErrOutOfSection, in.Addr)
-				}
-				goto pathDone
-			case x64.OpJmpInd:
-				if opts.ResolveJumpTables {
-					targets := resolveJumpTable(img, res, &inst)
-					if len(targets) > 0 {
-						res.JTTargets[in.Addr] = targets
-						if m, ok := inst.IndirectMem(); ok && m.Disp > 0 {
-							res.TableBases[uint64(m.Disp)] = true
-						}
-					}
-					for _, t := range targets {
-						addRef(t, in.Addr)
-						push(t, rdiUnknown)
-					}
-				}
-				goto pathDone
-			case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3:
-				goto pathDone
-			}
-			addr = in.Next()
-		}
-	pathDone:
-	}
-	return res
 }

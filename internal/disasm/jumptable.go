@@ -193,7 +193,7 @@ func findBound(res *Result, jmpAddr uint64, idx x64.Reg) (int64, bool) {
 // exactly at addr.
 func prevInst(res *Result, addr uint64) (uint64, bool) {
 	for back := uint64(1); back <= 15; back++ {
-		start, ok := res.owner[addr-back]
+		start, ok := res.owner.get(addr - back)
 		if !ok {
 			continue
 		}

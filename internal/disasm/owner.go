@@ -1,0 +1,69 @@
+package disasm
+
+// ownerMap indexes every byte of decoded instructions to the covering
+// instruction's start. Unbounded passes re-walk whole binaries every
+// round, so they use a dense offset array per executable section
+// (per-byte map writes dominated the pass profile); short capped probe
+// walks (candidate validation) keep a sparse map, which is cheaper
+// than clearing text-sized arrays per probe. Both representations
+// index identical content — the choice never affects results.
+type ownerMap struct {
+	// spans is the dense form, one per executable section, sorted by
+	// base; nil when the sparse form is in use.
+	spans []ownerSpan
+	// m is the sparse form; nil when the dense form is in use.
+	m map[uint64]uint64
+}
+
+// ownerSpan covers one executable section: offs[addr-base] holds the
+// owning instruction's section offset + 1, or 0 when uncovered.
+type ownerSpan struct {
+	base uint64
+	offs []int32
+}
+
+// get returns the start of the instruction covering addr.
+func (o *ownerMap) get(addr uint64) (uint64, bool) {
+	if o.m != nil {
+		s, ok := o.m[addr]
+		return s, ok
+	}
+	for i := range o.spans {
+		sp := &o.spans[i]
+		if addr < sp.base {
+			break // spans are sorted; no later span can match
+		}
+		if d := addr - sp.base; d < uint64(len(sp.offs)) {
+			if v := sp.offs[d]; v != 0 {
+				return sp.base + uint64(v-1), true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// setRange marks the n bytes starting at addr as owned by the
+// instruction at addr. Instruction bytes never cross a section end
+// (decode windows are section-bounded), so the run stays in one span.
+func (o *ownerMap) setRange(addr uint64, n int) {
+	if o.m != nil {
+		for b := addr; b < addr+uint64(n); b++ {
+			o.m[b] = addr
+		}
+		return
+	}
+	for i := range o.spans {
+		sp := &o.spans[i]
+		if addr < sp.base {
+			break
+		}
+		if d := addr - sp.base; d < uint64(len(sp.offs)) {
+			v := int32(d) + 1
+			for k := 0; k < n; k++ {
+				sp.offs[d+uint64(k)] = v
+			}
+			return
+		}
+	}
+}

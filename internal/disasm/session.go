@@ -1,0 +1,488 @@
+package disasm
+
+import (
+	"fetch/internal/elfx"
+	"fetch/internal/x64"
+)
+
+// Stats counts the work a Session (and its forks) performed. All
+// counters are deterministic for a given binary and call sequence:
+// parallel corpus analysis never changes them.
+type Stats struct {
+	// InstsDecoded counts decode-cache misses: addresses whose bytes
+	// were actually fed through the x64 decoder.
+	InstsDecoded int64
+	// InstsReused counts decode-cache hits: instruction lookups served
+	// from a previous decode of the same address.
+	InstsReused int64
+	// ColdStarts counts sessions created with an empty decode cache.
+	// Forks share their parent's cache and do not increment it, so a
+	// fully incremental pipeline reports exactly one.
+	ColdStarts int
+	// Extends, Retracts, and Reruns count committed seed-set updates.
+	Extends  int
+	Retracts int
+	Reruns   int
+	// Forks counts copy-on-write session forks.
+	Forks int
+	// Probes counts speculative one-shot walks (candidate validation,
+	// jump-table resolution) that left committed state untouched.
+	Probes int
+	// FixedPointPasses counts individual recursive-descent passes,
+	// including the inner iterations of the non-returning fixed point.
+	FixedPointPasses int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.InstsDecoded += other.InstsDecoded
+	s.InstsReused += other.InstsReused
+	s.ColdStarts += other.ColdStarts
+	s.Extends += other.Extends
+	s.Retracts += other.Retracts
+	s.Reruns += other.Reruns
+	s.Forks += other.Forks
+	s.Probes += other.Probes
+	s.FixedPointPasses += other.FixedPointPasses
+}
+
+// decodeKind classifies a cached decode outcome.
+type decodeKind uint8
+
+const (
+	decodeOK decodeKind = iota + 1
+	// decodeNoWindow: no section bytes at the address.
+	decodeNoWindow
+	// decodeBad: the bytes do not form a valid instruction.
+	decodeBad
+)
+
+// rdiEffect is the memoized first-argument classification of one
+// instruction (the §IV-C error/error_at_line slice step).
+type rdiEffect uint8
+
+const (
+	// rdiKeep: the instruction leaves the tracked state alone (no RDI
+	// write, or a call — calls are gated separately).
+	rdiKeep rdiEffect = iota
+	rdiSetUnknown
+	rdiSetZero
+	rdiSetNonZero
+)
+
+// decodeEntry is one memoized decode. Everything here — the
+// instruction, the failure mode, the mapped constant operands, and the
+// rdi classification — is a pure function of the image bytes at the
+// address, so entries never invalidate and can be shared across
+// passes, forks, and strategy variants.
+type decodeEntry struct {
+	inst *x64.Inst
+	kind decodeKind
+	// consts are the instruction's pointer-sized constants that land
+	// in mapped sections (the image is fixed per session).
+	consts []uint64
+	rdi    rdiEffect
+}
+
+// classifyRDI computes the memoized first-argument effect.
+func classifyRDI(in *x64.Inst) rdiEffect {
+	if w := in.Writes(); in.IsCall() || !w.Has(x64.RDI) {
+		return rdiKeep
+	}
+	if in.Op == x64.OpXor && len(in.Args) == 2 &&
+		in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI {
+		return rdiSetZero
+	}
+	if in.Op == x64.OpMov && len(in.Args) == 2 &&
+		in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI &&
+		in.Args[1].Kind == x64.KindImm {
+		if in.Args[1].Imm == 0 {
+			return rdiSetZero
+		}
+		return rdiSetNonZero
+	}
+	return rdiSetUnknown
+}
+
+// Session owns the reusable disassembly state of one binary: the
+// persistent instruction-decode cache, the committed seed list, and
+// the current Result. It supports incremental re-analysis — Extend
+// explores additional seeds, Retract removes seeds (the §V-B CFI-error
+// re-analysis), Rerun replaces the seed list — while guaranteeing
+// results byte-identical to a from-scratch Recursive run over the same
+// final seed list: every walk replays the full fixed point in the same
+// order, and only the per-address decodes (pure in the image bytes)
+// are reused.
+//
+// A Session is not safe for concurrent use; analyze each binary's
+// session from a single goroutine (the batch layer parallelizes across
+// binaries, never within one).
+type Session struct {
+	img   *elfx.Image
+	opts  Options
+	cache map[uint64]decodeEntry
+	stats *Stats
+	seeds []uint64
+	res   *Result
+	// ownerProto is the executable-section layout (sorted by base) the
+	// dense owner index is allocated from.
+	ownerProto []struct {
+		base uint64
+		size int
+	}
+}
+
+// NewSession creates a session for img with the committed-state
+// options used by Extend, Retract, and Rerun. Probe takes its own
+// options per call.
+func NewSession(img *elfx.Image, opts Options) *Session {
+	s := &Session{
+		img:   img,
+		opts:  opts,
+		cache: make(map[uint64]decodeEntry),
+		stats: &Stats{ColdStarts: 1},
+	}
+	for _, sec := range img.ExecSections() {
+		s.ownerProto = append(s.ownerProto, struct {
+			base uint64
+			size int
+		}{sec.Addr, len(sec.Data)})
+	}
+	return s
+}
+
+// maxDenseOwnerSection bounds the dense owner representation: offsets
+// are stored as int32(offset)+1, so sections at or beyond 2 GiB must
+// use the sparse map to avoid wrap-around.
+const maxDenseOwnerSection = 1 << 31
+
+// newOwner picks the owner representation for one pass: dense arrays
+// for unbounded re-walks, a sparse map for short capped probes (where
+// clearing text-sized arrays would dominate) and for images whose
+// sections exceed the dense offset range.
+func (s *Session) newOwner(opts Options) ownerMap {
+	if opts.MaxInsts > 0 {
+		return ownerMap{m: make(map[uint64]uint64)}
+	}
+	for _, p := range s.ownerProto {
+		if p.size >= maxDenseOwnerSection {
+			return ownerMap{m: make(map[uint64]uint64)}
+		}
+	}
+	spans := make([]ownerSpan, len(s.ownerProto))
+	for i, p := range s.ownerProto {
+		spans[i] = ownerSpan{base: p.base, offs: make([]int32, p.size)}
+	}
+	return ownerMap{spans: spans}
+}
+
+// Fork returns a cheap copy-on-write view of the session: the decode
+// cache and stats are shared (new decodes made by the fork benefit the
+// parent and vice versa — decodes are pure, so this is safe), while
+// the committed seed list and result are the fork's own. Use a fork to
+// probe speculative decodes, e.g. §IV-E candidate validation, without
+// corrupting the main state.
+func (s *Session) Fork() *Session {
+	s.stats.Forks++
+	return &Session{
+		img:   s.img,
+		opts:  s.opts,
+		cache: s.cache,
+		stats: s.stats,
+		seeds: append([]uint64(nil), s.seeds...),
+		res:   s.res,
+	}
+}
+
+// Result returns the current committed result (nil before the first
+// Extend/Rerun).
+func (s *Session) Result() *Result { return s.res }
+
+// Seeds returns the committed seed list in submission order.
+func (s *Session) Seeds() []uint64 { return append([]uint64(nil), s.seeds...) }
+
+// Stats returns a snapshot of the session's counters (shared with its
+// forks).
+func (s *Session) Stats() Stats { return *s.stats }
+
+// Extend appends newSeeds to the committed seed list and re-analyzes,
+// reusing every already-decoded instruction. The result is
+// byte-identical to Recursive(img, allSeedsSoFar, opts).
+func (s *Session) Extend(newSeeds []uint64) *Result {
+	s.stats.Extends++
+	s.seeds = append(s.seeds, newSeeds...)
+	s.res = s.exec(s.seeds, s.opts)
+	return s.res
+}
+
+// Retract removes the given seeds from the committed list (preserving
+// the order of the remainder) and re-analyzes — the §V-B CFI-error
+// recovery, which must drop the reachability contribution of removed
+// FDE starts without paying a cold resweep.
+func (s *Session) Retract(remove []uint64) *Result {
+	s.stats.Retracts++
+	drop := make(map[uint64]bool, len(remove))
+	for _, a := range remove {
+		drop[a] = true
+	}
+	kept := s.seeds[:0]
+	for _, a := range s.seeds {
+		if !drop[a] {
+			kept = append(kept, a)
+		}
+	}
+	s.seeds = kept
+	s.res = s.exec(s.seeds, s.opts)
+	return s.res
+}
+
+// Rerun replaces the committed seed list wholesale and re-analyzes.
+// Callers that rebuild their seed list each round (the baseline tool
+// pipelines) use it to keep exact scratch seed order while still
+// reusing the decode cache.
+func (s *Session) Rerun(seeds []uint64) *Result {
+	s.stats.Reruns++
+	s.seeds = append(s.seeds[:0:0], seeds...)
+	s.res = s.exec(s.seeds, s.opts)
+	return s.res
+}
+
+// Probe runs a one-shot walk from seeds under opts without touching
+// the committed seed list or result. Candidate validation and
+// jump-table resolution use it (through a Fork) for speculative
+// decodes.
+func (s *Session) Probe(seeds []uint64, opts Options) *Result {
+	s.stats.Probes++
+	return s.exec(seeds, opts)
+}
+
+// exec runs the full Recursive fixed point from the given seeds with
+// cached decoding. Knowledge always restarts from empty so the
+// iteration trajectory — and therefore the result — matches a
+// from-scratch run exactly.
+func (s *Session) exec(seeds []uint64, opts Options) *Result {
+	nonRet := map[uint64]bool{}
+	condNonRet := map[uint64]bool{}
+	var res *Result
+	for iter := 0; iter < 6; iter++ {
+		res = s.pass(seeds, opts, nonRet, condNonRet)
+		if !opts.NonReturning {
+			return res
+		}
+		newNonRet, newCond := inferNonReturning(res)
+		if setsEqual(newNonRet, nonRet) && setsEqual(newCond, condNonRet) {
+			break
+		}
+		nonRet, condNonRet = newNonRet, newCond
+	}
+	res.NonRet = nonRet
+	res.CondNonRet = condNonRet
+	return res
+}
+
+// decode memoizes the pure part of instruction decoding: the section
+// window fetch and the x64 decode at addr.
+func (s *Session) decode(addr uint64) decodeEntry {
+	if e, ok := s.cache[addr]; ok {
+		s.stats.InstsReused++
+		return e
+	}
+	s.stats.InstsDecoded++
+	var e decodeEntry
+	window, ok := s.img.BytesToSectionEnd(addr)
+	if !ok {
+		e = decodeEntry{kind: decodeNoWindow}
+	} else if in, err := x64.Decode(window, addr); err != nil {
+		e = decodeEntry{kind: decodeBad}
+	} else {
+		inst := in
+		e = decodeEntry{inst: &inst, kind: decodeOK, rdi: classifyRDI(&inst)}
+		for _, c := range inst.Constants() {
+			if s.img.IsMapped(c) {
+				e.consts = append(e.consts, c)
+			}
+		}
+	}
+	s.cache[addr] = e
+	return e
+}
+
+// pass performs one full recursive descent with the current
+// non-return knowledge, identical to the historical from-scratch pass
+// except that instruction decodes come from the session cache.
+func (s *Session) pass(seeds []uint64, opts Options,
+	nonRet, condNonRet map[uint64]bool) *Result {
+
+	s.stats.FixedPointPasses++
+	img := s.img
+	res := &Result{
+		Insts:      make(map[uint64]*x64.Inst),
+		Funcs:      make(map[uint64]bool),
+		Refs:       make(map[uint64][]uint64),
+		Constants:  make(map[uint64]bool),
+		NonRet:     nonRet,
+		CondNonRet: condNonRet,
+		JTTargets:  make(map[uint64][]uint64),
+		TableBases: make(map[uint64]bool),
+		owner:      s.newOwner(opts),
+	}
+
+	type workItem struct {
+		addr uint64
+		rdi  rdiState
+	}
+	var work []workItem
+	pushed := map[uint64]bool{}
+	push := func(addr uint64, rdi rdiState) {
+		if !pushed[addr] {
+			pushed[addr] = true
+			work = append(work, workItem{addr, rdi})
+		}
+	}
+	addRef := func(target, from uint64) {
+		res.Refs[target] = append(res.Refs[target], from)
+	}
+	strictErr := func(kind ErrorKind, at uint64) {
+		if opts.Strict {
+			res.Errors = append(res.Errors, Error{Kind: kind, At: at})
+		}
+	}
+	// intoFunctionMiddle checks the §IV-E rule (iii).
+	intoFunctionMiddle := func(t uint64) bool {
+		for _, r := range opts.KnownRanges {
+			if t > r.Start && t < r.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, sd := range seeds {
+		res.Funcs[sd] = true
+		push(sd, rdiUnknown)
+	}
+
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		addr := item.addr
+		rdi := item.rdi
+
+		for {
+			if opts.MaxInsts > 0 && len(res.Insts) >= opts.MaxInsts {
+				return res
+			}
+			if _, seen := res.Insts[addr]; seen {
+				break
+			}
+			if owner, mid := res.owner.get(addr); mid && owner != addr {
+				strictErr(ErrMidInstruction, addr)
+				break
+			}
+			if !img.IsExec(addr) {
+				strictErr(ErrOutOfSection, addr)
+				break
+			}
+			e := s.decode(addr)
+			if e.kind == decodeNoWindow {
+				strictErr(ErrOutOfSection, addr)
+				break
+			}
+			if e.kind == decodeBad {
+				strictErr(ErrInvalidOpcode, addr)
+				break
+			}
+			in := e.inst
+			res.Insts[addr] = in
+			res.owner.setRange(addr, int(in.Len))
+			for _, c := range e.consts {
+				res.Constants[c] = true
+			}
+
+			// Track the first-argument state for the error/error_at_line
+			// call-site slice (memoized per instruction). Calls keep the
+			// state: the clobber applies after the call-site gate below
+			// consumes it.
+			switch e.rdi {
+			case rdiSetUnknown:
+				rdi = rdiUnknown
+			case rdiSetZero:
+				rdi = rdiZero
+			case rdiSetNonZero:
+				rdi = rdiNonZero
+			}
+
+			switch in.Op {
+			case x64.OpCall:
+				t := in.Target
+				if !img.IsExec(t) {
+					strictErr(ErrOutOfSection, in.Addr)
+					break
+				}
+				if intoFunctionMiddle(t) {
+					strictErr(ErrIntoFunction, in.Addr)
+				}
+				addRef(t, in.Addr)
+				res.Funcs[t] = true
+				push(t, rdiUnknown)
+				// Fall through only when the callee can return here.
+				if opts.NonReturning {
+					if nonRet[t] {
+						goto pathDone
+					}
+					if condNonRet[t] && rdi != rdiZero {
+						goto pathDone
+					}
+				}
+				rdi = rdiUnknown // the callee clobbers rdi
+				addr = in.Next()
+				continue
+			case x64.OpJcc:
+				t := in.Target
+				if img.IsExec(t) {
+					if intoFunctionMiddle(t) {
+						strictErr(ErrIntoFunction, in.Addr)
+					}
+					addRef(t, in.Addr)
+					push(t, rdiUnknown)
+				} else {
+					strictErr(ErrOutOfSection, in.Addr)
+				}
+				addr = in.Next()
+				continue
+			case x64.OpJmp:
+				t := in.Target
+				if img.IsExec(t) {
+					if intoFunctionMiddle(t) {
+						strictErr(ErrIntoFunction, in.Addr)
+					}
+					addRef(t, in.Addr)
+					push(t, rdiUnknown)
+				} else {
+					strictErr(ErrOutOfSection, in.Addr)
+				}
+				goto pathDone
+			case x64.OpJmpInd:
+				if opts.ResolveJumpTables {
+					targets := resolveJumpTable(img, res, in)
+					if len(targets) > 0 {
+						res.JTTargets[in.Addr] = targets
+						if m, ok := in.IndirectMem(); ok && m.Disp > 0 {
+							res.TableBases[uint64(m.Disp)] = true
+						}
+					}
+					for _, t := range targets {
+						addRef(t, in.Addr)
+						push(t, rdiUnknown)
+					}
+				}
+				goto pathDone
+			case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+				goto pathDone
+			}
+			addr = in.Next()
+		}
+	pathDone:
+	}
+	return res
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fetch/internal/baseline"
+	"fetch/internal/disasm"
 	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
 	"fetch/internal/metrics"
@@ -371,6 +372,9 @@ func TableIV(c *Corpus) (*TableIVResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			// One session per binary: every per-FDE, per-style analysis
+			// shares the decode cache for its jump-table probes.
+			sess := disasm.NewSession(bin.Img, disasm.Options{})
 			for _, fde := range sec.FDEs {
 				ht := fde.Heights()
 				if !ht.Complete {
@@ -382,9 +386,9 @@ func TableIV(c *Corpus) (*TableIVResult, error) {
 				// The location universe is the full set of reachable
 				// instructions (from the precise analysis), so an
 				// analysis that never visits a region loses recall.
-				universe := stackan.Analyze(bin.Img, fde.PCBegin, fde.End(), stackan.Precise)
+				universe := stackan.AnalyzeWithSession(sess, bin.Img, fde.PCBegin, fde.End(), stackan.Precise)
 				for _, style := range []stackan.Style{stackan.AngrStyle, stackan.DyninstStyle} {
-					res := stackan.Analyze(bin.Img, fde.PCBegin, fde.End(), style)
+					res := stackan.AnalyzeWithSession(sess, bin.Img, fde.PCBegin, fde.End(), style)
 					cur := tally[style]
 					for addr := range universe {
 						cfiH, ok := ht.HeightAt(addr)

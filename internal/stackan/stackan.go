@@ -56,10 +56,37 @@ const (
 	preciseInstLimit = 4096
 )
 
+// jtProbeOpts is the bounded jump-table resolution walk configuration.
+var jtProbeOpts = disasm.Options{ResolveJumpTables: true, MaxInsts: 256}
+
 // Analyze computes per-instruction heights for the function spanning
 // [start, end).
 func Analyze(img *elfx.Image, start, end uint64, style Style) map[uint64]Height {
+	return AnalyzeWithSession(nil, img, start, end, style)
+}
+
+// AnalyzeWithSession is Analyze with an optional shared disassembly
+// session: the jump-table resolution probe then reuses the binary's
+// decode cache across functions and callers (tailcall's static-height
+// ablation, the Table IV driver) instead of re-decoding from scratch.
+// Results are byte-identical with or without a session.
+func AnalyzeWithSession(sess *disasm.Session, img *elfx.Image, start, end uint64, style Style) map[uint64]Height {
 	out := make(map[uint64]Height)
+	// The resolution walk depends only on the function start, so one
+	// probe serves every indirect jump of the function.
+	var jtRes *disasm.Result
+	jumpTable := func() *disasm.Result {
+		if jtRes == nil {
+			if sess != nil {
+				// Probe leaves committed state untouched, so no fork is
+				// needed for this speculative walk.
+				jtRes = sess.Probe([]uint64{start}, jtProbeOpts)
+			} else {
+				jtRes = disasm.Recursive(img, []uint64{start}, jtProbeOpts)
+			}
+		}
+		return jtRes
+	}
 	limit := preciseInstLimit
 	switch style {
 	case AngrStyle:
@@ -175,9 +202,7 @@ func Analyze(img *elfx.Image, start, end uint64, style Style) map[uint64]Height 
 					}
 				}
 				if resolve {
-					res := disasm.Recursive(img, []uint64{start}, disasm.Options{
-						ResolveJumpTables: true, MaxInsts: 256,
-					})
+					res := jumpTable()
 					for _, t := range res.JTTargets[in.Addr] {
 						if t >= start && t < end {
 							work = append(work, state{addr: t, h: nextH, ok: nextOK})

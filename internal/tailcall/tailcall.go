@@ -39,6 +39,9 @@ type Input struct {
 	// DataRefCount reports how many data-section pointer slots hold a
 	// given address (the §IV-E conservative reference collection).
 	DataRefCount func(uint64) int
+	// Sess, when set, lets the static-height ablation's jump-table
+	// probes reuse the pipeline's shared decode cache.
+	Sess *disasm.Session
 
 	// UseStaticHeights replaces CFI-recorded heights with the static
 	// dataflow analysis — the ablation the paper argues against via
@@ -130,7 +133,7 @@ func Run(in Input) Output {
 		heights := fde.Heights()
 		var static map[uint64]stackan.Height
 		if in.UseStaticHeights {
-			static = stackan.Analyze(in.Img, fde.PCBegin, fde.End(), stackan.Precise)
+			static = stackan.AnalyzeWithSession(in.Sess, in.Img, fde.PCBegin, fde.End(), stackan.Precise)
 		} else if !heights.Complete {
 			out.SkippedIncomplete++
 			continue

@@ -73,6 +73,11 @@ type Options struct {
 	// landings, [2] transfers into function interiors, [3] calling
 	// conventions.
 	DisableRule [4]bool
+	// Session, when set, supplies the incremental disassembly state:
+	// candidate validation walks run on a fork of it, so every probe
+	// reuses (and feeds) the binary's shared decode cache instead of
+	// decoding from scratch. Results are byte-identical either way.
+	Session *disasm.Session
 }
 
 // Detect validates candidates against the current disassembly and
@@ -81,6 +86,12 @@ type Options struct {
 func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Options) []uint64 {
 	if opts.MaxValidationInsts == 0 {
 		opts.MaxValidationInsts = 2000
+	}
+	// Speculative validation walks run on a copy-on-write fork: probe
+	// decodes land in the shared cache, committed state stays intact.
+	var probe *disasm.Session
+	if opts.Session != nil {
+		probe = opts.Session.Fork()
 	}
 	var accepted []uint64
 	acceptedSet := map[uint64]bool{}
@@ -109,7 +120,7 @@ func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Opt
 			if insideAccepted(c) {
 				continue
 			}
-			newRes, ok := validate(img, res, c, opts)
+			newRes, ok := validate(img, res, c, opts, probe)
 			if !ok {
 				continue
 			}
@@ -153,8 +164,9 @@ func contiguousEnd(v *disasm.Result, c uint64) uint64 {
 	return end
 }
 
-// validate applies rules (i)-(iv) to one candidate.
-func validate(img *elfx.Image, res *disasm.Result, c uint64, opts Options) (*disasm.Result, bool) {
+// validate applies rules (i)-(iv) to one candidate. A non-nil probe
+// session runs the validation walk with cached decoding.
+func validate(img *elfx.Image, res *disasm.Result, c uint64, opts Options, probe *disasm.Session) (*disasm.Result, bool) {
 	// Rule (iii), seed form: the candidate itself must not point into
 	// a previously detected function's interior.
 	if !opts.DisableRule[2] {
@@ -176,12 +188,18 @@ func validate(img *elfx.Image, res *disasm.Result, c uint64, opts Options) (*dis
 	if opts.DisableRule[2] {
 		ranges = nil
 	}
-	v := disasm.Recursive(img, []uint64{c}, disasm.Options{
+	vopts := disasm.Options{
 		ResolveJumpTables: true,
 		Strict:            true,
 		KnownRanges:       ranges,
 		MaxInsts:          opts.MaxValidationInsts,
-	})
+	}
+	var v *disasm.Result
+	if probe != nil {
+		v = probe.Probe([]uint64{c}, vopts)
+	} else {
+		v = disasm.Recursive(img, []uint64{c}, vopts)
+	}
 	if !opts.DisableRule[0] && len(v.Errors) > 0 {
 		return nil, false
 	}
