@@ -4,20 +4,27 @@
 // Usage:
 //
 //	corpusgen [-out DIR] [-scale F] [-seed N] [-jobs N] [-wild]
+//	corpusgen -profile LIST [-out DIR] [-seed N] [-jobs N]
 //
-// Generation fans out over -jobs workers (0 = one per CPU); output is
-// byte-identical to a sequential run. A failing item does not stop the
-// others: corpusgen writes what it can, prints a per-item error
-// summary, and exits non-zero when anything failed.
+// -profile selects adversarial shape presets (comma-separated names
+// from the generator v2 profile set, or "all"): PIE, split-text, ICF
+// clones, zero padding, CFI stress, and the rest. Generation fans out
+// over -jobs workers (0 = one per CPU); output is byte-identical to a
+// sequential run. A failing item does not stop the others: corpusgen
+// writes what it can, prints a per-item error summary, and exits
+// non-zero when anything failed.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"fetch/internal/elfx"
 	"fetch/internal/groundtruth"
@@ -31,6 +38,7 @@ type truthJSON struct {
 	FunctionStart []uint64 `json:"function_starts"`
 	PartStarts    []uint64 `json:"part_starts"`
 	CFIErrors     []uint64 `json:"cfi_error_fdes"`
+	OverlapFDEs   []uint64 `json:"overlap_fdes,omitempty"`
 }
 
 // item is one corpus entry to generate and write.
@@ -41,30 +49,88 @@ type item struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "corpusgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	out := flag.String("out", "corpus", "output directory")
-	scale := flag.Float64("scale", 0.05, "corpus scale in (0,1]")
-	seed := flag.Int64("seed", 1, "generation seed")
-	jobs := flag.Int("jobs", 0, "concurrent generation workers (0 = one per CPU)")
-	wild := flag.Bool("wild", false, "generate the Table I wild set instead")
-	flag.Parse()
+// profileItems resolves a -profile list into corpus items. Each
+// profile's seed offset is its canonical index in ProfileNames(), not
+// its position in the request, so `-profile icf -seed 9` reproduces
+// the exact adv-icf binary that `-profile all -seed 9` wrote.
+func profileItems(list string, seed int64) ([]item, error) {
+	canonical := map[string]int64{}
+	for k, n := range synth.ProfileNames() {
+		canonical[n] = int64(k)
+	}
+	var names []string
+	if list == "all" {
+		names = synth.ProfileNames()
+	} else {
+		seen := map[string]bool{}
+		for _, n := range strings.Split(list, ",") {
+			if n = strings.TrimSpace(n); n == "" {
+				continue
+			}
+			if seen[n] {
+				// Duplicates would map to the same output path and
+				// silently clobber each other.
+				return nil, fmt.Errorf("duplicate profile %q", n)
+			}
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty -profile list (known: %s)", strings.Join(synth.ProfileNames(), ", "))
+	}
+	var items []item
+	for _, name := range names {
+		cfg, err := synth.AdversarialProfile(name, seed+canonical[name])
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item{name: cfg.Name, cfg: cfg})
+	}
+	return items, nil
+}
+
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	out := fs.String("out", "corpus", "output directory")
+	scale := fs.Float64("scale", 0.05, "corpus scale in (0,1]")
+	seed := fs.Int64("seed", 1, "generation seed")
+	jobs := fs.Int("jobs", 0, "concurrent generation workers (0 = one per CPU)")
+	wild := fs.Bool("wild", false, "generate the Table I wild set instead")
+	profile := fs.String("profile", "", `comma-separated adversarial shape profiles, or "all"`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *wild && *profile != "" {
+		return errors.New("-wild and -profile are mutually exclusive")
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
 
 	var items []item
-	if *wild {
-		for _, w := range synth.WildCorpus(*seed) {
-			items = append(items, item{name: w.Software, cfg: w.Config, strip: !w.HasSymbols})
+	switch {
+	case *profile != "":
+		var err error
+		if items, err = profileItems(*profile, *seed); err != nil {
+			return err
 		}
-	} else {
+	case *wild:
+		for _, wl := range synth.WildCorpus(*seed) {
+			items = append(items, item{name: wl.Software, cfg: wl.Config, strip: !wl.HasSymbols})
+		}
+	default:
 		for _, sp := range synth.SelfBuiltCorpus(*scale, *seed) {
 			items = append(items, item{name: sp.Config.Name, cfg: sp.Config})
 		}
@@ -95,11 +161,11 @@ func run() error {
 		}
 		n++
 	}
-	fmt.Printf("wrote %d binaries to %s\n", n, *out)
+	fmt.Fprintf(w, "wrote %d binaries to %s\n", n, *out)
 	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "corpusgen: %d of %d items failed:\n", len(failed), len(items))
+		fmt.Fprintf(errW, "corpusgen: %d of %d items failed:\n", len(failed), len(items))
 		for _, line := range failed {
-			fmt.Fprintln(os.Stderr, line)
+			fmt.Fprintln(errW, line)
 		}
 		return fmt.Errorf("%d of %d items failed", len(failed), len(items))
 	}
@@ -120,6 +186,7 @@ func write(dir, name string, img *elfx.Image, truth *groundtruth.Truth) error {
 		tj.PartStarts = append(tj.PartStarts, p.Addr)
 	}
 	tj.CFIErrors = append(tj.CFIErrors, truth.CFIErrorAddrs...)
+	tj.OverlapFDEs = append(tj.OverlapFDEs, truth.OverlapFDEAddrs...)
 	blob, err := json.MarshalIndent(&tj, "", "  ")
 	if err != nil {
 		return err

@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -24,20 +26,23 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "fetch:", err)
 		os.Exit(1)
 	}
 }
 
-func printResult(res *fetch.Result, verbose bool) {
-	fmt.Printf("function starts:        %d\n", len(res.FunctionStarts))
-	fmt.Printf("raw FDE starts:         %d\n", len(res.FDEStarts))
-	fmt.Printf("from pointers (§IV-E):  %d\n", len(res.NewFromPointers))
-	fmt.Printf("from tail calls:        %d\n", len(res.NewFromTailCalls))
-	fmt.Printf("merged parts (Alg. 1):  %d\n", len(res.MergedParts))
-	fmt.Printf("removed bogus FDEs:     %d\n", len(res.RemovedBogusFDEs))
-	fmt.Printf("skipped (no CFI info):  %d\n", res.SkippedIncompleteCFI)
+func printResult(w io.Writer, res *fetch.Result, verbose bool) {
+	fmt.Fprintf(w, "function starts:        %d\n", len(res.FunctionStarts))
+	fmt.Fprintf(w, "raw FDE starts:         %d\n", len(res.FDEStarts))
+	fmt.Fprintf(w, "from pointers (§IV-E):  %d\n", len(res.NewFromPointers))
+	fmt.Fprintf(w, "from tail calls:        %d\n", len(res.NewFromTailCalls))
+	fmt.Fprintf(w, "merged parts (Alg. 1):  %d\n", len(res.MergedParts))
+	fmt.Fprintf(w, "removed bogus FDEs:     %d\n", len(res.RemovedBogusFDEs))
+	fmt.Fprintf(w, "skipped (no CFI info):  %d\n", res.SkippedIncompleteCFI)
 	if verbose {
 		st := res.Stats
 		total := st.InstsDecoded + st.InstsReused
@@ -45,17 +50,17 @@ func printResult(res *fetch.Result, verbose bool) {
 		if total > 0 {
 			pct = 100 * float64(st.InstsReused) / float64(total)
 		}
-		fmt.Printf("insts decoded/reused:   %d/%d (%.1f%% reused)\n",
+		fmt.Fprintf(w, "insts decoded/reused:   %d/%d (%.1f%% reused)\n",
 			st.InstsDecoded, st.InstsReused, pct)
-		fmt.Printf("session ops:            %d extend, %d retract, %d fork, %d probe\n",
+		fmt.Fprintf(w, "session ops:            %d extend, %d retract, %d fork, %d probe\n",
 			st.Extends, st.Retracts, st.Forks, st.Probes)
-		fmt.Printf("xref iterations:        %d (converged: %v)\n",
+		fmt.Fprintf(w, "xref iterations:        %d (converged: %v)\n",
 			st.XrefIterations, st.XrefConverged)
 		for _, ps := range st.Passes {
-			fmt.Printf("pass %-10s         %v\n", ps.Name, ps.Wall.Round(time.Microsecond))
+			fmt.Fprintf(w, "pass %-10s         %v\n", ps.Name, ps.Wall.Round(time.Microsecond))
 		}
 		for _, a := range res.FunctionStarts {
-			fmt.Printf("%#x\n", a)
+			fmt.Fprintf(w, "%#x\n", a)
 		}
 		parts := make([]uint64, 0, len(res.MergedParts))
 		for part := range res.MergedParts {
@@ -63,20 +68,27 @@ func printResult(res *fetch.Result, verbose bool) {
 		}
 		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
 		for _, part := range parts {
-			fmt.Printf("merged %#x -> %#x\n", part, res.MergedParts[part])
+			fmt.Fprintf(w, "merged %#x -> %#x\n", part, res.MergedParts[part])
 		}
 	}
 }
 
-func run() error {
-	fdeOnly := flag.Bool("fde-only", false, "only extract FDE PC Begin values")
-	noXref := flag.Bool("no-xref", false, "disable function-pointer detection")
-	noTail := flag.Bool("no-tailcall", false, "disable Algorithm 1 error fixing")
-	sample := flag.Bool("sample", false, "analyze a generated sample binary instead of a file")
-	seed := flag.Int64("seed", 1, "sample generation seed")
-	jobs := flag.Int("jobs", 0, "concurrent analyses for multiple binaries (0 = one per CPU)")
-	verbose := flag.Bool("v", false, "list every detected start plus per-pass timing and session statistics")
-	flag.Parse()
+// run executes the command against args, writing results to w and
+// per-binary failures plus flag diagnostics to errW. It is separated
+// from main so tests can drive every path directly.
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("fetch", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	fdeOnly := fs.Bool("fde-only", false, "only extract FDE PC Begin values")
+	noXref := fs.Bool("no-xref", false, "disable function-pointer detection")
+	noTail := fs.Bool("no-tailcall", false, "disable Algorithm 1 error fixing")
+	sample := fs.Bool("sample", false, "analyze a generated sample binary instead of a file")
+	seed := fs.Int64("seed", 1, "sample generation seed")
+	jobs := fs.Int("jobs", 0, "concurrent analyses for multiple binaries (0 = one per CPU)")
+	verbose := fs.Bool("v", false, "list every detected start plus per-pass timing and session statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var opts []fetch.Option
 	if *fdeOnly {
@@ -99,33 +111,32 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		printResult(res, *verbose)
+		printResult(w, res, *verbose)
 		return nil
-	case flag.NArg() >= 1:
-		inputs := make([]fetch.Input, flag.NArg())
-		for i, p := range flag.Args() {
+	case fs.NArg() >= 1:
+		inputs := make([]fetch.Input, fs.NArg())
+		for i, p := range fs.Args() {
 			inputs[i] = fetch.Input{Path: p}
 		}
 		results := fetch.AnalyzeBatch(inputs, fetch.BatchOptions{Jobs: *jobs, Options: opts})
 		var firstErr error
 		for _, br := range results {
 			if len(results) > 1 {
-				fmt.Printf("== %s ==\n", br.Name)
+				fmt.Fprintf(w, "== %s ==\n", br.Name)
 			}
 			if br.Err != nil {
-				fmt.Fprintf(os.Stderr, "fetch: %s: %v\n", br.Name, br.Err)
+				fmt.Fprintf(errW, "fetch: %s: %v\n", br.Name, br.Err)
 				if firstErr == nil {
 					firstErr = fmt.Errorf("%d of %d binaries failed", failures(results), len(results))
 				}
 				continue
 			}
-			printResult(br.Result, *verbose)
+			printResult(w, br.Result, *verbose)
 		}
 		return firstErr
 	default:
-		flag.Usage()
-		os.Exit(2)
-		return nil
+		fs.Usage()
+		return errors.New("no binaries given (or use -sample)")
 	}
 }
 

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fetch"
+)
+
+// writeSample materializes a generated sample ELF for path-based runs.
+func writeSample(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	raw, _, err := fetch.GenerateSample(fetch.SampleConfig{Seed: seed, NumFuncs: 24, Stripped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "bin"+strings.ReplaceAll(t.Name(), "/", "_")+string(rune('a'+seed)))
+	if err := os.WriteFile(p, raw, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunSample(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-sample", "-seed", "3"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	for _, want := range []string{"function starts:", "raw FDE starts:", "merged parts"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSampleVerboseStats(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-sample", "-seed", "3", "-v"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"insts decoded/reused:", "session ops:", "xref iterations:", "pass fde"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose output missing %q", want)
+		}
+	}
+}
+
+func TestRunMultiPathJobsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writeSample(t, dir, 1)
+	p2 := writeSample(t, dir, 2)
+	p3 := writeSample(t, dir, 3)
+
+	var seq, par, errOut strings.Builder
+	if err := run([]string{"-jobs", "1", p1, p2, p3}, &seq, &errOut); err != nil {
+		t.Fatalf("jobs=1: %v", err)
+	}
+	if err := run([]string{"-jobs", "3", p1, p2, p3}, &par, &errOut); err != nil {
+		t.Fatalf("jobs=3: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Error("multi-binary output differs between -jobs 1 and -jobs 3")
+	}
+	// Per-binary headers appear in argument order.
+	i1 := strings.Index(seq.String(), "== "+p1+" ==")
+	i2 := strings.Index(seq.String(), "== "+p2+" ==")
+	i3 := strings.Index(seq.String(), "== "+p3+" ==")
+	if i1 < 0 || i2 < i1 || i3 < i2 {
+		t.Errorf("headers missing or out of order: %d %d %d", i1, i2, i3)
+	}
+}
+
+func TestRunErrorExitOnBadBinary(t *testing.T) {
+	dir := t.TempDir()
+	good := writeSample(t, dir, 4)
+	missing := filepath.Join(dir, "no-such-file")
+
+	var out, errOut strings.Builder
+	err := run([]string{good, missing}, &out, &errOut)
+	if err == nil {
+		t.Fatal("run succeeded despite a missing binary")
+	}
+	if !strings.Contains(err.Error(), "1 of 2 binaries failed") {
+		t.Errorf("error %q does not summarize the failure count", err)
+	}
+	// The good binary is still fully reported.
+	if !strings.Contains(out.String(), "== "+good+" ==") ||
+		!strings.Contains(out.String(), "function starts:") {
+		t.Error("good binary not reported alongside the failure")
+	}
+	if !strings.Contains(errOut.String(), "no-such-file") {
+		t.Error("per-item failure not on stderr")
+	}
+}
+
+func TestRunStrategyFlagsChangeOutput(t *testing.T) {
+	var full, fdeOnly strings.Builder
+	if err := run([]string{"-sample", "-seed", "5"}, &full, &full); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sample", "-seed", "5", "-fde-only"}, &fdeOnly, &fdeOnly); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() == fdeOnly.String() {
+		t.Error("-fde-only output identical to full pipeline")
+	}
+	if !strings.Contains(fdeOnly.String(), "from pointers (§IV-E):  0") {
+		t.Error("-fde-only still reports pointer-derived starts")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Error("no-argument run succeeded")
+	} else if !strings.Contains(err.Error(), "no binaries") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "-sample") {
+		t.Error("usage not printed to errW")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errOut); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

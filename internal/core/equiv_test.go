@@ -3,151 +3,12 @@ package core
 import (
 	"fmt"
 	"reflect"
-	"sort"
 	"testing"
 
 	"fetch/internal/disasm"
-	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
 	"fetch/internal/synth"
-	"fetch/internal/tailcall"
-	"fetch/internal/xref"
 )
-
-// scratchAnalyze is the pre-session pipeline, kept verbatim as the
-// from-scratch reference: every stage re-runs disasm.Recursive over
-// the full seed list and candidate validation decodes cold. The
-// session-based Analyze must be byte-identical to it on every binary
-// and strategy combination.
-func scratchAnalyze(img *elfx.Image, strat Strategy) (*Report, error) {
-	eh, ok := img.Section(".eh_frame")
-	if !ok {
-		return nil, fmt.Errorf("core: binary has no .eh_frame section")
-	}
-	sec, err := ehframe.Decode(eh.Data, eh.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	rep := &Report{
-		Funcs:  make(map[uint64]bool),
-		Merged: make(map[uint64]uint64),
-		Sec:    sec,
-	}
-	for _, f := range sec.FDEs {
-		if !rep.Funcs[f.PCBegin] {
-			rep.Funcs[f.PCBegin] = true
-			rep.FDEStarts = append(rep.FDEStarts, f.PCBegin)
-		}
-	}
-	sort.Slice(rep.FDEStarts, func(i, j int) bool { return rep.FDEStarts[i] < rep.FDEStarts[j] })
-	if !strat.Recursive {
-		return rep, nil
-	}
-
-	fdeRanges := func(exclude map[uint64]bool) []disasm.FuncRange {
-		var out []disasm.FuncRange
-		for _, f := range sec.FDEs {
-			if exclude != nil && exclude[f.PCBegin] {
-				continue
-			}
-			out = append(out, disasm.FuncRange{Start: f.PCBegin, End: f.End()})
-		}
-		return out
-	}
-
-	seeds := append([]uint64(nil), rep.FDEStarts...)
-	if img.IsExec(img.Entry) {
-		seeds = append(seeds, img.Entry)
-	}
-	res := disasm.Recursive(img, seeds, safeOpts())
-	for f := range res.Funcs {
-		rep.Funcs[f] = true
-	}
-	rep.Res = res
-
-	banned := map[uint64]bool{}
-	addFuncs := func(from map[uint64]bool) {
-		for f := range from {
-			if !banned[f] {
-				rep.Funcs[f] = true
-			}
-		}
-	}
-
-	runXref := func(exclude map[uint64]bool) {
-		for iter := 0; iter < 3; iter++ {
-			newly := xref.Detect(img, res, rep.Funcs, xref.Options{
-				KnownRanges: fdeRanges(exclude),
-			})
-			if len(newly) == 0 {
-				return
-			}
-			rep.XrefNew = append(rep.XrefNew, newly...)
-			seeds = append(seeds, newly...)
-			res = disasm.Recursive(img, seeds, safeOpts())
-			rep.Res = res
-			addFuncs(res.Funcs)
-		}
-	}
-
-	if strat.Xref {
-		runXref(nil)
-	}
-
-	if strat.TailCall {
-		out := tailcall.Run(tailcall.Input{
-			Img:          img,
-			Sec:          sec,
-			Res:          res,
-			Funcs:        rep.Funcs,
-			DataRefCount: func(a uint64) int { return xref.DataRefCount(img, a) },
-		})
-		rep.Funcs = out.Funcs
-		rep.TailNew = out.TailNew
-		rep.Merged = out.Merged
-		rep.CFIErrRemoved = out.CFIErrRemoved
-		rep.SkippedIncomplete = out.SkippedIncomplete
-		for part := range out.Merged {
-			banned[part] = true
-		}
-		for _, a := range out.CFIErrRemoved {
-			banned[a] = true
-		}
-
-		if strat.Xref && len(out.CFIErrRemoved) > 0 {
-			exclude := make(map[uint64]bool, len(out.CFIErrRemoved))
-			for _, a := range out.CFIErrRemoved {
-				exclude[a] = true
-			}
-			var cleanSeeds []uint64
-			for _, s := range seeds {
-				if !exclude[s] {
-					cleanSeeds = append(cleanSeeds, s)
-				}
-			}
-			seeds = cleanSeeds
-			res = disasm.Recursive(img, seeds, safeOpts())
-			rep.Res = res
-			runXref(exclude)
-		}
-	}
-	return rep, nil
-}
-
-// strategyMatrix is every Strategy combination; stages gated on
-// Recursive collapse to FDE-only, which the matrix pins too.
-func strategyMatrix() []Strategy {
-	var out []Strategy
-	for i := 0; i < 8; i++ {
-		out = append(out, Strategy{
-			Recursive: i&1 != 0,
-			Xref:      i&2 != 0,
-			TailCall:  i&4 != 0,
-		})
-	}
-	return out
-}
 
 // equivCorpus mirrors the synth corpus mix: both compilers, both
 // languages, all optimization levels, plus shapes that force every
@@ -192,14 +53,14 @@ func equivCorpus(t *testing.T) []*elfx.Image {
 // Strategy combination.
 func TestAnalyzeMatchesScratchPipeline(t *testing.T) {
 	for bi, img := range equivCorpus(t) {
-		for _, strat := range strategyMatrix() {
+		for _, strat := range AllStrategies() {
 			label := fmt.Sprintf("bin%d/rec=%v,xref=%v,tail=%v",
 				bi, strat.Recursive, strat.Xref, strat.TailCall)
 			got, err := Analyze(img, strat)
 			if err != nil {
 				t.Fatalf("%s: Analyze: %v", label, err)
 			}
-			want, err := scratchAnalyze(img, strat)
+			want, err := ScratchAnalyze(img, strat)
 			if err != nil {
 				t.Fatalf("%s: scratch: %v", label, err)
 			}
@@ -293,7 +154,7 @@ func TestAnalyzeZeroResweeps(t *testing.T) {
 
 	// The reference pipeline decodes every instruction cold each round;
 	// the session must do strictly less decode work.
-	if ref, err := scratchAnalyze(im, FETCH); err == nil && ref != nil {
+	if ref, err := ScratchAnalyze(im, FETCH); err == nil && ref != nil {
 		lookups := st.Disasm.InstsDecoded + st.Disasm.InstsReused
 		if st.Disasm.InstsDecoded >= lookups {
 			t.Error("session decoded on every lookup")

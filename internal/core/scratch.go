@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fetch/internal/disasm"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+	"fetch/internal/tailcall"
+	"fetch/internal/xref"
+)
+
+// ScratchAnalyze is the pre-session pipeline, kept verbatim as the
+// from-scratch reference implementation: every stage re-runs
+// disasm.Recursive over the full seed list and candidate validation
+// decodes cold. The session-based Analyze must be byte-identical to it
+// on every binary and strategy combination — the equivalence suite and
+// the internal/oracle differential checkers both diff against it. It
+// is not meant for production use (it re-decodes everything on every
+// round).
+func ScratchAnalyze(img *elfx.Image, strat Strategy) (*Report, error) {
+	eh, ok := img.Section(".eh_frame")
+	if !ok {
+		return nil, fmt.Errorf("core: binary has no .eh_frame section")
+	}
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	rep := &Report{
+		Funcs:  make(map[uint64]bool),
+		Merged: make(map[uint64]uint64),
+		Sec:    sec,
+	}
+	for _, f := range sec.FDEs {
+		if !rep.Funcs[f.PCBegin] {
+			rep.Funcs[f.PCBegin] = true
+			rep.FDEStarts = append(rep.FDEStarts, f.PCBegin)
+		}
+	}
+	sort.Slice(rep.FDEStarts, func(i, j int) bool { return rep.FDEStarts[i] < rep.FDEStarts[j] })
+	if !strat.Recursive {
+		return rep, nil
+	}
+
+	fdeRanges := func(exclude map[uint64]bool) []disasm.FuncRange {
+		var out []disasm.FuncRange
+		for _, f := range sec.FDEs {
+			if exclude != nil && exclude[f.PCBegin] {
+				continue
+			}
+			out = append(out, disasm.FuncRange{Start: f.PCBegin, End: f.End()})
+		}
+		return out
+	}
+
+	seeds := append([]uint64(nil), rep.FDEStarts...)
+	if img.IsExec(img.Entry) {
+		seeds = append(seeds, img.Entry)
+	}
+	res := disasm.Recursive(img, seeds, safeOpts())
+	for f := range res.Funcs {
+		rep.Funcs[f] = true
+	}
+	rep.Res = res
+
+	banned := map[uint64]bool{}
+	addFuncs := func(from map[uint64]bool) {
+		for f := range from {
+			if !banned[f] {
+				rep.Funcs[f] = true
+			}
+		}
+	}
+
+	runXref := func(exclude map[uint64]bool) {
+		for iter := 0; iter < maxXrefIters; iter++ {
+			newly := xref.Detect(img, res, rep.Funcs, xref.Options{
+				KnownRanges: fdeRanges(exclude),
+			})
+			if len(newly) == 0 {
+				return
+			}
+			rep.XrefNew = append(rep.XrefNew, newly...)
+			seeds = append(seeds, newly...)
+			res = disasm.Recursive(img, seeds, safeOpts())
+			rep.Res = res
+			addFuncs(res.Funcs)
+		}
+	}
+
+	if strat.Xref {
+		runXref(nil)
+	}
+
+	if strat.TailCall {
+		out := tailcall.Run(tailcall.Input{
+			Img:          img,
+			Sec:          sec,
+			Res:          res,
+			Funcs:        rep.Funcs,
+			DataRefCount: func(a uint64) int { return xref.DataRefCount(img, a) },
+		})
+		rep.Funcs = out.Funcs
+		rep.TailNew = out.TailNew
+		rep.Merged = out.Merged
+		rep.CFIErrRemoved = out.CFIErrRemoved
+		rep.SkippedIncomplete = out.SkippedIncomplete
+		for part := range out.Merged {
+			banned[part] = true
+		}
+		for _, a := range out.CFIErrRemoved {
+			banned[a] = true
+		}
+
+		if strat.Xref && len(out.CFIErrRemoved) > 0 {
+			exclude := make(map[uint64]bool, len(out.CFIErrRemoved))
+			for _, a := range out.CFIErrRemoved {
+				exclude[a] = true
+			}
+			var cleanSeeds []uint64
+			for _, s := range seeds {
+				if !exclude[s] {
+					cleanSeeds = append(cleanSeeds, s)
+				}
+			}
+			seeds = cleanSeeds
+			res = disasm.Recursive(img, seeds, safeOpts())
+			rep.Res = res
+			runXref(exclude)
+		}
+	}
+	return rep, nil
+}
+
+// AllStrategies enumerates every Strategy combination, FDE-only first.
+// Stages gated on Recursive collapse to FDE-only; the matrix pins
+// those degenerate combinations too.
+func AllStrategies() []Strategy {
+	var out []Strategy
+	for i := 0; i < 8; i++ {
+		out = append(out, Strategy{
+			Recursive: i&1 != 0,
+			Xref:      i&2 != 0,
+			TailCall:  i&4 != 0,
+		})
+	}
+	return out
+}
+
+// Lattice is the paper's cumulative strategy ladder, weakest first:
+// FDE ⊂ FDE+Rec ⊂ FDE+Rec+Xref ⊂ full FETCH.
+func Lattice() []Strategy {
+	return []Strategy{
+		{},
+		{Recursive: true},
+		{Recursive: true, Xref: true},
+		FETCH,
+	}
+}

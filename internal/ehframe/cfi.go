@@ -321,7 +321,7 @@ func decodeCFIs(b []byte, codeAlign uint64, dataAlign int64) ([]CFI, error) {
 					return nil, err
 				}
 				i += n
-				if i+int(ln) > len(b) {
+				if ln > uint64(len(b)-i) {
 					return nil, ErrTruncated
 				}
 				prog = append(prog, CFI{Op: CFADefCFAExpression, Expr: append([]byte(nil), b[i:i+int(ln)]...)})
@@ -337,7 +337,7 @@ func decodeCFIs(b []byte, codeAlign uint64, dataAlign int64) ([]CFI, error) {
 					return nil, err
 				}
 				i += n2
-				if i+int(ln) > len(b) {
+				if ln > uint64(len(b)-i) {
 					return nil, ErrTruncated
 				}
 				prog = append(prog, CFI{Op: CFAExpression, Reg: r, Expr: append([]byte(nil), b[i:i+int(ln)]...)})

@@ -188,6 +188,10 @@ func Decode(data []byte, addr uint64) (*Section, error) {
 		}
 		start := i
 		i += 4
+		if length < 4 {
+			// The body must at least hold the CIE-id/pointer field.
+			return nil, fmt.Errorf("ehframe: entry at %#x has length %d: %w", start, length, ErrTruncated)
+		}
 		if i+int(length) > len(data) {
 			return nil, ErrTruncated
 		}
@@ -269,6 +273,9 @@ func decodeCIE(b []byte) (*CIE, error) {
 			return nil, err
 		}
 		i += n
+		if augLen > uint64(len(b)-i) {
+			return nil, ErrTruncated
+		}
 		augData := b[i : i+int(augLen)]
 		i += int(augLen)
 		k := 0
@@ -339,10 +346,13 @@ func decodeFDE(b []byte, cie *CIE, pcFieldAddr uint64) (*FDE, error) {
 	if err != nil {
 		return nil, err
 	}
-	i += n + int(augLen)
-	if i > len(b) {
+	i += n
+	// Bound before converting: a huge ULEB cast to int could wrap
+	// negative and slip past the range check below.
+	if augLen > uint64(len(b)-i) {
 		return nil, ErrTruncated
 	}
+	i += int(augLen)
 	f.Program, err = decodeCFIs(b[i:], cie.CodeAlign, cie.DataAlign)
 	if err != nil {
 		return nil, err

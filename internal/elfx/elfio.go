@@ -108,7 +108,11 @@ func WriteELF(im *Image) ([]byte, error) {
 
 	// ELF header.
 	copy(out, []byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0}) // 64-bit LE SysV
-	binary.LittleEndian.PutUint16(out[16:], uint16(elf.ET_EXEC))
+	etype := elf.ET_EXEC
+	if im.PIE {
+		etype = elf.ET_DYN
+	}
+	binary.LittleEndian.PutUint16(out[16:], uint16(etype))
 	binary.LittleEndian.PutUint16(out[18:], uint16(elf.EM_X86_64))
 	binary.LittleEndian.PutUint32(out[20:], 1) // version
 	binary.LittleEndian.PutUint64(out[24:], im.Entry)
@@ -197,7 +201,7 @@ func LoadELF(data []byte) (*Image, error) {
 	if f.Machine != elf.EM_X86_64 {
 		return nil, fmt.Errorf("elfx: not an x86-64 binary (machine %v)", f.Machine)
 	}
-	im := &Image{Entry: f.Entry}
+	im := &Image{Entry: f.Entry, PIE: f.Type == elf.ET_DYN}
 	for _, s := range f.Sections {
 		if s.Type == elf.SHT_NULL || s.Flags&elf.SHF_ALLOC == 0 {
 			continue

@@ -49,6 +49,10 @@ type Image struct {
 	Sections []*Section
 	// Symbols is empty for stripped binaries.
 	Symbols []Symbol
+	// PIE marks position-independent executables (ET_DYN). Section
+	// addresses are the link-time ones either way; the flag only
+	// selects the ELF type on write.
+	PIE bool
 }
 
 // Section returns the section with the given name, if present.

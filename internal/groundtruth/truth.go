@@ -75,6 +75,11 @@ type Truth struct {
 	// construction (hand-written CFI, paper Figure 6b): addresses
 	// that do not coincide with any true start or part.
 	CFIErrorAddrs []uint64
+	// OverlapFDEAddrs lists PC Begin values of extra bogus FDEs planted
+	// mid-function, overlapping their host's own FDE range. Like
+	// CFIErrorAddrs they coincide with no true start or part, but they
+	// do sit on real instruction boundaries inside a true function.
+	OverlapFDEAddrs []uint64
 
 	starts map[uint64]*Func
 	parts  map[uint64]*Part

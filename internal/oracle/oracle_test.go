@@ -1,0 +1,121 @@
+package oracle
+
+import (
+	"testing"
+
+	"fetch/internal/core"
+	"fetch/internal/groundtruth"
+	"fetch/internal/synth"
+)
+
+// TestSweepAdversarialProfiles is the acceptance gate of the
+// differential-oracle subsystem: the full Strategy matrix crossed with
+// every adversarial shape profile must produce zero invariant
+// violations — session ≡ scratch, jobs=1 ≡ jobs=N, lattice
+// monotonicity, report accounting, and metrics consistency all hold on
+// PIE, split-text, ICF, zero-pad, CFI-stress, and every other layout
+// the v2 generator can emit.
+func TestSweepAdversarialProfiles(t *testing.T) {
+	for _, cfg := range synth.AdversarialCorpus(77000) {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			vs, err := CheckShape(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range vs {
+				t.Error(v)
+			}
+		})
+	}
+}
+
+// TestSweepBenignMix keeps the benign corpus under the same oracle:
+// both compilers and a second optimization level, via the Sweep
+// aggregator.
+func TestSweepBenignMix(t *testing.T) {
+	var cfgs []synth.Config
+	seed := int64(78000)
+	for _, comp := range []synth.Compiler{synth.GCC, synth.Clang} {
+		for _, opt := range []synth.Opt{synth.O2, synth.Os} {
+			seed++
+			cfg := synth.DefaultConfig("benign", seed, opt, comp, synth.LangC)
+			cfg.NumFuncs = 48
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	vs, err := Sweep(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Error(v)
+	}
+}
+
+// TestCheckersCatchInjectedFaults guards against vacuous checkers:
+// deliberately corrupted inputs must produce violations.
+func TestCheckersCatchInjectedFaults(t *testing.T) {
+	cfg := synth.DefaultConfig("inject", 79000, synth.O2, synth.GCC, synth.LangC)
+	cfg.NumFuncs = 32
+	img, truth, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := img.Strip()
+	rep, err := core.Analyze(stripped, core.FETCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("report-diff", func(t *testing.T) {
+		bad, err := core.Analyze(stripped, core.FETCH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad.Funcs[0xDEAD0001] = true
+		if vs := DiffReports("inject", core.FETCH, bad, rep); len(vs) == 0 {
+			t.Error("DiffReports missed an extra start")
+		}
+	})
+	t.Run("accounting", func(t *testing.T) {
+		bad, err := core.Analyze(stripped, core.FETCH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop an FDE start without recording a merge/removal.
+		delete(bad.Funcs, bad.FDEStarts[0])
+		if vs := CheckAccounting("inject", core.FETCH, bad); len(vs) == 0 {
+			t.Error("CheckAccounting missed a dropped FDE start")
+		}
+	})
+	t.Run("metrics", func(t *testing.T) {
+		// A truth claiming a function where none exists must show up as
+		// a missed correct-FDE start... while a fake merged true start
+		// trips the merge invariant.
+		bad, err := core.Analyze(stripped, core.FETCH)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad.Merged[truth.Funcs[0].Addr] = truth.Funcs[1].Addr
+		if vs := CheckMetrics("inject", core.FETCH, bad, truth); len(vs) == 0 {
+			t.Error("CheckMetrics missed a merged true start")
+		}
+		fake := &groundtruth.Truth{Funcs: append([]groundtruth.Func(nil), truth.Funcs...)}
+		fake.Funcs = append(fake.Funcs, groundtruth.Func{
+			Name: "ghost", Addr: 0xDEAD0002, HasFDE: true, Reach: groundtruth.ReachCall,
+		})
+		if vs := CheckMetrics("inject", core.FETCH, rep, fake); len(vs) == 0 {
+			t.Error("CheckMetrics missed a ghost function")
+		}
+	})
+	t.Run("lattice-self", func(t *testing.T) {
+		// The real pipeline passes the lattice walk on this binary.
+		if vs := CheckLattice("inject", stripped); len(vs) != 0 {
+			for _, v := range vs {
+				t.Error(v)
+			}
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrdering(t *testing.T) {
@@ -101,6 +102,69 @@ func TestMapMidRunCancellation(t *testing.T) {
 		if i > 2 && !errors.Is(r.Err, context.Canceled) {
 			t.Errorf("item %d should be cancelled, got %+v", i, r)
 		}
+	}
+}
+
+// TestMapCancelMidBatchParallel pins the cancellation contract on the
+// parallel path: items in flight at cancellation time run to
+// completion with correct values, every unstarted item reports the
+// context error, and no worker goroutine outlives Map.
+func TestMapCancelMidBatchParallel(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const jobs, n = 3, 12
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int32
+	gate := make(chan struct{})
+	allIn := make(chan struct{})
+	go func() {
+		<-allIn // all workers hold one in-flight item
+		cancel()
+		close(gate)
+	}()
+	rs := Map(ctx, jobs, make([]int, n), func(_ context.Context, i, _ int) (int, error) {
+		if started.Add(1) == jobs {
+			close(allIn)
+		}
+		<-gate
+		return i * 3, nil
+	})
+
+	var ok, cancelled int
+	for i, r := range rs {
+		switch {
+		case r.Err == nil:
+			ok++
+			if r.Value != i*3 {
+				t.Errorf("item %d completed with value %d, want %d", i, r.Value, i*3)
+			}
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+			if r.Value != 0 {
+				t.Errorf("cancelled item %d carries value %d", i, r.Value)
+			}
+		default:
+			t.Errorf("item %d: unexpected error %v", i, r.Err)
+		}
+	}
+	// Exactly the in-flight items completed: one per worker. Everything
+	// else must carry the context error — the partial result is
+	// deterministic in shape even though scheduling picked the items.
+	if ok != jobs {
+		t.Errorf("%d items completed, want exactly the %d in flight", ok, jobs)
+	}
+	if cancelled != n-jobs {
+		t.Errorf("%d items cancelled, want %d", cancelled, n-jobs)
+	}
+
+	// No goroutine leak: Map joined its workers before returning.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("%d goroutines after Map, %d before — worker leak", g, before)
 	}
 }
 

@@ -1,0 +1,298 @@
+package synth
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"debug/elf"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
+)
+
+func TestAdversarialProfilesGenerate(t *testing.T) {
+	names := ProfileNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d adversarial profiles, want >= 6", len(names))
+	}
+	for k, name := range names {
+		t.Run(name, func(t *testing.T) {
+			cfg, err := AdversarialProfile(name, 500+int64(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			im, truth := genTest(t, cfg)
+			if len(truth.Funcs) == 0 {
+				t.Fatal("no true functions")
+			}
+			// Every profile must still produce a loadable ELF whose
+			// .eh_frame decodes.
+			raw, err := elfx.WriteELF(im)
+			if err != nil {
+				t.Fatalf("WriteELF: %v", err)
+			}
+			got, err := elfx.LoadELF(raw)
+			if err != nil {
+				t.Fatalf("LoadELF: %v", err)
+			}
+			eh, ok := got.Section(".eh_frame")
+			if !ok {
+				t.Fatal("no .eh_frame after round trip")
+			}
+			if _, err := ehframe.Decode(eh.Data, eh.Addr); err != nil {
+				t.Fatalf("eh_frame decode: %v", err)
+			}
+		})
+	}
+	if _, err := AdversarialProfile("no-such-profile", 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestAdversarialPIE(t *testing.T) {
+	cfg, err := AdversarialProfile("pie", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, truth := genTest(t, cfg)
+	if !im.PIE {
+		t.Fatal("image not marked PIE")
+	}
+	text, _ := im.Section(".text")
+	if text.Addr != pieTextBase {
+		t.Errorf(".text at %#x, want the PIE base %#x", text.Addr, uint64(pieTextBase))
+	}
+	raw, err := elfx.WriteELF(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elf.NewFile(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("elf parse: %v", err)
+	}
+	if f.Type != elf.ET_DYN {
+		t.Errorf("ELF type %v, want ET_DYN", f.Type)
+	}
+	got, err := elfx.LoadELF(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.PIE {
+		t.Error("PIE flag lost in round trip")
+	}
+	if !truth.IsStart(got.Entry) {
+		t.Error("entry is not a true start after round trip")
+	}
+}
+
+func TestAdversarialSplitText(t *testing.T) {
+	cfg, err := AdversarialProfile("split-text", 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, truth := genTest(t, cfg)
+	unlikely, ok := im.Section(".text.unlikely")
+	if !ok {
+		t.Fatal("no .text.unlikely section")
+	}
+	if unlikely.Flags&elfx.FlagExec == 0 {
+		t.Error(".text.unlikely not executable")
+	}
+	if len(truth.Parts) == 0 {
+		t.Fatal("no non-contiguous parts generated")
+	}
+	// Every cold part must live in the unlikely section while its
+	// parent stays in .text.
+	text, _ := im.Section(".text")
+	for _, p := range truth.Parts {
+		if !unlikely.Contains(p.Addr) {
+			t.Errorf("part %s at %#x not in .text.unlikely", p.Name, p.Addr)
+		}
+		if !text.Contains(p.Parent) {
+			t.Errorf("parent of %s at %#x not in .text", p.Name, p.Parent)
+		}
+	}
+	// The disassembler-facing section list must report both.
+	if n := len(im.ExecSections()); n != 2 {
+		t.Errorf("%d exec sections, want 2", n)
+	}
+}
+
+func TestAdversarialICF(t *testing.T) {
+	cfg, err := AdversarialProfile("icf", 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, truth := genTest(t, cfg)
+	// Collect bodies of all true functions; the ICF clones must be
+	// byte-identical at distinct addresses, each with its own FDE.
+	bodies := map[string][]uint64{}
+	for _, fn := range truth.Funcs {
+		b, err := im.Bytes(fn.Addr, int(fn.Size))
+		if err != nil {
+			t.Fatalf("read %s: %v", fn.Name, err)
+		}
+		bodies[string(b)] = append(bodies[string(b)], fn.Addr)
+	}
+	var dupAddrs []uint64
+	for _, addrs := range bodies {
+		if len(addrs) >= cfg.ICFCount {
+			dupAddrs = addrs
+		}
+	}
+	if len(dupAddrs) < cfg.ICFCount {
+		t.Fatalf("no body shared by >= %d functions", cfg.ICFCount)
+	}
+	eh, _ := im.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range dupAddrs {
+		if _, ok := sec.FDEStartingAt(a); !ok {
+			t.Errorf("ICF clone at %#x has no FDE", a)
+		}
+	}
+}
+
+func TestAdversarialZeroPadGaps(t *testing.T) {
+	cfg, err := AdversarialProfile("zero-pad", 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, truth := genTest(t, cfg)
+	text, _ := im.Section(".text")
+	// No 0x90/0xCC padding anywhere outside function bodies: count the
+	// classic pad bytes in inter-function gaps.
+	inBody := make([]bool, len(text.Data))
+	mark := func(addr, size uint64) {
+		for a := addr; a < addr+size; a++ {
+			if text.Contains(a) {
+				inBody[a-text.Addr] = true
+			}
+		}
+	}
+	for _, fn := range truth.Funcs {
+		mark(fn.Addr, fn.Size)
+	}
+	for _, p := range truth.Parts {
+		mark(p.Addr, p.Size)
+	}
+	gapZeros, gapOther := 0, 0
+	for i, b := range text.Data {
+		if inBody[i] {
+			continue
+		}
+		if b == 0x00 {
+			gapZeros++
+		} else if b == 0x90 || b == 0xCC {
+			gapOther++
+		}
+	}
+	if gapZeros == 0 {
+		t.Fatal("no zero padding found in gaps")
+	}
+	// Islands and in-text tables legitimately hold arbitrary bytes, and
+	// CFI-error entries own a skew byte; but nop/int3 padding should be
+	// gone entirely.
+	if gapOther > cfg.DataIslandCount*48+cfg.CodeIslandCount*64 {
+		t.Errorf("%d nop/int3 bytes survive in gaps (zeros: %d)", gapOther, gapZeros)
+	}
+}
+
+func TestAdversarialCFIStress(t *testing.T) {
+	cfg, err := AdversarialProfile("cfi-stress", 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, truth := genTest(t, cfg)
+	eh, _ := im.Section(".eh_frame")
+	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	if err != nil {
+		t.Fatalf("absptr eh_frame decode: %v", err)
+	}
+	// Truncated FDEs: PC Begin exact, range strictly shorter than the
+	// function body.
+	trunc := 0
+	for _, fn := range truth.Funcs {
+		fde, ok := sec.FDEStartingAt(fn.Addr)
+		if !ok {
+			continue
+		}
+		if fde.PCRange < fn.Size {
+			trunc++
+		}
+	}
+	if trunc < cfg.TruncFDECount {
+		t.Errorf("%d truncated FDEs, want >= %d", trunc, cfg.TruncFDECount)
+	}
+	// Overlap FDEs: recorded in truth, each inside a host function and
+	// covered by the host's own FDE range, never a true start.
+	if len(truth.OverlapFDEAddrs) != cfg.OverlapFDECount {
+		t.Fatalf("%d overlap FDEs, want %d", len(truth.OverlapFDEAddrs), cfg.OverlapFDECount)
+	}
+	for _, a := range truth.OverlapFDEAddrs {
+		if truth.IsStart(a) {
+			t.Errorf("overlap FDE %#x is a true start", a)
+		}
+		if _, ok := sec.FDEStartingAt(a); !ok {
+			t.Errorf("overlap FDE %#x missing from .eh_frame", a)
+			continue
+		}
+		covered := 0
+		for _, f := range sec.FDEs {
+			if f.Covers(a) && f.PCBegin != a {
+				covered++
+			}
+		}
+		if covered == 0 {
+			t.Errorf("overlap FDE %#x not covered by any host FDE", a)
+		}
+	}
+	if len(truth.CFIErrorAddrs) != cfg.CFIErrorCount {
+		t.Errorf("%d CFI errors, want %d", len(truth.CFIErrorAddrs), cfg.CFIErrorCount)
+	}
+}
+
+// TestAdversarialCountsOverBudgetRejected pins the no-silent-shortfall
+// contract: asking for more truncated/overlap FDEs than eligible hosts
+// exist is an error, not a quietly weaker shape.
+func TestAdversarialCountsOverBudgetRejected(t *testing.T) {
+	cfg := defaultTestConfig(47)
+	cfg.NumFuncs = 12
+	cfg.OverlapFDECount = 50
+	if _, _, err := Generate(cfg); err == nil {
+		t.Error("over-budget OverlapFDECount accepted")
+	}
+}
+
+// TestAdversarialKnobsOffIsByteIdentical pins the v2 contract: with
+// every adversarial knob at its zero value the generator produces the
+// exact bytes of the v1 layout path (same rng stream, same sections).
+// The golden hash below was recorded from that path; any change to it
+// means every benign corpus binary changed — if the layout change is
+// intentional, re-record the constant and say so in the PR.
+func TestAdversarialKnobsOffIsByteIdentical(t *testing.T) {
+	const golden = "440cade86c6d635789406676b1a1462d607efcb01c885be43f20434e76da1964"
+	im, _ := genTest(t, defaultTestConfig(11))
+	if _, ok := im.Section(".text.unlikely"); ok {
+		t.Error("benign config grew a .text.unlikely section")
+	}
+	if im.PIE {
+		t.Error("benign config marked PIE")
+	}
+	text, _ := im.Section(".text")
+	if text.Addr != textBase {
+		t.Errorf(".text at %#x, want %#x", text.Addr, uint64(textBase))
+	}
+	h := sha256.New()
+	for _, s := range im.Sections {
+		fmt.Fprintf(h, "%s@%#x:%d\n", s.Name, s.Addr, len(s.Data))
+		h.Write(s.Data)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != golden {
+		t.Errorf("knobs-off layout hash changed:\n  got  %s\n  want %s", got, golden)
+	}
+}

@@ -34,6 +34,7 @@ const (
 	clsClangTerm // __clang_call_terminate
 	clsCFIErr    // function whose hand-written FDE begins one byte early
 	clsThunkMid  // thunk jumping into the middle of another function
+	clsICF       // byte-identical duplicate leaf body (ICF-style clone)
 )
 
 // callRef is one direct call the body must emit.
@@ -83,6 +84,10 @@ type funcSpec struct {
 	hasFDE bool
 	hasSym bool
 	nonRet bool
+	// truncFDE halves this function's FDE PCRange (PC Begin stays
+	// exact); overlapFDE plants an extra bogus FDE at the .mid offset.
+	truncFDE   bool
+	overlapFDE bool
 
 	// dataPtrSlot: this function's address is stored in .data.
 	dataPtrSlot bool
@@ -123,7 +128,9 @@ type chunk struct {
 	// strictly-aligned matchers skip it while looser ones hit it.
 	mis16 bool
 
-	addr uint64 // assigned at layout
+	addr uint64  // assigned at layout
+	sec  *secBuf // executable section buffer the chunk landed in
+	off  int     // byte offset within sec.data
 }
 
 // dwarfReg maps hardware register numbers to DWARF numbers.
@@ -279,6 +286,8 @@ func emitFunc(spec *funcSpec, rng *rand.Rand) (*chunk, *chunk, error) {
 		return emitClangTerm(spec)
 	case clsThunkMid:
 		return emitThunk(spec)
+	case clsICF:
+		return emitICF(spec)
 	}
 	return emitCompiled(spec, rng)
 }
@@ -639,6 +648,27 @@ func emitClangTerm(spec *funcSpec) (*chunk, *chunk, error) {
 	return &chunk{
 		name: spec.name, code: code, fixups: fixups,
 		spec: spec, hasFDE: false, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// emitICF produces an ICF-style clone: every instance emits the exact
+// same leaf body (no fixups, no rng), so all copies are byte-identical
+// at distinct addresses — each still a separate true function with its
+// own FDE.
+func emitICF(spec *funcSpec) (*chunk, *chunk, error) {
+	var a x64.Asm
+	a.MovRegReg(x64.RAX, x64.RDI)
+	a.AddRegImm(x64.RAX, 42)
+	a.ShlRegImm(x64.RAX, 1)
+	a.AddRegReg(x64.RAX, x64.RSI)
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: spec.hasFDE, hasSym: spec.hasSym, align: 16,
 	}, nil, nil
 }
 

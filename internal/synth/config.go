@@ -143,6 +143,39 @@ type Config struct {
 	// ClangTerminate: emit a __clang_call_terminate without FDE
 	// (Clang C++ binaries only).
 	ClangTerminate bool
+	// PICTableRate: fraction of .rodata jump tables using the
+	// position-independent (table-relative int32) idiom.
+	PICTableRate float64
+
+	// Adversarial-shape knobs (generator v2). All default to off: the
+	// benign corpus above is byte-identical with and without them.
+
+	// PIE emits an ET_DYN position-independent image mapped at a low
+	// base (0x1000) instead of the fixed ET_EXEC base.
+	PIE bool
+	// SplitText places cold parts (and the in-text jump tables that
+	// follow them) in a second executable section, .text.unlikely,
+	// one page past .text — the hot/cold section split -freorder-blocks-
+	// and-partition produces.
+	SplitText bool
+	// ICFCount: byte-identical duplicate leaf bodies at distinct
+	// addresses, each with its own FDE and ground-truth entry — the
+	// shape identical-code-folding-aware tools wrongly deduplicate.
+	ICFCount int
+	// ZeroPadGaps: inter-function padding bytes are 0x00 instead of
+	// NOP/int3 — zeros decode as add [rax],al and desynchronize linear
+	// sweeps.
+	ZeroPadGaps bool
+	// TruncFDECount: functions whose FDE PCRange covers only the first
+	// half of the body (truncated CFI coverage); PC Begin stays exact.
+	TruncFDECount int
+	// OverlapFDECount: extra bogus FDEs whose PC Begin sits mid-body of
+	// a host function, overlapping the host's own FDE range — the
+	// hand-written-CFI overlap case.
+	OverlapFDECount int
+	// AbsPtrFDEs: CIEs use the DW_EH_PE_absptr pointer encoding instead
+	// of the GCC/Clang default pcrel|sdata4.
+	AbsPtrFDEs bool
 }
 
 // Validate checks rate sanity.
@@ -153,9 +186,15 @@ func (c *Config) Validate() error {
 	for _, r := range []float64{c.NonContigRate, c.RBPFrameRate, c.AsmRate,
 		c.TailCallRate, c.TailOnlyRate, c.IndirectOnlyRate,
 		c.UnreachableAsmRate, c.JumpTableRate, c.NonRetCallRate,
-		c.EarlyRetRate, c.StartPadRate} {
+		c.EarlyRetRate, c.StartPadRate, c.PICTableRate} {
 		if r < 0 || r > 1 {
 			return fmt.Errorf("synth: rate %v out of [0,1]", r)
+		}
+	}
+	for _, n := range []int{c.DataIslandCount, c.CodeIslandCount,
+		c.CFIErrorCount, c.ICFCount, c.TruncFDECount, c.OverlapFDECount} {
+		if n < 0 {
+			return fmt.Errorf("synth: count %d negative", n)
 		}
 	}
 	return nil
@@ -187,6 +226,7 @@ func DefaultConfig(name string, seed int64, opt Opt, comp Compiler, lang Lang) C
 		DataIslandCount:    2,
 		CodeIslandCount:    2,
 		TextJumpTableRate:  0.3,
+		PICTableRate:       0.4,
 	}
 	// Optimization-level adjustments mirroring the paper's trends:
 	// hot/cold splitting grows with optimization aggressiveness and

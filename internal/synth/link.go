@@ -14,9 +14,21 @@ import (
 
 // Section base addresses for synthesized binaries.
 const (
-	textBase = 0x401000
-	pageSize = 0x1000
+	textBase    = 0x401000
+	pieTextBase = 0x1000
+	pageSize    = 0x1000
 )
+
+// secBuf accumulates one executable section during layout.
+type secBuf struct {
+	name string
+	base uint64
+	data []byte
+}
+
+// addr returns the virtual address of the next byte to be appended
+// (equivalently: the first address past the section so far).
+func (sb *secBuf) addr() uint64 { return sb.base + uint64(len(sb.data)) }
 
 // Generate synthesizes one binary: machine code, data, .eh_frame,
 // symbols, and the matching ground truth.
@@ -76,35 +88,65 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 		hot = append(hot[:pos], append([]*chunk{island}, hot[pos:]...)...)
 	}
 
-	// --- Layout .text ---
-	var text []byte
-	pad := func(align int) {
-		for (textBase+len(text))%align != 0 {
-			if rng.Intn(10) < 7 {
-				text = append(text, 0x90) // nop
+	// --- Layout executable sections ---
+	// Hot chunks go to .text; cold parts follow in the same section or,
+	// with SplitText, in .text.unlikely one page past it. In-text jump
+	// tables land after the cold parts, wherever those live.
+	base := uint64(textBase)
+	if cfg.PIE {
+		base = pieTextBase
+	}
+	hotSec := &secBuf{name: ".text", base: base}
+	fill := byte(0x90)
+	if cfg.ZeroPadGaps {
+		fill = 0x00
+	}
+	pad := func(sb *secBuf, align int) {
+		for sb.addr()%uint64(align) != 0 {
+			if cfg.ZeroPadGaps {
+				sb.data = append(sb.data, 0x00)
+			} else if rng.Intn(10) < 7 {
+				sb.data = append(sb.data, 0x90) // nop
 			} else {
-				text = append(text, 0xCC) // int3
+				sb.data = append(sb.data, 0xCC) // int3
 			}
 		}
 	}
-	// In-text jump tables live after the cold parts.
-	var textTables []*chunk
-	layout := append(append([]*chunk(nil), hot...), cold...)
-	for _, ch := range layout {
+	place := func(sb *secBuf, ch *chunk) {
 		align := ch.align
 		if align == 0 {
 			align = 16
 		}
-		pad(align)
-		if ch.mis16 && (textBase+len(text))%16 == 0 {
+		pad(sb, align)
+		if ch.mis16 && sb.addr()%16 == 0 {
 			for k := 0; k < 8; k++ {
-				text = append(text, 0x90)
+				sb.data = append(sb.data, fill)
 			}
 		}
-		ch.addr = uint64(textBase + len(text))
-		text = append(text, ch.code...)
+		ch.addr = sb.addr()
+		ch.sec = sb
+		ch.off = len(sb.data)
+		sb.data = append(sb.data, ch.code...)
 	}
-	pad(16)
+	var textTables []*chunk
+	layout := append(append([]*chunk(nil), hot...), cold...)
+	coldSec := hotSec
+	if cfg.SplitText {
+		for _, ch := range hot {
+			place(hotSec, ch)
+		}
+		pad(hotSec, 16)
+		coldSec = &secBuf{name: ".text.unlikely", base: alignUp(hotSec.addr(), pageSize)}
+		for _, ch := range cold {
+			place(coldSec, ch)
+		}
+		pad(coldSec, 16)
+	} else {
+		for _, ch := range layout {
+			place(hotSec, ch)
+		}
+		pad(hotSec, 16)
+	}
 
 	// --- Symbol resolution table ---
 	symAddr := make(map[string]uint64)
@@ -155,9 +197,7 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 					Kind: x64.FixAbs64, Off: 8 * k, Sym: cs,
 				})
 			}
-			pad(8)
-			tbl.addr = uint64(textBase + len(text))
-			text = append(text, tbl.code...)
+			place(coldSec, tbl)
 			symAddr[tbl.name] = tbl.addr
 			textTables = append(textTables, tbl)
 			layout = append(layout, tbl)
@@ -169,7 +209,7 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 		tables = append(tables, tableRef{sym: s.name + ".tbl", off: len(rodata), cases: cases})
 		rodata = append(rodata, make([]byte, 8*s.jumpTable)...)
 	}
-	roBase := alignUp(uint64(textBase)+uint64(len(text)), pageSize)
+	roBase := alignUp(coldSec.addr(), pageSize)
 	for _, t := range tables {
 		symAddr[t.sym] = roBase + uint64(t.off)
 	}
@@ -215,6 +255,9 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 	}
 
 	// --- Patch fixups ---
+	// Patching happens only after every chunk is placed: placement
+	// appends to the section buffers, so slices taken earlier would go
+	// stale; ch.sec/ch.off index the final buffers instead.
 	patch := func(ch *chunk) error {
 		for _, f := range ch.fixups {
 			target, ok := symAddr[f.Sym]
@@ -222,15 +265,15 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 				return fmt.Errorf("synth: undefined symbol %q in %s", f.Sym, ch.name)
 			}
 			target += uint64(f.Addend)
-			at := ch.addr - textBase + uint64(f.Off)
+			at := ch.off + f.Off
 			switch f.Kind {
 			case x64.FixRel32:
 				rel := int64(target) - int64(ch.addr+uint64(f.End))
-				binary.LittleEndian.PutUint32(text[at:], uint32(int32(rel)))
+				binary.LittleEndian.PutUint32(ch.sec.data[at:], uint32(int32(rel)))
 			case x64.FixAbs32:
-				binary.LittleEndian.PutUint32(text[at:], uint32(target))
+				binary.LittleEndian.PutUint32(ch.sec.data[at:], uint32(target))
 			case x64.FixAbs64:
-				binary.LittleEndian.PutUint64(text[at:], target)
+				binary.LittleEndian.PutUint64(ch.sec.data[at:], target)
 			}
 		}
 		return nil
@@ -278,23 +321,56 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 	cieFor := func(i int) *ehframe.CIE {
 		want := i / 24
 		for len(cies) <= want {
-			cies = append(cies, ehframe.NewDefaultCIE())
+			c := ehframe.NewDefaultCIE()
+			if cfg.AbsPtrFDEs {
+				c.FDEEnc = ehframe.PEAbsptr
+			}
+			cies = append(cies, c)
 		}
 		return cies[want]
 	}
 	fdeIdx := 0
+	var overlapAddrs []uint64
 	for _, ch := range layout {
 		if !ch.hasFDE || ch.isData {
 			continue
 		}
+		pcRange := uint64(len(ch.code))
+		if ch.spec != nil && ch.spec.truncFDE && !ch.isPart {
+			// Truncated CFI coverage: the range stops halfway through
+			// the body; PC Begin stays exact.
+			if half := pcRange / 2; half > 0 {
+				pcRange = half
+			}
+		}
 		fde := &ehframe.FDE{
 			CIE:     cieFor(fdeIdx),
 			PCBegin: ch.addr,
-			PCRange: uint64(len(ch.code)),
+			PCRange: pcRange,
 			Program: convertCFI(ch.cfi),
 		}
 		sec.FDEs = append(sec.FDEs, fde)
 		fdeIdx++
+	}
+	// Overlapping bogus FDEs: an extra program-less FDE starting at the
+	// host's .mid offset, covering the tail the host's own FDE already
+	// covers. Its PC Begin is a real instruction boundary but not a
+	// true function start.
+	for _, ch := range layout {
+		if ch.spec == nil || !ch.spec.overlapFDE || ch.isPart || ch.isData {
+			continue
+		}
+		mid, ok := ch.exports[ch.spec.name+".mid"]
+		if !ok || mid >= len(ch.code) {
+			continue
+		}
+		sec.FDEs = append(sec.FDEs, &ehframe.FDE{
+			CIE:     cieFor(fdeIdx),
+			PCBegin: ch.addr + uint64(mid),
+			PCRange: uint64(len(ch.code) - mid),
+		})
+		fdeIdx++
+		overlapAddrs = append(overlapAddrs, ch.addr+uint64(mid))
 	}
 	sort.Slice(sec.FDEs, func(i, j int) bool { return sec.FDEs[i].PCBegin < sec.FDEs[j].PCBegin })
 	ehBytes, err := sec.Encode()
@@ -306,13 +382,19 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 	im := &elfx.Image{
 		Name:  cfg.Name,
 		Entry: symAddr["main"],
-		Sections: []*elfx.Section{
-			{Name: ".text", Addr: textBase, Data: text, Flags: elfx.FlagAlloc | elfx.FlagExec},
-			{Name: ".rodata", Addr: roBase, Data: rodata, Flags: elfx.FlagAlloc},
-			{Name: ".data", Addr: dataBase, Data: data, Flags: elfx.FlagAlloc | elfx.FlagWrite},
-			{Name: ".eh_frame", Addr: ehBase, Data: ehBytes, Flags: elfx.FlagAlloc},
-		},
+		PIE:   cfg.PIE,
 	}
+	im.Sections = append(im.Sections,
+		&elfx.Section{Name: hotSec.name, Addr: hotSec.base, Data: hotSec.data, Flags: elfx.FlagAlloc | elfx.FlagExec})
+	if coldSec != hotSec && len(coldSec.data) > 0 {
+		im.Sections = append(im.Sections,
+			&elfx.Section{Name: coldSec.name, Addr: coldSec.base, Data: coldSec.data, Flags: elfx.FlagAlloc | elfx.FlagExec})
+	}
+	im.Sections = append(im.Sections,
+		&elfx.Section{Name: ".rodata", Addr: roBase, Data: rodata, Flags: elfx.FlagAlloc},
+		&elfx.Section{Name: ".data", Addr: dataBase, Data: data, Flags: elfx.FlagAlloc | elfx.FlagWrite},
+		&elfx.Section{Name: ".eh_frame", Addr: ehBase, Data: ehBytes, Flags: elfx.FlagAlloc},
+	)
 	for _, ch := range layout {
 		if !ch.hasSym || ch.isData {
 			continue
@@ -350,6 +432,7 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 			truth.CFIErrorAddrs = append(truth.CFIErrorAddrs, ch.addr)
 		}
 	}
+	truth.OverlapFDEAddrs = overlapAddrs
 	for _, ch := range layout {
 		if !ch.isPart {
 			continue

@@ -1,0 +1,119 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// adversarialProfiles maps each named shape profile to the mutation it
+// applies on top of DefaultConfig. Each profile concentrates one class
+// of real-world ELF layout the benign corpus never exercises; the
+// kitchen-sink profile combines them all.
+var adversarialProfiles = map[string]func(*Config){
+	// pie: ET_DYN image at a low base with PIC-style jump tables — the
+	// default layout of every distro-shipped binary since ~2017.
+	"pie": func(c *Config) {
+		c.PIE = true
+		c.PICTableRate = 0.8
+		c.JumpTableRate = 0.08
+	},
+	// split-text: hot/cold section splitting; every cold part lands in
+	// .text.unlikely a page away from its function.
+	"split-text": func(c *Config) {
+		c.SplitText = true
+		c.NonContigRate = 0.20
+		c.RBPFrameRate = 0.25
+	},
+	// jump-tables: dense bounded indirect jumps, both .rodata and
+	// in-text tables, PIC and absolute idioms, case-only callees.
+	"jump-tables": func(c *Config) {
+		c.JumpTableRate = 0.40
+		c.TextJumpTableRate = 0.5
+		c.PICTableRate = 0.5
+		c.CaseOnlyRate = 0.05
+	},
+	// icf: byte-identical duplicate bodies at distinct addresses, the
+	// shape content-hash deduplication collapses incorrectly.
+	"icf": func(c *Config) {
+		c.ICFCount = 8
+	},
+	// zero-pad: inter-function gaps are zero bytes, which decode as
+	// add [rax],al and desynchronize linear sweeps.
+	"zero-pad": func(c *Config) {
+		c.ZeroPadGaps = true
+		c.StartPadRate = 0.05
+		c.DataIslandCount = 4
+	},
+	// cfi-stress: truncated ranges, overlapping bogus FDEs, Figure-6b
+	// one-byte-early FDEs, absptr pointer encoding, and a heavy
+	// frame-pointer (incomplete-heights) mix.
+	"cfi-stress": func(c *Config) {
+		c.TruncFDECount = 5
+		c.OverlapFDECount = 4
+		c.CFIErrorCount = 2
+		c.AbsPtrFDEs = true
+		c.RBPFrameRate = 0.5
+	},
+	// asm-heavy: openssl/glibc-like density of hand-written assembly
+	// with no FDEs, plus the tail-only/indirect-only/unreachable mix
+	// that concentrates there.
+	"asm-heavy": func(c *Config) {
+		c.AsmRate = 0.05
+		c.TailOnlyRate = 0.02
+		c.IndirectOnlyRate = 0.02
+		c.UnreachableAsmRate = 0.01
+	},
+	// kitchen-sink: everything at once.
+	"kitchen-sink": func(c *Config) {
+		c.PIE = true
+		c.SplitText = true
+		c.ICFCount = 4
+		c.ZeroPadGaps = true
+		c.TruncFDECount = 3
+		c.OverlapFDECount = 3
+		c.CFIErrorCount = 1
+		c.NonContigRate = 0.15
+		c.JumpTableRate = 0.25
+		c.TextJumpTableRate = 0.4
+		c.CaseOnlyRate = 0.03
+		c.AsmRate = 0.02
+		c.IndirectOnlyRate = 0.01
+		c.RBPFrameRate = 0.35
+	},
+}
+
+// ProfileNames lists the adversarial shape profiles in sorted order.
+func ProfileNames() []string {
+	out := make([]string, 0, len(adversarialProfiles))
+	for name := range adversarialProfiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AdversarialProfile builds the named shape preset: DefaultConfig with
+// the profile's mutation applied. The same name and seed always yield
+// the same Config.
+func AdversarialProfile(name string, seed int64) (Config, error) {
+	mutate, ok := adversarialProfiles[name]
+	if !ok {
+		return Config{}, fmt.Errorf("synth: unknown profile %q (known: %v)", name, ProfileNames())
+	}
+	cfg := DefaultConfig("adv-"+name, seed, O2, GCC, LangC)
+	cfg.NumFuncs = 72
+	mutate(&cfg)
+	return cfg, nil
+}
+
+// AdversarialCorpus returns one Config per profile, seeded
+// deterministically from seed.
+func AdversarialCorpus(seed int64) []Config {
+	names := ProfileNames()
+	out := make([]Config, 0, len(names))
+	for k, name := range names {
+		cfg, _ := AdversarialProfile(name, seed+int64(k))
+		out = append(out, cfg)
+	}
+	return out
+}

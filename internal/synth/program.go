@@ -98,6 +98,12 @@ func buildSpecs(cfg *Config, rng *rand.Rand) ([]*funcSpec, error) {
 			}
 		}
 	}
+	// ICF clones: byte-identical leaf bodies at distinct addresses,
+	// each a call-reachable true function with its own FDE.
+	for k := 0; k < cfg.ICFCount && len(specs) < n-1; k++ {
+		s := mk(clsICF)
+		s.reach = groundtruth.ReachCall
+	}
 	if cfg.ClangTerminate && len(specs) < n-1 {
 		s := mk(clsClangTerm)
 		s.name = "__clang_call_terminate"
@@ -168,7 +174,7 @@ func buildSpecs(cfg *Config, rng *rand.Rand) ([]*funcSpec, error) {
 			}
 			if rng.Float64() < cfg.JumpTableRate {
 				s.jumpTable = 3 + rng.Intn(6)
-				s.picTable = rng.Float64() < 0.4
+				s.picTable = rng.Float64() < cfg.PICTableRate
 			}
 			if rng.Float64() < cfg.NonRetCallRate {
 				s.nonRetTail = true
@@ -237,6 +243,41 @@ func buildSpecs(cfg *Config, rng *rand.Rand) ([]*funcSpec, error) {
 			s.startPad = 0
 			host.caseCallees = append(host.caseCallees, s.name)
 			assigned++
+		}
+	}
+
+	// Truncated and overlapping FDEs land on plain compiled functions
+	// (assigned after case-only promotion, which strips prologues):
+	// truncation halves the FDE's PCRange (PC Begin stays exact);
+	// overlap plants an extra bogus FDE at the host's .mid offset. A
+	// host takes at most one of the two roles.
+	if cfg.TruncFDECount > 0 || cfg.OverlapFDECount > 0 {
+		var hosts []*funcSpec
+		for _, s := range specs {
+			if s.class == clsNormal && !s.split && !s.caseOnly {
+				hosts = append(hosts, s)
+			}
+		}
+		nTrunc, nOver := cfg.TruncFDECount, cfg.OverlapFDECount
+		for _, hi := range rng.Perm(len(hosts)) {
+			s := hosts[hi]
+			switch {
+			case nTrunc > 0:
+				s.truncFDE = true
+				nTrunc--
+			case nOver > 0:
+				s.overlapFDE = true
+				nOver--
+			}
+			if nTrunc == 0 && nOver == 0 {
+				break
+			}
+		}
+		if nTrunc > 0 || nOver > 0 {
+			// Under-planting silently would weaken the adversarial
+			// shape while the truth looks intentional.
+			return nil, fmt.Errorf("synth: only %d eligible hosts for %d truncated + %d overlap FDEs",
+				len(hosts), cfg.TruncFDECount, cfg.OverlapFDECount)
 		}
 	}
 

@@ -1,0 +1,53 @@
+package x64
+
+import "testing"
+
+// FuzzDecode throws arbitrary bytes at the instruction decoder. The
+// contract under fuzzing: never panic, and on success return a length
+// within [1, 15] that does not exceed the window.
+//
+// Reproduce a failure from its seed with
+//
+//	go test ./internal/x64 -run 'FuzzDecode/<seedname>'
+//
+// after dropping the crasher file into testdata/fuzz/FuzzDecode/.
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		{0x55},                         // push rbp
+		{0x48, 0x89, 0xE5},             // mov rbp, rsp
+		{0x48, 0x83, 0xEC, 0x20},       // sub rsp, 0x20
+		{0xE8, 0x00, 0x00, 0x00, 0x00}, // call +0
+		{0xE9, 0xFB, 0xFF, 0xFF, 0xFF}, // jmp -5
+		{0xC3},                         // ret
+		{0xF3, 0x0F, 0x1E, 0xFA},       // endbr64
+		{0xFF, 0x24, 0xC5, 0x00, 0x10, 0x40, 0x00}, // jmp [rax*8+0x401000]
+		{0x0F, 0x38, 0x00, 0xC0},                   // three-byte map
+		{0x0F, 0x3A, 0x0F, 0xC0, 0x08},             // three-byte map with imm
+		{0x66, 0x66, 0x66, 0x90},                   // stacked prefixes
+		{0x48, 0xB8, 1, 2, 3, 4, 5, 6, 7, 8},       // movabs rax, imm64
+		{0xC8, 0x10, 0x00, 0x00},                   // enter 0x10, 0
+		{0x67, 0xA0, 1, 2, 3, 4},                   // moffs with addr32
+		{0xF0, 0x0F, 0xB1, 0x0D, 1, 2, 3, 4},       // lock cmpxchg riprel
+		{0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4A, 0x4B, 0x4C, 0x4D, 0x4E, 0x4F}, // REX soup
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data, 0x401000)
+		if err != nil {
+			return
+		}
+		if in.Len < 1 || in.Len > 15 {
+			t.Fatalf("decoded length %d out of [1,15]", in.Len)
+		}
+		if in.Len > len(data) {
+			t.Fatalf("decoded length %d exceeds window %d", in.Len, len(data))
+		}
+		// The semantic accessors must hold for any successful decode.
+		_ = in.Writes()
+		_ = in.Constants()
+		_, _ = in.IndirectMem()
+		_ = in.Next()
+	})
+}

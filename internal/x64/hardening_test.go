@@ -1,0 +1,57 @@
+package x64
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDecodeAdversarialWindows pins the decoder's behavior on the
+// nastiest truncation and prefix shapes: always an error or a bounded
+// instruction, never a panic (the fuzz target enforces the same
+// contract continuously).
+func TestDecodeAdversarialWindows(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr error // nil = any outcome, non-nil = that error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"rex-only", []byte{0x48}, ErrTruncated},
+		{"all-prefixes-no-opcode", []byte{0x66, 0x67, 0xF0, 0xF2, 0x2E, 0x64, 0x48}, ErrTruncated},
+		{"fifteen-prefixes", []byte{0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x90}, ErrTruncated},
+		{"truncated-modrm", []byte{0x8B}, ErrTruncated},
+		{"truncated-sib", []byte{0x8B, 0x04}, ErrTruncated},
+		{"truncated-disp32", []byte{0x8B, 0x05, 0x01, 0x02}, ErrTruncated},
+		{"truncated-imm64", []byte{0x48, 0xB8, 1, 2, 3}, ErrTruncated},
+		{"truncated-two-byte", []byte{0x0F}, ErrTruncated},
+		{"truncated-three-byte", []byte{0x0F, 0x38}, ErrTruncated},
+		{"vex3", []byte{0xC4, 0xE2, 0x71, 0x00, 0xC0}, ErrInvalidOpcode},
+		{"evex", []byte{0x62, 0xF1, 0x7C, 0x48, 0x58, 0xC0}, ErrInvalidOpcode},
+		{"group5-slot7", []byte{0xFF, 0xF8}, ErrInvalidOpcode},
+		{"ud0", []byte{0x0F, 0xFF, 0xC0}, ErrInvalidOpcode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, err := Decode(tc.data, 0x401000)
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Decode(%x) = %+v, %v; want %v", tc.data, in, err, tc.wantErr)
+			}
+			if err == nil && (in.Len < 1 || in.Len > maxInstLen || in.Len > len(tc.data)) {
+				t.Fatalf("Decode(%x): length %d out of bounds", tc.data, in.Len)
+			}
+		})
+	}
+}
+
+// TestDecodeAllStopsOnGarbage pins that a linear sweep over garbage
+// terminates with a positional error instead of panicking or spinning.
+func TestDecodeAllStopsOnGarbage(t *testing.T) {
+	garbage := []byte{0x90, 0x90, 0x62, 0x01, 0x02, 0x03}
+	insts, err := DecodeAll(garbage, 0x401000)
+	if err == nil {
+		t.Fatal("DecodeAll accepted an EVEX byte")
+	}
+	if len(insts) != 2 {
+		t.Fatalf("decoded %d instructions before the bad byte, want 2", len(insts))
+	}
+}
