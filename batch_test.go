@@ -198,3 +198,99 @@ func TestAnalyzeBatchFromDisk(t *testing.T) {
 		t.Error("batch-from-disk result differs from AnalyzeFile")
 	}
 }
+
+// TestAnalyzeBatchDedupsIdenticalData proves byte-identical inputs are
+// analyzed once: every duplicate's BatchResult shares the single
+// group's Result.
+func TestAnalyzeBatchDedupsIdenticalData(t *testing.T) {
+	distinct := batchSamples(t, 2)
+	inputs := []Input{
+		{Name: "a0", Data: distinct[0].Data},
+		{Name: "b0", Data: distinct[1].Data},
+		{Name: "a1", Data: append([]byte(nil), distinct[0].Data...)}, // equal bytes, distinct backing array
+		{Name: "a2", Data: distinct[0].Data},
+		{Name: "b1", Data: distinct[1].Data},
+	}
+	results := AnalyzeBatch(inputs, BatchOptions{Jobs: 4})
+	for i, br := range results {
+		if br.Err != nil {
+			t.Fatalf("item %d: %v", i, br.Err)
+		}
+	}
+	if results[0].Result != results[2].Result || results[0].Result != results[3].Result {
+		t.Error("duplicates of binary a did not share one analysis")
+	}
+	if results[1].Result != results[4].Result {
+		t.Error("duplicates of binary b did not share one analysis")
+	}
+	if results[0].Result == results[1].Result {
+		t.Error("distinct binaries aliased")
+	}
+}
+
+// TestAnalyzeBatchDedupCountsOneAnalysisPerDistinctBinary uses cache
+// put counters to verify the pool saw each distinct binary exactly
+// once.
+func TestAnalyzeBatchDedupCountsOneAnalysisPerDistinctBinary(t *testing.T) {
+	cache, err := NewCache(CacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := batchSamples(t, 3)
+	var inputs []Input
+	for rep := 0; rep < 4; rep++ {
+		inputs = append(inputs, distinct...)
+	}
+	results := AnalyzeBatch(inputs, BatchOptions{Jobs: 4, Cache: cache})
+	for i, br := range results {
+		if br.Err != nil || br.Result == nil {
+			t.Fatalf("item %d: %v", i, br.Err)
+		}
+	}
+	st := cache.Stats()
+	if st.Puts != 3 || st.Misses != 3 {
+		t.Fatalf("expected exactly one analysis per distinct binary, counters: %+v", st)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("first batch should not hit (dedup happens before the cache): %+v", st)
+	}
+
+	// A second batch over the same corpus is served entirely from the
+	// cache: one lookup per distinct binary, zero new analyses.
+	AnalyzeBatch(inputs, BatchOptions{Jobs: 4, Cache: cache})
+	st = cache.Stats()
+	if st.Puts != 3 || st.Hits != 3 || st.Misses != 3 {
+		t.Fatalf("second batch should be one cache hit per distinct binary: %+v", st)
+	}
+}
+
+// TestAnalyzeBatchDedupSamePath dedups repeated Path inputs and fans
+// shared failures out to every duplicate.
+func TestAnalyzeBatchDedupSamePath(t *testing.T) {
+	raw, _, err := GenerateSample(SampleConfig{Seed: 7300, NumFuncs: 30, Stripped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dup.elf")
+	if err := os.WriteFile(path, raw, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	results := AnalyzeBatch([]Input{
+		{Name: "x", Path: path},
+		{Name: "y", Path: path},
+		{Name: "gone1", Path: "/nonexistent/binary"},
+		{Name: "gone2", Path: "/nonexistent/binary"},
+	}, BatchOptions{Jobs: 4})
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("valid path errs: %v %v", results[0].Err, results[1].Err)
+	}
+	if results[0].Result != results[1].Result {
+		t.Error("same-path duplicates did not share one analysis")
+	}
+	if results[2].Err == nil || results[3].Err == nil {
+		t.Fatal("missing path did not fail")
+	}
+	if results[2].Err != results[3].Err {
+		t.Error("duplicate failures did not share one error")
+	}
+}

@@ -546,3 +546,102 @@ func BenchmarkFETCHEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// --- Result cache ---
+
+// cacheBenchBinary is the serialized bench binary cache benches share.
+func cacheBenchBinary(b *testing.B) []byte {
+	b.Helper()
+	corpusForBench(b)
+	raw, err := elfx.WriteELF(benchSingle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
+}
+
+// BenchmarkCacheCold is the baseline the cache is judged against: a
+// full pipeline run per iteration, no cache attached.
+func BenchmarkCacheCold(b *testing.B) {
+	raw := cacheBenchBinary(b)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures the steady-state serving cost of a warm
+// result cache: content hash + LRU lookup + codec decode, no
+// disassembly at all. The ratio to BenchmarkCacheCold is the headline
+// speedup repeated traffic gets from the cache (≥10× required).
+func BenchmarkCacheHit(b *testing.B) {
+	raw := cacheBenchBinary(b)
+	cache, err := NewCache(CacheConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Analyze(raw, WithCache(cache)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(raw, WithCache(cache)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	if st.Hits < int64(b.N) {
+		b.Fatalf("bench did not hit the cache: %+v", st)
+	}
+}
+
+// BenchmarkCacheHitDisk serves every iteration from a cold memory LRU
+// backed by a warm disk level — the restart-recovery path.
+func BenchmarkCacheHitDisk(b *testing.B) {
+	raw := cacheBenchBinary(b)
+	dir := b.TempDir()
+	warm, err := NewCache(CacheConfig{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Analyze(raw, WithCache(warm)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cold, err := NewCache(CacheConfig{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := Analyze(raw, WithCache(cold)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeBatchDuplicates measures batch dedup: 16 slots
+// holding one distinct binary cost one analysis, not 16.
+func BenchmarkAnalyzeBatchDuplicates(b *testing.B) {
+	raw := cacheBenchBinary(b)
+	inputs := make([]Input, 16)
+	for i := range inputs {
+		inputs[i] = Input{Name: fmt.Sprintf("dup-%d", i), Data: raw}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, br := range AnalyzeBatch(inputs, BatchOptions{Jobs: runtime.NumCPU()}) {
+			if br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "binaries/s")
+}

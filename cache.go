@@ -1,0 +1,166 @@
+package fetch
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"fetch/internal/core"
+	"fetch/internal/resultcache"
+)
+
+// CacheConfig parameterizes NewCache.
+type CacheConfig struct {
+	// MaxEntries bounds the in-memory level; non-positive selects the
+	// package default (1024 entries).
+	MaxEntries int
+	// Dir enables a persistent on-disk level when non-empty. Entries
+	// survive process restarts; writes are atomic and corrupted or
+	// truncated entries are detected, discarded, and recomputed rather
+	// than returned.
+	Dir string
+}
+
+// CacheStats is a snapshot of a Cache's operation counters. Hits and
+// Misses partition lookups; MemHits and DiskHits partition Hits by
+// serving level. CorruptDrops counts discarded on-disk entries that
+// failed integrity verification.
+type CacheStats struct {
+	Hits         int64
+	Misses       int64
+	MemHits      int64
+	DiskHits     int64
+	Puts         int64
+	Evictions    int64
+	CorruptDrops int64
+	DiskErrors   int64
+	// Entries is the current in-memory entry count.
+	Entries int
+}
+
+// Cache is a content-addressed store of analysis results, shared
+// safely by any number of concurrent analyses. Entries are keyed by
+// the SHA-256 of the binary's bytes, the effective strategy, and the
+// result schema version: re-analyzing a byte-identical binary with the
+// same options returns the stored result without decoding a single
+// instruction, while any change to the binary, the options, or the
+// schema misses cleanly. Attach one to an analysis with WithCache or
+// BatchOptions.Cache.
+type Cache struct {
+	rc *resultcache.Cache
+}
+
+// NewCache builds a result cache. The zero CacheConfig is valid:
+// memory-only with the default capacity.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	rc, err := resultcache.New(resultcache.Config{
+		MaxEntries: cfg.MaxEntries,
+		Dir:        cfg.Dir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fetch: %w", err)
+	}
+	return &Cache{rc: rc}, nil
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	st := c.rc.Stats()
+	return CacheStats{
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		MemHits:      st.MemHits,
+		DiskHits:     st.DiskHits,
+		Puts:         st.Puts,
+		Evictions:    st.Evictions,
+		CorruptDrops: st.CorruptDrops,
+		DiskErrors:   st.DiskErrors,
+		Entries:      st.Entries,
+	}
+}
+
+// HashBinary returns the SHA-256 content hash that addresses a
+// binary's cache entries — the same hash /v1/result/{sha256} of the
+// fetchd service expects.
+func HashBinary(data []byte) [sha256.Size]byte {
+	return resultcache.HashBytes(data)
+}
+
+// Get returns the cached Result for a binary's content hash under the
+// given options, without needing the binary itself. This is the
+// by-hash lookup path of the fetchd service; Analyze with WithCache
+// populates the entries it serves. The Result is freshly decoded and
+// owned by the caller.
+func (c *Cache) Get(sum [sha256.Size]byte, opts ...Option) (*Result, bool) {
+	o := buildOptions(opts)
+	blob, ok := c.rc.Get(cacheKey(sum, o.Strategy))
+	if !ok {
+		return nil, false
+	}
+	res, err := DecodeResult(blob)
+	if err != nil {
+		// An undecodable entry (e.g. written by a newer build within
+		// the same schema version) is a miss, not an error.
+		return nil, false
+	}
+	return res, true
+}
+
+// Analyze is Analyze-with-WithCache plus hit observability: it runs
+// the pipeline against the cache and additionally reports whether the
+// result was served from a stored entry. Servers use it to count
+// cache hits per request without a second lookup; the result is
+// indistinguishable from plain Analyze either way. The receiver is
+// the cache used — a WithCache among opts is overridden.
+func (c *Cache) Analyze(data []byte, opts ...Option) (res *Result, cached bool, err error) {
+	o := buildOptions(opts)
+	o.Cache = c
+	return analyzeCached(data, o)
+}
+
+// lookup returns the decoded entry for a key, if present and valid.
+func (c *Cache) lookup(k resultcache.Key) (*Result, bool) {
+	blob, ok := c.rc.Get(k)
+	if !ok {
+		return nil, false
+	}
+	res, err := DecodeResult(blob)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// store serializes and saves an analysis result under a key. Encoding
+// failures drop the entry silently: caching must never turn a
+// successful analysis into a failure.
+func (c *Cache) store(k resultcache.Key, res *Result) {
+	blob, err := EncodeResult(res)
+	if err != nil {
+		return
+	}
+	c.rc.Put(k, blob)
+}
+
+// strategyVariant renders a Strategy as the stable cache-key signature
+// ("recT.xrefT.tailT"), using only the filename-safe characters
+// resultcache.Key documents for Variant. Two option lists that resolve
+// to the same strategy share cache entries; any future option that
+// changes analysis output must extend this signature.
+func strategyVariant(s core.Strategy) string {
+	b := func(v bool) byte {
+		if v {
+			return 'T'
+		}
+		return 'F'
+	}
+	return fmt.Sprintf("rec%c.xref%c.tail%c", b(s.Recursive), b(s.Xref), b(s.TailCall))
+}
+
+// cacheKey assembles the full content-addressed key for one analysis.
+func cacheKey(sum [sha256.Size]byte, s core.Strategy) resultcache.Key {
+	return resultcache.Key{
+		SHA256:  sum,
+		Variant: strategyVariant(s),
+		Schema:  ResultSchemaVersion,
+	}
+}

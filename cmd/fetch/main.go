@@ -5,22 +5,26 @@
 //
 // Usage:
 //
-//	fetch [-fde-only] [-no-xref] [-no-tailcall] [-jobs N] [-v] BINARY...
+//	fetch [-fde-only] [-no-xref] [-no-tailcall] [-jobs N] [-cache-dir DIR] [-json] [-v] BINARY...
 //	fetch -sample [-seed N] [-v]        analyze a generated sample
 //
 // Multiple binaries are analyzed concurrently (-jobs bounds the worker
 // count, 0 = one per CPU) and reported in argument order; a failure on
-// one binary does not stop the others.
+// one binary does not stop the others. Text output labels every value
+// with its canonical schema field name (docs/API.md), and -json emits
+// the serialized schema itself — the CLI and the fetchd API speak the
+// same vocabulary by construction. -cache-dir reuses results across
+// runs via the content-addressed cache.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
-	"time"
 
 	"fetch"
 )
@@ -35,30 +39,15 @@ func main() {
 	}
 }
 
+// printResult renders one analysis. Every labeled value goes through
+// fetch.Summarize, so the names and units here are exactly the JSON
+// schema's — the codec test enforces it, and docs/API.md documents one
+// vocabulary for both.
 func printResult(w io.Writer, res *fetch.Result, verbose bool) {
-	fmt.Fprintf(w, "function starts:        %d\n", len(res.FunctionStarts))
-	fmt.Fprintf(w, "raw FDE starts:         %d\n", len(res.FDEStarts))
-	fmt.Fprintf(w, "from pointers (§IV-E):  %d\n", len(res.NewFromPointers))
-	fmt.Fprintf(w, "from tail calls:        %d\n", len(res.NewFromTailCalls))
-	fmt.Fprintf(w, "merged parts (Alg. 1):  %d\n", len(res.MergedParts))
-	fmt.Fprintf(w, "removed bogus FDEs:     %d\n", len(res.RemovedBogusFDEs))
-	fmt.Fprintf(w, "skipped (no CFI info):  %d\n", res.SkippedIncompleteCFI)
+	for _, line := range fetch.Summarize(res, verbose) {
+		fmt.Fprintf(w, "%-28s %s\n", line.Name, line.Value)
+	}
 	if verbose {
-		st := res.Stats
-		total := st.InstsDecoded + st.InstsReused
-		pct := 0.0
-		if total > 0 {
-			pct = 100 * float64(st.InstsReused) / float64(total)
-		}
-		fmt.Fprintf(w, "insts decoded/reused:   %d/%d (%.1f%% reused)\n",
-			st.InstsDecoded, st.InstsReused, pct)
-		fmt.Fprintf(w, "session ops:            %d extend, %d retract, %d fork, %d probe\n",
-			st.Extends, st.Retracts, st.Forks, st.Probes)
-		fmt.Fprintf(w, "xref iterations:        %d (converged: %v)\n",
-			st.XrefIterations, st.XrefConverged)
-		for _, ps := range st.Passes {
-			fmt.Fprintf(w, "pass %-10s         %v\n", ps.Name, ps.Wall.Round(time.Microsecond))
-		}
 		for _, a := range res.FunctionStarts {
 			fmt.Fprintf(w, "%#x\n", a)
 		}
@@ -73,6 +62,25 @@ func printResult(w io.Writer, res *fetch.Result, verbose bool) {
 	}
 }
 
+// printJSON emits the serialized result schema, wrapped with the item
+// name so multi-binary runs stay self-describing (one JSON document
+// per binary).
+func printJSON(w io.Writer, name string, res *fetch.Result) error {
+	blob, err := fetch.EncodeResult(res)
+	if err != nil {
+		return err
+	}
+	doc, err := json.MarshalIndent(struct {
+		Name   string          `json:"name"`
+		Result json.RawMessage `json:"result"`
+	}{Name: name, Result: blob}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", doc)
+	return err
+}
+
 // run executes the command against args, writing results to w and
 // per-binary failures plus flag diagnostics to errW. It is separated
 // from main so tests can drive every path directly.
@@ -85,6 +93,8 @@ func run(args []string, w, errW io.Writer) error {
 	sample := fs.Bool("sample", false, "analyze a generated sample binary instead of a file")
 	seed := fs.Int64("seed", 1, "sample generation seed")
 	jobs := fs.Int("jobs", 0, "concurrent analyses for multiple binaries (0 = one per CPU)")
+	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (reuses results across runs)")
+	jsonOut := fs.Bool("json", false, "emit the serialized result schema (docs/API.md) instead of text")
 	verbose := fs.Bool("v", false, "list every detected start plus per-pass timing and session statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +110,24 @@ func run(args []string, w, errW io.Writer) error {
 	if *noTail {
 		opts = append(opts, fetch.WithoutTailCall())
 	}
+	if *cacheDir != "" {
+		cache, err := fetch.NewCache(fetch.CacheConfig{Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, fetch.WithCache(cache))
+	}
+
+	emit := func(name string, res *fetch.Result, header bool) error {
+		if *jsonOut {
+			return printJSON(w, name, res)
+		}
+		if header {
+			fmt.Fprintf(w, "== %s ==\n", name)
+		}
+		printResult(w, res, *verbose)
+		return nil
+	}
 
 	switch {
 	case *sample:
@@ -111,8 +139,7 @@ func run(args []string, w, errW io.Writer) error {
 		if err != nil {
 			return err
 		}
-		printResult(w, res, *verbose)
-		return nil
+		return emit("sample", res, false)
 	case fs.NArg() >= 1:
 		inputs := make([]fetch.Input, fs.NArg())
 		for i, p := range fs.Args() {
@@ -121,9 +148,6 @@ func run(args []string, w, errW io.Writer) error {
 		results := fetch.AnalyzeBatch(inputs, fetch.BatchOptions{Jobs: *jobs, Options: opts})
 		var firstErr error
 		for _, br := range results {
-			if len(results) > 1 {
-				fmt.Fprintf(w, "== %s ==\n", br.Name)
-			}
 			if br.Err != nil {
 				fmt.Fprintf(errW, "fetch: %s: %v\n", br.Name, br.Err)
 				if firstErr == nil {
@@ -131,7 +155,9 @@ func run(args []string, w, errW io.Writer) error {
 				}
 				continue
 			}
-			printResult(w, br.Result, *verbose)
+			if err := emit(br.Name, br.Result, len(results) > 1); err != nil {
+				return err
+			}
 		}
 		return firstErr
 	default:

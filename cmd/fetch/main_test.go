@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,7 +30,7 @@ func TestRunSample(t *testing.T) {
 	if err := run([]string{"-sample", "-seed", "3"}, &out, &errOut); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
 	}
-	for _, want := range []string{"function starts:", "raw FDE starts:", "merged parts"} {
+	for _, want := range []string{"function_starts", "fde_starts", "merged_parts"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
@@ -40,7 +42,10 @@ func TestRunSampleVerboseStats(t *testing.T) {
 	if err := run([]string{"-sample", "-seed", "3", "-v"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"insts decoded/reused:", "session ops:", "xref iterations:", "pass fde"} {
+	for _, want := range []string{
+		"stats.insts_decoded", "stats.insts_reused", "derived.reused_pct",
+		"stats.extends", "stats.xref_iterations", "stats.passes.fde.wall_ns",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("verbose output missing %q", want)
 		}
@@ -87,7 +92,7 @@ func TestRunErrorExitOnBadBinary(t *testing.T) {
 	}
 	// The good binary is still fully reported.
 	if !strings.Contains(out.String(), "== "+good+" ==") ||
-		!strings.Contains(out.String(), "function starts:") {
+		!strings.Contains(out.String(), "function_starts") {
 		t.Error("good binary not reported alongside the failure")
 	}
 	if !strings.Contains(errOut.String(), "no-such-file") {
@@ -106,8 +111,59 @@ func TestRunStrategyFlagsChangeOutput(t *testing.T) {
 	if full.String() == fdeOnly.String() {
 		t.Error("-fde-only output identical to full pipeline")
 	}
-	if !strings.Contains(fdeOnly.String(), "from pointers (§IV-E):  0") {
+	wantZero := fmt.Sprintf("%-28s %s", "new_from_pointers", "0")
+	if !strings.Contains(fdeOnly.String(), wantZero) {
 		t.Error("-fde-only still reports pointer-derived starts")
+	}
+}
+
+// TestRunJSONMatchesCodec proves -json emits the exact serialized
+// schema: the embedded result decodes through the public codec.
+func TestRunJSONMatchesCodec(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-sample", "-seed", "6", "-json"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name   string          `json:"name"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("-json output is not one JSON document: %v\n%s", err, out.String())
+	}
+	if doc.Name != "sample" {
+		t.Errorf("name %q", doc.Name)
+	}
+	res, err := fetch.DecodeResult(doc.Result)
+	if err != nil {
+		t.Fatalf("embedded result rejected by the codec: %v", err)
+	}
+	if len(res.FunctionStarts) == 0 {
+		t.Error("empty analysis in JSON output")
+	}
+}
+
+// TestRunCacheDirReusesResults runs the same binary twice against one
+// cache directory and requires identical reports plus a populated
+// cache.
+func TestRunCacheDirReusesResults(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	p := writeSample(t, dir, 6)
+
+	var first, second, errOut strings.Builder
+	if err := run([]string{"-cache-dir", cacheDir, p}, &first, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-cache-dir", cacheDir, p}, &second, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("cached run output differs from cold run")
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.rc"))
+	if err != nil || len(entries) != 1 {
+		t.Errorf("cache dir entries: %v (%v)", entries, err)
 	}
 }
 

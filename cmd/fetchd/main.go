@@ -1,0 +1,125 @@
+// Command fetchd is the long-running FETCH analysis service: an HTTP
+// front end over the pipeline that content-addresses every analyzed
+// binary, so byte-identical binaries are analyzed once and served from
+// the result cache afterwards.
+//
+// Usage:
+//
+//	fetchd [-addr :8421] [-jobs N] [-cache-entries N] [-cache-dir DIR] [-max-upload BYTES]
+//
+// Endpoints (documented with examples in docs/API.md):
+//
+//	POST /v1/analyze         upload a binary (raw bytes) or look one
+//	                         up by {"sha256": "..."} JSON body
+//	GET  /v1/result/{sha256} cached result by content hash
+//	GET  /v1/healthz         liveness probe
+//	GET  /v1/stats           cache hit/miss/latency counters
+//
+// At most -jobs analyses run concurrently; excess uploads queue.
+// -cache-dir persists results across restarts. On SIGINT/SIGTERM the
+// server stops accepting connections and drains in-flight requests
+// before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fetch"
+	"fetch/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "fetchd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the service until the process receives
+// SIGINT/SIGTERM or ready's consumer closes the listener. The ready
+// channel, when non-nil, receives the bound address once the server
+// is listening — tests use it to drive a real TCP server without
+// races on startup.
+func run(args []string, errW io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("fetchd", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	addr := fs.String("addr", ":8421", "listen address")
+	jobs := fs.Int("jobs", 0, "max concurrent analyses (0 = one per CPU)")
+	cacheEntries := fs.Int("cache-entries", 4096, "in-memory result cache capacity")
+	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (empty = memory only)")
+	maxUpload := fs.Int64("max-upload", service.DefaultMaxUploadBytes, "max accepted binary size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	cache, err := fetch.NewCache(fetch.CacheConfig{
+		MaxEntries: *cacheEntries,
+		Dir:        *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{
+		Cache:          cache,
+		MaxInFlight:    *jobs,
+		MaxUploadBytes: *maxUpload,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(errW, "fetchd: listening on %s (jobs=%d, cache=%d entries, dir=%q)\n",
+		ln.Addr(), *jobs, *cacheEntries, *cacheDir)
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, finish in-flight requests,
+		// give up after a deadline.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errc // reap the Serve goroutine's ErrServerClosed
+		return nil
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"fetch"
+)
+
+func TestRunRejectsBadFlagsAndArgs(t *testing.T) {
+	var errW bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &errW, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"positional"}, &errW, nil); err == nil ||
+		!strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("positional args: %v", err)
+	}
+}
+
+func TestRunRejectsUnusableCacheDir(t *testing.T) {
+	file := t.TempDir() + "/occupied"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errW bytes.Buffer
+	if err := run([]string{"-cache-dir", file + "/sub"}, &errW, nil); err == nil {
+		t.Fatal("cache dir under a regular file accepted")
+	}
+}
+
+// TestServeAnalyzeShutdown exercises the full daemon lifecycle: bind
+// an ephemeral port, serve a real analysis over TCP, then deliver
+// SIGINT and require a clean drained exit.
+func TestServeAnalyzeShutdown(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var errW bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-jobs", "2"}, &errW, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\n%s", err, errW.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	bin, _, err := fetch.GenerateSample(fetch.SampleConfig{Seed: 7, NumFuncs: 40, Stripped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/analyze", "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, raw)
+	}
+	var ar struct {
+		SHA256 string          `json:"sha256"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		t.Fatalf("analyze response: %v", err)
+	}
+	if _, err := fetch.DecodeResult(ar.Result); err != nil {
+		t.Fatalf("served result does not decode: %v", err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGINT")
+	}
+}

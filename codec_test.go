@@ -1,0 +1,210 @@
+package fetch
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// codecSample produces a deterministic analyzed Result: a generated
+// binary with every correction class populated, wall times zeroed
+// (the single non-deterministic field family).
+func codecSample(t testing.TB) *Result {
+	t.Helper()
+	raw, _, err := GenerateSample(SampleConfig{Seed: 42, NumFuncs: 120, Stripped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Stats.Passes {
+		res.Stats.Passes[i].Wall = 0
+	}
+	return res
+}
+
+func TestCodecRoundTripExact(t *testing.T) {
+	res := codecSample(t)
+	blob, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("round trip not exact:\n got %+v\nwant %+v", back, res)
+	}
+	// Determinism: encoding the decoded copy reproduces the bytes.
+	blob2, err := EncodeResult(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+}
+
+// TestCodecRoundTripPreservesNilVersusEmpty pins the subtlest part of
+// the exactness contract: null and [] are different values.
+func TestCodecRoundTripPreservesNilVersusEmpty(t *testing.T) {
+	cases := []*Result{
+		{}, // all nil
+		{
+			FunctionStarts: []uint64{},
+			MergedParts:    map[uint64]uint64{},
+			Stats:          Stats{Passes: []PassStat{}},
+		},
+		{
+			FunctionStarts: []uint64{0x401000, 1<<64 - 1},
+			MergedParts:    map[uint64]uint64{0x1000: 0x2000, 1<<63 + 5: 7},
+			Stats: Stats{
+				Passes:        []PassStat{{Name: "fde", Wall: 123 * time.Microsecond}},
+				XrefConverged: true,
+			},
+		},
+	}
+	for i, res := range cases {
+		blob, err := EncodeResult(res)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		back, err := DecodeResult(blob)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(res, back) {
+			t.Fatalf("case %d: round trip changed value:\n got %#v\nwant %#v", i, back, res)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongSchemaAndUnknownFields(t *testing.T) {
+	res := codecSample(t)
+	blob, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongSchema := strings.Replace(string(blob), `"schema": 1`, `"schema": 999`, 1)
+	if _, err := DecodeResult([]byte(wrongSchema)); err == nil ||
+		!strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("wrong schema: %v", err)
+	}
+
+	unknown := strings.Replace(string(blob), `"schema": 1`, `"schema": 1, "surprise": 1`, 1)
+	if _, err := DecodeResult([]byte(unknown)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+
+	if _, err := DecodeResult([]byte("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	// Trailing data is rejected whichever layer sees it first (the
+	// schema probe's strict Unmarshal or the post-decode EOF check).
+	trailing := append(append([]byte(nil), blob...), []byte(`{"schema": 1}`)...)
+	if _, err := DecodeResult(trailing); err == nil {
+		t.Fatal("concatenated documents accepted")
+	}
+	if _, err := DecodeResult([]byte(`{"schema": 1, "fde_starts": ["zz"]}`)); err == nil {
+		t.Fatal("malformed address accepted")
+	}
+}
+
+// TestCodecGolden pins the serialized schema byte-for-byte: any codec
+// change that alters the wire form fails here and must come with a
+// ResultSchemaVersion bump plus a docs/API.md update. Refresh with
+// go test -run TestCodecGolden -update ./...
+func TestCodecGolden(t *testing.T) {
+	res := codecSample(t)
+	blob, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "result_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(blob) != string(want) {
+		t.Fatalf("encoding drifted from %s; if intentional, bump ResultSchemaVersion, update docs/API.md, and refresh with -update", golden)
+	}
+	back, err := DecodeResult(want)
+	if err != nil {
+		t.Fatalf("golden does not decode: %v", err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatal("golden decodes to a different result")
+	}
+}
+
+// TestSummaryNamesMatchSchema enforces the no-drift contract between
+// the CLI's formatting helper and the JSON codec: every non-derived
+// SummaryLine name must resolve to a path in the encoded document.
+func TestSummaryNamesMatchSchema(t *testing.T) {
+	res := codecSample(t)
+	blob, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(path string) bool {
+		cur := any(doc)
+		for _, seg := range strings.Split(path, ".") {
+			switch node := cur.(type) {
+			case map[string]any:
+				next, ok := node[seg]
+				if !ok {
+					return false
+				}
+				cur = next
+			case []any:
+				// A segment under an array names an element by its
+				// "name" field (the passes list).
+				var found any
+				for _, el := range node {
+					if m, ok := el.(map[string]any); ok && m["name"] == seg {
+						found = m
+						break
+					}
+				}
+				if found == nil {
+					return false
+				}
+				cur = found
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	for _, line := range Summarize(res, true) {
+		if strings.HasPrefix(line.Name, "derived.") {
+			continue
+		}
+		if !resolve(line.Name) {
+			t.Errorf("summary line %q has no corresponding schema path", line.Name)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command service demonstrates the fetchd HTTP API end to end,
+// in-process: it starts the fetchd service over an httptest listener,
+// uploads a generated sample binary, re-fetches the result by content
+// hash, and reads back the cache counters — the same request sequence
+// docs/API.md walks through with curl.
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"fetch"
+	"fetch/internal/service"
+)
+
+func main() {
+	// A memory-only cache; pass Dir to persist results across runs.
+	cache, err := fetch.NewCache(fetch.CacheConfig{MaxEntries: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := service.New(service.Config{Cache: cache, MaxInFlight: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	fmt.Println("fetchd serving on", ts.URL)
+
+	// A sample binary with known ground truth stands in for a real
+	// upload.
+	bin, _, err := fetch.GenerateSample(fetch.SampleConfig{Seed: 1, Stripped: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := fetch.HashBinary(bin)
+	hexSum := hex.EncodeToString(sum[:])
+
+	// POST /v1/analyze twice: a cold analysis, then a cache hit.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/octet-stream", bytes.NewReader(bin))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ar struct {
+			SHA256 string          `json:"sha256"`
+			Cached bool            `json:"cached"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		res, err := fetch.DecodeResult(ar.Result)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("analyze #%d: cached=%v starts=%d sha256=%s...\n",
+			i+1, ar.Cached, len(res.FunctionStarts), ar.SHA256[:12])
+	}
+
+	// GET /v1/result/{sha256}: by-hash retrieval, no binary needed.
+	resp, err := http.Get(ts.URL + "/v1/result/" + hexSum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Println("by-hash GET:", resp.Status)
+
+	// GET /v1/stats: hit/miss/latency counters.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("stats: analyze requests=%d hits=%d misses=%d; cache entries=%d\n",
+		st.Analyze.Requests, st.Analyze.CacheHits, st.Analyze.CacheMisses, st.Cache.Entries)
+}

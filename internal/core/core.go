@@ -1,17 +1,3 @@
-// Package core assembles the FETCH pipeline: FDE extraction, safe
-// recursive disassembly (§IV-C), conservative function-pointer
-// detection (§IV-E), and Algorithm 1's error fixing (§V-B) — the
-// "optimal strategies" configuration of Figure 5c, with each stage
-// individually switchable so the evaluation can reproduce every
-// strategy combination the paper measures.
-//
-// The pipeline is an explicit ordered pass list (fde, recursive, xref,
-// tailcall) running over one shared incremental disasm.Session and one
-// Report. After the initial sweep no pass pays a cold resweep: xref
-// iterations re-analyze via Session.Extend, the §V-B CFI-error
-// recovery via Session.Retract, and candidate validation probes via
-// Session.Fork — all byte-identical to from-scratch runs by the
-// Session contract.
 package core
 
 import (

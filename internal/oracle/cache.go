@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"fmt"
+	"reflect"
+
+	"fetch"
+	"fetch/internal/core"
+)
+
+// cacheVariants are the public option sets the cache checker sweeps —
+// the four points of the paper's strategy ladder plus the Xref-less
+// tail-call combination, expressed through the public API the way a
+// service caller would.
+var cacheVariants = []struct {
+	name string
+	opts []fetch.Option
+}{
+	{"fetch", nil},
+	{"fde-only", []fetch.Option{fetch.FDEOnly()}},
+	{"no-xref", []fetch.Option{fetch.WithoutXref()}},
+	{"no-tailcall", []fetch.Option{fetch.WithoutTailCall()}},
+	{"rec-only", []fetch.Option{fetch.WithoutXref(), fetch.WithoutTailCall()}},
+}
+
+// CheckCachedEqualsRecomputed asserts the result cache is semantically
+// invisible: for every strategy option set, analyzing a binary cold
+// through a cache, re-analyzing it warm (a pure cache hit), looking it
+// up by content hash, and recomputing it with no cache at all must
+// produce identical results (wall times, the one legitimately
+// non-deterministic field family, are stripped). The counters must
+// show the warm run really was served from the cache — a checker that
+// silently recomputed everything would be vacuous.
+func CheckCachedEqualsRecomputed(shape string, elfBytes []byte) []Violation {
+	cache, err := fetch.NewCache(fetch.CacheConfig{})
+	if err != nil {
+		return []Violation{{shape, core.FETCH, "cache", "NewCache: " + err.Error()}}
+	}
+	var vs []Violation
+	for _, variant := range cacheVariants {
+		bad := func(format string, args ...any) {
+			vs = append(vs, Violation{shape, core.FETCH, "cache",
+				fmt.Sprintf("[%s] %s", variant.name, fmt.Sprintf(format, args...))})
+		}
+		withCache := append(append([]fetch.Option(nil), variant.opts...), fetch.WithCache(cache))
+		cold, err := fetch.Analyze(elfBytes, withCache...)
+		if err != nil {
+			bad("cold analyze: %v", err)
+			continue
+		}
+		warm, err := fetch.Analyze(elfBytes, withCache...)
+		if err != nil {
+			bad("warm analyze: %v", err)
+			continue
+		}
+		recomputed, err := fetch.Analyze(elfBytes, variant.opts...)
+		if err != nil {
+			bad("uncached analyze: %v", err)
+			continue
+		}
+		if !reflect.DeepEqual(stripWall(warm), stripWall(recomputed)) {
+			bad("cached result differs from recomputed result")
+		}
+		if !reflect.DeepEqual(stripWall(warm), stripWall(cold)) {
+			bad("cached result differs from the cold run that stored it")
+		}
+		byHash, ok := cache.Get(fetch.HashBinary(elfBytes), variant.opts...)
+		if !ok {
+			bad("by-hash lookup missed after analysis")
+		} else if !reflect.DeepEqual(stripWall(byHash), stripWall(recomputed)) {
+			bad("by-hash result differs from recomputed result")
+		}
+	}
+	n := int64(len(cacheVariants))
+	st := cache.Stats()
+	// Per variant: one cold miss+store, one warm hit, one by-hash hit.
+	if st.Misses != n || st.Puts != n || st.Hits != 2*n {
+		vs = append(vs, Violation{shape, core.FETCH, "cache",
+			fmt.Sprintf("counters show the cache was not actually exercised: %+v", st)})
+	}
+	return vs
+}

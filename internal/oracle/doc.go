@@ -1,0 +1,40 @@
+// Package oracle encodes the repository's cross-cutting correctness
+// contracts as reusable differential checkers. Each checker takes an
+// analysis artifact (a report, a binary, a batch) and returns the
+// Violations it found; a correct system returns none, and every
+// violation carries enough context — shape name, strategy, invariant,
+// detail — to reproduce the failure in isolation.
+//
+// # The contracts
+//
+//   - session ≡ scratch (DiffReports): the incremental session
+//     pipeline must be byte-identical to the from-scratch reference
+//     (core.ScratchAnalyze) on every binary under every Strategy;
+//   - jobs determinism (CheckBatchDeterminism): batch analysis output
+//     is identical at any worker count — parallelism changes
+//     wall-clock time, never results;
+//   - cache transparency (CheckCachedEqualsRecomputed): a result
+//     served from the content-addressed cache equals a recomputation,
+//     whether reached cold, warm, or by content hash — wall times are
+//     the single exempt field family;
+//   - strategy-lattice monotonicity (CheckLattice): on the paper's
+//     cumulative ladder FDE → +Rec → +Xref → +Tcall each stage only
+//     adds starts, except the tail-call stage whose removals must be
+//     fully accounted by Merged and CFIErrRemoved;
+//   - report accounting (CheckAccounting): a single report's fields
+//     must be internally consistent (FDE floor, removed starts never
+//     resurrected, sorted unique FDE starts);
+//   - metrics/ground-truth consistency (CheckMetrics): scores balance
+//     against the truth, functions with correct FDEs are never lost,
+//     and a true start may be merged away only when it is tail-only
+//     reachable — the §V-C ambiguity Algorithm 1 cannot resolve.
+//
+// # The sweep
+//
+// The sweep driver (sweep.go) runs every checker over the full
+// Strategy matrix × the adversarial shape matrix from synth's
+// generator v2 (synth.AdversarialCorpus), turning "the invariants
+// hold on today's corpus" into "the invariants hold on every layout
+// we can synthesize". The oracle test suite is the subsystem's
+// acceptance gate: zero violations across the whole product.
+package oracle

@@ -1,25 +1,3 @@
-// Package oracle encodes the repository's cross-cutting correctness
-// contracts as reusable differential checkers:
-//
-//   - session ≡ scratch: the incremental session pipeline must be
-//     byte-identical to the from-scratch reference (core.ScratchAnalyze)
-//     on every binary under every Strategy;
-//   - jobs determinism: batch analysis output is identical at any
-//     worker count;
-//   - strategy-lattice monotonicity: on the paper's cumulative ladder
-//     FDE → +Rec → +Xref → +Tcall each stage only adds starts, except
-//     the tail-call stage whose removals must be fully accounted by
-//     Merged and CFIErrRemoved;
-//   - report accounting: a single report's fields must be internally
-//     consistent (FDE floor, removed starts never resurrected, sorted
-//     unique FDE starts);
-//   - metrics/ground-truth consistency: scores balance against the
-//     truth, and functions with correct FDEs are never lost.
-//
-// The sweep driver (sweep.go) runs every checker over the full
-// Strategy matrix × adversarial shape matrix from synth's generator
-// v2, turning "the invariants hold on today's corpus" into "the
-// invariants hold on every layout we can synthesize".
 package oracle
 
 import (
@@ -42,6 +20,8 @@ type Violation struct {
 	Detail    string
 }
 
+// String renders the violation as a one-line reproduction recipe:
+// shape, strategy flags, invariant, detail.
 func (v Violation) String() string {
 	return fmt.Sprintf("%s [rec=%v xref=%v tail=%v] %s: %s",
 		v.Shape, v.Strategy.Recursive, v.Strategy.Xref, v.Strategy.TailCall,

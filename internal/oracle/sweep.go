@@ -83,6 +83,7 @@ func CheckShape(cfg synth.Config) ([]Violation, error) {
 		return nil, fmt.Errorf("oracle: writing %s: %w", cfg.Name, err)
 	}
 	vs = append(vs, CheckBatchDeterminism(cfg.Name, raw, 4, 8)...)
+	vs = append(vs, CheckCachedEqualsRecomputed(cfg.Name, raw)...)
 	return vs, nil
 }
 

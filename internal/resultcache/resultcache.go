@@ -1,0 +1,331 @@
+// Package resultcache is a content-addressed, versioned store for
+// serialized analysis results.
+//
+// A cache entry is keyed by the SHA-256 of the analyzed binary's
+// bytes, the analysis variant (the strategy signature), and the result
+// schema version — so byte-identical binaries analyzed the same way
+// share one entry, a strategy change never aliases, and a codec schema
+// bump invalidates every stored encoding at once. Values are opaque
+// byte payloads: the package deliberately knows nothing about the
+// result encoding (the root fetch package owns the codec), which keeps
+// the dependency arrow pointing one way.
+//
+// The store is a two-level hierarchy: a bounded in-memory LRU front,
+// and an optional on-disk back (Config.Dir). Disk writes are atomic —
+// payloads land under a temporary name and are renamed into place — so
+// a crash can never leave a half-written entry visible. Disk reads are
+// corruption-tolerant: every entry carries a header with the payload's
+// length and SHA-256, and an entry that fails verification (truncated,
+// bit-flipped, or simply not a cache file) is treated as a miss and
+// deleted, never returned. All operations are safe for concurrent use.
+package resultcache
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key identifies one cache entry: one binary, analyzed one way, under
+// one result schema.
+type Key struct {
+	// SHA256 is the content hash of the analyzed binary's bytes.
+	SHA256 [sha256.Size]byte
+	// Variant distinguishes analysis configurations that produce
+	// different results for the same binary (the strategy signature).
+	// It must be filename-safe: letters, digits, '-', '+', '.', '_'.
+	Variant string
+	// Schema is the version of the serialized result format stored
+	// under this key; see fetch.ResultSchemaVersion.
+	Schema int
+}
+
+// String renders the key as a filename-safe identifier,
+// "v<schema>-<variant>-<hex sha256>".
+func (k Key) String() string {
+	return fmt.Sprintf("v%d-%s-%s", k.Schema, k.Variant, hex.EncodeToString(k.SHA256[:]))
+}
+
+// HashBytes returns the content hash a Key uses for raw binary bytes.
+func HashBytes(data []byte) [sha256.Size]byte {
+	return sha256.Sum256(data)
+}
+
+// Config parameterizes New.
+type Config struct {
+	// MaxEntries bounds the in-memory LRU; non-positive selects
+	// DefaultMaxEntries. Disk entries are not counted or evicted.
+	MaxEntries int
+	// Dir enables the on-disk level when non-empty. The directory is
+	// created if missing; entries persist across processes.
+	Dir string
+}
+
+// DefaultMaxEntries is the in-memory LRU capacity when Config leaves
+// MaxEntries unset.
+const DefaultMaxEntries = 1024
+
+// Stats are the cache's monotonic operation counters plus the current
+// memory entry count. Hits and Misses partition Get calls; MemHits and
+// DiskHits partition Hits by the level that served them. CorruptDrops
+// counts on-disk entries discarded because their integrity check
+// failed.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	MemHits      int64
+	DiskHits     int64
+	Puts         int64
+	Evictions    int64
+	CorruptDrops int64
+	DiskErrors   int64
+	// Entries is the current in-memory LRU population.
+	Entries int
+}
+
+// Cache is the two-level content-addressed store. The zero value is
+// not usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	cfg     Config
+	entries map[Key]*list.Element
+	order   *list.List // front = most recently used
+	stats   Stats
+}
+
+// lruEntry is one resident memory entry.
+type lruEntry struct {
+	key  Key
+	data []byte
+}
+
+// New builds a Cache from cfg, creating the disk directory when one is
+// configured.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[Key]*list.Element),
+		order:   list.New(),
+	}, nil
+}
+
+// Get returns the payload stored under k, or ok=false on a miss. A
+// disk-level hit is promoted into the memory LRU. The returned slice
+// is shared with the cache and must be treated as read-only.
+//
+// Disk reads happen outside the mutex: a Get that falls through to
+// disk never blocks other goroutines' memory hits behind file IO.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.MemHits++
+		data := el.Value.(*lruEntry).data
+		c.mu.Unlock()
+		return data, true
+	}
+	if c.cfg.Dir == "" {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Unlock()
+
+	data, st := diskGet(c.path(k))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.CorruptDrops += st.corruptDrops
+	c.stats.DiskErrors += st.diskErrors
+	if data == nil {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.stats.DiskHits++
+	// Promote, unless a concurrent Put/Get landed the key meanwhile —
+	// then keep the resident entry authoritative.
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry).data, true
+	}
+	c.insertLocked(k, data)
+	return data, true
+}
+
+// Put stores data under k in the memory LRU and, when configured, on
+// disk. The data slice is retained; callers must not mutate it after
+// the call. Disk failures degrade the entry to memory-only and are
+// counted in Stats.DiskErrors, never surfaced: a result cache must not
+// turn a successful analysis into an error.
+//
+// The disk write happens outside the mutex; concurrent Puts of one
+// key are safe because each writes its own temp file and the final
+// rename is atomic (last writer wins with a complete entry).
+func (c *Cache) Put(k Key, data []byte) {
+	c.mu.Lock()
+	c.stats.Puts++
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*lruEntry).data = data
+		c.order.MoveToFront(el)
+	} else {
+		c.insertLocked(k, data)
+	}
+	dir := c.cfg.Dir
+	c.mu.Unlock()
+	if dir != "" {
+		if err := diskPut(dir, c.path(k), data); err != nil {
+			c.mu.Lock()
+			c.stats.DiskErrors++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// insertLocked adds a new entry at the LRU front, evicting from the
+// back past capacity. Callers hold c.mu.
+func (c *Cache) insertLocked(k Key, data []byte) {
+	c.entries[k] = c.order.PushFront(&lruEntry{key: k, data: data})
+	for c.order.Len() > c.cfg.MaxEntries {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.order.Len()
+	return st
+}
+
+// --- disk level ---
+
+// diskMagic heads every on-disk entry. The full header line is
+// "resultcache1 <payload sha256 hex> <payload length>\n" followed by
+// exactly the payload bytes; anything that deviates is corrupt.
+const diskMagic = "resultcache1"
+
+// maxDiskEntry bounds how large an on-disk entry may claim to be; a
+// corrupt header cannot make a read allocate unbounded memory.
+const maxDiskEntry = 1 << 30
+
+// path returns k's on-disk location.
+func (c *Cache) path(k Key) string {
+	return filepath.Join(c.cfg.Dir, k.String()+".rc")
+}
+
+// diskPut atomically writes an entry: payload and integrity header go
+// to a temporary file in the same directory, which is then renamed
+// over the final name. Readers therefore see either the previous
+// complete entry or the new complete entry, never a partial write.
+// It runs without the cache mutex and touches no shared state.
+func diskPut(dir, path string, data []byte) error {
+	sum := sha256.Sum256(data)
+	tmp, err := os.CreateTemp(dir, "tmp-*.rc")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	header := fmt.Sprintf("%s %s %d\n", diskMagic, hex.EncodeToString(sum[:]), len(data))
+	if _, err := tmp.WriteString(header); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// diskStats carries the counter deltas a lock-free disk read produced,
+// applied under the mutex by the caller.
+type diskStats struct {
+	corruptDrops int64
+	diskErrors   int64
+}
+
+// diskGet reads and verifies an on-disk entry; nil data means a miss.
+// Any integrity failure — bad magic, malformed header, short payload,
+// hash mismatch — counts as a corrupt drop: the file is deleted
+// (best-effort) and the lookup reports a miss. It runs without the
+// cache mutex and touches no shared state.
+func diskGet(path string) ([]byte, diskStats) {
+	var st diskStats
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			st.diskErrors++
+		}
+		return nil, st
+	}
+	defer f.Close()
+	data, err := readVerified(f)
+	if err != nil {
+		st.corruptDrops++
+		os.Remove(path)
+		return nil, st
+	}
+	return data, st
+}
+
+// readVerified parses one entry stream against its integrity header.
+func readVerified(f *os.File) ([]byte, error) {
+	r := bufio.NewReader(f)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: truncated header: %w", err)
+	}
+	var magic, sumHex string
+	var n int
+	if _, err := fmt.Sscanf(header, "%s %s %d\n", &magic, &sumHex, &n); err != nil {
+		return nil, fmt.Errorf("resultcache: malformed header: %w", err)
+	}
+	if magic != diskMagic {
+		return nil, fmt.Errorf("resultcache: bad magic %q", magic)
+	}
+	wantSum, err := hex.DecodeString(sumHex)
+	if err != nil || len(wantSum) != sha256.Size {
+		return nil, fmt.Errorf("resultcache: bad header hash")
+	}
+	if n < 0 || n > maxDiskEntry {
+		return nil, fmt.Errorf("resultcache: implausible payload length %d", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("resultcache: truncated payload: %w", err)
+	}
+	if _, err := r.ReadByte(); err == nil {
+		// Any readable byte past the payload means the file is longer
+		// than the header claims.
+		return nil, fmt.Errorf("resultcache: trailing bytes after payload")
+	}
+	got := sha256.Sum256(data)
+	if !bytes.Equal(got[:], wantSum) {
+		return nil, fmt.Errorf("resultcache: payload hash mismatch")
+	}
+	return data, nil
+}

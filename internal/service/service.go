@@ -1,0 +1,362 @@
+// Package service implements the fetchd HTTP analysis service: a
+// long-running front end over the fetch pipeline that serves repeated
+// traffic from the content-addressed result cache instead of paying a
+// cold analysis per request.
+//
+// Endpoints (all under /v1, JSON responses; see docs/API.md for the
+// full schema and curl examples):
+//
+//	POST /v1/analyze        analyze an uploaded ELF binary (request
+//	                        body = raw bytes), or — with a JSON body
+//	                        {"sha256": "<hex>"} — return the cached
+//	                        result for an already-seen binary
+//	GET  /v1/result/{sha256} cached result for a binary hash, or 404
+//	GET  /v1/healthz        liveness probe
+//	GET  /v1/stats          cache and request counters
+//
+// Analysis concurrency is bounded: at most Config.MaxInFlight
+// analyses run at once, later requests queue until a slot frees or
+// their client gives up (the wait honors the request context).
+// Handlers spawn no goroutines, so shutting down the enclosing
+// http.Server gracefully is all the cleanup there is.
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fetch"
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Cache serves and stores analysis results. Required.
+	Cache *fetch.Cache
+	// MaxInFlight bounds concurrent analyses; non-positive means one
+	// per available CPU.
+	MaxInFlight int
+	// MaxUploadBytes bounds the accepted binary size; non-positive
+	// selects DefaultMaxUploadBytes.
+	MaxUploadBytes int64
+}
+
+// DefaultMaxUploadBytes is the upload size cap when Config leaves it
+// unset (64 MiB — generously above any .eh_frame-carrying binary the
+// evaluation uses).
+const DefaultMaxUploadBytes = 64 << 20
+
+// Server is the fetchd service state: the shared result cache, the
+// in-flight bound, and the request counters /v1/stats reports.
+type Server struct {
+	cache     *fetch.Cache
+	sem       chan struct{}
+	maxUpload int64
+	start     time.Time
+
+	analyzeRequests atomic.Int64
+	analyzeHits     atomic.Int64
+	analyzeMisses   atomic.Int64
+	analyzeErrors   atomic.Int64
+	analyzeWaitNS   atomic.Int64
+	analyzeNS       atomic.Int64
+	byHashRequests  atomic.Int64
+	byHashHits      atomic.Int64
+	resultRequests  atomic.Int64
+	resultHits      atomic.Int64
+	inFlight        atomic.Int64
+	peakInFlight    atomic.Int64
+}
+
+// New builds a Server over a result cache.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		return nil, errors.New("service: Config.Cache is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	return &Server{
+		cache:     cfg.Cache,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		maxUpload: cfg.MaxUploadBytes,
+		start:     time.Now(),
+	}, nil
+}
+
+// Handler returns the service's HTTP handler, ready for http.Server
+// or httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/result/", s.handleResult)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+	})
+}
+
+// writeJSON writes v as a JSON 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// optionsFromQuery maps the strategy query parameters shared by the
+// analyze and result endpoints (?fde_only=1, ?no_xref=1,
+// ?no_tailcall=1) onto analysis options. Absent parameters mean full
+// FETCH — the same default as the library and CLI.
+func optionsFromQuery(r *http.Request) []fetch.Option {
+	var opts []fetch.Option
+	q := r.URL.Query()
+	boolish := func(name string) bool {
+		v := q.Get(name)
+		return v == "1" || v == "true"
+	}
+	if boolish("fde_only") {
+		opts = append(opts, fetch.FDEOnly())
+	}
+	if boolish("no_xref") {
+		opts = append(opts, fetch.WithoutXref())
+	}
+	if boolish("no_tailcall") {
+		opts = append(opts, fetch.WithoutTailCall())
+	}
+	return opts
+}
+
+// analyzeResponse is the envelope of a successful analyze or result
+// request: the binary's content address, whether the cache served it,
+// and the serialized result (the docs/API.md schema, verbatim).
+type analyzeResponse struct {
+	SHA256 string          `json:"sha256"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+// respondResult encodes a result into the response envelope.
+func respondResult(w http.ResponseWriter, sum string, cached bool, res *fetch.Result) {
+	blob, err := fetch.EncodeResult(res)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "encoding result: %v", err)
+		return
+	}
+	writeJSON(w, analyzeResponse{SHA256: sum, Cached: cached, Result: blob})
+}
+
+// handleAnalyze serves POST /v1/analyze. A JSON body is a by-hash
+// lookup of an already-analyzed binary; any other body is the binary
+// itself. Uploads admit at most MaxInFlight concurrent read+analyze
+// sequences — the slot is taken before the body is buffered, so the
+// bound caps memory as well as CPU — and the wait for a slot is
+// bounded by the client's request context.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	opts := optionsFromQuery(r)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		s.analyzeByHash(w, r, opts)
+		return
+	}
+
+	s.analyzeRequests.Add(1)
+
+	// Acquire the in-flight slot BEFORE reading the body: the bound
+	// then caps memory (MaxInFlight × MaxUploadBytes of buffered
+	// uploads) as well as CPU, instead of letting every queued request
+	// pin a full upload while waiting.
+	waitStart := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		s.analyzeErrors.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "cancelled while queued: %v", r.Context().Err())
+		return
+	}
+	defer func() { <-s.sem }()
+	s.analyzeWaitNS.Add(int64(time.Since(waitStart)))
+	now := s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	for {
+		// Track the high-water mark so /v1/stats (and the tests) can
+		// observe that the in-flight bound held.
+		peak := s.peakInFlight.Load()
+		if now <= peak || s.peakInFlight.CompareAndSwap(peak, now) {
+			break
+		}
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxUpload))
+	if err != nil {
+		s.analyzeErrors.Add(1)
+		jsonError(w, http.StatusRequestEntityTooLarge,
+			"body exceeds %d bytes (or read failed: %v)", s.maxUpload, err)
+		return
+	}
+	if len(body) == 0 {
+		s.analyzeErrors.Add(1)
+		jsonError(w, http.StatusBadRequest, "empty body; POST the ELF bytes")
+		return
+	}
+
+	t0 := time.Now()
+	res, cached, err := s.cache.Analyze(body, opts...)
+	s.analyzeNS.Add(int64(time.Since(t0)))
+
+	if err != nil {
+		s.analyzeErrors.Add(1)
+		jsonError(w, http.StatusUnprocessableEntity, "analysis failed: %v", err)
+		return
+	}
+	if cached {
+		s.analyzeHits.Add(1)
+	} else {
+		s.analyzeMisses.Add(1)
+	}
+	sum := fetch.HashBinary(body)
+	respondResult(w, hex.EncodeToString(sum[:]), cached, res)
+}
+
+// analyzeByHash serves the {"sha256": ...} form of POST /v1/analyze:
+// return the cached result or tell the caller to upload the binary.
+func (s *Server) analyzeByHash(w http.ResponseWriter, r *http.Request, opts []fetch.Option) {
+	s.byHashRequests.Add(1)
+	var req struct {
+		SHA256 string `json:"sha256"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	sum, err := parseSHA256(req.SHA256)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, ok := s.cache.Get(sum, opts...)
+	if !ok {
+		jsonError(w, http.StatusNotFound,
+			"result for %s not cached; POST the binary to /v1/analyze", req.SHA256)
+		return
+	}
+	s.byHashHits.Add(1)
+	respondResult(w, req.SHA256, true, res)
+}
+
+// handleResult serves GET /v1/result/{sha256}: a pure cache lookup
+// that never triggers analysis.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.resultRequests.Add(1)
+	hexSum := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+	sum, err := parseSHA256(hexSum)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, ok := s.cache.Get(sum, optionsFromQuery(r)...)
+	if !ok {
+		jsonError(w, http.StatusNotFound,
+			"result for %s not cached; POST the binary to /v1/analyze", hexSum)
+		return
+	}
+	s.resultHits.Add(1)
+	respondResult(w, hexSum, true, res)
+}
+
+// handleHealthz serves the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// StatsResponse is the /v1/stats payload: request-level counters for
+// each endpoint plus the raw cache counters. All durations are integer
+// nanoseconds, matching the result schema's unit convention.
+type StatsResponse struct {
+	UptimeNS int64 `json:"uptime_ns"`
+	InFlight int64 `json:"in_flight"`
+	// PeakInFlight is the high-water mark of concurrent analyses; it
+	// never exceeds MaxInFlight.
+	PeakInFlight int64 `json:"peak_in_flight"`
+	MaxInFlight  int   `json:"max_in_flight"`
+
+	Analyze struct {
+		Requests    int64 `json:"requests"`
+		CacheHits   int64 `json:"cache_hits"`
+		CacheMisses int64 `json:"cache_misses"`
+		Errors      int64 `json:"errors"`
+		QueueWaitNS int64 `json:"queue_wait_ns_total"`
+		AnalyzeNS   int64 `json:"analyze_ns_total"`
+		ByHash      int64 `json:"by_hash_requests"`
+		ByHashHits  int64 `json:"by_hash_hits"`
+	} `json:"analyze"`
+
+	Result struct {
+		Requests int64 `json:"requests"`
+		Hits     int64 `json:"hits"`
+	} `json:"result"`
+
+	Cache fetch.CacheStats `json:"cache"`
+}
+
+// Stats snapshots the server and cache counters.
+func (s *Server) Stats() StatsResponse {
+	var sr StatsResponse
+	sr.UptimeNS = int64(time.Since(s.start))
+	sr.InFlight = s.inFlight.Load()
+	sr.PeakInFlight = s.peakInFlight.Load()
+	sr.MaxInFlight = cap(s.sem)
+	sr.Analyze.Requests = s.analyzeRequests.Load()
+	sr.Analyze.CacheHits = s.analyzeHits.Load()
+	sr.Analyze.CacheMisses = s.analyzeMisses.Load()
+	sr.Analyze.Errors = s.analyzeErrors.Load()
+	sr.Analyze.QueueWaitNS = s.analyzeWaitNS.Load()
+	sr.Analyze.AnalyzeNS = s.analyzeNS.Load()
+	sr.Analyze.ByHash = s.byHashRequests.Load()
+	sr.Analyze.ByHashHits = s.byHashHits.Load()
+	sr.Result.Requests = s.resultRequests.Load()
+	sr.Result.Hits = s.resultHits.Load()
+	sr.Cache = s.cache.Stats()
+	return sr
+}
+
+// handleStats serves the counters snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// parseSHA256 decodes a 64-character hex content hash.
+func parseSHA256(s string) ([32]byte, error) {
+	var sum [32]byte
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(sum) {
+		return sum, fmt.Errorf("service: %q is not a 64-char hex sha256", s)
+	}
+	copy(sum[:], raw)
+	return sum, nil
+}
