@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 
 	"fetch"
@@ -81,6 +82,20 @@ func printJSON(w io.Writer, name string, res *fetch.Result) error {
 	return err
 }
 
+// intraJobs resolves how much of the -jobs budget goes inside each
+// binary: all of it for a single input (cross-binary workers would
+// idle), none for several (the batch pool already saturates). 0 means
+// one per CPU, matching the batch convention.
+func intraJobs(jobs, inputs int) int {
+	if inputs > 1 {
+		return 1
+	}
+	if jobs == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
 // run executes the command against args, writing results to w and
 // per-binary failures plus flag diagnostics to errW. It is separated
 // from main so tests can drive every path directly.
@@ -92,7 +107,7 @@ func run(args []string, w, errW io.Writer) error {
 	noTail := fs.Bool("no-tailcall", false, "disable Algorithm 1 error fixing")
 	sample := fs.Bool("sample", false, "analyze a generated sample binary instead of a file")
 	seed := fs.Int64("seed", 1, "sample generation seed")
-	jobs := fs.Int("jobs", 0, "concurrent analyses for multiple binaries (0 = one per CPU)")
+	jobs := fs.Int("jobs", 0, "parallelism: across binaries when several are given, inside the binary when one is (0 = one per CPU)")
 	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (reuses results across runs)")
 	jsonOut := fs.Bool("json", false, "emit the serialized result schema (docs/API.md) instead of text")
 	verbose := fs.Bool("v", false, "list every detected start plus per-pass timing and session statistics")
@@ -135,7 +150,7 @@ func run(args []string, w, errW io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := fetch.Analyze(raw, opts...)
+		res, err := fetch.Analyze(raw, append(opts, fetch.WithJobs(intraJobs(*jobs, 1)))...)
 		if err != nil {
 			return err
 		}
@@ -145,7 +160,11 @@ func run(args []string, w, errW io.Writer) error {
 		for i, p := range fs.Args() {
 			inputs[i] = fetch.Input{Path: p}
 		}
-		results := fetch.AnalyzeBatch(inputs, fetch.BatchOptions{Jobs: *jobs, Options: opts})
+		results := fetch.AnalyzeBatch(inputs, fetch.BatchOptions{
+			Jobs:      *jobs,
+			IntraJobs: intraJobs(*jobs, fs.NArg()),
+			Options:   opts,
+		})
 		var firstErr error
 		for _, br := range results {
 			if br.Err != nil {

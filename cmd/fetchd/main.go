@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fetchd [-addr :8421] [-jobs N] [-cache-entries N] [-cache-dir DIR] [-max-upload BYTES]
+//	fetchd [-addr :8421] [-jobs N] [-intra-jobs N] [-cache-entries N] [-cache-dir DIR] [-max-upload BYTES]
 //
 // Endpoints (documented with examples in docs/API.md):
 //
@@ -16,6 +16,8 @@
 //	GET  /v1/stats           cache hit/miss/latency counters
 //
 // At most -jobs analyses run concurrently; excess uploads queue.
+// -intra-jobs > 1 additionally shards each admitted analysis inside
+// the binary (same output, more cores per request).
 // -cache-dir persists results across restarts. On SIGINT/SIGTERM the
 // server stops accepting connections and drains in-flight requests
 // before exiting.
@@ -58,6 +60,7 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	fs.SetOutput(errW)
 	addr := fs.String("addr", ":8421", "listen address")
 	jobs := fs.Int("jobs", 0, "max concurrent analyses (0 = one per CPU)")
+	intraJobs := fs.Int("intra-jobs", 0, "per-request intra-binary shard parallelism (≤1 = sequential)")
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory result cache capacity")
 	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (empty = memory only)")
 	maxUpload := fs.Int64("max-upload", service.DefaultMaxUploadBytes, "max accepted binary size in bytes")
@@ -78,6 +81,7 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	svc, err := service.New(service.Config{
 		Cache:          cache,
 		MaxInFlight:    *jobs,
+		IntraJobs:      *intraJobs,
 		MaxUploadBytes: *maxUpload,
 	})
 	if err != nil {

@@ -16,7 +16,11 @@ import (
 // result cache keys on it so a schema bump invalidates every stored
 // entry at once. The schema is documented field by field in
 // docs/API.md.
-const ResultSchemaVersion = 1
+//
+// Version 2 added the xref-truncation flag (stats.truncated) and the
+// intra-binary sharding trace (stats.jobs, stats.sharded_passes,
+// stats.shard_fallbacks, stats.merge_wall_ns, stats.shards).
+const ResultSchemaVersion = 2
 
 // hexAddr serializes a code address as a 0x-prefixed hex string. JSON
 // numbers are IEEE-754 doubles in most consumers, which silently
@@ -60,22 +64,36 @@ type jsonResult struct {
 // jsonStats is the wire form of Stats. Durations are integer
 // nanoseconds (the _ns suffix is the unit contract).
 type jsonStats struct {
-	Passes         []jsonPass `json:"passes"`
-	InstsDecoded   int64      `json:"insts_decoded"`
-	InstsReused    int64      `json:"insts_reused"`
-	ColdStarts     int        `json:"cold_starts"`
-	Extends        int        `json:"extends"`
-	Retracts       int        `json:"retracts"`
-	Forks          int        `json:"forks"`
-	Probes         int        `json:"probes"`
-	XrefIterations int        `json:"xref_iterations"`
-	XrefConverged  bool       `json:"xref_converged"`
+	Passes         []jsonPass  `json:"passes"`
+	InstsDecoded   int64       `json:"insts_decoded"`
+	InstsReused    int64       `json:"insts_reused"`
+	ColdStarts     int         `json:"cold_starts"`
+	Extends        int         `json:"extends"`
+	Retracts       int         `json:"retracts"`
+	Forks          int         `json:"forks"`
+	Probes         int         `json:"probes"`
+	XrefIterations int         `json:"xref_iterations"`
+	XrefConverged  bool        `json:"xref_converged"`
+	Truncated      bool        `json:"truncated"`
+	Jobs           int         `json:"jobs"`
+	ShardedPasses  int         `json:"sharded_passes"`
+	ShardFallbacks int         `json:"shard_fallbacks"`
+	MergeWallNS    int64       `json:"merge_wall_ns"`
+	Shards         []jsonShard `json:"shards"`
 }
 
 // jsonPass is the wire form of PassStat.
 type jsonPass struct {
 	Name   string `json:"name"`
 	WallNS int64  `json:"wall_ns"`
+}
+
+// jsonShard is the wire form of ShardStat.
+type jsonShard struct {
+	Seeds        int   `json:"seeds"`
+	InstsDecoded int64 `json:"insts_decoded"`
+	InstsReused  int64 `json:"insts_reused"`
+	WallNS       int64 `json:"wall_ns"`
 }
 
 func toHexSlice(in []uint64) []hexAddr {
@@ -124,7 +142,23 @@ func EncodeResult(res *Result) ([]byte, error) {
 			Probes:         res.Stats.Probes,
 			XrefIterations: res.Stats.XrefIterations,
 			XrefConverged:  res.Stats.XrefConverged,
+			Truncated:      res.Stats.Truncated,
+			Jobs:           res.Stats.Jobs,
+			ShardedPasses:  res.Stats.ShardedPasses,
+			ShardFallbacks: res.Stats.ShardFallbacks,
+			MergeWallNS:    int64(res.Stats.MergeWall),
 		},
+	}
+	if res.Stats.Shards != nil {
+		jr.Stats.Shards = make([]jsonShard, len(res.Stats.Shards))
+		for i, sh := range res.Stats.Shards {
+			jr.Stats.Shards[i] = jsonShard{
+				Seeds:        sh.Seeds,
+				InstsDecoded: sh.InstsDecoded,
+				InstsReused:  sh.InstsReused,
+				WallNS:       int64(sh.Wall),
+			}
+		}
 	}
 	if res.MergedParts != nil {
 		jr.MergedParts = make(map[hexAddr]hexAddr, len(res.MergedParts))
@@ -187,7 +221,23 @@ func DecodeResult(data []byte) (*Result, error) {
 			Probes:         jr.Stats.Probes,
 			XrefIterations: jr.Stats.XrefIterations,
 			XrefConverged:  jr.Stats.XrefConverged,
+			Truncated:      jr.Stats.Truncated,
+			Jobs:           jr.Stats.Jobs,
+			ShardedPasses:  jr.Stats.ShardedPasses,
+			ShardFallbacks: jr.Stats.ShardFallbacks,
+			MergeWall:      time.Duration(jr.Stats.MergeWallNS),
 		},
+	}
+	if jr.Stats.Shards != nil {
+		res.Stats.Shards = make([]ShardStat, len(jr.Stats.Shards))
+		for i, sh := range jr.Stats.Shards {
+			res.Stats.Shards[i] = ShardStat{
+				Seeds:        sh.Seeds,
+				InstsDecoded: sh.InstsDecoded,
+				InstsReused:  sh.InstsReused,
+				Wall:         time.Duration(sh.WallNS),
+			}
+		}
 	}
 	if jr.MergedParts != nil {
 		res.MergedParts = make(map[uint64]uint64, len(jr.MergedParts))

@@ -103,10 +103,66 @@ type Stats struct {
 	Probes   int
 	// XrefIterations counts pointer-detection rounds run;
 	// XrefConverged reports whether every round sequence reached its
-	// fixed point rather than hitting the iteration cap (truncation
-	// used to be silent).
+	// fixed point rather than hitting the iteration safety bound.
 	XrefIterations int
 	XrefConverged  bool
+	// Truncated reports that pointer detection hit its iteration
+	// safety bound before converging. The historical hard cap of 3
+	// rounds truncated silently; the pipeline now iterates to
+	// convergence and records the pathological bound-hit here.
+	Truncated bool
+
+	// Jobs echoes the effective intra-binary parallelism (1 when
+	// sequential). ShardedPasses counts disassembly passes executed as
+	// sharded union walks, ShardFallbacks those whose exactness guards
+	// forced the sequential replay, MergeWall the total shard-merge
+	// time, and Shards the per-shard-slot work. All of these — like
+	// the decode counters and wall times — describe the execution, not
+	// the analysis result: jobs=N output is byte-identical to jobs=1
+	// (see StripSchedule).
+	Jobs           int
+	ShardedPasses  int
+	ShardFallbacks int
+	MergeWall      time.Duration
+	Shards         []ShardStat
+}
+
+// ShardStat is one shard slot's accumulated work across an analysis.
+type ShardStat struct {
+	// Seeds counts seed addresses assigned to the slot.
+	Seeds int
+	// InstsDecoded and InstsReused are the slot's decode-cache misses
+	// and hits.
+	InstsDecoded int64
+	InstsReused  int64
+	// Wall is the slot's total walk time.
+	Wall time.Duration
+}
+
+// StripSchedule returns a copy of the result with every
+// scheduling-dependent field zeroed: wall times, decode/probe/fork
+// traffic counters, and the shard trace. What remains — the detected
+// starts, the corrections, and the deterministic pipeline counters
+// (extends, retracts, xref iterations, convergence, truncation) — is
+// identical for every Jobs value and every scheduler interleaving; the
+// differential checkers compare codec encodings of stripped results
+// byte for byte.
+func StripSchedule(r *Result) *Result {
+	cp := *r
+	cp.Stats.Passes = append([]PassStat(nil), r.Stats.Passes...)
+	for i := range cp.Stats.Passes {
+		cp.Stats.Passes[i].Wall = 0
+	}
+	cp.Stats.InstsDecoded = 0
+	cp.Stats.InstsReused = 0
+	cp.Stats.Forks = 0
+	cp.Stats.Probes = 0
+	cp.Stats.Jobs = 0
+	cp.Stats.ShardedPasses = 0
+	cp.Stats.ShardFallbacks = 0
+	cp.Stats.MergeWall = 0
+	cp.Stats.Shards = nil
+	return &cp
 }
 
 // Options is the resolved per-analysis configuration: the pipeline
@@ -120,6 +176,14 @@ type Options struct {
 	// binaries: a hit returns the stored result without decoding, a
 	// miss stores the fresh result for the next caller.
 	Cache *Cache
+	// Jobs > 1 shards the analysis inside the binary: disassembly
+	// passes, non-return inference, pointer-candidate validation, and
+	// Algorithm 1's precomputations run on a worker pool of that size.
+	// Output is byte-identical for every value (only wall times and
+	// the scheduling-trace counters in Stats change), which is why the
+	// result cache keys on (binary, strategy) and ignores it. Values
+	// ≤ 1 run fully sequentially.
+	Jobs int
 }
 
 // Option adjusts one analysis (strategy selection, caching).
@@ -157,6 +221,11 @@ func WithCache(c *Cache) Option {
 	return func(o *Options) { o.Cache = c }
 }
 
+// WithJobs sets the intra-binary shard parallelism (Options.Jobs).
+func WithJobs(n int) Option {
+	return func(o *Options) { o.Jobs = n }
+}
+
 // Analyze runs the FETCH pipeline on an ELF binary given as bytes.
 func Analyze(elfData []byte, opts ...Option) (*Result, error) {
 	return analyzeData(elfData, buildOptions(opts))
@@ -184,18 +253,21 @@ func analyzeData(data []byte, o Options) (*Result, error) {
 // result, and report whether the cache served it. A cached result is
 // byte-for-byte the codec round trip of the result the cold path
 // produced — the oracle's CachedEqualsRecomputed checker holds this
-// equal (modulo wall times) to a recomputation across every
-// adversarial profile.
+// equal (modulo the scheduling trace, see StripSchedule) to a
+// recomputation across every adversarial profile. The cache key
+// deliberately excludes Jobs: sharded and sequential runs produce the
+// same analysis, so either may serve the other's entry (whose Stats
+// then describe the run that produced it).
 func analyzeCached(data []byte, o Options) (*Result, bool, error) {
 	if o.Cache == nil {
-		res, err := analyzeCold(data, o.Strategy)
+		res, err := analyzeCold(data, o)
 		return res, false, err
 	}
 	key := cacheKey(resultcache.HashBytes(data), o.Strategy)
 	if res, ok := o.Cache.lookup(key); ok {
 		return res, true, nil
 	}
-	res, err := analyzeCold(data, o.Strategy)
+	res, err := analyzeCold(data, o)
 	if err != nil {
 		return nil, false, err
 	}
@@ -204,12 +276,12 @@ func analyzeCached(data []byte, o Options) (*Result, bool, error) {
 }
 
 // analyzeCold runs the full pipeline with no cache involvement.
-func analyzeCold(data []byte, strat core.Strategy) (*Result, error) {
+func analyzeCold(data []byte, o Options) (*Result, error) {
 	img, err := elfx.LoadELF(data)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Analyze(img.Strip(), strat)
+	rep, err := core.AnalyzeConfig(img.Strip(), core.Config{Strategy: o.Strategy, Jobs: o.Jobs})
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +295,19 @@ func analyzeCold(data []byte, strat core.Strategy) (*Result, error) {
 		Probes:         rep.Stats.Disasm.Probes,
 		XrefIterations: rep.Stats.XrefIterations,
 		XrefConverged:  rep.Stats.XrefConverged,
+		Truncated:      rep.Stats.Truncated,
+		Jobs:           rep.Stats.Jobs,
+		ShardedPasses:  rep.Stats.Disasm.ShardedPasses,
+		ShardFallbacks: rep.Stats.Disasm.ShardFallbacks,
+		MergeWall:      rep.Stats.Disasm.MergeWall,
+	}
+	for _, sh := range rep.Stats.Disasm.Shards {
+		st.Shards = append(st.Shards, ShardStat{
+			Seeds:        sh.Seeds,
+			InstsDecoded: sh.InstsDecoded,
+			InstsReused:  sh.InstsReused,
+			Wall:         sh.Wall,
+		})
 	}
 	for _, ps := range rep.Stats.Passes {
 		st.Passes = append(st.Passes, PassStat{Name: ps.Name, Wall: ps.Wall})
@@ -252,10 +337,17 @@ type Input struct {
 
 // BatchOptions tunes AnalyzeBatch.
 type BatchOptions struct {
-	// Jobs bounds worker concurrency; non-positive means one worker
-	// per available CPU. Jobs=1 reproduces the sequential path
-	// exactly (it also does so for any other value — see AnalyzeBatch).
+	// Jobs bounds worker concurrency across binaries; non-positive
+	// means one worker per available CPU. Jobs=1 reproduces the
+	// sequential path exactly (it also does so for any other value —
+	// see AnalyzeBatch).
 	Jobs int
+	// IntraJobs sets each item's intra-binary shard parallelism
+	// (Options.Jobs), equivalent to appending WithJobs(IntraJobs) to
+	// Options (an explicit WithJobs there wins). A batch saturating
+	// its workers with Jobs rarely profits from IntraJobs > 1; a batch
+	// of one large binary is the case it exists for.
+	IntraJobs int
 	// Context cancels outstanding work; nil means context.Background.
 	// After cancellation, unstarted items report the context error as
 	// their per-item Err.
@@ -295,6 +387,9 @@ func AnalyzeBatch(inputs []Input, opts BatchOptions) []BatchResult {
 	o := buildOptions(opts.Options)
 	if o.Cache == nil {
 		o.Cache = opts.Cache
+	}
+	if o.Jobs == 0 {
+		o.Jobs = opts.IntraJobs
 	}
 
 	// Dedup before the pool: map every input to its group key and keep

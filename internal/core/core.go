@@ -27,9 +27,30 @@ type Strategy struct {
 // FETCH is the full pipeline configuration.
 var FETCH = Strategy{Recursive: true, Xref: true, TailCall: true}
 
-// maxXrefIters caps the pointer-detection fixed point per invocation.
-// Stats record whether the cap truncated the iteration.
-const maxXrefIters = 3
+// DefaultXrefIterBound is the default safety bound on the
+// pointer-detection fixed point per invocation. It is a stuck-loop
+// backstop, not a tuning knob: the fixed point must converge (a Detect
+// round that finds nothing new) well below it on real inputs, and
+// Stats.Truncated records the pathological case where it did not.
+// (The historical cap of 3 silently truncated convergent iterations —
+// chains of pointer-only-reachable functions whose pointers surface
+// one committed extension at a time need one round per link.)
+const DefaultXrefIterBound = 64
+
+// Config is the resolved per-analysis configuration.
+type Config struct {
+	// Strategy selects the pipeline stages.
+	Strategy Strategy
+	// Jobs > 1 enables intra-binary sharded analysis: committed
+	// disassembly passes, non-return inference, pointer-candidate
+	// validation, and Algorithm 1's precomputations run on a worker
+	// pool of that size. The Report is byte-identical for every value;
+	// only wall-clock time and the scheduling-trace counters in Stats
+	// change. Values ≤ 1 run fully sequentially.
+	Jobs int
+	// XrefIterBound overrides DefaultXrefIterBound when positive.
+	XrefIterBound int
+}
 
 // PassStat is one pipeline pass's wall-clock cost.
 type PassStat struct {
@@ -53,9 +74,19 @@ type Stats struct {
 	XrefIterations int
 	// XrefConverged reports whether every pointer-detection invocation
 	// reached its fixed point (a Detect round that found nothing new)
-	// rather than being truncated by the iteration cap. Vacuously true
-	// when the xref stage is disabled.
+	// rather than being truncated by the iteration bound. Vacuously
+	// true when the xref stage is disabled.
 	XrefConverged bool
+	// Truncated reports that some pointer-detection invocation hit the
+	// iteration safety bound before converging — the condition the
+	// historical hard cap of 3 used to hide. Always the negation of
+	// XrefConverged when the xref stage ran; kept separate so the
+	// serialized schema states the pathology explicitly.
+	Truncated bool
+	// Jobs echoes the effective intra-binary parallelism the analysis
+	// ran with (1 when sequential). Like wall times, it is a property
+	// of the execution, not of the analysis result.
+	Jobs int
 }
 
 // Report is the analysis outcome.
@@ -103,6 +134,7 @@ func safeOpts() disasm.Options {
 type pipeline struct {
 	img   *elfx.Image
 	strat Strategy
+	cfg   Config
 	rep   *Report
 	// sess is the one incremental disassembly session every pass
 	// reuses; created by the recursive pass.
@@ -111,6 +143,9 @@ type pipeline struct {
 	// re-analysis must not resurrect them (parts remain seeds for code
 	// coverage but are no longer reported as functions).
 	banned map[uint64]bool
+	// dataIdx memoizes the data-section pointer index; nil until the
+	// first query (FDE-only strategies never build it).
+	dataIdx *xref.DataIndex
 }
 
 // Pass is one ordered pipeline stage.
@@ -149,19 +184,37 @@ var Passes = []Pass{
 	},
 }
 
-// Analyze runs the selected strategy on a binary image. Symbols are
-// never consulted: the pipeline treats every input as stripped.
+// Analyze runs the selected strategy on a binary image sequentially.
+// Symbols are never consulted: the pipeline treats every input as
+// stripped.
 func Analyze(img *elfx.Image, strat Strategy) (*Report, error) {
+	return AnalyzeConfig(img, Config{Strategy: strat})
+}
+
+// AnalyzeConfig runs the pipeline under a full Config. The Report is a
+// function of the binary bytes, the Strategy, and the xref iteration
+// bound alone: Jobs redistributes the same work across goroutines
+// without changing any analysis output (the oracle's
+// ShardedEqualsSequential checker enforces this across every
+// adversarial shape), so result caches may key on (binary, strategy)
+// and ignore it.
+func AnalyzeConfig(img *elfx.Image, cfg Config) (*Report, error) {
+	jobs := cfg.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
 	p := &pipeline{
 		img:    img,
-		strat:  strat,
+		strat:  cfg.Strategy,
+		cfg:    cfg,
 		banned: map[uint64]bool{},
 		rep: &Report{
 			Funcs:  make(map[uint64]bool),
 			Merged: make(map[uint64]uint64),
-			Stats:  Stats{XrefConverged: true},
+			Stats:  Stats{XrefConverged: true, Jobs: jobs},
 		},
 	}
+	strat := cfg.Strategy
 	for _, pass := range Passes {
 		if !pass.Need(strat) {
 			continue
@@ -212,6 +265,7 @@ func (p *pipeline) runRecursive() error {
 		seeds = append(seeds, p.img.Entry)
 	}
 	p.sess = disasm.NewSession(p.img, safeOpts())
+	p.sess.SetJobs(p.cfg.Jobs)
 	res := p.sess.Extend(seeds)
 	for f := range res.Funcs {
 		p.rep.Funcs[f] = true
@@ -242,18 +296,51 @@ func (p *pipeline) addFuncs(from map[uint64]bool) {
 	}
 }
 
-// runXref iterates pointer detection to a fixed point (capped at
-// maxXrefIters rounds), extending the session with each accepted
-// batch. Candidate validation probes run on a session fork, so
-// speculative decodes land in the shared cache without corrupting the
-// committed state. Iteration count and convergence are recorded in
-// Stats — the cap used to truncate silently.
+// dataIndex lazily builds the data-section pointer index that answers
+// DataRefCount and candidate-collection queries in O(1) instead of
+// rescanning every data window per query (sharded runs build it on
+// the worker pool). The index is a pure restatement of the data
+// bytes, so using it never changes a result; the oracle's
+// sharded-equivalence sweep pins index-backed runs against the
+// scan-backed scratch reference.
+func (p *pipeline) dataIndex() *xref.DataIndex {
+	if p.dataIdx == nil {
+		p.dataIdx = xref.NewDataIndex(p.img, p.cfg.Jobs)
+	}
+	return p.dataIdx
+}
+
+// dataRefCount answers Algorithm 1's data-reference queries through
+// the index.
+func (p *pipeline) dataRefCount(a uint64) int {
+	return p.dataIndex().Count(a)
+}
+
+// xrefIterBound resolves the configured pointer-detection bound.
+func (p *pipeline) xrefIterBound() int {
+	if p.cfg.XrefIterBound > 0 {
+		return p.cfg.XrefIterBound
+	}
+	return DefaultXrefIterBound
+}
+
+// runXref iterates pointer detection to convergence (a round that
+// accepts nothing), extending the session with each accepted batch.
+// Candidate validation probes run on session forks, so speculative
+// decodes land in the shared cache without corrupting the committed
+// state. The iteration count is recorded in Stats; hitting the safety
+// bound before the fixed point marks the analysis Truncated — loudly,
+// where the historical cap of 3 truncated silently.
 func (p *pipeline) runXref(exclude map[uint64]bool) {
-	for iter := 0; iter < maxXrefIters; iter++ {
-		newly := xref.Detect(p.img, p.sess.Result(), p.rep.Funcs, xref.Options{
-			KnownRanges: p.fdeRanges(exclude),
-			Session:     p.sess,
-		})
+	opts := xref.Options{
+		KnownRanges: p.fdeRanges(exclude),
+		Session:     p.sess,
+		Jobs:        p.cfg.Jobs,
+		Index:       p.dataIndex(),
+	}
+	bound := p.xrefIterBound()
+	for iter := 0; iter < bound; iter++ {
+		newly := xref.Detect(p.img, p.sess.Result(), p.rep.Funcs, opts)
 		p.rep.Stats.XrefIterations++
 		if len(newly) == 0 {
 			return
@@ -264,6 +351,7 @@ func (p *pipeline) runXref(exclude map[uint64]bool) {
 		p.addFuncs(res.Funcs)
 	}
 	p.rep.Stats.XrefConverged = false
+	p.rep.Stats.Truncated = true
 }
 
 // runXrefPass is the strategy-gated initial pointer-detection stage.
@@ -278,14 +366,13 @@ func (p *pipeline) runXrefPass() error {
 // round can recover the true entries they shadowed.
 func (p *pipeline) runTailCall() error {
 	out := tailcall.Run(tailcall.Input{
-		Img:   p.img,
-		Sec:   p.rep.Sec,
-		Res:   p.sess.Result(),
-		Funcs: p.rep.Funcs,
-		DataRefCount: func(a uint64) int {
-			return xref.DataRefCount(p.img, a)
-		},
-		Sess: p.sess,
+		Img:          p.img,
+		Sec:          p.rep.Sec,
+		Res:          p.sess.Result(),
+		Funcs:        p.rep.Funcs,
+		DataRefCount: p.dataRefCount,
+		Sess:         p.sess,
+		Jobs:         p.cfg.Jobs,
 	})
 	p.rep.Funcs = out.Funcs
 	p.rep.TailNew = out.TailNew

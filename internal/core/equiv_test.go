@@ -170,7 +170,7 @@ func TestFDEOnlyStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Stats.Disasm != (disasm.Stats{}) {
+	if !reflect.DeepEqual(rep.Stats.Disasm, disasm.Stats{}) {
 		t.Errorf("FDE-only Disasm stats = %+v, want zero", rep.Stats.Disasm)
 	}
 	if len(rep.Stats.Passes) != 1 || rep.Stats.Passes[0].Name != "fde" {

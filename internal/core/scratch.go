@@ -76,7 +76,7 @@ func ScratchAnalyze(img *elfx.Image, strat Strategy) (*Report, error) {
 	}
 
 	runXref := func(exclude map[uint64]bool) {
-		for iter := 0; iter < maxXrefIters; iter++ {
+		for iter := 0; iter < DefaultXrefIterBound; iter++ {
 			newly := xref.Detect(img, res, rep.Funcs, xref.Options{
 				KnownRanges: fdeRanges(exclude),
 			})

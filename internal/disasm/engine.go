@@ -93,6 +93,12 @@ type Result struct {
 	// owner maps every byte of decoded instructions to the
 	// instruction start covering it.
 	owner ownerMap
+	// sawMid records that a walk arrived in the middle of a previously
+	// decoded instruction — the one order-sensitive walk rule that is
+	// invisible in the final instruction set. A sharded pass whose
+	// walkers saw it cannot prove its union equal to the sequential
+	// walk and falls back.
+	sawMid bool
 }
 
 // Covered reports whether addr lies inside any decoded instruction.

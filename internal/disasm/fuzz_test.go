@@ -1,0 +1,93 @@
+package disasm
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"fetch/internal/elfx"
+)
+
+// FuzzShardedExtend differentially fuzzes the shard-boundary merge: an
+// arbitrary byte blob becomes an executable section, a handful of
+// blob-derived offsets become seeds, and the sharded committed pass
+// (jobs=4, including its claim table, union merge, exactness guards,
+// and sequential fallback) must reproduce the sequential session's
+// result exactly — references compared as multisets, everything else
+// byte for byte.
+func FuzzShardedExtend(f *testing.F) {
+	f.Add([]byte{0xC3}, uint8(1))
+	f.Add([]byte{0x55, 0x48, 0x89, 0xE5, 0xC3, 0xE8, 0xF6, 0xFF, 0xFF, 0xFF}, uint8(3))
+	f.Add([]byte{
+		0x48, 0x83, 0xF8, 0x03, // cmp rax, 3
+		0x77, 0x02, // ja +2
+		0xEB, 0x00, // jmp +0
+		0xC3, // ret
+	}, uint8(4))
+	// Overlapping-decode bait: jumps into instruction interiors.
+	f.Add([]byte{0xEB, 0x01, 0x48, 0x31, 0xC0, 0xC3, 0x74, 0xFC, 0xC3}, uint8(5))
+	f.Fuzz(func(t *testing.T, code []byte, nseeds uint8) {
+		if len(code) == 0 || len(code) > 1<<14 {
+			return
+		}
+		const base = 0x401000
+		img := &elfx.Image{
+			Entry: base,
+			Sections: []*elfx.Section{{
+				Name: ".text", Addr: base, Data: code,
+				Flags: elfx.FlagAlloc | elfx.FlagExec,
+			}},
+		}
+		// Derive 8..40 seed offsets from the blob so the shard split
+		// has something to divide.
+		n := int(nseeds%33) + 8
+		seeds := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			off := (i * 7919) % len(code)
+			seeds = append(seeds, base+uint64((off+int(code[off]))%len(code)))
+		}
+		opts := Options{ResolveJumpTables: true, NonReturning: true}
+		seq := NewSession(img, opts).Extend(seeds)
+		par4 := NewSession(img, opts)
+		par4.SetJobs(4)
+		got := par4.Extend(seeds)
+		if !reflect.DeepEqual(got.Insts, seq.Insts) {
+			t.Fatalf("Insts differ: %d vs %d", len(got.Insts), len(seq.Insts))
+		}
+		if !reflect.DeepEqual(got.Funcs, seq.Funcs) {
+			t.Fatal("Funcs differ")
+		}
+		if !reflect.DeepEqual(got.NonRet, seq.NonRet) ||
+			!reflect.DeepEqual(got.CondNonRet, seq.CondNonRet) {
+			t.Fatal("non-return sets differ")
+		}
+		if !reflect.DeepEqual(got.JTTargets, seq.JTTargets) {
+			t.Fatal("jump-table resolutions differ")
+		}
+		if !reflect.DeepEqual(got.Constants, seq.Constants) {
+			t.Fatal("constants differ")
+		}
+		if !reflect.DeepEqual(sortRefs(got.Refs), sortRefs(seq.Refs)) {
+			t.Fatal("reference multisets differ")
+		}
+		// The owner index must agree with the instruction map either
+		// way (sharded results rebuild it from the union).
+		for a, in := range got.Insts {
+			if _, ok := got.InstStartAt(a); !ok {
+				t.Fatalf("decoded %#x (len %d) not in owner index", a, in.Len)
+			}
+		}
+	})
+}
+
+// sortRefs canonicalizes per-target reference order for multiset
+// comparison (the sharded merge sorts, the sequential walk does not).
+func sortRefs(refs map[uint64][]uint64) map[uint64][]uint64 {
+	out := make(map[uint64][]uint64, len(refs))
+	for t, l := range refs {
+		c := append([]uint64(nil), l...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		out[t] = c
+	}
+	return out
+}

@@ -1,0 +1,664 @@
+package disasm
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"fetch/internal/pool"
+	"fetch/internal/x64"
+)
+
+// This file implements intra-binary sharded analysis: one committed
+// recursive-descent pass split across concurrent shard walkers, merged
+// back into a single Result that is byte-identical to the sequential
+// walk.
+//
+// The sequential walk is almost — but not exactly — a pure reachability
+// closure: its result can depend on traversal order through three
+// rules. (1) A walk arriving strictly inside a previously decoded
+// instruction stops (the mid-instruction rule). (2) Fall-through past a
+// call to a conditionally non-returning function depends on the rdi
+// path state of the first arrival. (3) Jump-table resolution inspects
+// the instructions decoded so far behind the indirect jump, so its
+// outcome depends on how much backward context existed at processing
+// time. Everywhere those rules are provably insensitive to order, the
+// walk IS a pure closure, and a union of per-shard closures equals the
+// sequential result exactly.
+//
+// The sharded pass therefore runs speculatively: shard walkers divide
+// the seed list, arbitrate pushed targets through a shared claim table
+// (so the union does the closure's work once, not once per shard), and
+// the merge step proves order-insensitivity — no walker hit the
+// mid-instruction rule and no cross-shard instruction overlap exists
+// (rule 1), every call to a conditionally non-returning function has a
+// path-independent fall-through decision (rule 2, rdi invariance), and
+// every jump-table resolution is independent of the amount of backward
+// context any arrival could have provided (rule 3, depth invariance).
+// Any doubt fails the guard and the pass falls back to the sequential
+// walk, which is cheap at that point: every shard decode was already
+// absorbed into the session cache. Fallbacks trade time, never
+// correctness.
+
+// minShardSeeds is the smallest committed seed list worth sharding.
+const minShardSeeds = 8
+
+// jtGuardDepth bounds the backward-context depth the jump-table
+// invariance guard reasons about. Resolution itself never inspects more
+// than ~18 preceding instructions (resolvePICTable's 10 steps plus
+// findBound's 8), so contexts at least this deep are interchangeable.
+const jtGuardDepth = 18
+
+// rdiGuardDepth bounds the backward walk of the conditional-non-return
+// guard. The rdi determinant (the argument-register setup) sits within
+// a few instructions of its call in any real code; an undetermined
+// state beyond this depth fails the guard conservatively.
+const rdiGuardDepth = 32
+
+// shardable reports whether a committed pass may run sharded: bounded
+// (MaxInsts) and strict walks are order-sensitive by construction and
+// always run sequentially.
+func shardable(opts Options) bool {
+	return opts.MaxInsts == 0 && !opts.Strict
+}
+
+// runPass executes one fixed-point pass, sharded when the session's
+// job count and the options allow it, sequential otherwise.
+func (s *Session) runPass(seeds []uint64, opts Options,
+	nonRet, condNonRet map[uint64]bool) *Result {
+
+	if s.jobs > 1 && len(seeds) >= minShardSeeds && shardable(opts) {
+		if res, ok := s.passSharded(seeds, opts, nonRet, condNonRet); ok {
+			return res
+		}
+		s.stats.ShardFallbacks++
+	}
+	return s.pass(seeds, opts, nonRet, condNonRet)
+}
+
+// passSharded runs one pass as concurrent shard walks plus a
+// deterministic merge. The second return value is false when an
+// exactness guard could not prove the union equal to the sequential
+// walk; the caller then re-runs the pass sequentially (with every
+// shard decode already cached).
+func (s *Session) passSharded(seeds []uint64, opts Options,
+	nonRet, condNonRet map[uint64]bool) (*Result, bool) {
+
+	// runPass guarantees jobs >= 2 and len(seeds) >= minShardSeeds
+	// (8), so the clamp below always leaves at least two shards.
+	k := s.jobs
+	if k > len(seeds)/2 {
+		k = len(seeds) / 2
+	}
+	s.stats.ShardedPasses++
+
+	type span struct{ lo, hi int }
+	chunks := make([]span, k)
+	for i := 0; i < k; i++ {
+		chunks[i] = span{lo: i * len(seeds) / k, hi: (i + 1) * len(seeds) / k}
+	}
+
+	// Pushed-target ownership: the first walker to claim an address
+	// explores it; the rest record only the edge. Which walker wins is
+	// scheduling-dependent — the union's content is not. The table and
+	// the per-slot sub-sessions are session-held scratch, reused across
+	// passes.
+	claims := s.claimScratch()
+	subs := s.subScratch(k)
+	sizeHint := int(s.lastUnion)/k + 16
+	type shardOut struct {
+		res  *Result
+		wall time.Duration
+	}
+	outs := pool.Map(nil, k, chunks,
+		func(_ context.Context, i int, sp span) (shardOut, error) {
+			t0 := time.Now()
+			sub := subs[i]
+			shard := int32(i)
+			sub.claim = func(a uint64) bool { return claims.claim(a, shard) }
+			sub.sizeHint = sizeHint
+			res := sub.pass(seeds[sp.lo:sp.hi], opts, nonRet, condNonRet)
+			return shardOut{res: res, wall: time.Since(t0)}, nil
+		})
+
+	// Absorb every shard's decode overlay and counters — also on
+	// guard failure, so the sequential fallback pays no cold decodes.
+	t0 := time.Now()
+	for len(s.stats.Shards) < k {
+		s.stats.Shards = append(s.stats.Shards, ShardStat{})
+	}
+	shardRes := make([]*Result, k)
+	for i, out := range outs {
+		o := out.Value
+		sub := subs[i]
+		for a, e := range sub.cache {
+			if _, ok := s.cache[a]; !ok {
+				s.cache[a] = e
+			}
+		}
+		clear(sub.cache)
+		s.stats.InstsDecoded += sub.stats.InstsDecoded
+		s.stats.InstsReused += sub.stats.InstsReused
+		s.stats.Shards[i].add(ShardStat{
+			Seeds:        chunks[i].hi - chunks[i].lo,
+			InstsDecoded: sub.stats.InstsDecoded,
+			InstsReused:  sub.stats.InstsReused,
+			Wall:         o.wall,
+		})
+		sub.stats.InstsDecoded, sub.stats.InstsReused = 0, 0
+		shardRes[i] = o.res
+	}
+
+	merged := s.mergeShards(shardRes, seeds, opts, nonRet, condNonRet)
+	s.stats.MergeWall += time.Since(t0)
+	if merged == nil {
+		return nil, false
+	}
+	// Counted only on success: a fallback's sequential pass counts
+	// itself, and the counter must match the sequential run's.
+	s.stats.FixedPointPasses++
+	s.lastUnion = int64(len(merged.Insts))
+	return merged, true
+}
+
+// claimScratch returns the session's claim table, cleared for a new
+// pass (allocated on first use).
+func (s *Session) claimScratch() *claimTable {
+	if s.claims == nil {
+		s.claims = newClaimTable(s.ownerProto)
+	}
+	s.claims.reset()
+	return s.claims
+}
+
+// subScratch returns k reusable shard sub-sessions backed by the
+// parent's decode cache.
+func (s *Session) subScratch(k int) []*Session {
+	for len(s.subs) < k {
+		s.subs = append(s.subs, &Session{
+			img:        s.img,
+			opts:       s.opts,
+			cache:      make(map[uint64]decodeEntry),
+			warm:       s.cache,
+			stats:      &Stats{},
+			ownerProto: s.ownerProto,
+		})
+	}
+	return s.subs[:k]
+}
+
+// claimTable arbitrates pushed-work ownership between shard walkers:
+// one atomic slot per executable byte, CAS-claimed by shard number.
+// Addresses outside the executable sections are never contended (each
+// such seed belongs to one shard's list) and claim trivially.
+type claimTable struct {
+	spans []claimSpan
+}
+
+// claimSpan covers one executable section.
+type claimSpan struct {
+	base  uint64
+	slots []int32
+}
+
+// newClaimTable sizes a table from the executable-section layout.
+func newClaimTable(proto []struct {
+	base uint64
+	size int
+}) *claimTable {
+	t := &claimTable{}
+	for _, p := range proto {
+		t.spans = append(t.spans, claimSpan{base: p.base, slots: make([]int32, p.size)})
+	}
+	return t
+}
+
+// reset clears every slot for the next pass.
+func (t *claimTable) reset() {
+	for i := range t.spans {
+		clear(t.spans[i].slots)
+	}
+}
+
+// claim reports whether shard now owns addr (first claimer wins; the
+// winner's repeat calls keep returning true).
+func (t *claimTable) claim(addr uint64, shard int32) bool {
+	for i := range t.spans {
+		sp := &t.spans[i]
+		if addr < sp.base {
+			break
+		}
+		if d := addr - sp.base; d < uint64(len(sp.slots)) {
+			slot := &sp.slots[d]
+			return atomic.CompareAndSwapInt32(slot, 0, shard+1) ||
+				atomic.LoadInt32(slot) == shard+1
+		}
+	}
+	return true
+}
+
+// mergeShards builds the union Result of the shard walks, verifying
+// every exactness guard along the way. It returns nil as soon as any
+// guard cannot prove the union byte-identical to the sequential walk.
+func (s *Session) mergeShards(shards []*Result, seeds []uint64, opts Options,
+	nonRet, condNonRet map[uint64]bool) *Result {
+
+	base := 0
+	for i, r := range shards {
+		// Guard (1), walker half: the mid-instruction rule fired.
+		if r.sawMid {
+			return nil
+		}
+		if len(r.Insts) > len(shards[base].Insts) {
+			base = i
+		}
+	}
+
+	// The largest shard's result becomes the merge base in place:
+	// every other shard's content is inserted into it. Shard results
+	// are freshly allocated per pass, so adopting one never aliases
+	// state that outlives the merge.
+	merged := shards[base].Insts
+	bres := shards[base]
+
+	// Guard (1), union half: two decoded instructions sharing bytes
+	// mean the mid-instruction rule could have fired under some
+	// traversal order. The base verifies its own self-consistency
+	// (a single walk can decode overlapping instructions without
+	// tripping its own mid-instruction rule); the others insert with
+	// an atomic check-and-claim per instruction.
+	for a, in := range merged {
+		if !bres.owner.verifyRange(a, int(in.Len)) {
+			return nil
+		}
+	}
+	for i, r := range shards {
+		if i == base {
+			continue
+		}
+		for a, in := range r.Insts {
+			if _, dup := merged[a]; dup {
+				continue // identical by decode purity
+			}
+			if !bres.owner.insertChecked(a, int(in.Len)) {
+				return nil
+			}
+			merged[a] = in
+		}
+		for f := range r.Funcs {
+			bres.Funcs[f] = true
+		}
+		for c := range r.Constants {
+			bres.Constants[c] = true
+		}
+	}
+
+	// Guards (2) and (3) inspect backward context; both need the
+	// pushable set (addresses the walk can process as work items, with
+	// no backward context guaranteed).
+	needCond := opts.NonReturning && len(condNonRet) > 0
+	if opts.ResolveJumpTables || needCond {
+		pushable := pushableSet(s.img, bres, seeds, shards)
+		var jtInv map[uint64][]uint64
+		if opts.ResolveJumpTables {
+			jtInv = make(map[uint64][]uint64)
+		}
+		for a, in := range merged {
+			switch {
+			case in.Op == x64.OpJmpInd && opts.ResolveJumpTables:
+				targets, ok := s.jtInvariant(bres, in, pushable, nonRet, condNonRet, opts)
+				if !ok {
+					return nil
+				}
+				jtInv[a] = targets
+			case in.Op == x64.OpCall && needCond && condNonRet[in.Target]:
+				if !condGateInvariant(s.img, bres, in, pushable, nonRet, condNonRet, opts) {
+					return nil
+				}
+			}
+		}
+		if opts.ResolveJumpTables {
+			// Audit every resolution any walker actually made against
+			// the invariant (shard results record unresolved indirect
+			// jumps as explicit nil entries for exactly this check),
+			// then rebuild the public map from the invariants alone.
+			for _, r := range shards {
+				for a, tg := range r.JTTargets {
+					if inv, ok := jtInv[a]; !ok || !equalAddrs(tg, inv) {
+						return nil
+					}
+				}
+			}
+			bres.JTTargets = make(map[uint64][]uint64, len(jtInv))
+			for a, tg := range jtInv {
+				if len(tg) > 0 {
+					bres.JTTargets[a] = tg
+				}
+			}
+			for i, r := range shards {
+				if i == base {
+					continue
+				}
+				for t := range r.TableBases {
+					bres.TableBases[t] = true
+				}
+			}
+		}
+	}
+
+	// References: per-target multiset union. Each (target, from) edge
+	// originates in exactly one instruction, so shards that decoded it
+	// agree on its multiplicity; the first contributing shard supplies
+	// it. With claimed walks an edge's from-instruction is almost
+	// always decoded by exactly one shard, so the single-contributor
+	// fast path dominates; only contested targets pay a seen-set. The
+	// final per-target order is sorted — a canonical order independent
+	// of the shard partition. (The sequential walk emits discovery
+	// order instead; no consumer is order-sensitive, and the
+	// differential checkers compare reference multisets.)
+	for i, r := range shards {
+		if i == base {
+			continue
+		}
+		for t, list := range r.Refs {
+			have := bres.Refs[t]
+			if len(have) == 0 {
+				bres.Refs[t] = append([]uint64(nil), list...)
+				continue
+			}
+			sset := make(map[uint64]bool, len(have))
+			for _, from := range have {
+				sset[from] = true
+			}
+			for _, from := range list {
+				if !sset[from] {
+					have = append(have, from)
+				}
+			}
+			bres.Refs[t] = have
+		}
+	}
+	for t := range bres.Refs {
+		l := bres.Refs[t]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	return bres
+}
+
+// pushableSet collects every address the walk could process as a work
+// item (rather than reach by fall-through): the seeds plus every
+// direct-branch, call, and jump-table target in the union.
+func pushableSet(img imgExec, merged *Result, seeds []uint64, shards []*Result) map[uint64]bool {
+	pushable := make(map[uint64]bool, len(seeds)+len(merged.Funcs))
+	for _, sd := range seeds {
+		pushable[sd] = true
+	}
+	for _, in := range merged.Insts {
+		switch in.Op {
+		case x64.OpCall, x64.OpJcc, x64.OpJmp:
+			if in.HasTarget && img.IsExec(in.Target) {
+				pushable[in.Target] = true
+			}
+		}
+	}
+	for _, r := range shards {
+		for _, targets := range r.JTTargets {
+			for _, t := range targets {
+				pushable[t] = true
+			}
+		}
+	}
+	return pushable
+}
+
+// imgExec is the slice of elfx.Image the context guards need.
+type imgExec interface {
+	IsExec(uint64) bool
+}
+
+// backChain returns the byte-adjacent previously decoded instructions
+// behind addr, nearest first, up to max links.
+func backChain(res *Result, addr uint64, max int) []*x64.Inst {
+	var chain []*x64.Inst
+	for len(chain) < max {
+		prev, ok := prevInst(res, addr)
+		if !ok {
+			break
+		}
+		chain = append(chain, res.Insts[prev])
+		addr = prev
+	}
+	return chain
+}
+
+// jtInvariant proves one indirect jump's resolution independent of
+// traversal order, returning the invariant target list. The resolution
+// reads only the chain of byte-adjacent previously decoded
+// instructions behind the jump, so its outcome is a function of how
+// deep that chain was decoded at processing time. The guard computes
+// the minimum depth any arrival can guarantee (0 if the jump itself is
+// pushable, else the nearest pushable fall-through entry on the
+// chain), evaluates the resolution at every reachable depth, and
+// requires all outcomes equal.
+func (s *Session) jtInvariant(merged *Result, jmp *x64.Inst,
+	pushable map[uint64]bool, nonRet, condNonRet map[uint64]bool, opts Options) ([]uint64, bool) {
+
+	full := resolveJumpTable(s.img, merged, jmp)
+	chain := backChain(merged, jmp.Addr, jtGuardDepth+1)
+
+	// Minimum guaranteed depth over all possible arrivals.
+	lmin := -1
+	if pushable[jmp.Addr] {
+		lmin = 0
+	} else {
+		for d := 1; d <= len(chain); d++ {
+			if !fallsThrough(s.img, chain[d-1], nonRet, condNonRet, opts) {
+				break // no deeper entry can reach the jump by fall-through
+			}
+			if pushable[chain[d-1].Addr] {
+				lmin = d
+				break
+			}
+		}
+		if lmin < 0 {
+			if len(chain) > jtGuardDepth {
+				// Every entry lies beyond the depth resolution can
+				// inspect; all reachable contexts are maximal-equivalent.
+				lmin = jtGuardDepth
+			} else {
+				return nil, false // cannot bound the arrival context
+			}
+		}
+	}
+
+	maxd := len(chain)
+	if maxd > jtGuardDepth {
+		maxd = jtGuardDepth
+	}
+	for d := lmin; d <= maxd; d++ {
+		mini := &Result{
+			Insts:      make(map[uint64]*x64.Inst, d),
+			TableBases: make(map[uint64]bool),
+			owner:      ownerMap{m: make(map[uint64]uint64)},
+		}
+		for i := 0; i < d; i++ {
+			in := chain[i]
+			mini.Insts[in.Addr] = in
+			mini.owner.setRange(in.Addr, int(in.Len))
+		}
+		if !equalAddrs(resolveJumpTable(s.img, mini, jmp), full) {
+			return nil, false
+		}
+	}
+	return full, true
+}
+
+// condGateInvariant proves that the fall-through decision at a call to
+// a conditionally non-returning function is the same on every arrival
+// path. The decision depends on the rdi path state (fall through iff
+// rdi is known zero), which is set by the nearest rdi determinant on
+// the byte-adjacent chain behind the call: an rdi-writing instruction,
+// a crossed call (which clobbers rdi to unknown), or a work-item entry
+// (which starts unknown). The guard computes the deep-arrival value
+// and fails only when it is "known zero" while some arrival could
+// start between the determinant and the call (yielding unknown and
+// the opposite decision).
+func condGateInvariant(img imgExec, merged *Result, call *x64.Inst,
+	pushable map[uint64]bool, nonRet, condNonRet map[uint64]bool, opts Options) bool {
+
+	chain := backChain(merged, call.Addr, rdiGuardDepth)
+	shallow := pushable[call.Addr]
+	deep := rdiUnknown
+	found := false
+	for d := 1; d <= len(chain); d++ {
+		c := chain[d-1]
+		if !fallsThrough(img, c, nonRet, condNonRet, opts) {
+			// No arrival crosses c; deeper context is unreachable, and
+			// shallower entries start unknown. (A conditionally
+			// non-returning call on the chain also lands here: crossing
+			// one clobbers rdi to unknown, matching the default.)
+			found = true
+			break
+		}
+		if c.Op == x64.OpCall {
+			// A crossed returning call clobbers rdi.
+			found = true
+			break
+		}
+		switch classifyRDI(c) {
+		case rdiSetZero:
+			deep, found = rdiZero, true
+		case rdiSetNonZero:
+			deep, found = rdiNonZero, true
+		case rdiSetUnknown:
+			found = true
+		default:
+			// No rdi effect: an entry here contributes an unknown
+			// arrival.
+			if pushable[c.Addr] {
+				shallow = true
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found && len(chain) >= rdiGuardDepth {
+		return false // determinant beyond the guard's horizon
+	}
+	// Unknown and non-zero make the same decision (no fall-through);
+	// only a known zero diverges from an unknown-state arrival.
+	return deep != rdiZero || !shallow
+}
+
+// fallsThrough reports whether execution past in continues to the next
+// byte-adjacent instruction under the pass's rules, conservatively
+// treating conditionally non-returning callees as not falling through
+// (see condGateInvariant for why that is exact where it matters).
+func fallsThrough(img imgExec, in *x64.Inst, nonRet, condNonRet map[uint64]bool, opts Options) bool {
+	switch in.Op {
+	case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3, x64.OpJmp, x64.OpJmpInd:
+		return false
+	case x64.OpCall:
+		if !img.IsExec(in.Target) {
+			return false // the walk stops at out-of-section call targets
+		}
+		if opts.NonReturning && (nonRet[in.Target] || condNonRet[in.Target]) {
+			return false
+		}
+	}
+	return true
+}
+
+// equalAddrs compares two address slices element-wise (nil equals
+// empty).
+func equalAddrs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// minParallelInferFuncs is the smallest function set worth parallel
+// non-return inference.
+const minParallelInferFuncs = 32
+
+// runInfer dispatches non-returning inference, parallel when the
+// session's job count allows it.
+func (s *Session) runInfer(res *Result) (map[uint64]bool, map[uint64]bool) {
+	if s.jobs > 1 && len(res.Funcs) >= minParallelInferFuncs {
+		return inferNonReturningParallel(res, s.jobs)
+	}
+	return inferNonReturning(res)
+}
+
+// inferNonReturningParallel computes the same greatest fixed point as
+// inferNonReturning with snapshot (Jacobi) rounds: each round
+// re-evaluates every still-returning function against the previous
+// round's knowledge in parallel, then applies all removals at once.
+// The operator is monotone and the iteration starts from the top, so
+// the limit is the unique greatest fixed point — identical to the
+// sequential in-place iteration, independent of evaluation order.
+func inferNonReturningParallel(res *Result, jobs int) (map[uint64]bool, map[uint64]bool) {
+	funcs := res.SortedFuncs()
+	returns := make(map[uint64]bool, len(funcs))
+	for _, f := range funcs {
+		returns[f] = true
+	}
+	type span struct{ lo, hi int }
+	chunks := make([]span, jobs)
+	for i := 0; i < jobs; i++ {
+		chunks[i] = span{lo: i * len(funcs) / jobs, hi: (i + 1) * len(funcs) / jobs}
+	}
+	for {
+		drops := pool.Map(nil, jobs, chunks,
+			func(_ context.Context, _ int, sp span) ([]uint64, error) {
+				var out []uint64
+				for _, f := range funcs[sp.lo:sp.hi] {
+					if returns[f] && !funcReturns(res, f, returns) {
+						out = append(out, f)
+					}
+				}
+				return out, nil
+			})
+		n := 0
+		for _, d := range drops {
+			for _, f := range d.Value {
+				returns[f] = false
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+	}
+	nonRet := map[uint64]bool{}
+	for _, f := range funcs {
+		if !returns[f] {
+			nonRet[f] = true
+		}
+	}
+	conds := pool.Map(nil, jobs, chunks,
+		func(_ context.Context, _ int, sp span) ([]uint64, error) {
+			var out []uint64
+			for _, f := range funcs[sp.lo:sp.hi] {
+				if returns[f] && isCondNonRet(res, f, nonRet) {
+					out = append(out, f)
+				}
+			}
+			return out, nil
+		})
+	cond := map[uint64]bool{}
+	for _, d := range conds {
+		for _, f := range d.Value {
+			cond[f] = true
+		}
+	}
+	return nonRet, cond
+}

@@ -28,9 +28,25 @@ func WriteELF(im *Image) ([]byte, error) {
 		fileOff uint64
 	}
 
+	// Stable order with a name tie-break: sort.Slice is unstable, so
+	// equal-address sections (e.g. two zero-length markers) would
+	// serialize in nondeterministic order from run to run.
 	secs := make([]*Section, len(im.Sections))
 	copy(secs, im.Sections)
-	sort.Slice(secs, func(i, j int) bool { return secs[i].Addr < secs[j].Addr })
+	sort.SliceStable(secs, func(i, j int) bool {
+		if secs[i].Addr != secs[j].Addr {
+			return secs[i].Addr < secs[j].Addr
+		}
+		return secs[i].Name < secs[j].Name
+	})
+
+	// Section indices live in uint16 fields (e_shnum, symbol st_shndx)
+	// and values from SHN_LORESERVE up are reserved; refuse images the
+	// format cannot express instead of silently truncating indices.
+	if nShdr := 1 + len(secs) + 3; nShdr > int(elf.SHN_LORESERVE) {
+		return nil, fmt.Errorf("elfx: %d sections need %d section headers; ELF64 caps the section index at %d (SHN_LORESERVE)",
+			len(secs), nShdr, int(elf.SHN_LORESERVE)-1)
+	}
 
 	// Build .shstrtab incrementally.
 	shstr := []byte{0}

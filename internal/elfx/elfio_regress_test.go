@@ -1,0 +1,72 @@
+package elfx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWriteELFStableSectionOrder pins the determinism fix for
+// equal-address sections: several zero-length markers sharing an
+// address must serialize byte-identically on every run (sort.Slice is
+// unstable; the writer now tie-breaks on the section name).
+func TestWriteELFStableSectionOrder(t *testing.T) {
+	build := func(perm []int) *Image {
+		names := []string{".marker.a", ".marker.b", ".marker.c", ".marker.d"}
+		im := &Image{Entry: 0x401000}
+		im.Sections = append(im.Sections, &Section{
+			Name: ".text", Addr: 0x401000, Data: []byte{0xC3}, Flags: FlagAlloc | FlagExec,
+		})
+		for _, k := range perm {
+			im.Sections = append(im.Sections, &Section{
+				Name: names[k], Addr: 0x402000, Flags: FlagAlloc,
+			})
+		}
+		im.Symbols = []Symbol{{Name: "f", Addr: 0x401000, Size: 1, Func: true}}
+		return im
+	}
+	ref, err := WriteELF(build([]int{0, 1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same logical image, different input order and repeated writes:
+	// every serialization must be byte-identical.
+	perms := [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for run := 0; run < 100; run++ {
+		perm := perms[run%len(perms)]
+		out, err := WriteELF(build(perm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, ref) {
+			t.Fatalf("run %d (input order %v): serialization differs from reference", run, perm)
+		}
+	}
+}
+
+// TestWriteELFSectionCountBound pins the explicit error for images
+// with more sections than ELF64's uint16 section indexing can express
+// — previously findShndx silently truncated uint16(k+1) and e_shnum
+// wrapped.
+func TestWriteELFSectionCountBound(t *testing.T) {
+	im := &Image{Entry: 0x401000}
+	// 0xff00 (SHN_LORESERVE) minus the 4 bookkeeping headers is the
+	// largest allowed count; one past it must error.
+	for k := 0; k < 0xff00-4+1; k++ {
+		im.Sections = append(im.Sections, &Section{
+			Name: fmt.Sprintf(".s%05d", k), Addr: 0x401000, Flags: FlagAlloc,
+		})
+	}
+	im.Symbols = []Symbol{{Name: "f", Addr: 0x401000, Func: true}}
+	if _, err := WriteELF(im); err == nil {
+		t.Fatal("WriteELF accepted an image whose section count overflows uint16 indexing")
+	} else if !strings.Contains(err.Error(), "SHN_LORESERVE") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// One section fewer fits.
+	im.Sections = im.Sections[:0xff00-4]
+	if _, err := WriteELF(im); err != nil {
+		t.Fatalf("WriteELF rejected a maximal-but-legal section count: %v", err)
+	}
+}

@@ -58,16 +58,16 @@ func CheckCachedEqualsRecomputed(shape string, elfBytes []byte) []Violation {
 			bad("uncached analyze: %v", err)
 			continue
 		}
-		if !reflect.DeepEqual(stripWall(warm), stripWall(recomputed)) {
+		if !reflect.DeepEqual(fetch.StripSchedule(warm), fetch.StripSchedule(recomputed)) {
 			bad("cached result differs from recomputed result")
 		}
-		if !reflect.DeepEqual(stripWall(warm), stripWall(cold)) {
+		if !reflect.DeepEqual(fetch.StripSchedule(warm), fetch.StripSchedule(cold)) {
 			bad("cached result differs from the cold run that stored it")
 		}
 		byHash, ok := cache.Get(fetch.HashBinary(elfBytes), variant.opts...)
 		if !ok {
 			bad("by-hash lookup missed after analysis")
-		} else if !reflect.DeepEqual(stripWall(byHash), stripWall(recomputed)) {
+		} else if !reflect.DeepEqual(fetch.StripSchedule(byHash), fetch.StripSchedule(recomputed)) {
 			bad("by-hash result differs from recomputed result")
 		}
 	}

@@ -33,23 +33,13 @@ func CheckBatchDeterminism(shape string, elfBytes []byte, copies, jobs int) []Vi
 		if a.Err != nil {
 			continue
 		}
-		ra, rb := stripWall(a.Result), stripWall(b.Result)
+		ra, rb := fetch.StripSchedule(a.Result), fetch.StripSchedule(b.Result)
 		if !reflect.DeepEqual(ra, rb) {
 			vs = append(vs, Violation{shape, core.FETCH, "jobs-determinism",
 				fmt.Sprintf("item %d: results differ between jobs=1 and jobs=%d", i, jobs)})
 		}
 	}
 	return vs
-}
-
-// stripWall copies a Result with all wall times zeroed.
-func stripWall(r *fetch.Result) *fetch.Result {
-	cp := *r
-	cp.Stats.Passes = append([]fetch.PassStat(nil), r.Stats.Passes...)
-	for i := range cp.Stats.Passes {
-		cp.Stats.Passes[i].Wall = 0
-	}
-	return &cp
 }
 
 // CheckShape runs every checker against one synthesized shape: the
@@ -76,12 +66,14 @@ func CheckShape(cfg synth.Config) ([]Violation, error) {
 		vs = append(vs, DiffReports(cfg.Name, strat, rep, ref)...)
 		vs = append(vs, CheckAccounting(cfg.Name, strat, rep)...)
 		vs = append(vs, CheckMetrics(cfg.Name, strat, rep, truth)...)
+		vs = append(vs, CheckConvergence(cfg.Name, strat, rep)...)
 	}
 	vs = append(vs, CheckLattice(cfg.Name, stripped)...)
 	raw, err := elfx.WriteELF(stripped)
 	if err != nil {
 		return nil, fmt.Errorf("oracle: writing %s: %w", cfg.Name, err)
 	}
+	vs = append(vs, CheckShardedEqualsSequential(cfg.Name, stripped, raw)...)
 	vs = append(vs, CheckBatchDeterminism(cfg.Name, raw, 4, 8)...)
 	vs = append(vs, CheckCachedEqualsRecomputed(cfg.Name, raw)...)
 	return vs, nil

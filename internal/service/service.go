@@ -46,6 +46,13 @@ type Config struct {
 	// MaxUploadBytes bounds the accepted binary size; non-positive
 	// selects DefaultMaxUploadBytes.
 	MaxUploadBytes int64
+	// IntraJobs sets each analysis's intra-binary shard parallelism
+	// (fetch.Options.Jobs). The in-flight semaphore still bounds the
+	// number of concurrent analyses; IntraJobs multiplies the worker
+	// goroutines each admitted analysis may use, so a deployment
+	// typically lowers MaxInFlight when raising it. Results are
+	// byte-identical for every value; values ≤ 1 analyze sequentially.
+	IntraJobs int
 }
 
 // DefaultMaxUploadBytes is the upload size cap when Config leaves it
@@ -59,6 +66,7 @@ type Server struct {
 	cache     *fetch.Cache
 	sem       chan struct{}
 	maxUpload int64
+	intraJobs int
 	start     time.Time
 
 	analyzeRequests atomic.Int64
@@ -90,6 +98,7 @@ func New(cfg Config) (*Server, error) {
 		cache:     cfg.Cache,
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 		maxUpload: cfg.MaxUploadBytes,
+		intraJobs: cfg.IntraJobs,
 		start:     time.Now(),
 	}, nil
 }
@@ -222,6 +231,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	t0 := time.Now()
+	if s.intraJobs > 1 {
+		opts = append(opts, fetch.WithJobs(s.intraJobs))
+	}
 	res, cached, err := s.cache.Analyze(body, opts...)
 	s.analyzeNS.Add(int64(time.Since(t0)))
 

@@ -35,6 +35,7 @@ const (
 	clsCFIErr    // function whose hand-written FDE begins one byte early
 	clsThunkMid  // thunk jumping into the middle of another function
 	clsICF       // byte-identical duplicate leaf body (ICF-style clone)
+	clsXrefChain // pointer-chain link: next link's address sits past the validation walk bound
 )
 
 // callRef is one direct call the body must emit.
@@ -91,6 +92,9 @@ type funcSpec struct {
 
 	// dataPtrSlot: this function's address is stored in .data.
 	dataPtrSlot bool
+	// chainNext: the next xref-chain link's symbol, materialized as a
+	// movabs immediate deep in this link's body ("" = chain tail).
+	chainNext string
 	// codePtrFrom: index of a function that materializes this
 	// function's address with a RIP-relative lea (-1 = none).
 	codePtrFrom int
@@ -288,8 +292,42 @@ func emitFunc(spec *funcSpec, rng *rand.Rand) (*chunk, *chunk, error) {
 		return emitThunk(spec)
 	case clsICF:
 		return emitICF(spec)
+	case clsXrefChain:
+		return emitChainLink(spec)
 	}
 	return emitCompiled(spec, rng)
+}
+
+// chainSpacerInsts pads each xref-chain link's body past the §IV-E
+// candidate-validation walk bound (xref.Options.MaxValidationInsts
+// defaults to 2000): the capped probe accepts the link without ever
+// seeing the movabs that references the next one, so only the
+// committed extension of the accepted link surfaces it — forcing one
+// pointer-detection round per link.
+const chainSpacerInsts = 2100
+
+// emitChainLink produces one xref-chain function: no FDE, a
+// convention-respecting straight-line body long enough to exhaust the
+// validation walk, then (unless it is the tail) the next link's
+// address materialized as a movabs immediate, then ret.
+func emitChainLink(spec *funcSpec) (*chunk, *chunk, error) {
+	var a x64.Asm
+	a.MovRegReg(x64.RAX, x64.RDI)
+	for k := 0; k < chainSpacerInsts; k++ {
+		a.AddRegImm(x64.RAX, 1)
+	}
+	if spec.chainNext != "" {
+		a.MovRegImm64Sym(x64.RDX, spec.chainNext)
+	}
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: false, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
 }
 
 // emitCompiled produces a realistic compiled C/C++ function.

@@ -176,6 +176,15 @@ type Config struct {
 	// AbsPtrFDEs: CIEs use the DW_EH_PE_absptr pointer encoding instead
 	// of the GCC/Clang default pcrel|sdata4.
 	AbsPtrFDEs bool
+	// XrefChainLen: a chain of FDE-less functions each reachable only
+	// through a function pointer materialized deep inside the previous
+	// link's body — past the candidate-validation walk bound, so each
+	// link surfaces only after the previous one's committed extension.
+	// Detecting the whole chain therefore needs one pointer-detection
+	// round per link: the shape that proves why the xref fixed point
+	// must iterate to convergence (the historical 3-round cap silently
+	// dropped every link past the third).
+	XrefChainLen int
 }
 
 // Validate checks rate sanity.
@@ -192,7 +201,8 @@ func (c *Config) Validate() error {
 		}
 	}
 	for _, n := range []int{c.DataIslandCount, c.CodeIslandCount,
-		c.CFIErrorCount, c.ICFCount, c.TruncFDECount, c.OverlapFDECount} {
+		c.CFIErrorCount, c.ICFCount, c.TruncFDECount, c.OverlapFDECount,
+		c.XrefChainLen} {
 		if n < 0 {
 			return fmt.Errorf("synth: count %d negative", n)
 		}

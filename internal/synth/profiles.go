@@ -63,6 +63,14 @@ var adversarialProfiles = map[string]func(*Config){
 		c.IndirectOnlyRate = 0.02
 		c.UnreachableAsmRate = 0.01
 	},
+	// xref-chain: a five-link chain of pointer-only-reachable
+	// functions, each link's pointer buried past the validation walk
+	// bound of the previous — convergence needs six detection rounds,
+	// twice the historical silent cap of three.
+	"xref-chain": func(c *Config) {
+		c.XrefChainLen = 5
+		c.IndirectOnlyRate = 0.02
+	},
 	// kitchen-sink: everything at once.
 	"kitchen-sink": func(c *Config) {
 		c.PIE = true

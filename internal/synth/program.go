@@ -104,6 +104,24 @@ func buildSpecs(cfg *Config, rng *rand.Rand) ([]*funcSpec, error) {
 		s := mk(clsICF)
 		s.reach = groundtruth.ReachCall
 	}
+	// Xref chain: link 0 sits in a .data pointer slot; each further
+	// link is referenced only by the movabs buried past the validation
+	// walk bound in the previous link's body, so pointer detection
+	// needs one committed round per link to see the whole chain.
+	var chain []*funcSpec
+	for k := 0; k < cfg.XrefChainLen && len(specs) < n-1; k++ {
+		s := mk(clsXrefChain)
+		s.name = fmt.Sprintf("xchain%02d", k)
+		s.hasFDE = false
+		s.reach = groundtruth.ReachIndirectOnly
+		if k == 0 {
+			s.dataPtrSlot = true
+		}
+		chain = append(chain, s)
+	}
+	for k := 0; k+1 < len(chain); k++ {
+		chain[k].chainNext = chain[k+1].name
+	}
 	if cfg.ClangTerminate && len(specs) < n-1 {
 		s := mk(clsClangTerm)
 		s.name = "__clang_call_terminate"
@@ -371,8 +389,14 @@ func buildSpecs(cfg *Config, rng *rand.Rand) ([]*funcSpec, error) {
 		caller.tailCall = s.name
 	}
 	// Indirect-only functions not covered by a data slot get their
-	// address materialized by a lea in some caller.
+	// address materialized by a lea in some caller. Xref-chain links
+	// are excluded: their one reference is the movabs inside the
+	// previous link, and an extra lea would collapse the chain into a
+	// single detection round.
 	for _, s := range specs {
+		if s.class == clsXrefChain {
+			continue
+		}
 		if s.reach == groundtruth.ReachIndirectOnly && !s.dataPtrSlot {
 			host := randNormal()
 			s.codePtrFrom = host.idx

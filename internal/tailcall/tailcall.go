@@ -16,12 +16,14 @@
 package tailcall
 
 import (
+	"context"
 	"sort"
 
 	"fetch/internal/callconv"
 	"fetch/internal/disasm"
 	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
+	"fetch/internal/pool"
 	"fetch/internal/stackan"
 	"fetch/internal/x64"
 )
@@ -42,6 +44,11 @@ type Input struct {
 	// Sess, when set, lets the static-height ablation's jump-table
 	// probes reuse the pipeline's shared decode cache.
 	Sess *disasm.Session
+	// Jobs > 1 precomputes the per-FDE CFI height tables and the
+	// convention-sweep entry validations on a worker pool of that
+	// size. Both are pure per-FDE functions, so the output is
+	// identical to the sequential computation.
+	Jobs int
 
 	// UseStaticHeights replaces CFI-recorded heights with the static
 	// dataflow analysis — the ablation the paper argues against via
@@ -88,11 +95,44 @@ func Run(in Input) Output {
 		fdeAt[f.PCBegin] = f
 	}
 
+	// Sharded runs precompute the two pure per-FDE quantities the
+	// sequential loops below consume — entry-convention verdicts and
+	// CFI height tables — on the worker pool. The loops themselves
+	// stay sequential (and identical) either way.
+	var convOK map[uint64]bool
+	var heights []ehframe.HeightTable
+	if in.Jobs > 1 && len(in.Sec.FDEs) > 1 {
+		rs := pool.Map(nil, in.Jobs, in.Sec.FDEs,
+			func(_ context.Context, _ int, f *ehframe.FDE) (bool, error) {
+				return callconv.Validate(in.Img, f.PCBegin), nil
+			})
+		convOK = make(map[uint64]bool, len(rs))
+		for i, r := range rs {
+			convOK[in.Sec.FDEs[i].PCBegin] = r.Value
+		}
+		if !in.UseStaticHeights {
+			hs := pool.Map(nil, in.Jobs, in.Sec.FDEs,
+				func(_ context.Context, _ int, f *ehframe.FDE) (ehframe.HeightTable, error) {
+					return f.Heights(), nil
+				})
+			heights = make([]ehframe.HeightTable, len(hs))
+			for i, r := range hs {
+				heights[i] = r.Value
+			}
+		}
+	}
+	entryOK := func(a uint64) bool {
+		if v, ok := convOK[a]; ok {
+			return v
+		}
+		return callconv.Validate(in.Img, a)
+	}
+
 	// Hand-written FDE errors: an FDE start that violates the calling
 	// convention cannot be a function entry (§V-B, the "3 false
 	// positives").
 	for _, f := range in.Sec.FDEs {
-		if out.Funcs[f.PCBegin] && !callconv.Validate(in.Img, f.PCBegin) {
+		if out.Funcs[f.PCBegin] && !entryOK(f.PCBegin) {
 			delete(out.Funcs, f.PCBegin)
 			out.CFIErrRemoved = append(out.CFIErrRemoved, f.PCBegin)
 		}
@@ -126,15 +166,20 @@ func Run(in Input) Output {
 		return n
 	}
 
-	for _, fde := range in.Sec.FDEs {
+	for fi, fde := range in.Sec.FDEs {
 		if !out.Funcs[fde.PCBegin] {
 			continue
 		}
-		heights := fde.Heights()
+		var ht ehframe.HeightTable
+		if heights != nil {
+			ht = heights[fi]
+		} else {
+			ht = fde.Heights()
+		}
 		var static map[uint64]stackan.Height
 		if in.UseStaticHeights {
 			static = stackan.AnalyzeWithSession(in.Sess, in.Img, fde.PCBegin, fde.End(), stackan.Precise)
-		} else if !heights.Complete {
+		} else if !ht.Complete {
 			out.SkippedIncomplete++
 			continue
 		}
@@ -153,7 +198,7 @@ func Run(in Input) Output {
 				s, found := static[inst.Addr]
 				h, ok = s.H, found && s.Known
 			} else {
-				h, ok = heights.HeightAt(inst.Addr)
+				h, ok = ht.HeightAt(inst.Addr)
 			}
 			if !ok {
 				continue
@@ -161,7 +206,7 @@ func Run(in Input) Output {
 			isTailCall := false
 			if h == 0 {
 				refOK := refsOtherThan(t, inst.Addr) > 0 || in.DisableRefCriterion
-				if refOK && callconv.Validate(in.Img, t) {
+				if refOK && entryOK(t) {
 					if !out.Funcs[t] {
 						out.Funcs[t] = true
 						out.TailNew = append(out.TailNew, t)

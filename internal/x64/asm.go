@@ -248,6 +248,16 @@ func (a *Asm) MovRegImm64(dst Reg, v uint64) {
 	a.emitU64(v)
 }
 
+// MovRegImm64Sym emits movabs dst, imm64 whose immediate is patched to
+// sym's absolute address at link time (a code-materialized function
+// pointer).
+func (a *Asm) MovRegImm64Sym(dst Reg, sym string) {
+	a.emit(rex(true, RegNone, RegNone, dst), 0xB8+byte(dst&7))
+	off := len(a.buf)
+	a.emitU64(0)
+	a.fixups = append(a.fixups, Fixup{Kind: FixAbs64, Off: off, End: len(a.buf), Sym: sym})
+}
+
 // MovRegMem emits a 64-bit mov dst, [base+disp].
 func (a *Asm) MovRegMem(dst, base Reg, disp int32) {
 	a.emit(rex(true, dst, RegNone, base), 0x8B)

@@ -11,18 +11,28 @@
 package xref
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 
 	"fetch/internal/callconv"
 	"fetch/internal/disasm"
 	"fetch/internal/elfx"
+	"fetch/internal/pool"
 )
 
 // Candidates returns the §IV-E pointer super-set: all data-section
 // eight-byte windows whose value lands in executable code, plus all
 // harvested constants.
 func Candidates(img *elfx.Image, res *disasm.Result) []uint64 {
+	return candidates(img, res, nil)
+}
+
+// candidates is Candidates with an optional precomputed data index;
+// the output is identical either way (the sorted distinct union of
+// executable data-window values and executable, non-table constants —
+// with or without the index, the same set).
+func candidates(img *elfx.Image, res *disasm.Result, ix *DataIndex) []uint64 {
 	seen := map[uint64]bool{}
 	var out []uint64
 	add := func(v uint64) {
@@ -31,9 +41,15 @@ func Candidates(img *elfx.Image, res *disasm.Result) []uint64 {
 			out = append(out, v)
 		}
 	}
-	for _, sec := range img.DataSections() {
-		for off := 0; off+8 <= len(sec.Data); off++ {
-			add(binary.LittleEndian.Uint64(sec.Data[off:]))
+	if ix != nil {
+		for _, v := range ix.execVals {
+			add(v)
+		}
+	} else {
+		for _, sec := range img.DataSections() {
+			for off := 0; off+8 <= len(sec.Data); off++ {
+				add(binary.LittleEndian.Uint64(sec.Data[off:]))
+			}
 		}
 	}
 	for c := range res.Constants {
@@ -44,6 +60,72 @@ func Candidates(img *elfx.Image, res *disasm.Result) []uint64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// DataIndex is a precomputed restatement of the data sections'
+// eight-byte windows, restricted to values landing in executable code:
+// per-value occurrence counts (DataRefCount's hot query — reference
+// evidence for code addresses) and the sorted distinct values (the
+// data half of Candidates). Sharded runs build one per binary so
+// reference-count queries stop rescanning every window. The
+// restriction bounds the index by the executable address range rather
+// than the data size (a distinct-window-count index would be O(data));
+// the rare query for a non-executable address falls back to the direct
+// scan, so answers are identical to DataRefCount for every address.
+type DataIndex struct {
+	img      *elfx.Image
+	counts   map[uint64]int
+	execVals []uint64
+}
+
+// NewDataIndex scans img's data sections with up to jobs workers.
+func NewDataIndex(img *elfx.Image, jobs int) *DataIndex {
+	type chunk struct {
+		data   []byte
+		lo, hi int
+	}
+	var chunks []chunk
+	const chunkWindows = 1 << 16
+	for _, sec := range img.DataSections() {
+		n := len(sec.Data) - 7 // number of windows
+		for lo := 0; lo < n; lo += chunkWindows {
+			hi := lo + chunkWindows
+			if hi > n {
+				hi = n
+			}
+			chunks = append(chunks, chunk{data: sec.Data, lo: lo, hi: hi})
+		}
+	}
+	outs := pool.Map(nil, jobs, chunks, func(_ context.Context, _ int, c chunk) (map[uint64]int, error) {
+		l := make(map[uint64]int)
+		for off := c.lo; off < c.hi; off++ {
+			if v := binary.LittleEndian.Uint64(c.data[off:]); img.IsExec(v) {
+				l[v]++
+			}
+		}
+		return l, nil
+	})
+	ix := &DataIndex{img: img, counts: make(map[uint64]int)}
+	for _, o := range outs {
+		for v, n := range o.Value {
+			if ix.counts[v] == 0 {
+				ix.execVals = append(ix.execVals, v)
+			}
+			ix.counts[v] += n
+		}
+	}
+	sort.Slice(ix.execVals, func(i, j int) bool { return ix.execVals[i] < ix.execVals[j] })
+	return ix
+}
+
+// Count returns how many data-section windows hold the value addr —
+// the same answer as DataRefCount: constant-time for executable
+// addresses (the only hot query), a direct scan otherwise.
+func (ix *DataIndex) Count(addr uint64) int {
+	if ix.img.IsExec(addr) {
+		return ix.counts[addr]
+	}
+	return DataRefCount(ix.img, addr)
 }
 
 // DataRefCount counts how many data-section windows hold the value
@@ -78,6 +160,16 @@ type Options struct {
 	// reuses (and feeds) the binary's shared decode cache instead of
 	// decoding from scratch. Results are byte-identical either way.
 	Session *disasm.Session
+	// Jobs > 1 validates each round's candidates concurrently (on
+	// parallel session forks when Session is set). Validation is a
+	// pure function of the committed disassembly, so precomputing
+	// verdicts in parallel and replaying the sequential accept loop
+	// over them yields the exact sequential result.
+	Jobs int
+	// Index, when set, answers the data-section half of candidate
+	// collection from the precomputed DataIndex instead of rescanning
+	// the sections each round. Output is identical either way.
+	Index *DataIndex
 }
 
 // Detect validates candidates against the current disassembly and
@@ -95,7 +187,7 @@ func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Opt
 	}
 	var accepted []uint64
 	acceptedSet := map[uint64]bool{}
-	pending := Candidates(img, res)
+	pending := candidates(img, res, opts.Index)
 	tried := map[uint64]bool{}
 	// acceptedRanges protects the (approximate) extents of pointers
 	// accepted earlier in this run: a later candidate into their
@@ -111,6 +203,16 @@ func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Opt
 	}
 
 	for len(pending) > 0 {
+		// Parallel mode precomputes every verdict the sequential loop
+		// below could ask for. validate is pure in (img, res, c, opts)
+		// — probe sessions change only decode-cache traffic — so the
+		// replayed accept loop is byte-identical to computing verdicts
+		// inline.
+		var precomputed map[uint64]valOutcome
+		if opts.Jobs > 1 {
+			precomputed = validateAll(img, res, pending, funcs, tried, acceptedSet, opts)
+		}
+
 		var next []uint64
 		for _, c := range pending {
 			if tried[c] || funcs[c] || acceptedSet[c] {
@@ -120,7 +222,14 @@ func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Opt
 			if insideAccepted(c) {
 				continue
 			}
-			newRes, ok := validate(img, res, c, opts, probe)
+			var newRes *disasm.Result
+			var ok bool
+			if precomputed != nil {
+				v := precomputed[c]
+				newRes, ok = v.res, v.ok
+			} else {
+				newRes, ok = validate(img, res, c, opts, probe)
+			}
 			if !ok {
 				continue
 			}
@@ -136,10 +245,60 @@ func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Opt
 				}
 			}
 		}
+		// The refreshed pool is sorted before the next round: newRes
+		// constants arrive in map order, and an address-ordered round
+		// makes the iteration reproducible run to run.
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
 		pending = next
 	}
 	sort.Slice(accepted, func(i, j int) bool { return accepted[i] < accepted[j] })
 	return accepted
+}
+
+// valOutcome is one precomputed candidate verdict.
+type valOutcome struct {
+	res *disasm.Result
+	ok  bool
+}
+
+// validateAll precomputes verdicts for every candidate of a round that
+// the sequential accept loop could validate (everything not already
+// tried, known, or accepted at round start — a superset of what it
+// will actually consult, since within-round skips are unknowable until
+// replay). Candidates validate concurrently on parallel session forks,
+// whose decode overlays are absorbed back in candidate order.
+func validateAll(img *elfx.Image, res *disasm.Result, pending []uint64,
+	funcs, tried, acceptedSet map[uint64]bool, opts Options) map[uint64]valOutcome {
+
+	var todo []uint64
+	in := map[uint64]bool{}
+	for _, c := range pending {
+		if tried[c] || funcs[c] || acceptedSet[c] || in[c] {
+			continue
+		}
+		in[c] = true
+		todo = append(todo, c)
+	}
+	type out struct {
+		v    valOutcome
+		fork *disasm.Session
+	}
+	outs := pool.Map(nil, opts.Jobs, todo, func(_ context.Context, _ int, c uint64) (out, error) {
+		var fork *disasm.Session
+		if opts.Session != nil {
+			fork = opts.Session.ParallelFork()
+		}
+		r, ok := validate(img, res, c, opts, fork)
+		return out{v: valOutcome{res: r, ok: ok}, fork: fork}, nil
+	})
+	verdicts := make(map[uint64]valOutcome, len(todo))
+	for i, o := range outs {
+		if o.Value.fork != nil {
+			opts.Session.Absorb(o.Value.fork)
+		}
+		verdicts[todo[i]] = o.Value.v
+	}
+	return verdicts
 }
 
 // contiguousEnd returns the end of the contiguous instruction run the
