@@ -5,20 +5,28 @@
 //
 // Usage:
 //
-//	fetchd [-addr :8421] [-jobs N] [-intra-jobs N] [-cache-entries N] [-cache-dir DIR] [-max-upload BYTES]
+//	fetchd [-addr :8421] [-jobs N] [-intra-jobs N] [-max-queued N]
+//	       [-queue-timeout D] [-cache-entries N] [-cache-dir DIR]
+//	       [-max-upload BYTES] [-log-format text|json|none]
 //
 // Endpoints (documented with examples in docs/API.md):
 //
 //	POST /v1/analyze         upload a binary (raw bytes) or look one
 //	                         up by {"sha256": "..."} JSON body
+//	POST /v1/jobs            submit a binary for asynchronous analysis
+//	GET  /v1/jobs/{id}       poll an async job until done/failed
 //	GET  /v1/result/{sha256} cached result by content hash
 //	GET  /v1/healthz         liveness probe
 //	GET  /v1/stats           cache hit/miss/latency counters
+//	GET  /metrics            Prometheus text-format metrics
 //
-// At most -jobs analyses run concurrently; excess uploads queue.
-// -intra-jobs > 1 additionally shards each admitted analysis inside
-// the binary (same output, more cores per request).
-// -cache-dir persists results across restarts. On SIGINT/SIGTERM the
+// At most -jobs analyses run concurrently; up to -max-queued more wait
+// for at most -queue-timeout before the server answers 503. Arrivals
+// beyond both bounds are rejected immediately with 429 and a
+// Retry-After hint. -intra-jobs > 1 additionally shards each admitted
+// analysis inside the binary (same output, more cores per request).
+// -cache-dir persists results across restarts. -log-format selects the
+// structured access-log encoding on stderr. On SIGINT/SIGTERM the
 // server stops accepting connections and drains in-flight requests
 // before exiting.
 package main
@@ -29,10 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -50,6 +60,35 @@ func main() {
 	}
 }
 
+// syncWriter serializes writes: the startup line, the access logger,
+// and handler goroutines all share the same error stream.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Write forwards under the lock.
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// newLogger builds the access logger for -log-format, or nil for
+// "none" (access logging disabled).
+func newLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	case "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text, json, or none)", format)
+	}
+}
+
 // run builds and serves the service until the process receives
 // SIGINT/SIGTERM or ready's consumer closes the listener. The ready
 // channel, when non-nil, receives the bound address once the server
@@ -61,14 +100,23 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	addr := fs.String("addr", ":8421", "listen address")
 	jobs := fs.Int("jobs", 0, "max concurrent analyses (0 = one per CPU)")
 	intraJobs := fs.Int("intra-jobs", 0, "per-request intra-binary shard parallelism (≤1 = sequential)")
+	maxQueued := fs.Int("max-queued", 0, "max requests waiting for an analysis slot (0 = 4×jobs, negative = no queue)")
+	queueTimeout := fs.Duration("queue-timeout", 0, "max time a request may wait for a slot (0 = default)")
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory result cache capacity")
 	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (empty = memory only)")
 	maxUpload := fs.Int64("max-upload", service.DefaultMaxUploadBytes, "max accepted binary size in bytes")
+	logFormat := fs.String("log-format", "text", "access log encoding: text, json, or none")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	out := &syncWriter{w: errW}
+	logger, err := newLogger(*logFormat, out)
+	if err != nil {
+		return err
 	}
 
 	cache, err := fetch.NewCache(fetch.CacheConfig{
@@ -82,16 +130,26 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 		Cache:          cache,
 		MaxInFlight:    *jobs,
 		IntraJobs:      *intraJobs,
+		MaxQueued:      *maxQueued,
+		QueueTimeout:   *queueTimeout,
 		MaxUploadBytes: *maxUpload,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
 
+	// ReadTimeout bounds slow uploads, WriteTimeout covers the worst
+	// admitted case (queue wait + analysis), IdleTimeout reaps
+	// keep-alive connections.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -106,8 +164,11 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	fmt.Fprintf(errW, "fetchd: listening on %s (jobs=%d, cache=%d entries, dir=%q)\n",
-		ln.Addr(), *jobs, *cacheEntries, *cacheDir)
+	// Log the RESOLVED configuration — what the server actually runs
+	// with — not the raw flag values (jobs=0 resolves to one per CPU).
+	fmt.Fprintf(out, "fetchd: listening on %s (jobs=%d, intra-jobs=%d, max-queued=%d, queue-timeout=%s, max-upload=%d, cache=%d entries, dir=%q, log-format=%s)\n",
+		ln.Addr(), svc.MaxInFlight(), svc.IntraJobs(), svc.MaxQueued(),
+		svc.QueueTimeout(), svc.MaxUploadBytes(), *cacheEntries, *cacheDir, *logFormat)
 
 	select {
 	case err := <-errc:
@@ -117,7 +178,8 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 		return err
 	case <-ctx.Done():
 		// Graceful drain: stop accepting, finish in-flight requests,
-		// give up after a deadline.
+		// give up after a deadline. svc.Close (deferred) then fails
+		// any async jobs still waiting for a slot.
 		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {

@@ -1,8 +1,9 @@
 // Command service demonstrates the fetchd HTTP API end to end,
 // in-process: it starts the fetchd service over an httptest listener,
 // uploads a generated sample binary, re-fetches the result by content
-// hash, and reads back the cache counters — the same request sequence
-// docs/API.md walks through with curl.
+// hash, submits an asynchronous job and polls it to completion,
+// scrapes /metrics, and reads back the cache counters — the same
+// request sequence docs/API.md walks through with curl.
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"time"
 
 	"fetch"
 	"fetch/internal/service"
@@ -29,6 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer svc.Close()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	fmt.Println("fetchd serving on", ts.URL)
@@ -74,6 +78,53 @@ func main() {
 	resp.Body.Close()
 	fmt.Println("by-hash GET:", resp.Status)
 
+	// POST /v1/jobs + GET /v1/jobs/{id}: async submit and poll. A
+	// fresh strategy variant forces a cold analysis so the job does
+	// real work.
+	resp, err = http.Post(ts.URL+"/v1/jobs?fde_only=1", "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jr struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("job submit: %s id=%s state=%s\n", resp.Status, jr.JobID, jr.State)
+	for jr.State != "done" && jr.State != "failed" {
+		time.Sleep(10 * time.Millisecond)
+		resp, err = http.Get(ts.URL + "/v1/jobs/" + jr.JobID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	fmt.Printf("job poll: state=%s error=%q\n", jr.State, jr.Error)
+
+	// GET /metrics: Prometheus text exposition from the same atomics
+	// as /v1/stats.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if strings.HasPrefix(line, "fetchd_analyze_") && !strings.Contains(line, "_bucket") {
+			fmt.Println("metrics:", line)
+		}
+	}
+
 	// GET /v1/stats: hit/miss/latency counters.
 	resp, err = http.Get(ts.URL + "/v1/stats")
 	if err != nil {
@@ -84,6 +135,7 @@ func main() {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("stats: analyze requests=%d hits=%d misses=%d; cache entries=%d\n",
-		st.Analyze.Requests, st.Analyze.CacheHits, st.Analyze.CacheMisses, st.Cache.Entries)
+	fmt.Printf("stats: analyze requests=%d hits=%d misses=%d; jobs completed=%d; cache entries=%d\n",
+		st.Analyze.Requests, st.Analyze.CacheHits, st.Analyze.CacheMisses,
+		st.Jobs.Completed, st.Cache.Entries)
 }

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission outcomes. The handlers map these onto HTTP statuses:
+// errQueueFull → 429 + Retry-After, errQueueCancelled → 503 (counted
+// as queue_cancelled, not a server error), errQueueTimeout → 503.
+var (
+	errQueueFull      = errors.New("service: admission queue full")
+	errQueueCancelled = errors.New("service: client cancelled while queued")
+	errQueueTimeout   = errors.New("service: queue deadline exceeded")
+)
+
+// admission is the two-stage gate in front of every analysis: a slot
+// channel bounding concurrent work (MaxInFlight) and a counted queue
+// bounding how many requests may wait for a slot (MaxQueued). A
+// request beyond both bounds is rejected immediately — it never
+// blocks — so overload surfaces as fast 429s instead of a pile of
+// hung connections, the same discipline production intake agents use.
+type admission struct {
+	slots      chan struct{}
+	queued     atomic.Int64
+	peakQueued atomic.Int64
+	maxQueued  int64
+	timeout    time.Duration
+}
+
+func newAdmission(maxInFlight, maxQueued int, timeout time.Duration) *admission {
+	return &admission{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueued: int64(maxQueued),
+		timeout:   timeout,
+	}
+}
+
+// acquire admits the caller to a slot, waiting in the queue if none is
+// free. It returns the time spent queued and one of the admission
+// errors above; on nil error the caller owns a slot and must release().
+// The wait is bounded by the request context AND the queue deadline,
+// whichever fires first.
+func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
+	// Fast path: a free slot admits without touching the queue.
+	select {
+	case a.slots <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	if !a.reserve() {
+		return 0, errQueueFull
+	}
+	defer a.queued.Add(-1)
+
+	start := time.Now()
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return time.Since(start), nil
+	case <-ctx.Done():
+		return time.Since(start), errQueueCancelled
+	case <-timer.C:
+		return time.Since(start), errQueueTimeout
+	}
+}
+
+// tryAcquire takes a slot only if one is free right now.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// reserve claims a queue position without blocking; false means the
+// queue is at capacity. The caller must eventually queued.Add(-1).
+func (a *admission) reserve() bool {
+	for {
+		n := a.queued.Load()
+		if n >= a.maxQueued {
+			return false
+		}
+		if a.queued.CompareAndSwap(n, n+1) {
+			for {
+				peak := a.peakQueued.Load()
+				if n+1 <= peak || a.peakQueued.CompareAndSwap(peak, n+1) {
+					return true
+				}
+			}
+		}
+	}
+}
+
+// release frees the slot taken by a successful acquire/tryAcquire.
+func (a *admission) release() { <-a.slots }

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fetch"
+)
+
+// submitJob posts a binary to /v1/jobs and decodes the envelope.
+func submitJob(t *testing.T, ts *httptest.Server, path string, body []byte) (int, jobResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr jobResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &jr); err != nil {
+			t.Fatalf("bad job response %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, jr
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job is terminal or the
+// deadline passes, returning the final envelope.
+func pollJob(t *testing.T, ts *httptest.Server, id string, deadline time.Duration) jobResponse {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll %s: status %d: %s", id, resp.StatusCode, raw)
+		}
+		var jr jobResponse
+		if err := json.Unmarshal(raw, &jr); err != nil {
+			t.Fatalf("bad poll response %s: %v", raw, err)
+		}
+		if jr.State == JobDone || jr.State == JobFailed {
+			return jr
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s still %s after %v", id, jr.State, deadline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobLifecycleMatchesSync is the async acceptance criterion:
+// submit → poll → done, and the job's result bytes are codec-identical
+// to what the synchronous endpoint serves for the same binary.
+func TestJobLifecycleMatchesSync(t *testing.T) {
+	svc, ts := newTestServer(t, 2)
+	bin := sampleELF(t, 300)
+
+	code, jr := submitJob(t, ts, "/v1/jobs", bin)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, want 202", code)
+	}
+	if jr.JobID == "" || (jr.State != JobQueued) {
+		t.Fatalf("submit envelope: %+v", jr)
+	}
+	final := pollJob(t, ts, jr.JobID, 30*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("job finished %s (%s), want done", final.State, final.Error)
+	}
+	if final.Cached {
+		t.Fatal("first analysis of the binary reported cached")
+	}
+	if len(final.Result) == 0 {
+		t.Fatal("done job carries no result")
+	}
+
+	// The synchronous path must serve byte-identical result JSON.
+	code, ar := postBinary(t, ts, "/v1/analyze", bin)
+	if code != http.StatusOK || !ar.Cached {
+		t.Fatalf("sync analyze after job: status %d cached %v", code, ar.Cached)
+	}
+	if !bytes.Equal(ar.Result, final.Result) {
+		t.Fatal("async result differs from synchronous result bytes")
+	}
+	if ar.SHA256 != final.SHA256 {
+		t.Fatalf("hash mismatch: job %s, sync %s", final.SHA256, ar.SHA256)
+	}
+
+	// A second submission of the same bytes completes as a cache hit.
+	_, jr2 := submitJob(t, ts, "/v1/jobs", bin)
+	final2 := pollJob(t, ts, jr2.JobID, 30*time.Second)
+	if final2.State != JobDone || !final2.Cached {
+		t.Fatalf("re-submitted job: state %s cached %v", final2.State, final2.Cached)
+	}
+
+	st := svc.Stats()
+	if st.Jobs.Submitted != 2 || st.Jobs.Completed != 2 || st.Jobs.Failed != 0 {
+		t.Fatalf("job counters: %+v", st.Jobs)
+	}
+	if st.Jobs.Active != 0 {
+		t.Fatalf("jobs active %d after completion", st.Jobs.Active)
+	}
+}
+
+// TestJobStrategyVariant keys async jobs on the same strategy query
+// parameters as the synchronous endpoints.
+func TestJobStrategyVariant(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	bin := sampleELF(t, 301)
+	_, jr := submitJob(t, ts, "/v1/jobs?fde_only=1", bin)
+	final := pollJob(t, ts, jr.JobID, 30*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("job: %s (%s)", final.State, final.Error)
+	}
+	code, sync := postBinary(t, ts, "/v1/analyze?fde_only=1", bin)
+	if code != http.StatusOK || !sync.Cached {
+		t.Fatalf("sync fde_only after job: status %d cached %v (job should have warmed this entry)", code, sync.Cached)
+	}
+	if !bytes.Equal(sync.Result, final.Result) {
+		t.Fatal("fde_only job result differs from sync result")
+	}
+}
+
+// TestJobFailure parks the analysis error on the job instead of
+// dropping it: garbage bytes yield state=failed plus the error string.
+func TestJobFailure(t *testing.T) {
+	svc, ts := newTestServer(t, 2)
+	_, jr := submitJob(t, ts, "/v1/jobs", []byte("definitely not an ELF"))
+	final := pollJob(t, ts, jr.JobID, 30*time.Second)
+	if final.State != JobFailed || final.Error == "" {
+		t.Fatalf("garbage job: %+v", final)
+	}
+	if st := svc.Stats(); st.Jobs.Failed != 1 {
+		t.Fatalf("jobs failed counter: %+v", st.Jobs)
+	}
+}
+
+// TestJobUnknownAndExpired covers the 404 paths: never-submitted IDs
+// and jobs whose TTL elapsed.
+func TestJobUnknownAndExpired(t *testing.T) {
+	cache := newTestCache(t)
+	svc, err := New(Config{Cache: cache, MaxInFlight: 2, JobTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	_, jr := submitJob(t, ts, "/v1/jobs", sampleELF(t, 302))
+	pollJob(t, ts, jr.JobID, 30*time.Second)
+	time.Sleep(80 * time.Millisecond) // let the TTL lapse
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + jr.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobSubmitRespectsAdmission shares the admission bounds with the
+// synchronous path: with the slot held and queueing disabled, a job
+// submit is 429; with a queue, it parks as queued until the slot
+// frees.
+func TestJobSubmitRespectsAdmission(t *testing.T) {
+	cache := newTestCache(t)
+	svc, err := New(Config{Cache: cache, MaxInFlight: 1, MaxQueued: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	free := occupySlots(svc)
+	code, _ := submitJob(t, ts, "/v1/jobs", sampleELF(t, 303))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("job submit with no capacity: status %d, want 429", code)
+	}
+	if st := svc.Stats(); st.Analyze.QueueRejected != 1 {
+		t.Fatalf("queue_rejected %d, want 1", st.Analyze.QueueRejected)
+	}
+	free()
+
+	// With a queue position available the submit is accepted and the
+	// job waits; freeing the slot lets it finish.
+	svc2, err := New(Config{Cache: newTestCache(t), MaxInFlight: 1, MaxQueued: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc2.Close)
+	ts2 := httptest.NewServer(svc2.Handler())
+	t.Cleanup(ts2.Close)
+	free2 := occupySlots(svc2)
+	code, jr := submitJob(t, ts2, "/v1/jobs", sampleELF(t, 304))
+	if code != http.StatusAccepted {
+		t.Fatalf("queued job submit: status %d, want 202", code)
+	}
+	if got := svc2.Stats().Queued; got != 1 {
+		t.Fatalf("queued gauge %d after async submit, want 1", got)
+	}
+	free2()
+	final := pollJob(t, ts2, jr.JobID, 30*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("queued job: %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestCloseAbortsQueuedJobs pins the shutdown contract: Close fails
+// jobs still waiting for a slot (instead of leaking their workers)
+// and rejects new submissions.
+func TestCloseAbortsQueuedJobs(t *testing.T) {
+	cache := newTestCache(t)
+	svc, err := New(Config{Cache: cache, MaxInFlight: 1, MaxQueued: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	free := occupySlots(svc)
+	defer free()
+	code, jr := submitJob(t, ts, "/v1/jobs", sampleELF(t, 305))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	svc.Close() // waits for the worker, which must fail the job
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + jr.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var final jobResponse
+	if err := json.Unmarshal(raw, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobFailed || !strings.Contains(final.Error, "shut down") {
+		t.Fatalf("job after Close: %+v", final)
+	}
+
+	code, _ = submitJob(t, ts, "/v1/jobs", sampleELF(t, 306))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after Close: status %d, want 503", code)
+	}
+}
+
+// newTestCache builds a small memory-only cache.
+func newTestCache(t *testing.T) *fetch.Cache {
+	t.Helper()
+	cache, err := fetch.NewCache(fetch.CacheConfig{MaxEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cache
+}

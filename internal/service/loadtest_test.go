@@ -1,0 +1,337 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fetch"
+)
+
+// TestLoadMixedTraffic is the load-test harness of the admission
+// rework: thousands of concurrent mixed requests — cache hits, cold
+// misses, oversize uploads, mid-flight client cancellations, async
+// jobs — hammer a small server under the race detector. It asserts
+// the production invariants the admission gate exists for:
+//
+//   - the in-flight bound and the queue bound held (peaks ≤ configured)
+//   - every queue rejection was an immediate 429 carrying Retry-After
+//   - oversize uploads were 413, never misclassified
+//   - the server's terminal counters exactly account for every request
+//     it admitted (no double counts, no losses)
+//   - the gauges settle to zero, no goroutine leaks, heap stays bounded
+//
+// CI runs it with -short (reduced request count); a full run is
+// `go test -race -run TestLoadMixedTraffic ./internal/service`.
+func TestLoadMixedTraffic(t *testing.T) {
+	total := 2000
+	if testing.Short() {
+		total = 400
+	}
+	const (
+		maxInFlight = 4
+		maxQueued   = 8
+		maxUpload   = 64 << 10
+		workers     = 32
+	)
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	cache, err := fetch.NewCache(fetch.CacheConfig{MaxEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{
+		Cache:          cache,
+		MaxInFlight:    maxInFlight,
+		MaxQueued:      maxQueued,
+		QueueTimeout:   5 * time.Second,
+		MaxUploadBytes: maxUpload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	client := &http.Client{}
+
+	// The workload: one hot binary (cache hits), a handful of cold
+	// ones, an oversize blob, and garbage that fails analysis.
+	hot := sampleELF(t, 500)
+	cold := make([][]byte, 6)
+	for i := range cold {
+		cold[i] = sampleELF(t, int64(510+i))
+	}
+	oversize := make([]byte, maxUpload+1)
+
+	// Track peak heap while the storm runs (coarse 5ms sampling): the
+	// admission gate is what keeps buffered uploads from growing
+	// without bound, so the peak must stay far below
+	// total × upload size.
+	var peakHeap atomic.Uint64
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				for {
+					old := peakHeap.Load()
+					if ms.HeapAlloc <= old || peakHeap.CompareAndSwap(old, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	var (
+		mu       sync.Mutex
+		byStatus = map[int]int{}
+		jobIDs   []string
+
+		sync429       atomic.Int64
+		clientErrors  atomic.Int64
+		missingRetry  atomic.Int64
+		wrongOversize atomic.Int64
+	)
+	record := func(status int) {
+		mu.Lock()
+		byStatus[status]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < total; i++ {
+		i := i
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(int64(i)))
+			switch i % 10 {
+			case 7: // oversize upload → 413
+				resp, err := client.Post(ts.URL+"/v1/analyze", "application/octet-stream",
+					bytes.NewReader(oversize))
+				if err != nil {
+					clientErrors.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				record(resp.StatusCode)
+				if resp.StatusCode != http.StatusRequestEntityTooLarge &&
+					resp.StatusCode != http.StatusTooManyRequests &&
+					resp.StatusCode != http.StatusServiceUnavailable {
+					wrongOversize.Add(1)
+				}
+			case 8: // client cancels mid-flight
+				ctx, cancel := context.WithCancel(context.Background())
+				req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+					ts.URL+"/v1/analyze", bytes.NewReader(hot))
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					resp, err := client.Do(req)
+					if err != nil {
+						clientErrors.Add(1)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					record(resp.StatusCode)
+				}()
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				cancel()
+				<-done
+			case 9: // async job for the hot binary
+				resp, err := client.Post(ts.URL+"/v1/jobs", "application/octet-stream",
+					bytes.NewReader(hot))
+				if err != nil {
+					clientErrors.Add(1)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				record(resp.StatusCode)
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var jr jobResponse
+					if err := json.Unmarshal(raw, &jr); err == nil && jr.JobID != "" {
+						mu.Lock()
+						jobIDs = append(jobIDs, jr.JobID)
+						mu.Unlock()
+					}
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						missingRetry.Add(1)
+					}
+				}
+			default: // upload: mostly the hot binary, some cold ones
+				bin := hot
+				if i%10 == 6 {
+					bin = cold[i%len(cold)]
+				}
+				resp, err := client.Post(ts.URL+"/v1/analyze", "application/octet-stream",
+					bytes.NewReader(bin))
+				if err != nil {
+					clientErrors.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				record(resp.StatusCode)
+				if resp.StatusCode == http.StatusTooManyRequests {
+					sync429.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						missingRetry.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Drain the async jobs that were accepted.
+	deadline := time.Now().Add(60 * time.Second)
+	for _, id := range jobIDs {
+		for {
+			resp, err := client.Get(ts.URL + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("job %s poll: status %d", id, resp.StatusCode)
+			}
+			var jr jobResponse
+			if err := json.Unmarshal(raw, &jr); err != nil {
+				t.Fatal(err)
+			}
+			if jr.State == JobDone {
+				break
+			}
+			if jr.State == JobFailed {
+				t.Fatalf("job %s failed: %s", id, jr.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in state %s", id, jr.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	close(samplerStop)
+	<-samplerDone
+
+	st := svc.Stats()
+	t.Logf("statuses: %v; client-side errors: %d; stats: in-flight peak %d/%d, queued peak %d/%d, analyze %+v, jobs %+v, heap peak %d MiB",
+		byStatus, clientErrors.Load(), st.PeakInFlight, maxInFlight, st.PeakQueued, maxQueued,
+		st.Analyze, st.Jobs, peakHeap.Load()>>20)
+
+	// The bounds held.
+	if st.PeakInFlight > maxInFlight {
+		t.Errorf("peak in-flight %d exceeded bound %d", st.PeakInFlight, maxInFlight)
+	}
+	if st.PeakQueued > maxQueued {
+		t.Errorf("peak queued %d exceeded bound %d", st.PeakQueued, maxQueued)
+	}
+	// Queue rejections were immediate 429s with Retry-After.
+	if missingRetry.Load() != 0 {
+		t.Errorf("%d 429 responses lacked Retry-After", missingRetry.Load())
+	}
+	if wrongOversize.Load() != 0 {
+		t.Errorf("%d oversize uploads got a status other than 413/429/503", wrongOversize.Load())
+	}
+	// Terminal accounting: every admitted analyze request ended in
+	// exactly one of the terminal counters. (429s on the jobs endpoint
+	// bump queue_rejected but not analyze requests, so subtract the
+	// sync-only share.)
+	terminal := st.Analyze.CacheHits + st.Analyze.CacheMisses + st.Analyze.Errors +
+		st.Analyze.QueueCancelled + st.Analyze.QueueTimeouts + sync429.Load()
+	if st.Analyze.Requests != terminal {
+		t.Errorf("request accounting leak: %d requests, %d terminal outcomes (%+v)",
+			st.Analyze.Requests, terminal, st.Analyze)
+	}
+	if got := st.Analyze.QueueRejected; got < sync429.Load() {
+		t.Errorf("queue_rejected %d < client-observed sync 429s %d", got, sync429.Load())
+	}
+	// Gauges settled.
+	if st.InFlight != 0 || st.Queued != 0 || st.Jobs.Active != 0 {
+		t.Errorf("gauges not settled: in-flight %d, queued %d, jobs active %d",
+			st.InFlight, st.Queued, st.Jobs.Active)
+	}
+	// Heap stayed bounded: far below total × upload size (which is
+	// what an unbounded server would have buffered).
+	if peak := peakHeap.Load(); peak > 512<<20 {
+		t.Errorf("peak heap %d MiB; admission should keep memory bounded", peak>>20)
+	}
+
+	// Shutdown: no goroutines may survive the server.
+	ts.Close()
+	svc.Close()
+	client.CloseIdleConnections()
+	settleBy := time.Now().Add(10 * time.Second)
+	for time.Now().Before(settleBy) {
+		if runtime.NumGoroutine() <= goroutinesBefore+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after shutdown",
+		goroutinesBefore, runtime.NumGoroutine())
+}
+
+// BenchmarkAnalyzeHitThroughput measures served cache hits per second
+// through the full middleware + admission stack — the hot path the
+// service exists for.
+func BenchmarkAnalyzeHitThroughput(b *testing.B) {
+	cache, err := fetch.NewCache(fetch.CacheConfig{MaxEntries: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := New(Config{Cache: cache, MaxInFlight: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	bin, _, err := fetch.GenerateSample(fetch.SampleConfig{Seed: 42, NumFuncs: 40, Stripped: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := svc.Handler()
+	// Warm the cache.
+	warm := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(bin))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm analyze: %d %s", rec.Code, rec.Body.String())
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(bin))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK && rec.Code != http.StatusTooManyRequests {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}

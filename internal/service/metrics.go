@@ -1,0 +1,210 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// durationBuckets are the histogram upper bounds, in seconds, shared
+// by the queue-wait and analysis-latency histograms. They span the
+// microsecond cache hit through the multi-second cold analysis of a
+// huge binary.
+var durationBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// histogram is a Prometheus-style cumulative histogram over atomics:
+// observation never takes a lock, exposition reads a consistent-enough
+// snapshot (counters are monotone, so a scrape racing an observation
+// is at worst one sample stale — the Prometheus contract). The sum is
+// kept in integer nanoseconds so /v1/stats can report the exact same
+// total the _sum series exposes.
+type histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending; +Inf implied
+	counts []atomic.Int64
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one duration sample.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// labeledCounter is a counter family keyed by a pre-rendered label
+// string (e.g. `path="/v1/analyze",code="200"`). The map only grows —
+// label sets are drawn from the fixed route table × status codes — so
+// a plain mutex around a small map is plenty.
+type labeledCounter struct {
+	mu sync.Mutex
+	m  map[string]*int64
+}
+
+func newLabeledCounter() *labeledCounter {
+	return &labeledCounter{m: make(map[string]*int64)}
+}
+
+// inc bumps the counter for a label set.
+func (c *labeledCounter) inc(labels string) {
+	c.mu.Lock()
+	p := c.m[labels]
+	if p == nil {
+		p = new(int64)
+		c.m[labels] = p
+	}
+	*p++
+	c.mu.Unlock()
+}
+
+// snapshot returns the family sorted by label string for deterministic
+// exposition.
+func (c *labeledCounter) snapshot() []struct {
+	Labels string
+	Value  int64
+} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]struct {
+		Labels string
+		Value  int64
+	}, 0, len(c.m))
+	for k, v := range c.m {
+		out = append(out, struct {
+			Labels string
+			Value  int64
+		}{k, *v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
+}
+
+// fmtFloat renders a float the way Prometheus text exposition expects
+// (shortest representation, +Inf spelled exactly so).
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// emitHeader writes the # HELP / # TYPE preamble of one metric family.
+func emitHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// emitScalar writes a single unlabeled sample with its preamble.
+func emitScalar(w io.Writer, name, typ, help string, v int64) {
+	emitHeader(w, name, typ, help)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// emitHistogram writes the _bucket/_sum/_count series of a histogram.
+func emitHistogram(w io.Writer, name, help string, h *histogram) {
+	emitHeader(w, name, "histogram", help)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(float64(h.sumNS.Load())/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// WriteMetrics renders the full Prometheus text exposition (format
+// version 0.0.4) of the server's counters, gauges, and histograms.
+// Every series is backed by the same atomics /v1/stats reads, so the
+// two views can never disagree about a count.
+func (s *Server) WriteMetrics(w io.Writer) {
+	var b strings.Builder
+
+	emitScalar(&b, "fetchd_uptime_seconds", "gauge",
+		"Seconds since the server started.", int64(time.Since(s.start)/time.Second))
+
+	// HTTP surface (middleware-fed, labeled by route pattern + status).
+	emitHeader(&b, "fetchd_http_requests_total", "counter",
+		"HTTP requests served, by route pattern and status code.")
+	for _, kv := range s.httpReqs.snapshot() {
+		fmt.Fprintf(&b, "fetchd_http_requests_total{%s} %d\n", kv.Labels, kv.Value)
+	}
+
+	// Analyze endpoint counters.
+	emitScalar(&b, "fetchd_analyze_requests_total", "counter",
+		"Upload-analysis requests accepted for processing.", s.analyzeRequests.Load())
+	emitScalar(&b, "fetchd_analyze_cache_hits_total", "counter",
+		"Analyze requests served from the result cache.", s.analyzeHits.Load())
+	emitScalar(&b, "fetchd_analyze_cache_misses_total", "counter",
+		"Analyze requests that ran a cold analysis.", s.analyzeMisses.Load())
+	emitScalar(&b, "fetchd_analyze_errors_total", "counter",
+		"Analyze requests that failed (bad body, oversize, unanalyzable).", s.analyzeErrors.Load())
+
+	// Admission control.
+	emitScalar(&b, "fetchd_queue_rejected_total", "counter",
+		"Requests rejected 429 because the admission queue was full.", s.queueRejected.Load())
+	emitScalar(&b, "fetchd_queue_cancelled_total", "counter",
+		"Requests whose client gave up while queued (not server errors).", s.queueCancelled.Load())
+	emitScalar(&b, "fetchd_queue_timeouts_total", "counter",
+		"Requests that exceeded the queue deadline waiting for a slot.", s.queueTimeouts.Load())
+	emitScalar(&b, "fetchd_queued", "gauge",
+		"Requests currently waiting for an analysis slot.", s.adm.queued.Load())
+	emitScalar(&b, "fetchd_queued_peak", "gauge",
+		"High-water mark of queued requests.", s.adm.peakQueued.Load())
+	emitScalar(&b, "fetchd_queued_max", "gauge",
+		"Admission queue capacity (MaxQueued).", s.adm.maxQueued)
+	emitScalar(&b, "fetchd_in_flight", "gauge",
+		"Analyses running right now.", s.inFlight.Load())
+	emitScalar(&b, "fetchd_in_flight_peak", "gauge",
+		"High-water mark of concurrent analyses.", s.peakInFlight.Load())
+	emitScalar(&b, "fetchd_in_flight_max", "gauge",
+		"Concurrent-analysis bound (MaxInFlight).", int64(cap(s.adm.slots)))
+
+	emitHistogram(&b, "fetchd_queue_wait_seconds",
+		"Time admitted requests spent waiting for an analysis slot.", s.queueWait)
+	emitHistogram(&b, "fetchd_analyze_duration_seconds",
+		"Wall time of the analysis (or cache hit) behind each admitted request.", s.analyzeDur)
+
+	// Async jobs.
+	emitScalar(&b, "fetchd_jobs_submitted_total", "counter",
+		"Async jobs accepted by POST /v1/jobs.", s.jobsSubmitted.Load())
+	emitScalar(&b, "fetchd_jobs_completed_total", "counter",
+		"Async jobs that finished successfully.", s.jobsCompleted.Load())
+	emitScalar(&b, "fetchd_jobs_failed_total", "counter",
+		"Async jobs whose analysis failed or was aborted by shutdown.", s.jobsFailed.Load())
+	emitScalar(&b, "fetchd_jobs_active", "gauge",
+		"Jobs currently queued or running.", s.jobsActive.Load())
+
+	// Result cache.
+	cs := s.cache.Stats()
+	emitScalar(&b, "fetchd_cache_hits_total", "counter",
+		"Result-cache hits (memory + disk).", cs.Hits)
+	emitScalar(&b, "fetchd_cache_misses_total", "counter",
+		"Result-cache misses.", cs.Misses)
+	emitScalar(&b, "fetchd_cache_evictions_total", "counter",
+		"Entries evicted from the in-memory LRU.", cs.Evictions)
+	emitScalar(&b, "fetchd_cache_entries", "gauge",
+		"Entries resident in the in-memory cache.", int64(cs.Entries))
+
+	io.WriteString(w, b.String())
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}

@@ -1,0 +1,271 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sampleRe matches one Prometheus text-exposition sample line:
+// name, optional {labels}, value.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)$`)
+
+// typeRe matches a # TYPE comment.
+var typeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+
+// parseExposition validates the scrape body as Prometheus text format
+// 0.0.4 and returns sample values keyed by "name{labels}" plus the
+// declared type per family. Violations fail the test.
+func parseExposition(t *testing.T, body string) (map[string]float64, map[string]string) {
+	t.Helper()
+	samples := map[string]float64{}
+	types := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				m := typeRe.FindStringSubmatch(line)
+				if m == nil {
+					t.Fatalf("malformed TYPE line: %q", line)
+				}
+				types[m[1]] = m[2]
+			} else if !strings.HasPrefix(line, "# HELP ") {
+				t.Fatalf("unexpected comment line: %q", line)
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := m[1]
+		// Histogram series belong to the family name without suffix.
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && types[f] == "histogram" {
+				family = f
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Fatalf("sample %q has no preceding # TYPE for %q", line, family)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+// checkHistogram asserts the bucket series of a histogram family is
+// cumulative, ends at +Inf, and agrees with _count.
+func checkHistogram(t *testing.T, samples map[string]float64, family string) {
+	t.Helper()
+	var prev float64
+	var infSeen bool
+	var inf float64
+	for _, b := range durationBuckets {
+		key := fmt.Sprintf("%s_bucket{le=%q}", family, fmtFloat(b))
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("%s buckets not cumulative: %v < %v", family, v, prev)
+		}
+		prev = v
+	}
+	if inf, infSeen = samples[family+`_bucket{le="+Inf"}`]; !infSeen {
+		t.Fatalf("missing +Inf bucket for %s", family)
+	}
+	if inf < prev {
+		t.Fatalf("%s +Inf bucket %v below last finite bucket %v", family, inf, prev)
+	}
+	if count := samples[family+"_count"]; count != inf {
+		t.Fatalf("%s _count %v != +Inf bucket %v", family, count, inf)
+	}
+}
+
+// TestMetricsExpositionValidAndConsistent drives mixed traffic, then
+// scrapes /metrics and (a) validates the whole body as Prometheus
+// text format, (b) checks the required queue/latency/in-flight/cache
+// series exist, and (c) cross-checks the counter values against
+// /v1/stats — both views read the same atomics and must agree.
+func TestMetricsExpositionValidAndConsistent(t *testing.T) {
+	svc, ts := newTestServer(t, 2)
+	bin := sampleELF(t, 400)
+	postBinary(t, ts, "/v1/analyze", bin)                          // miss
+	postBinary(t, ts, "/v1/analyze", bin)                          // hit
+	postBinary(t, ts, "/v1/analyze", nil)                          // 400 error
+	getJSON(t, ts.URL+"/v1/result/"+strings.Repeat("ab", 32), nil) // 404
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parseExposition(t, string(raw))
+
+	for name, typ := range map[string]string{
+		"fetchd_analyze_requests_total":   "counter",
+		"fetchd_analyze_cache_hits_total": "counter",
+		"fetchd_analyze_errors_total":     "counter",
+		"fetchd_queue_rejected_total":     "counter",
+		"fetchd_queue_cancelled_total":    "counter",
+		"fetchd_in_flight":                "gauge",
+		"fetchd_in_flight_max":            "gauge",
+		"fetchd_queued":                   "gauge",
+		"fetchd_queue_wait_seconds":       "histogram",
+		"fetchd_analyze_duration_seconds": "histogram",
+		"fetchd_cache_hits_total":         "counter",
+		"fetchd_cache_entries":            "gauge",
+		"fetchd_jobs_submitted_total":     "counter",
+		"fetchd_http_requests_total":      "counter",
+	} {
+		if got := types[name]; got != typ {
+			t.Errorf("family %s: type %q, want %q", name, got, typ)
+		}
+	}
+	checkHistogram(t, samples, "fetchd_queue_wait_seconds")
+	checkHistogram(t, samples, "fetchd_analyze_duration_seconds")
+
+	st := svc.Stats()
+	for key, want := range map[string]int64{
+		"fetchd_analyze_requests_total":     st.Analyze.Requests,
+		"fetchd_analyze_cache_hits_total":   st.Analyze.CacheHits,
+		"fetchd_analyze_cache_misses_total": st.Analyze.CacheMisses,
+		"fetchd_analyze_errors_total":       st.Analyze.Errors,
+		"fetchd_in_flight_max":              int64(st.MaxInFlight),
+		"fetchd_cache_hits_total":           st.Cache.Hits,
+		"fetchd_cache_misses_total":         st.Cache.Misses,
+	} {
+		if got := samples[key]; got != float64(want) {
+			t.Errorf("%s = %v, /v1/stats says %d", key, got, want)
+		}
+	}
+	// The labeled HTTP family saw the analyze 200s and the result 404.
+	if v := samples[`fetchd_http_requests_total{path="/v1/analyze",code="200"}`]; v < 2 {
+		t.Errorf("http_requests analyze 200 = %v, want >= 2", v)
+	}
+	if v := samples[`fetchd_http_requests_total{path="/v1/result/{sha256}",code="404"}`]; v != 1 {
+		t.Errorf("http_requests result 404 = %v, want 1", v)
+	}
+}
+
+// lockedBuffer is a goroutine-safe log sink (slog handlers may be
+// driven from concurrent requests).
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+// Write appends under the lock.
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+// String snapshots the buffer under the lock.
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestAccessLogAndRequestID exercises the middleware: every response
+// carries an X-Request-Id (inbound IDs are adopted), and the slog
+// access log records one structured line per request with the fields
+// the docs promise.
+func TestAccessLogAndRequestID(t *testing.T) {
+	var buf lockedBuffer
+	cache := newTestCache(t)
+	svc, err := New(Config{
+		Cache:       cache,
+		MaxInFlight: 2,
+		Logger:      slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	h := svc.Handler()
+
+	// A fresh ID is assigned when none is supplied.
+	rec := newRecordedRequest(h, http.MethodGet, "/v1/healthz", "")
+	id := rec.Header().Get("X-Request-Id")
+	if len(id) != 16 {
+		t.Fatalf("generated request id %q, want 16 hex chars", id)
+	}
+
+	// A sane inbound ID is adopted verbatim; a hostile one is replaced.
+	rec = newRecordedRequest(h, http.MethodGet, "/v1/healthz", "client-supplied-42")
+	if got := rec.Header().Get("X-Request-Id"); got != "client-supplied-42" {
+		t.Fatalf("inbound id not adopted: %q", got)
+	}
+	rec = newRecordedRequest(h, http.MethodGet, "/v1/healthz", "bad\nid{}")
+	if got := rec.Header().Get("X-Request-Id"); got == "bad\nid{}" {
+		t.Fatal("hostile inbound id adopted")
+	}
+
+	// Each request produced one structured record with the log schema.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("access log lines: %d, want 3\n%s", len(lines), buf.String())
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatalf("access log is not JSON: %v", err)
+	}
+	if entry["request_id"] != "client-supplied-42" {
+		t.Fatalf("log request_id %v", entry["request_id"])
+	}
+	for _, field := range []string{"method", "path", "status", "duration", "remote"} {
+		if _, ok := entry[field]; !ok {
+			t.Fatalf("access log missing %q: %v", field, entry)
+		}
+	}
+	if entry["path"] != "/v1/healthz" || entry["status"] != float64(200) {
+		t.Fatalf("access log fields: %v", entry)
+	}
+}
+
+// newRecordedRequest drives one request through the handler.
+func newRecordedRequest(h http.Handler, method, path, reqID string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, nil)
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// requestIDHeader carries the request ID in both directions: an
+// inbound value (from a proxy or retrying client) is adopted after
+// sanitizing, and the chosen ID is always echoed on the response so
+// clients can quote it when reporting a problem.
+const requestIDHeader = "X-Request-Id"
+
+// statusWriter records the status code and body size a handler wrote,
+// for the access log and the labeled request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts body bytes, defaulting the status to 200 like net/http.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestID returns the inbound X-Request-Id if it is a sane token, or
+// a fresh random one. IDs are capped and restricted to hex-ish tokens
+// so a hostile header can't inject log fields or unbounded cardinality.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get(requestIDHeader); id != "" && len(id) <= 64 && isToken(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Monotone fallback: still unique within the process.
+		return fmt.Sprintf("seq-%d", s.reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// isToken reports whether every byte is a safe ID character.
+func isToken(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// routeLabel maps a request path onto the fixed route-pattern
+// vocabulary used as the metrics label, collapsing path parameters so
+// label cardinality stays bounded no matter what clients request.
+func routeLabel(path string) string {
+	switch {
+	case path == "/v1/analyze":
+		return "/v1/analyze"
+	case strings.HasPrefix(path, "/v1/result/"):
+		return "/v1/result/{sha256}"
+	case path == "/v1/jobs":
+		return "/v1/jobs"
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		return "/v1/jobs/{id}"
+	case path == "/v1/healthz":
+		return "/v1/healthz"
+	case path == "/v1/stats":
+		return "/v1/stats"
+	case path == "/metrics":
+		return "/metrics"
+	default:
+		return "other"
+	}
+}
+
+// withMiddleware wraps the route mux with the request-ID, access-log,
+// and request-counter layers. The layers observe every response —
+// including admission rejections — which is what makes the 429/503
+// rates visible on /metrics without each handler reporting itself.
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := s.requestID(r)
+		w.Header().Set(requestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.httpReqs.inc(fmt.Sprintf("path=%q,code=\"%d\"", routeLabel(r.URL.Path), sw.status))
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes_in", r.ContentLength),
+				slog.Int64("bytes_out", sw.bytes),
+				slog.Duration("duration", time.Since(start)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

@@ -41,6 +41,7 @@ func newTestServer(t *testing.T, maxInFlight int) (*Server, *httptest.Server) {
 	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
 	return svc, ts
 }
 
@@ -267,6 +268,29 @@ func TestMethodDiscipline(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST result: status %d", resp.StatusCode)
 	}
+	// healthz, stats, metrics, and the jobs endpoints are
+	// method-disciplined too (healthz/stats historically accepted
+	// anything).
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/healthz"},
+		{http.MethodDelete, "/v1/stats"},
+		{http.MethodPost, "/metrics"},
+		{http.MethodGet, "/v1/jobs"},
+		{http.MethodPost, "/v1/jobs/someid"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
 }
 
 // TestBoundedInFlight drives many concurrent distinct uploads through
@@ -314,32 +338,55 @@ func TestBoundedInFlight(t *testing.T) {
 }
 
 // TestQueuedRequestHonorsClientCancel fills the only analysis slot
-// directly, then sends an upload whose context is already cancelled:
-// it must come back 503 without ever acquiring the slot.
+// directly, then drives a request whose context is cancelled while it
+// waits in the admission queue (how an HTTP/2 reset, a fronting
+// proxy's deadline, or http.TimeoutHandler surfaces a client abort):
+// it must come back 503 without ever acquiring the slot, and must be
+// counted as a queue cancellation — NOT a server error.
 func TestQueuedRequestHonorsClientCancel(t *testing.T) {
-	svc, ts := newTestServer(t, 1)
-	svc.sem <- struct{}{} // occupy the only slot
-	defer func() { <-svc.sem }()
+	svc, _ := newTestServer(t, 1)
+	svc.adm.slots <- struct{}{} // occupy the only slot
+	defer func() { <-svc.adm.slots }()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		ts.URL+"/v1/analyze", bytes.NewReader(sampleELF(t, 140)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := http.DefaultClient.Do(req); err == nil {
-		t.Fatal("expected client-side context error")
-	}
-	// The handler path is exercised without the client observing the
-	// response; what matters is the slot was never taken and the gauge
-	// settles back to empty.
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/analyze",
+		bytes.NewReader(sampleELF(t, 140))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		svc.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	// Wait until the request is actually queued, then abandon it.
 	deadline := time.Now().Add(2 * time.Second)
-	for svc.Stats().InFlight != 0 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	for svc.Stats().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
 	}
-	if got := svc.Stats().InFlight; got != 0 {
-		t.Fatalf("in-flight gauge %d after cancelled request", got)
+	if svc.Stats().Queued != 1 {
+		t.Fatal("request never reached the admission queue")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler did not return after context cancel")
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled-while-queued status %d, want 503", rec.Code)
+	}
+	st := svc.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight gauge %d after cancelled request", st.InFlight)
+	}
+	if st.Queued != 0 {
+		t.Fatalf("queued gauge %d after cancelled request", st.Queued)
+	}
+	if st.Analyze.QueueCancelled != 1 {
+		t.Fatalf("queue_cancelled %d, want 1", st.Analyze.QueueCancelled)
+	}
+	if st.Analyze.Errors != 0 {
+		t.Fatalf("a queued client abort was counted as a server error: %+v", st.Analyze)
 	}
 }
 
