@@ -248,10 +248,9 @@ func TestAnalyzeBatchDedupCountsOneAnalysisPerDistinctBinary(t *testing.T) {
 		}
 	}
 	st := cache.Stats()
-	if st.Puts != 3 || st.Misses != 3 {
+	if hits, misses, puts := resultTier(st); puts != 3 || misses != 3 {
 		t.Fatalf("expected exactly one analysis per distinct binary, counters: %+v", st)
-	}
-	if st.Hits != 0 {
+	} else if hits != 0 {
 		t.Fatalf("first batch should not hit (dedup happens before the cache): %+v", st)
 	}
 
@@ -259,7 +258,7 @@ func TestAnalyzeBatchDedupCountsOneAnalysisPerDistinctBinary(t *testing.T) {
 	// cache: one lookup per distinct binary, zero new analyses.
 	AnalyzeBatch(inputs, BatchOptions{Jobs: 4, Cache: cache})
 	st = cache.Stats()
-	if st.Puts != 3 || st.Hits != 3 || st.Misses != 3 {
+	if hits, misses, puts := resultTier(st); puts != 3 || hits != 3 || misses != 3 {
 		t.Fatalf("second batch should be one cache hit per distinct binary: %+v", st)
 	}
 }

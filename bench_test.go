@@ -11,10 +11,12 @@
 package fetch
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"fetch/internal/baseline"
 	"fetch/internal/core"
@@ -700,6 +702,98 @@ func BenchmarkCacheHitDisk(b *testing.B) {
 		if _, err := Analyze(raw, WithCache(cold)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDeltaReanalysis measures the function-granular delta tier
+// on the recompilation workload it exists for: a ~2000-function binary
+// whose next build perturbs 1% of its functions in place. Serving the
+// new build by delta replay against the previous build's recorded
+// trace must beat a cold analysis by ≥10×, and the served result must
+// be codec-byte-identical to the cold one — both asserted inline, so
+// the bench doubles as a regression gate.
+func BenchmarkDeltaReanalysis(b *testing.B) {
+	cfg := synth.DefaultConfig("bench-delta", 32717, synth.O2, synth.GCC, synth.LangC)
+	cfg.NumFuncs = 2000
+	baseImg, _, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseRaw, err := elfx.WriteELF(baseImg.Strip())
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := cfg
+	next.PerturbK = cfg.NumFuncs / 100
+	next.PerturbSeed = 0xBE7C
+	nextImg, _, err := synth.Generate(next)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nextRaw, err := elfx.WriteELF(nextImg.Strip())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Cold reference: both the baseline time and the equality witness.
+	coldRes, err := Analyze(nextRaw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldEnc, err := EncodeResult(StripSchedule(coldRes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const coldRuns = 3
+	t0 := time.Now()
+	for i := 0; i < coldRuns; i++ {
+		if _, err := Analyze(nextRaw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	coldNs := float64(time.Since(t0).Nanoseconds()) / coldRuns
+
+	b.SetBytes(int64(len(nextRaw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each iteration replays against a fresh warm cache: serving
+		// from the whole-binary tier (a plain hit on the second call)
+		// would measure the wrong path.
+		b.StopTimer()
+		// The function tier stores one entry per FDE range: the memory
+		// LRU must be sized for the binary or the base build's trace is
+		// evicted before the next build arrives.
+		cache, err := NewCache(CacheConfig{MaxEntries: 3 * cfg.NumFuncs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Analyze(baseRaw, WithCache(cache)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := Analyze(nextRaw, WithCache(cache))
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.DeltaPath {
+			b.Fatalf("next build was not delta-served (reason %q)", res.Stats.DeltaFallbackReason)
+		}
+		enc, err := EncodeResult(StripSchedule(res))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(enc, coldEnc) {
+			b.Fatal("delta-served result is not byte-identical to cold analysis")
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	deltaNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	speedup := coldNs / deltaNs
+	b.ReportMetric(speedup, "×vs-cold")
+	if speedup < 10 {
+		b.Fatalf("delta re-analysis only %.1f× faster than cold (need ≥10×)", speedup)
 	}
 }
 

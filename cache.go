@@ -1,10 +1,16 @@
 package fetch
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 
 	"fetch/internal/core"
+	"fetch/internal/ehframe"
+	"fetch/internal/elfx"
 	"fetch/internal/resultcache"
 )
 
@@ -18,12 +24,37 @@ type CacheConfig struct {
 	// truncated entries are detected, discarded, and recomputed rather
 	// than returned.
 	Dir string
+	// MaxDiskBytes bounds the on-disk level's total size in bytes.
+	// When a write pushes the directory past the budget, entries are
+	// evicted oldest-first until it holds again. Zero or negative
+	// means unbounded.
+	MaxDiskBytes int64
+	// DisableDelta turns off function-granular delta re-analysis: on a
+	// whole-binary miss the cache then always runs the cold pipeline,
+	// and stores no per-function entries or traces. The zero value
+	// (delta enabled) is the right choice for every workload that
+	// re-analyzes recompiled versions of the same binaries.
+	DisableDelta bool
 }
 
 // CacheStats is a snapshot of a Cache's operation counters. Hits and
 // Misses partition lookups; MemHits and DiskHits partition Hits by
 // serving level. CorruptDrops counts discarded on-disk entries that
-// failed integrity verification.
+// failed integrity verification. The raw store counters (Hits, Misses,
+// MemHits, DiskHits, Puts) cover ALL entry families — whole-binary
+// results, delta manifests, and per-function ranges; the delta tier
+// counters below attribute the non-result traffic, so result-tier
+// traffic is computable as Hits−ManifestHits−FnTierHits,
+// Misses−ManifestMisses−FnTierMisses, and Puts−DeltaPuts.
+//
+// The delta tier counters describe function-granular re-analysis:
+// ManifestHits/ManifestMisses count residue-keyed trace lookups on
+// whole-binary misses, FnTierHits/FnTierMisses count per-function
+// range-entry fetches, DeltaPuts counts manifest and range entries
+// written after recorded cold runs, DeltaHits counts misses served by
+// verified delta replay, and DeltaFallbacks counts delta attempts that
+// fell back to the cold pipeline (a correctness-preserving refusal,
+// never an error).
 type CacheStats struct {
 	Hits         int64
 	Misses       int64
@@ -35,6 +66,20 @@ type CacheStats struct {
 	DiskErrors   int64
 	// Entries is the current in-memory entry count.
 	Entries int
+
+	// DiskEvictions counts on-disk entries removed by the byte-budget
+	// sweep; DiskBytes is the current on-disk usage.
+	DiskEvictions int64
+	DiskBytes     int64
+
+	// Function-granular delta tier counters.
+	ManifestHits   int64
+	ManifestMisses int64
+	FnTierHits     int64
+	FnTierMisses   int64
+	DeltaPuts      int64
+	DeltaHits      int64
+	DeltaFallbacks int64
 }
 
 // Cache is a content-addressed store of analysis results, shared
@@ -46,20 +91,30 @@ type CacheStats struct {
 // schema misses cleanly. Attach one to an analysis with WithCache or
 // BatchOptions.Cache.
 type Cache struct {
-	rc *resultcache.Cache
+	rc    *resultcache.Cache
+	delta bool
+
+	manifestHits   atomic.Int64
+	manifestMisses atomic.Int64
+	fnHits         atomic.Int64
+	fnMisses       atomic.Int64
+	deltaPuts      atomic.Int64
+	deltaHits      atomic.Int64
+	deltaFallbacks atomic.Int64
 }
 
 // NewCache builds a result cache. The zero CacheConfig is valid:
-// memory-only with the default capacity.
+// memory-only with the default capacity, delta re-analysis enabled.
 func NewCache(cfg CacheConfig) (*Cache, error) {
 	rc, err := resultcache.New(resultcache.Config{
 		MaxEntries: cfg.MaxEntries,
 		Dir:        cfg.Dir,
+		MaxBytes:   cfg.MaxDiskBytes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fetch: %w", err)
 	}
-	return &Cache{rc: rc}, nil
+	return &Cache{rc: rc, delta: !cfg.DisableDelta}, nil
 }
 
 // Stats returns a snapshot of the cache's counters.
@@ -75,6 +130,17 @@ func (c *Cache) Stats() CacheStats {
 		CorruptDrops: st.CorruptDrops,
 		DiskErrors:   st.DiskErrors,
 		Entries:      st.Entries,
+
+		DiskEvictions: st.DiskEvictions,
+		DiskBytes:     st.DiskBytes,
+
+		ManifestHits:   c.manifestHits.Load(),
+		ManifestMisses: c.manifestMisses.Load(),
+		FnTierHits:     c.fnHits.Load(),
+		FnTierMisses:   c.fnMisses.Load(),
+		DeltaPuts:      c.deltaPuts.Load(),
+		DeltaHits:      c.deltaHits.Load(),
+		DeltaFallbacks: c.deltaFallbacks.Load(),
 	}
 }
 
@@ -163,4 +229,136 @@ func cacheKey(sum [sha256.Size]byte, s core.Strategy) resultcache.Key {
 		Variant: strategyVariant(s),
 		Schema:  ResultSchemaVersion,
 	}
+}
+
+// --- function-granular delta tier ---
+//
+// Two extra entry families live beside the whole-binary results:
+//
+//   manifest ("mf.<variant>", keyed by residue hash): the gob-encoded
+//   core.Trace of a recorded analysis — the roster of FDE-delimited
+//   range hashes plus everything ReplayDelta verifies against.
+//
+//   function range ("fn", keyed by resultcache.HashRange): the range's
+//   address (8 bytes little-endian) followed by its bytes. The key IS
+//   the SHA-256 of the payload, so the store's integrity check binds
+//   the payload to the key; entries are shared by every binary (and
+//   every strategy) containing that exact range at that address.
+
+// manifestKey addresses a trace by residue hash and strategy.
+func manifestKey(sum [sha256.Size]byte, s core.Strategy) resultcache.Key {
+	return resultcache.Key{
+		SHA256:  sum,
+		Variant: "mf." + strategyVariant(s),
+		Schema:  ResultSchemaVersion,
+	}
+}
+
+// fnKey addresses one function range by its content hash.
+func fnKey(sum [sha256.Size]byte) resultcache.Key {
+	return resultcache.Key{SHA256: sum, Variant: "fn", Schema: ResultSchemaVersion}
+}
+
+// storeTrace persists a recorded analysis's delta tier: the manifest
+// under the residue key and each roster range under its content hash.
+// Failures drop entries silently — the delta tier is an accelerator,
+// never a correctness dependency.
+func (c *Cache) storeTrace(tr *core.Trace, img *elfx.Image, s core.Strategy) {
+	if tr == nil || !c.delta {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tr); err != nil {
+		return
+	}
+	c.rc.Put(manifestKey(tr.ResidueHash, s), buf.Bytes())
+	c.deltaPuts.Add(1)
+	for i := range tr.Roster {
+		ri := &tr.Roster[i]
+		body := core.RangeBytes(img, ri.Start, ri.End)
+		if body == nil {
+			continue
+		}
+		payload := make([]byte, 8+len(body))
+		binary.LittleEndian.PutUint64(payload, ri.Start)
+		copy(payload[8:], body)
+		c.rc.Put(fnKey(ri.Hash), payload)
+		c.deltaPuts.Add(1)
+	}
+}
+
+// loadTrace fetches and decodes the manifest for a residue hash.
+func (c *Cache) loadTrace(sum [sha256.Size]byte, s core.Strategy) (*core.Trace, bool) {
+	blob, ok := c.rc.Get(manifestKey(sum, s))
+	if !ok {
+		c.manifestMisses.Add(1)
+		return nil, false
+	}
+	var tr core.Trace
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&tr); err != nil {
+		c.manifestMisses.Add(1)
+		return nil, false
+	}
+	c.manifestHits.Add(1)
+	return &tr, true
+}
+
+// fnRangeBytes fetches one recorded range's bytes from the function
+// tier and verifies payload↔key binding (the store checks payload
+// integrity on disk, but memory-level entries and the key binding are
+// this layer's responsibility). Returns nil on any doubt.
+func (c *Cache) fnRangeBytes(start uint64, sum [sha256.Size]byte) []byte {
+	payload, ok := c.rc.Get(fnKey(sum))
+	if !ok || len(payload) < 8 ||
+		resultcache.HashBytes(payload) != sum ||
+		binary.LittleEndian.Uint64(payload) != start {
+		c.fnMisses.Add(1)
+		return nil
+	}
+	c.fnHits.Add(1)
+	return payload[8:]
+}
+
+// tryDelta attempts to serve a whole-binary miss by delta re-analysis:
+// find a recorded trace with the same residue, verify the changed
+// ranges are analysis-equivalent, and serve the recorded result. The
+// bool reports success; on failure the DeltaOutcome carries the
+// fallback reason (zero value when the attempt never got to
+// verification).
+func (c *Cache) tryDelta(img *elfx.Image, sec *ehframe.Section, o Options) (*Result, core.DeltaOutcome, bool) {
+	var zero core.DeltaOutcome
+	if !c.delta || img == nil || sec == nil {
+		return nil, zero, false
+	}
+	sum, ok := core.DeltaKey(img, sec)
+	if !ok {
+		return nil, zero, false
+	}
+	tr, ok := c.loadTrace(sum, o.Strategy)
+	if !ok {
+		return nil, zero, false
+	}
+	outcome := core.ReplayDelta(core.DeltaInput{
+		Img:      img,
+		Sec:      sec,
+		Trace:    tr,
+		Strategy: o.Strategy,
+		OldRangeBytes: func(i int) []byte {
+			return c.fnRangeBytes(tr.Roster[i].Start, tr.Roster[i].Hash)
+		},
+	})
+	if !outcome.OK {
+		c.deltaFallbacks.Add(1)
+		return nil, outcome, false
+	}
+	res, ok := c.lookup(cacheKey(tr.BinSHA, o.Strategy))
+	if !ok {
+		// The recorded result itself was evicted; nothing to serve.
+		c.deltaFallbacks.Add(1)
+		outcome.OK = false
+		outcome.Reason = "recorded result evicted"
+		return nil, outcome, false
+	}
+	c.deltaHits.Add(1)
+	return res, outcome, true
 }

@@ -4,18 +4,34 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
 // stripWall zeroes the only legitimately non-deterministic Result
-// fields so cached and recomputed results can be compared exactly.
+// fields — pass wall times plus the delta-path trace, which describes
+// how a result was obtained rather than what it is — so cached,
+// delta-served, and recomputed results can be compared exactly.
 func stripWall(r *Result) *Result {
 	cp := *r
 	cp.Stats.Passes = append([]PassStat(nil), r.Stats.Passes...)
 	for i := range cp.Stats.Passes {
 		cp.Stats.Passes[i].Wall = 0
 	}
+	cp.Stats.DeltaPath = false
+	cp.Stats.DeltaDirtyRanges = 0
+	cp.Stats.DeltaTotalRanges = 0
+	cp.Stats.DeltaFallbackReason = ""
 	return &cp
+}
+
+// resultTier recovers the whole-binary-result traffic from raw cache
+// counters, which also carry the delta tier's manifest and
+// function-range traffic (see CacheStats).
+func resultTier(st CacheStats) (hits, misses, puts int64) {
+	return st.Hits - st.ManifestHits - st.FnTierHits,
+		st.Misses - st.ManifestMisses - st.FnTierMisses,
+		st.Puts - st.DeltaPuts
 }
 
 func sampleBytes(t testing.TB, seed int64) []byte {
@@ -46,7 +62,7 @@ func TestWithCacheServesSecondCall(t *testing.T) {
 		t.Fatal("cached result differs from cold result")
 	}
 	st := cache.Stats()
-	if st.Misses != 1 || st.Hits != 1 || st.Puts != 1 {
+	if hits, misses, puts := resultTier(st); misses != 1 || hits != 1 || puts != 1 {
 		t.Fatalf("cache counters: %+v", st)
 	}
 
@@ -74,7 +90,8 @@ func TestCacheKeysOnStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st := cache.Stats(); st.Misses != 2 || st.Puts != 2 {
+	st := cache.Stats()
+	if _, misses, puts := resultTier(st); misses != 2 || puts != 2 {
 		t.Fatalf("strategies aliased in cache: %+v", st)
 	}
 	if len(fde.Stats.Passes) != 1 || len(full.Stats.Passes) < 3 {
@@ -170,9 +187,21 @@ func TestDiskCacheRecomputesCorruptedEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries, err := filepath.Glob(filepath.Join(dir, "*.rc"))
-	if err != nil || len(entries) != 1 {
-		t.Fatalf("entries %v (%v)", entries, err)
+	all, err := filepath.Glob(filepath.Join(dir, "*.rc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delta tier adds manifest ("-mf.") and function-range ("-fn-")
+	// entries beside the whole-binary result; corrupt the result entry.
+	var entries []string
+	for _, e := range all {
+		base := filepath.Base(e)
+		if !strings.Contains(base, "-mf.") && !strings.Contains(base, "-fn-") {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("result entries %v", entries)
 	}
 	raw, err := os.ReadFile(entries[0])
 	if err != nil {
@@ -194,7 +223,7 @@ func TestDiskCacheRecomputesCorruptedEntry(t *testing.T) {
 		t.Fatal("recomputed result differs after corruption")
 	}
 	st := c2.Stats()
-	if st.CorruptDrops != 1 || st.Puts != 1 {
+	if _, _, puts := resultTier(st); st.CorruptDrops != 1 || puts != 1 {
 		t.Fatalf("corruption recovery counters: %+v", st)
 	}
 }

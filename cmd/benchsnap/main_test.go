@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: fetch
+cpu: AMD EPYC 7B13
+BenchmarkCacheCold-8      	       1	331224601 ns/op	  0.88 MB/s
+BenchmarkCacheHit-8       	    3966	    293924 ns/op	993.77 MB/s
+BenchmarkDeltaReanalysis-8	       1	  20714804 ns/op	  12.41 ×vs-cold	 14.11 MB/s
+BenchmarkShardedAnalyze/jobs=4-8	       1	151000000 ns/op	         0 fallbacks	      1213 funcs
+PASS
+ok  	fetch	12.345s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != "fetch-benchsnap-1" || snap.Goos != "linux" || snap.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks", len(snap.Benchmarks))
+	}
+	byName := make(map[string]Benchmark)
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	delta := byName["BenchmarkDeltaReanalysis"]
+	if delta.NsPerOp != 20714804 || delta.Metrics["×vs-cold"] != 12.41 {
+		t.Fatalf("delta entry: %+v", delta)
+	}
+	sharded := byName["BenchmarkShardedAnalyze/jobs=4"]
+	if sharded.Procs != 8 || sharded.Metrics["funcs"] != 1213 {
+		t.Fatalf("sharded entry: %+v", sharded)
+	}
+	// Output is sorted by name for clean diffs.
+	for i := 1; i < len(snap.Benchmarks); i++ {
+		if snap.Benchmarks[i-1].Name > snap.Benchmarks[i].Name {
+			t.Fatal("benchmarks not sorted by name")
+		}
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok fetch 1s\n"), &out); err == nil {
+		t.Fatal("no error for input without benchmark lines")
+	}
+}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	fetch [-fde-only] [-no-xref] [-no-tailcall] [-jobs N] [-cache-dir DIR] [-json] [-v] BINARY...
+//	fetch [-fde-only] [-no-xref] [-no-tailcall] [-jobs N] [-cache-dir DIR]
+//	      [-cache-max-bytes N] [-json] [-v] BINARY...
 //	fetch -sample [-seed N] [-v]        analyze a generated sample
 //
 // Multiple binaries are analyzed concurrently (-jobs bounds the worker
@@ -109,6 +110,7 @@ func run(args []string, w, errW io.Writer) error {
 	seed := fs.Int64("seed", 1, "sample generation seed")
 	jobs := fs.Int("jobs", 0, "parallelism: across binaries when several are given, inside the binary when one is (0 = one per CPU)")
 	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (reuses results across runs)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "disk cache byte budget, oldest entries evicted first (0 = unbounded, needs -cache-dir)")
 	jsonOut := fs.Bool("json", false, "emit the serialized result schema (docs/API.md) instead of text")
 	verbose := fs.Bool("v", false, "list every detected start plus per-pass timing and session statistics")
 	if err := fs.Parse(args); err != nil {
@@ -125,8 +127,11 @@ func run(args []string, w, errW io.Writer) error {
 	if *noTail {
 		opts = append(opts, fetch.WithoutTailCall())
 	}
+	if *cacheMaxBytes != 0 && *cacheDir == "" {
+		return fmt.Errorf("-cache-max-bytes requires -cache-dir")
+	}
 	if *cacheDir != "" {
-		cache, err := fetch.NewCache(fetch.CacheConfig{Dir: *cacheDir})
+		cache, err := fetch.NewCache(fetch.CacheConfig{Dir: *cacheDir, MaxDiskBytes: *cacheMaxBytes})
 		if err != nil {
 			return err
 		}

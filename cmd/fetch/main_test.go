@@ -161,9 +161,22 @@ func TestRunCacheDirReusesResults(t *testing.T) {
 	if first.String() != second.String() {
 		t.Error("cached run output differs from cold run")
 	}
+	// Beside the whole-binary result, the delta tier writes a manifest
+	// ("-mf.") and per-function range entries ("-fn-"); the result
+	// entry itself must be exactly one.
 	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.rc"))
-	if err != nil || len(entries) != 1 {
-		t.Errorf("cache dir entries: %v (%v)", entries, err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []string
+	for _, e := range entries {
+		base := filepath.Base(e)
+		if !strings.Contains(base, "-mf.") && !strings.Contains(base, "-fn-") {
+			results = append(results, e)
+		}
+	}
+	if len(results) != 1 {
+		t.Errorf("cache dir result entries: %v", results)
 	}
 }
 
@@ -179,5 +192,40 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{"-definitely-not-a-flag"}, &out, &errOut); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunCacheMaxBytes exercises the -cache-max-bytes flag: it must
+// require -cache-dir, and a tiny budget must keep the directory under
+// it across runs.
+func TestRunCacheMaxBytes(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-cache-max-bytes", "1024", "-sample"}, &out, &errOut); err == nil {
+		t.Fatal("-cache-max-bytes accepted without -cache-dir")
+	}
+
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	const budget = 4096
+	for seed := int64(1); seed <= 3; seed++ {
+		p := writeSample(t, dir, seed)
+		if err := run([]string{"-cache-dir", cacheDir, "-cache-max-bytes", fmt.Sprint(budget), p}, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.rc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		info, err := os.Stat(e)
+		if err != nil {
+			continue
+		}
+		total += info.Size()
+	}
+	if total > budget {
+		t.Fatalf("cache dir %d bytes exceeds -cache-max-bytes %d", total, budget)
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	fetchd [-addr :8421] [-jobs N] [-intra-jobs N] [-max-queued N]
 //	       [-queue-timeout D] [-cache-entries N] [-cache-dir DIR]
+//	       [-cache-max-bytes N]
 //	       [-max-upload BYTES] [-log-format text|json|none]
 //
 // Endpoints (documented with examples in docs/API.md):
@@ -104,6 +105,7 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	queueTimeout := fs.Duration("queue-timeout", 0, "max time a request may wait for a slot (0 = default)")
 	cacheEntries := fs.Int("cache-entries", 4096, "in-memory result cache capacity")
 	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (empty = memory only)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "disk cache byte budget, oldest entries evicted first (0 = unbounded)")
 	maxUpload := fs.Int64("max-upload", service.DefaultMaxUploadBytes, "max accepted binary size in bytes")
 	logFormat := fs.String("log-format", "text", "access log encoding: text, json, or none")
 	if err := fs.Parse(args); err != nil {
@@ -120,8 +122,9 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	}
 
 	cache, err := fetch.NewCache(fetch.CacheConfig{
-		MaxEntries: *cacheEntries,
-		Dir:        *cacheDir,
+		MaxEntries:   *cacheEntries,
+		Dir:          *cacheDir,
+		MaxDiskBytes: *cacheMaxBytes,
 	})
 	if err != nil {
 		return err

@@ -20,7 +20,11 @@ import (
 // Version 2 added the xref-truncation flag (stats.truncated) and the
 // intra-binary sharding trace (stats.jobs, stats.sharded_passes,
 // stats.shard_fallbacks, stats.merge_wall_ns, stats.shards).
-const ResultSchemaVersion = 2
+//
+// Version 3 added the function-granular delta re-analysis trace
+// (stats.delta_path, stats.delta_dirty_ranges, stats.delta_total_ranges,
+// stats.delta_fallback_reason).
+const ResultSchemaVersion = 3
 
 // hexAddr serializes a code address as a 0x-prefixed hex string. JSON
 // numbers are IEEE-754 doubles in most consumers, which silently
@@ -80,6 +84,11 @@ type jsonStats struct {
 	ShardFallbacks int         `json:"shard_fallbacks"`
 	MergeWallNS    int64       `json:"merge_wall_ns"`
 	Shards         []jsonShard `json:"shards"`
+
+	DeltaPath           bool   `json:"delta_path"`
+	DeltaDirtyRanges    int    `json:"delta_dirty_ranges"`
+	DeltaTotalRanges    int    `json:"delta_total_ranges"`
+	DeltaFallbackReason string `json:"delta_fallback_reason"`
 }
 
 // jsonPass is the wire form of PassStat.
@@ -147,6 +156,11 @@ func EncodeResult(res *Result) ([]byte, error) {
 			ShardedPasses:  res.Stats.ShardedPasses,
 			ShardFallbacks: res.Stats.ShardFallbacks,
 			MergeWallNS:    int64(res.Stats.MergeWall),
+
+			DeltaPath:           res.Stats.DeltaPath,
+			DeltaDirtyRanges:    res.Stats.DeltaDirtyRanges,
+			DeltaTotalRanges:    res.Stats.DeltaTotalRanges,
+			DeltaFallbackReason: res.Stats.DeltaFallbackReason,
 		},
 	}
 	if res.Stats.Shards != nil {
@@ -226,6 +240,11 @@ func DecodeResult(data []byte) (*Result, error) {
 			ShardedPasses:  jr.Stats.ShardedPasses,
 			ShardFallbacks: jr.Stats.ShardFallbacks,
 			MergeWall:      time.Duration(jr.Stats.MergeWallNS),
+
+			DeltaPath:           jr.Stats.DeltaPath,
+			DeltaDirtyRanges:    jr.Stats.DeltaDirtyRanges,
+			DeltaTotalRanges:    jr.Stats.DeltaTotalRanges,
+			DeltaFallbackReason: jr.Stats.DeltaFallbackReason,
 		},
 	}
 	if jr.Stats.Shards != nil {

@@ -1,0 +1,355 @@
+package fetch
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"fetch/internal/elfx"
+	"fetch/internal/synth"
+)
+
+// deltaPair builds a base binary and its "next build": the same
+// program with two functions perturbed in place, the recompilation
+// shape the delta tier serves. Results are cached per test binary
+// name via sync.Once holders below — generation is the expensive part
+// of every test here.
+var (
+	deltaPairOnce sync.Once
+	deltaBaseRaw  []byte
+	deltaNextRaw  []byte
+	deltaColdEnc  []byte
+	deltaNumFuncs int
+)
+
+func deltaPair(t *testing.T) (baseRaw, nextRaw, coldEnc []byte) {
+	t.Helper()
+	deltaPairOnce.Do(func() {
+		cfg := synth.DefaultConfig("delta-cache", 32718, synth.O2, synth.GCC, synth.LangC)
+		cfg.NumFuncs = 200
+		deltaNumFuncs = cfg.NumFuncs
+		baseImg, _, err := synth.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		if deltaBaseRaw, err = elfx.WriteELF(baseImg.Strip()); err != nil {
+			panic(err)
+		}
+		next := cfg
+		next.PerturbK = 2
+		next.PerturbSeed = 0xC0DE
+		nextImg, _, err := synth.Generate(next)
+		if err != nil {
+			panic(err)
+		}
+		if deltaNextRaw, err = elfx.WriteELF(nextImg.Strip()); err != nil {
+			panic(err)
+		}
+		cold, err := Analyze(deltaNextRaw)
+		if err != nil {
+			panic(err)
+		}
+		if deltaColdEnc, err = EncodeResult(StripSchedule(cold)); err != nil {
+			panic(err)
+		}
+	})
+	return deltaBaseRaw, deltaNextRaw, deltaColdEnc
+}
+
+// deltaDiskCache returns a disk-backed cache sized for the pair's
+// function tier (one entry per FDE range; an undersized LRU evicts the
+// base build's trace before the next build arrives).
+func deltaDiskCache(t *testing.T, dir string) *Cache {
+	t.Helper()
+	cache, err := NewCache(CacheConfig{MaxEntries: 3 * deltaNumFuncs, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cache
+}
+
+// deltaTierFiles globs the on-disk entries of one delta-tier family:
+// "fn" for function ranges, "mf" for manifests.
+func deltaTierFiles(t *testing.T, dir, family string) []string {
+	t.Helper()
+	all, err := filepath.Glob(filepath.Join(dir, "*.rc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range all {
+		base := filepath.Base(e)
+		switch family {
+		case "fn":
+			if strings.Contains(base, "-fn-") {
+				out = append(out, e)
+			}
+		case "mf":
+			if strings.Contains(base, "-mf.") {
+				out = append(out, e)
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no %q entries in %s", family, dir)
+	}
+	return out
+}
+
+// TestDeltaFnTierCorruption mirrors the whole-binary corruption test
+// for the function tier: after the base build's trace is on disk, each
+// subtest damages the delta-tier entries a different way and analyzes
+// the next build through a fresh cache over the same directory. The
+// contract is "miss, never wrong hit": a damaged tier may cost the
+// delta path (fallback to the cold pipeline) but the served result
+// must stay byte-identical to a cold analysis in every case.
+func TestDeltaFnTierCorruption(t *testing.T) {
+	baseRaw, nextRaw, coldEnc := deltaPair(t)
+
+	corruptions := []struct {
+		name    string
+		family  string
+		corrupt func(t *testing.T, path string)
+		// wantDelta: the damage must NOT cost the delta path (control).
+		wantDelta bool
+	}{
+		{name: "intact-control", family: "fn",
+			corrupt: func(t *testing.T, path string) {}, wantDelta: true},
+		{name: "fn-truncated", family: "fn",
+			corrupt: func(t *testing.T, path string) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		{name: "fn-flipped-byte", family: "fn",
+			corrupt: func(t *testing.T, path string) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[len(raw)-1] ^= 0xFF
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		{name: "fn-partial-write", family: "fn",
+			corrupt: func(t *testing.T, path string) {
+				// An interrupted non-atomic writer: the header begins but
+				// the payload never lands.
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 16
+				if n > len(raw) {
+					n = len(raw)
+				}
+				if err := os.WriteFile(path, raw[:n], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		{name: "mf-truncated", family: "mf",
+			corrupt: func(t *testing.T, path string) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}},
+		{name: "mf-flipped-byte", family: "mf",
+			corrupt: func(t *testing.T, path string) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[len(raw)/2] ^= 0x01
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}},
+	}
+
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c1 := deltaDiskCache(t, dir)
+			if _, err := Analyze(baseRaw, WithCache(c1)); err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range deltaTierFiles(t, dir, tc.family) {
+				tc.corrupt(t, f)
+			}
+
+			// A fresh cache over the same directory: cold memory level,
+			// so every delta-tier read goes through the damaged files.
+			c2 := deltaDiskCache(t, dir)
+			res, err := Analyze(nextRaw, WithCache(c2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := EncodeResult(StripSchedule(res))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, coldEnc) {
+				t.Fatal("served result differs from cold analysis")
+			}
+			st := c2.Stats()
+			if tc.wantDelta {
+				if !res.Stats.DeltaPath {
+					t.Fatalf("control run not delta-served (reason %q)",
+						res.Stats.DeltaFallbackReason)
+				}
+				if st.DeltaHits != 1 {
+					t.Fatalf("control counters: %+v", st)
+				}
+				return
+			}
+			if res.Stats.DeltaPath {
+				t.Fatal("delta path survived corrupted tier entries")
+			}
+			// Disk-level integrity catches every mode here; the damaged
+			// entries must be dropped, never decoded.
+			if st.CorruptDrops == 0 {
+				t.Fatalf("no corrupt drops recorded: %+v", st)
+			}
+			if st.DeltaHits != 0 {
+				t.Fatalf("delta hit off corrupted entries: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDeltaFnTierMemoryCorruption damages a function-tier payload
+// after it has been served into the memory level, where the disk
+// header check cannot help — fnRangeBytes's own payload↔key binding is
+// the only defense. The next build must fall back, never replay
+// against wrong bytes.
+func TestDeltaFnTierMemoryCorruption(t *testing.T) {
+	baseRaw, nextRaw, coldEnc := deltaPair(t)
+	dir := t.TempDir()
+	c1 := deltaDiskCache(t, dir)
+	if _, err := Analyze(baseRaw, WithCache(c1)); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite every fn file as a VALID disk entry whose payload no
+	// longer matches the key in its name: rotate the file contents, so
+	// each file passes any self-contained header check yet carries a
+	// neighboring key's payload. Rotating ALL entries guarantees every
+	// range the replay reads is mismatched.
+	files := deltaTierFiles(t, dir, "fn")
+	if len(files) < 2 {
+		t.Skip("need two fn entries to rotate")
+	}
+	contents := make([][]byte, len(files))
+	for i, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contents[i] = raw
+	}
+	for i, f := range files {
+		if err := os.WriteFile(f, contents[(i+1)%len(files)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2 := deltaDiskCache(t, dir)
+	res, err := Analyze(nextRaw, WithCache(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeResult(StripSchedule(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, coldEnc) {
+		t.Fatal("served result differs from cold analysis after key/payload rotation")
+	}
+	if res.Stats.DeltaPath {
+		t.Fatal("delta path survived a fully mismatched function tier")
+	}
+	st := c2.Stats()
+	if st.DeltaHits != 0 {
+		t.Fatalf("delta hit off mismatched entries: %+v", st)
+	}
+	// Every consumed payload must have been rejected at some layer —
+	// either the disk store's key check or fnRangeBytes's binding check.
+	if st.FnTierMisses == 0 && st.CorruptDrops == 0 {
+		t.Fatalf("mismatched payloads never rejected: %+v", st)
+	}
+}
+
+// TestDeltaConcurrentAnalyses drives base and next builds through one
+// shared cache from many goroutines (run under -race): concurrent
+// trace recording, delta replay, and whole-binary hits must neither
+// race nor ever serve a result differing from cold analysis.
+func TestDeltaConcurrentAnalyses(t *testing.T) {
+	baseRaw, nextRaw, coldEnc := deltaPair(t)
+	baseCold, err := Analyze(baseRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEnc, err := EncodeResult(StripSchedule(baseCold))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := NewCache(CacheConfig{MaxEntries: 3 * deltaNumFuncs, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the workers race base-build recording against the
+			// other half's next-build delta attempts.
+			raw, want := baseRaw, baseEnc
+			if w%2 == 1 {
+				raw, want = nextRaw, coldEnc
+			}
+			for i := 0; i < 3; i++ {
+				res, err := Analyze(raw, WithCache(cache))
+				if err != nil {
+					errs <- err
+					return
+				}
+				enc, err := EncodeResult(StripSchedule(res))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(enc, want) {
+					errs <- errResultMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errResultMismatch = errorString("concurrent analysis differs from cold result")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

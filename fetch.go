@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"fetch/internal/core"
+	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
 	"fetch/internal/pool"
 	"fetch/internal/resultcache"
@@ -125,6 +126,23 @@ type Stats struct {
 	ShardFallbacks int
 	MergeWall      time.Duration
 	Shards         []ShardStat
+
+	// DeltaPath reports that the result was served by function-granular
+	// delta re-analysis: the binary missed the whole-binary cache, but a
+	// recorded trace with the same layout residue proved that only
+	// analysis-equivalent function ranges changed, so the recorded
+	// result was served without re-running the pipeline.
+	// DeltaDirtyRanges and DeltaTotalRanges describe the verified reuse:
+	// how many roster ranges changed out of how many. On a cold run,
+	// DeltaFallbackReason records why a delta attempt gave up ("" when
+	// no attempt was made or the attempt succeeded). All four describe
+	// how the result was obtained, never what it is — a delta-served
+	// result is byte-identical to the cold recomputation after
+	// StripSchedule, which zeroes them.
+	DeltaPath           bool
+	DeltaDirtyRanges    int
+	DeltaTotalRanges    int
+	DeltaFallbackReason string
 }
 
 // ShardStat is one shard slot's accumulated work across an analysis.
@@ -162,6 +180,10 @@ func StripSchedule(r *Result) *Result {
 	cp.Stats.ShardFallbacks = 0
 	cp.Stats.MergeWall = 0
 	cp.Stats.Shards = nil
+	cp.Stats.DeltaPath = false
+	cp.Stats.DeltaDirtyRanges = 0
+	cp.Stats.DeltaTotalRanges = 0
+	cp.Stats.DeltaFallbackReason = ""
 	return &cp
 }
 
@@ -247,17 +269,20 @@ func analyzeData(data []byte, o Options) (*Result, error) {
 	return res, err
 }
 
-// analyzeCached is the single lookup → cold analysis → store sequence
-// behind Analyze, AnalyzeBatch, and Cache.Analyze: consult the cache
-// (when one is attached), analyze cold on a miss, store the fresh
-// result, and report whether the cache served it. A cached result is
-// byte-for-byte the codec round trip of the result the cold path
-// produced — the oracle's CachedEqualsRecomputed checker holds this
-// equal (modulo the scheduling trace, see StripSchedule) to a
-// recomputation across every adversarial profile. The cache key
-// deliberately excludes Jobs: sharded and sequential runs produce the
-// same analysis, so either may serve the other's entry (whose Stats
-// then describe the run that produced it).
+// analyzeCached is the single lookup → delta → cold analysis → store
+// sequence behind Analyze, AnalyzeBatch, and Cache.Analyze: consult
+// the cache (when one is attached), on a whole-binary miss try
+// function-granular delta re-analysis against a recorded trace, and
+// only then run the cold pipeline — recording a fresh trace so the
+// next recompilation of this binary can take the delta path. A cached
+// or delta-served result is byte-for-byte the codec round trip of the
+// result the cold path produced — the oracle's CachedEqualsRecomputed
+// and DeltaEqualsCold checkers hold this equal (modulo the scheduling
+// trace, see StripSchedule) to a recomputation across every
+// adversarial profile. The cache key deliberately excludes Jobs:
+// sharded and sequential runs produce the same analysis, so either
+// may serve the other's entry (whose Stats then describe the run that
+// produced it).
 func analyzeCached(data []byte, o Options) (*Result, bool, error) {
 	if o.Cache == nil {
 		res, err := analyzeCold(data, o)
@@ -267,12 +292,54 @@ func analyzeCached(data []byte, o Options) (*Result, bool, error) {
 	if res, ok := o.Cache.lookup(key); ok {
 		return res, true, nil
 	}
-	res, err := analyzeCold(data, o)
+
+	img, err := elfx.LoadELF(data)
 	if err != nil {
 		return nil, false, err
 	}
-	o.Cache.store(key, res)
-	return res, false, nil
+	simg := img.Strip()
+
+	var sec *ehframe.Section
+	if eh, ok := simg.Section(".eh_frame"); ok {
+		sec, _ = ehframe.Decode(eh.Data, eh.Addr)
+	}
+	res, outcome, served := o.Cache.tryDelta(simg, sec, o)
+	if served {
+		// Store the canonical (delta-stat-free) result under the new
+		// binary's key first, so the next identical request is a plain
+		// hit; only the returned copy carries the delta markers.
+		o.Cache.store(key, res)
+		res.Stats.DeltaPath = true
+		res.Stats.DeltaDirtyRanges = outcome.DirtyRanges
+		res.Stats.DeltaTotalRanges = outcome.TotalRanges
+		return res, true, nil
+	}
+
+	if !o.Cache.delta {
+		res, err := analyzeCold(data, o)
+		if err != nil {
+			return nil, false, err
+		}
+		o.Cache.store(key, res)
+		return res, false, nil
+	}
+
+	// Cold run with recording, so a future recompilation of this binary
+	// can be served by delta replay.
+	rep, tr, err := core.AnalyzeRecorded(simg, core.Config{Strategy: o.Strategy, Jobs: o.Jobs})
+	if err != nil {
+		return nil, false, err
+	}
+	cres := reportToResult(rep)
+	o.Cache.store(key, cres)
+	if tr != nil {
+		tr.BinSHA = key.SHA256
+	}
+	o.Cache.storeTrace(tr, simg, o.Strategy)
+	// The fallback reason rides only on the returned copy, after the
+	// canonical blob is stored.
+	cres.Stats.DeltaFallbackReason = outcome.Reason
+	return cres, false, nil
 }
 
 // analyzeCold runs the full pipeline with no cache involvement.
@@ -285,6 +352,11 @@ func analyzeCold(data []byte, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return reportToResult(rep), nil
+}
+
+// reportToResult converts a pipeline report to the public Result.
+func reportToResult(rep *core.Report) *Result {
 	st := Stats{
 		InstsDecoded:   rep.Stats.Disasm.InstsDecoded,
 		InstsReused:    rep.Stats.Disasm.InstsReused,
@@ -321,7 +393,7 @@ func analyzeCold(data []byte, o Options) (*Result, error) {
 		RemovedBogusFDEs:     rep.CFIErrRemoved,
 		SkippedIncompleteCFI: rep.SkippedIncomplete,
 		Stats:                st,
-	}, nil
+	}
 }
 
 // Input is one binary of a batch. Data takes precedence when set;

@@ -146,6 +146,9 @@ type pipeline struct {
 	// dataIdx memoizes the data-section pointer index; nil until the
 	// first query (FDE-only strategies never build it).
 	dataIdx *xref.DataIndex
+	// rec, when set, records the delta-analysis trace (see trace.go).
+	// Recording observes the pipeline without changing any output.
+	rec *recorder
 }
 
 // Pass is one ordered pipeline stage.
@@ -191,6 +194,25 @@ func Analyze(img *elfx.Image, strat Strategy) (*Report, error) {
 	return AnalyzeConfig(img, Config{Strategy: strat})
 }
 
+// AnalyzeRecorded runs the pipeline like AnalyzeConfig while recording
+// the delta-analysis trace: the verdict environments, per-site
+// validation verdicts, and byte extents ReplayDelta later verifies a
+// changed binary against. The Report is byte-identical to an
+// unrecorded run. The trace is nil when the binary admits no sound
+// range decomposition (no usable FDE extents, or overlapping ones).
+func AnalyzeRecorded(img *elfx.Image, cfg Config) (*Report, *Trace, error) {
+	rec := newRecorder()
+	rep, sess, err := analyzeWith(img, cfg, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, ok := rec.finish(img, sess, rep)
+	if !ok {
+		return rep, nil, nil
+	}
+	return rep, tr, nil
+}
+
 // AnalyzeConfig runs the pipeline under a full Config. The Report is a
 // function of the binary bytes, the Strategy, and the xref iteration
 // bound alone: Jobs redistributes the same work across goroutines
@@ -199,6 +221,13 @@ func Analyze(img *elfx.Image, strat Strategy) (*Report, error) {
 // adversarial shape), so result caches may key on (binary, strategy)
 // and ignore it.
 func AnalyzeConfig(img *elfx.Image, cfg Config) (*Report, error) {
+	rep, _, err := analyzeWith(img, cfg, nil)
+	return rep, err
+}
+
+// analyzeWith is the shared pipeline driver; rec, when non-nil,
+// observes the run for delta-trace recording.
+func analyzeWith(img *elfx.Image, cfg Config, rec *recorder) (*Report, *disasm.Session, error) {
 	jobs := cfg.Jobs
 	if jobs < 1 {
 		jobs = 1
@@ -208,6 +237,7 @@ func AnalyzeConfig(img *elfx.Image, cfg Config) (*Report, error) {
 		strat:  cfg.Strategy,
 		cfg:    cfg,
 		banned: map[uint64]bool{},
+		rec:    rec,
 		rep: &Report{
 			Funcs:  make(map[uint64]bool),
 			Merged: make(map[uint64]uint64),
@@ -221,7 +251,7 @@ func AnalyzeConfig(img *elfx.Image, cfg Config) (*Report, error) {
 		}
 		t0 := time.Now()
 		if err := pass.Run(p); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.rep.Stats.Passes = append(p.rep.Stats.Passes,
 			PassStat{Name: pass.Name, Wall: time.Since(t0)})
@@ -229,7 +259,7 @@ func AnalyzeConfig(img *elfx.Image, cfg Config) (*Report, error) {
 	if p.sess != nil {
 		p.rep.Stats.Disasm = p.sess.Stats()
 	}
-	return p.rep, nil
+	return p.rep, p.sess, nil
 }
 
 // runFDE decodes .eh_frame and seeds the function set with the PC
@@ -266,6 +296,9 @@ func (p *pipeline) runRecursive() error {
 	}
 	p.sess = disasm.NewSession(p.img, safeOpts())
 	p.sess.SetJobs(p.cfg.Jobs)
+	if p.rec != nil {
+		p.sess.SetExecObserver(p.rec)
+	}
 	res := p.sess.Extend(seeds)
 	for f := range res.Funcs {
 		p.rep.Funcs[f] = true
@@ -338,6 +371,10 @@ func (p *pipeline) runXref(exclude map[uint64]bool) {
 		Jobs:        p.cfg.Jobs,
 		Index:       p.dataIndex(),
 	}
+	if p.rec != nil {
+		p.rec.post = exclude != nil
+		opts.Observer = p.rec.onXref
+	}
 	bound := p.xrefIterBound()
 	for iter := 0; iter < bound; iter++ {
 		newly := xref.Detect(p.img, p.sess.Result(), p.rep.Funcs, opts)
@@ -365,7 +402,7 @@ func (p *pipeline) runXrefPass() error {
 // seeds drops their poisoned decode, and a fresh pointer-detection
 // round can recover the true entries they shadowed.
 func (p *pipeline) runTailCall() error {
-	out := tailcall.Run(tailcall.Input{
+	in := tailcall.Input{
 		Img:          p.img,
 		Sec:          p.rep.Sec,
 		Res:          p.sess.Result(),
@@ -373,7 +410,16 @@ func (p *pipeline) runTailCall() error {
 		DataRefCount: p.dataRefCount,
 		Sess:         p.sess,
 		Jobs:         p.cfg.Jobs,
-	})
+	}
+	if p.rec != nil {
+		in.Obs = &tailcall.Observer{
+			OnConv: p.rec.onConv,
+			OnJump: func(fde uint64, j tailcall.JumpObs) {
+				p.rec.onJump(fde, j.Addr, j.Target, j.HOK, j.HZero)
+			},
+		}
+	}
+	out := tailcall.Run(in)
 	p.rep.Funcs = out.Funcs
 	p.rep.TailNew = out.TailNew
 	p.rep.Merged = out.Merged

@@ -93,6 +93,11 @@ type Result struct {
 	// owner maps every byte of decoded instructions to the
 	// instruction start covering it.
 	owner ownerMap
+	// tableReads records the data intervals consulted by jump-table
+	// resolution during this walk. A cached verdict derived from the
+	// walk is only reusable while these bytes are unchanged; the delta
+	// path invalidates reuse when a changed range intersects them.
+	tableReads []Interval
 	// sawMid records that a walk arrived in the middle of a previously
 	// decoded instruction — the one order-sensitive walk rule that is
 	// invisible in the final instruction set. A sharded pass whose
@@ -111,6 +116,29 @@ func (r *Result) Covered(addr uint64) bool {
 func (r *Result) InstStartAt(addr uint64) (uint64, bool) {
 	return r.owner.get(addr)
 }
+
+// TableReads returns the data intervals consulted by jump-table
+// resolution during the walk that produced this result.
+func (r *Result) TableReads() []Interval {
+	return append([]Interval(nil), r.tableReads...)
+}
+
+// InstFacts returns the coverage skeleton of the result: every decoded
+// instruction's start and length, sorted by address.
+func (r *Result) InstFacts() []InstFact {
+	out := make([]InstFact, 0, len(r.Insts))
+	for a, in := range r.Insts {
+		out = append(out, InstFact{a, uint16(in.Len)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// SawMid reports whether any walk behind this result arrived in the
+// middle of a previously decoded instruction — the one order-sensitive
+// walk event invisible in the final instruction set. Delta re-analysis
+// refuses to reuse verdicts derived from such a walk.
+func (r *Result) SawMid() bool { return r.sawMid }
 
 // SortedFuncs returns detected function starts in address order.
 func (r *Result) SortedFuncs() []uint64 {

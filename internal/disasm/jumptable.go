@@ -53,6 +53,7 @@ func resolveAbsTable(img *elfx.Image, res *Result, jmp *x64.Inst, mem x64.MemRef
 		bound = maxJumpTableEntries
 	}
 	table := uint64(mem.Disp)
+	res.tableReads = append(res.tableReads, Interval{table, table + uint64(8*bound)})
 	var out []uint64
 	for k := int64(0); k < bound; k++ {
 		entry, err := img.ReadU64(table + uint64(8*k))
@@ -122,6 +123,11 @@ func resolvePICTable(img *elfx.Image, res *Result, jmp *x64.Inst, target x64.Reg
 				addr = prev
 				continue
 			}
+			n := bound
+			if n > maxJumpTableEntries {
+				n = maxJumpTableEntries
+			}
+			res.tableReads = append(res.tableReads, Interval{table, table + uint64(4*n)})
 			out := readPICEntries(img, table, bound)
 			if len(out) > 0 {
 				res.TableBases[table] = true

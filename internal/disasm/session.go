@@ -202,7 +202,25 @@ type Session struct {
 		base uint64
 		size int
 	}
+	// obs, when set, observes every committed pass (Extend, Retract,
+	// Rerun); probes and forks never report. observing gates the hook to
+	// committed exec calls only.
+	obs       ExecObserver
+	observing bool
 }
+
+// ExecObserver receives every committed fixed-point pass of a session:
+// the non-return knowledge the pass ran under and the pass result. The
+// delta-analysis recorder uses it to capture the verdict-environment
+// trajectory a cold run traversed; replay verifies changed functions
+// against exactly these environments. The maps are live session state —
+// observers must copy what they keep and must not mutate anything.
+type ExecObserver interface {
+	OnPass(nonRet, condNonRet map[uint64]bool, res *Result)
+}
+
+// SetExecObserver installs the committed-pass observer (nil disables).
+func (s *Session) SetExecObserver(o ExecObserver) { s.obs = o }
 
 // NewSession creates a session for img with the committed-state
 // options used by Extend, Retract, and Rerun. Probe takes its own
@@ -330,7 +348,7 @@ func (s *Session) Stats() Stats { return *s.stats }
 func (s *Session) Extend(newSeeds []uint64) *Result {
 	s.stats.Extends++
 	s.seeds = append(s.seeds, newSeeds...)
-	s.res = s.exec(s.seeds, s.opts)
+	s.res = s.execCommitted(s.seeds, s.opts)
 	return s.res
 }
 
@@ -351,7 +369,7 @@ func (s *Session) Retract(remove []uint64) *Result {
 		}
 	}
 	s.seeds = kept
-	s.res = s.exec(s.seeds, s.opts)
+	s.res = s.execCommitted(s.seeds, s.opts)
 	return s.res
 }
 
@@ -362,8 +380,18 @@ func (s *Session) Retract(remove []uint64) *Result {
 func (s *Session) Rerun(seeds []uint64) *Result {
 	s.stats.Reruns++
 	s.seeds = append(s.seeds[:0:0], seeds...)
-	s.res = s.exec(s.seeds, s.opts)
+	s.res = s.execCommitted(s.seeds, s.opts)
 	return s.res
+}
+
+// execCommitted runs exec with the pass observer armed. Only committed
+// seed-set updates report; probes (including probes issued between
+// committed calls) stay silent.
+func (s *Session) execCommitted(seeds []uint64, opts Options) *Result {
+	s.observing = true
+	res := s.exec(seeds, opts)
+	s.observing = false
+	return res
 }
 
 // Probe runs a one-shot walk from seeds under opts without touching
@@ -388,6 +416,9 @@ func (s *Session) exec(seeds []uint64, opts Options) *Result {
 	var res *Result
 	for iter := 0; iter < 6; iter++ {
 		res = s.runPass(seeds, opts, nonRet, condNonRet)
+		if s.observing && s.obs != nil {
+			s.obs.OnPass(nonRet, condNonRet, res)
+		}
 		if !opts.NonReturning {
 			return res
 		}

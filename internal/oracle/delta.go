@@ -1,0 +1,156 @@
+package oracle
+
+import (
+	"fmt"
+
+	"fetch"
+	"fetch/internal/core"
+	"fetch/internal/elfx"
+	"fetch/internal/synth"
+)
+
+// deltaVariants pairs each public strategy option set with its resolved
+// core.Strategy, so the checker can predict which version pairs must be
+// delta-served and which must soundly fall back.
+var deltaVariants = []struct {
+	name  string
+	strat core.Strategy
+	opts  []fetch.Option
+}{
+	{"fetch", core.FETCH, nil},
+	{"fde-only", core.Strategy{}, []fetch.Option{fetch.FDEOnly()}},
+	{"no-xref", core.Strategy{Recursive: true, TailCall: true}, []fetch.Option{fetch.WithoutXref()}},
+	{"no-tailcall", core.Strategy{Recursive: true, Xref: true}, []fetch.Option{fetch.WithoutTailCall()}},
+	{"rec-only", core.Strategy{Recursive: true}, []fetch.Option{fetch.WithoutXref(), fetch.WithoutTailCall()}},
+}
+
+// deltaVersion is one "next build" of a base config.
+type deltaVersion struct {
+	name string
+	// mutate edits the base config into the next build.
+	mutate func(*synth.Config)
+	// wantDelta: the version must be served by delta replay (the
+	// perturbation is analysis-equivalent and layout-preserving).
+	// wantFallback: the version must NOT be delta-served under a
+	// recursive strategy (the change alters analysis facts or layout),
+	// proving the verifier detects it. Versions with neither set may
+	// land either way (e.g. layout shifts usually miss the manifest).
+	wantDelta, wantFallback bool
+}
+
+// deltaVersions are the recompile shapes the checker sweeps: an
+// analysis-equivalent in-place constant change (must be delta-served),
+// a fact-changing call retarget (must fall back under any recursive
+// strategy), and add/remove-function builds whose shifted layout must
+// never be delta-served under a recursive strategy.
+var deltaVersions = []deltaVersion{
+	{name: "inplace", wantDelta: true, mutate: func(c *synth.Config) {
+		c.PerturbK = 2
+		c.PerturbSeed = 0xD17A
+	}},
+	{name: "retarget", wantFallback: true, mutate: func(c *synth.Config) {
+		c.PerturbK = 1
+		c.PerturbSeed = 0xD17B
+		c.PerturbRetarget = true
+	}},
+	{name: "add-fn", wantFallback: true, mutate: func(c *synth.Config) {
+		c.NumFuncs++
+	}},
+	{name: "remove-fn", wantFallback: true, mutate: func(c *synth.Config) {
+		c.NumFuncs--
+	}},
+}
+
+// CheckDeltaEqualsCold is the hard contract of the function-granular
+// delta tier: for every strategy and every recompile shape, analyzing
+// the next build through a cache that holds the previous build's
+// recorded trace must produce a result codec-byte-identical (after
+// StripSchedule) to a cold analysis of that build — whether the delta
+// path served it or the verifier fell back. On top of equality it
+// checks engagement: the analysis-equivalent in-place perturbation
+// must actually be delta-served (a checker that always fell back would
+// hold equality vacuously), and fact-changing or layout-shifting
+// builds must never be delta-served under a recursive strategy.
+func CheckDeltaEqualsCold(cfg synth.Config) []Violation {
+	var vs []Violation
+	baseRaw, ok := genVersion(cfg, nil, &vs)
+	if !ok {
+		return vs
+	}
+	for _, variant := range deltaVariants {
+		cache, err := fetch.NewCache(fetch.CacheConfig{})
+		if err != nil {
+			vs = append(vs, Violation{cfg.Name, variant.strat, "delta", "NewCache: " + err.Error()})
+			continue
+		}
+		bad := func(version, format string, args ...any) {
+			vs = append(vs, Violation{cfg.Name, variant.strat, "delta",
+				fmt.Sprintf("[%s/%s] %s", variant.name, version, fmt.Sprintf(format, args...))})
+		}
+		// Previous build: a recorded cold run populates the manifest
+		// and function tiers. Shapes whose FDE geometry defeats roster
+		// decomposition (overlapping FDEs) record nothing; for those the
+		// delta tier is by design never engaged, so only the equality
+		// and never-wrongly-served contracts apply.
+		if _, _, err := cache.Analyze(baseRaw, variant.opts...); err != nil {
+			bad("base", "analyze: %v", err)
+			continue
+		}
+		decomposable := cache.Stats().DeltaPuts > 0
+		for _, ver := range deltaVersions {
+			vraw, ok := genVersion(cfg, ver.mutate, &vs)
+			if !ok {
+				continue
+			}
+			through, _, err := cache.Analyze(vraw, variant.opts...)
+			if err != nil {
+				bad(ver.name, "cached analyze: %v", err)
+				continue
+			}
+			cold, err := fetch.Analyze(vraw, variant.opts...)
+			if err != nil {
+				bad(ver.name, "cold analyze: %v", err)
+				continue
+			}
+			a, errA := fetch.EncodeResult(fetch.StripSchedule(through))
+			b, errB := fetch.EncodeResult(fetch.StripSchedule(cold))
+			if errA != nil || errB != nil {
+				bad(ver.name, "encode: %v %v", errA, errB)
+				continue
+			}
+			if string(a) != string(b) {
+				bad(ver.name, "delta-path result differs from cold analysis (deltaPath=%v reason=%q)",
+					through.Stats.DeltaPath, through.Stats.DeltaFallbackReason)
+			}
+			if ver.wantDelta && decomposable && !through.Stats.DeltaPath {
+				bad(ver.name, "analysis-equivalent build was not delta-served (reason=%q)",
+					through.Stats.DeltaFallbackReason)
+			}
+			if ver.wantFallback && variant.strat.Recursive && through.Stats.DeltaPath {
+				bad(ver.name, "fact-changing build was delta-served (%d/%d dirty ranges)",
+					through.Stats.DeltaDirtyRanges, through.Stats.DeltaTotalRanges)
+			}
+		}
+	}
+	return vs
+}
+
+// genVersion generates one build of the config (mutated when mutate is
+// non-nil) and returns its stripped ELF bytes.
+func genVersion(cfg synth.Config, mutate func(*synth.Config), vs *[]Violation) ([]byte, bool) {
+	c := cfg
+	if mutate != nil {
+		mutate(&c)
+	}
+	img, _, err := synth.Generate(c)
+	if err != nil {
+		*vs = append(*vs, Violation{cfg.Name, core.FETCH, "delta", "generate: " + err.Error()})
+		return nil, false
+	}
+	raw, err := elfx.WriteELF(img.Strip())
+	if err != nil {
+		*vs = append(*vs, Violation{cfg.Name, core.FETCH, "delta", "write: " + err.Error()})
+		return nil, false
+	}
+	return raw, true
+}

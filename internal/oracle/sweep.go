@@ -76,6 +76,7 @@ func CheckShape(cfg synth.Config) ([]Violation, error) {
 	vs = append(vs, CheckShardedEqualsSequential(cfg.Name, stripped, raw)...)
 	vs = append(vs, CheckBatchDeterminism(cfg.Name, raw, 4, 8)...)
 	vs = append(vs, CheckCachedEqualsRecomputed(cfg.Name, raw)...)
+	vs = append(vs, CheckDeltaEqualsCold(cfg)...)
 	return vs, nil
 }
 

@@ -25,11 +25,13 @@ import (
 	"bytes"
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -58,6 +60,26 @@ func HashBytes(data []byte) [sha256.Size]byte {
 	return sha256.Sum256(data)
 }
 
+// HashRange returns the content hash for one FDE-delimited byte range
+// of a binary. The hash binds the range's start address in addition to
+// its bytes: x86-64 code is position-dependent (RIP-relative operands,
+// direct call displacements), so byte-identical bodies at different
+// addresses — the ICF shape — must never alias one function-tier
+// entry. The address is mixed in as a fixed 8-byte little-endian
+// prefix, so the mapping (addr, bytes) → hash is injective up to
+// SHA-256 collisions: equal inputs always collide, and any change to
+// either the address or any byte of the range yields a new hash.
+func HashRange(addr uint64, data []byte) [sha256.Size]byte {
+	h := sha256.New()
+	var pre [8]byte
+	binary.LittleEndian.PutUint64(pre[:], addr)
+	h.Write(pre[:])
+	h.Write(data)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
 // Config parameterizes New.
 type Config struct {
 	// MaxEntries bounds the in-memory LRU; non-positive selects
@@ -66,6 +88,12 @@ type Config struct {
 	// Dir enables the on-disk level when non-empty. The directory is
 	// created if missing; entries persist across processes.
 	Dir string
+	// MaxBytes bounds the on-disk level's total size in bytes
+	// (headers included). Zero or negative means unbounded. When a Put
+	// pushes the directory past the budget, entries are evicted
+	// oldest-first by modification time until the budget holds again;
+	// the entry just written is the newest and is evicted last.
+	MaxBytes int64
 }
 
 // DefaultMaxEntries is the in-memory LRU capacity when Config leaves
@@ -86,6 +114,11 @@ type Stats struct {
 	Evictions    int64
 	CorruptDrops int64
 	DiskErrors   int64
+	// DiskEvictions counts on-disk entries removed to hold the
+	// Config.MaxBytes budget.
+	DiskEvictions int64
+	// DiskBytes is the current estimated on-disk size in bytes.
+	DiskBytes int64
 	// Entries is the current in-memory LRU population.
 	Entries int
 }
@@ -98,6 +131,12 @@ type Cache struct {
 	entries map[Key]*list.Element
 	order   *list.List // front = most recently used
 	stats   Stats
+
+	// diskMu serializes byte-budget accounting and eviction sweeps. It
+	// is distinct from mu so budget enforcement (which lists and
+	// deletes files) never blocks memory hits.
+	diskMu    sync.Mutex
+	diskBytes int64
 }
 
 // lruEntry is one resident memory entry.
@@ -112,16 +151,23 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = DefaultMaxEntries
 	}
+	c := &Cache{
+		cfg:     cfg,
+		entries: make(map[Key]*list.Element),
+		order:   list.New(),
+	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("resultcache: %w", err)
 		}
+		if cfg.MaxBytes > 0 {
+			// Seed the usage estimate from what already persists, so a
+			// restarted process keeps honoring the budget.
+			c.diskBytes = diskUsage(cfg.Dir)
+			c.enforceBudget()
+		}
 	}
-	return &Cache{
-		cfg:     cfg,
-		entries: make(map[Key]*list.Element),
-		order:   list.New(),
-	}, nil
+	return c, nil
 }
 
 // Get returns the payload stored under k, or ok=false on a miss. A
@@ -193,7 +239,97 @@ func (c *Cache) Put(k Key, data []byte) {
 			c.mu.Lock()
 			c.stats.DiskErrors++
 			c.mu.Unlock()
+		} else if c.cfg.MaxBytes > 0 {
+			c.diskMu.Lock()
+			c.diskBytes += entryDiskSize(len(data))
+			over := c.diskBytes > c.cfg.MaxBytes
+			c.diskMu.Unlock()
+			if over {
+				c.enforceBudget()
+			}
 		}
+	}
+}
+
+// entryDiskSize estimates one entry's on-disk footprint: header line
+// plus payload. The header is "resultcache1 <64 hex> <len>\n"; its
+// length varies only with the decimal digits of len, so the estimate
+// is exact.
+func entryDiskSize(payloadLen int) int64 {
+	return int64(len(diskMagic) + 1 + 2*sha256.Size + 1 + len(fmt.Sprint(payloadLen)) + 1 + payloadLen)
+}
+
+// diskUsage sums the sizes of all cache entries in dir.
+func diskUsage(dir string) int64 {
+	var total int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".rc" {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// enforceBudget deletes on-disk entries oldest-first (by modification
+// time) until the directory fits Config.MaxBytes. The sweep rescans
+// the directory so the usage estimate re-synchronizes with reality
+// (concurrent writers, external deletions) every time it runs; races
+// with concurrent Puts can only make the sweep conservative, never
+// corrupt an entry, because deletion is whole-file and readers verify
+// integrity per entry.
+func (c *Cache) enforceBudget() {
+	c.diskMu.Lock()
+	defer c.diskMu.Unlock()
+	ents, err := os.ReadDir(c.cfg.Dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var files []fileInfo
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".rc" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{e.Name(), info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mtime != files[j].mtime {
+			return files[i].mtime < files[j].mtime
+		}
+		return files[i].name < files[j].name
+	})
+	var evicted int64
+	for _, f := range files {
+		if total <= c.cfg.MaxBytes {
+			break
+		}
+		if os.Remove(filepath.Join(c.cfg.Dir, f.name)) == nil {
+			total -= f.size
+			evicted++
+		}
+	}
+	c.diskBytes = total
+	if evicted > 0 {
+		c.mu.Lock()
+		c.stats.DiskEvictions += evicted
+		c.mu.Unlock()
 	}
 }
 
@@ -211,10 +347,14 @@ func (c *Cache) insertLocked(k Key, data []byte) {
 
 // Stats returns a snapshot of the operation counters.
 func (c *Cache) Stats() Stats {
+	c.diskMu.Lock()
+	diskBytes := c.diskBytes
+	c.diskMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.stats
 	st.Entries = c.order.Len()
+	st.DiskBytes = diskBytes
 	return st
 }
 

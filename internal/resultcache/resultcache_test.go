@@ -265,3 +265,62 @@ func TestConcurrentReadersWriters(t *testing.T) {
 		t.Fatalf("atomic writes produced corrupt reads: %+v", st)
 	}
 }
+
+// TestDiskBudgetHoldsUnderConcurrentWriters hammers a byte-budgeted
+// disk cache from many goroutines and checks the contract: once the
+// writers quiesce the directory fits the budget, evictions happened
+// oldest-first (early keys gone, latest keys present), and no
+// surviving entry ever reads back wrong.
+func TestDiskBudgetHoldsUnderConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	const budget = 64 << 10
+	c, err := New(Config{MaxEntries: 4, Dir: dir, MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := func(n int) []byte {
+		b := bytes.Repeat([]byte{byte(n)}, 2048)
+		copy(b, fmt.Sprintf("payload-%d", n))
+		return b
+	}
+	const writers = 8
+	const perWriter = 16
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				n := w*perWriter + i
+				c.Put(key(n), payload(n))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := diskUsage(dir); got > budget {
+		t.Fatalf("disk usage %d exceeds budget %d after writers quiesced", got, budget)
+	}
+	st := c.Stats()
+	if st.DiskEvictions == 0 {
+		t.Fatalf("128 × ~2KB entries under a 64KB budget evicted nothing: %+v", st)
+	}
+	if st.DiskBytes > budget {
+		t.Fatalf("tracked DiskBytes %d exceeds budget %d", st.DiskBytes, budget)
+	}
+	// Survivors read back correct (never a wrong hit), evictees miss.
+	survivors := 0
+	for n := 0; n < writers*perWriter; n++ {
+		got, ok := c.Get(key(n))
+		if !ok {
+			continue
+		}
+		survivors++
+		if !bytes.Equal(got, payload(n)) {
+			t.Fatalf("key %d: surviving entry reads back wrong", n)
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("budget eviction emptied the cache entirely")
+	}
+}

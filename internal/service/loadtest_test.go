@@ -260,17 +260,23 @@ func TestLoadMixedTraffic(t *testing.T) {
 		t.Errorf("%d oversize uploads got a status other than 413/429/503", wrongOversize.Load())
 	}
 	// Terminal accounting: every admitted analyze request ended in
-	// exactly one of the terminal counters. (429s on the jobs endpoint
-	// bump queue_rejected but not analyze requests, so subtract the
-	// sync-only share.)
+	// exactly one of the terminal counters. Rejections are counted
+	// server-side (svc.analyzeRejected, the sync-analyze share of
+	// queue_rejected): a client that aborts before reading its 429 —
+	// the cancel and oversize classes can — must not poke a hole in
+	// the identity.
 	terminal := st.Analyze.CacheHits + st.Analyze.CacheMisses + st.Analyze.Errors +
-		st.Analyze.QueueCancelled + st.Analyze.QueueTimeouts + sync429.Load()
+		st.Analyze.QueueCancelled + st.Analyze.QueueTimeouts + svc.analyzeRejected.Load()
 	if st.Analyze.Requests != terminal {
 		t.Errorf("request accounting leak: %d requests, %d terminal outcomes (%+v)",
 			st.Analyze.Requests, terminal, st.Analyze)
 	}
-	if got := st.Analyze.QueueRejected; got < sync429.Load() {
-		t.Errorf("queue_rejected %d < client-observed sync 429s %d", got, sync429.Load())
+	if got := svc.analyzeRejected.Load(); got < sync429.Load() {
+		t.Errorf("server sync rejections %d < client-observed sync 429s %d", got, sync429.Load())
+	}
+	if st.Analyze.QueueRejected < svc.analyzeRejected.Load() {
+		t.Errorf("queue_rejected %d < its sync-analyze share %d",
+			st.Analyze.QueueRejected, svc.analyzeRejected.Load())
 	}
 	// Gauges settled.
 	if st.InFlight != 0 || st.Queued != 0 || st.Jobs.Active != 0 {

@@ -194,6 +194,26 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		"Entries evicted from the in-memory LRU.", cs.Evictions)
 	emitScalar(&b, "fetchd_cache_entries", "gauge",
 		"Entries resident in the in-memory cache.", int64(cs.Entries))
+	emitScalar(&b, "fetchd_cache_disk_evictions_total", "counter",
+		"On-disk entries removed by the byte-budget sweep.", cs.DiskEvictions)
+	emitScalar(&b, "fetchd_cache_disk_bytes", "gauge",
+		"Current on-disk cache usage in bytes.", cs.DiskBytes)
+
+	// Function-granular delta tier.
+	emitScalar(&b, "fetchd_cache_manifest_hits_total", "counter",
+		"Residue-keyed trace manifest hits on whole-binary misses.", cs.ManifestHits)
+	emitScalar(&b, "fetchd_cache_manifest_misses_total", "counter",
+		"Residue-keyed trace manifest misses.", cs.ManifestMisses)
+	emitScalar(&b, "fetchd_cache_fn_tier_hits_total", "counter",
+		"Per-function range-entry hits during delta replay.", cs.FnTierHits)
+	emitScalar(&b, "fetchd_cache_fn_tier_misses_total", "counter",
+		"Per-function range-entry misses (evicted or failed integrity).", cs.FnTierMisses)
+	emitScalar(&b, "fetchd_cache_delta_puts_total", "counter",
+		"Manifest and function-range entries written after recorded runs.", cs.DeltaPuts)
+	emitScalar(&b, "fetchd_cache_delta_hits_total", "counter",
+		"Whole-binary misses served by verified delta replay.", cs.DeltaHits)
+	emitScalar(&b, "fetchd_cache_delta_fallbacks_total", "counter",
+		"Delta attempts that fell back to the cold pipeline.", cs.DeltaFallbacks)
 
 	io.WriteString(w, b.String())
 }

@@ -136,20 +136,24 @@ func TestMetricsExpositionValidAndConsistent(t *testing.T) {
 	samples, types := parseExposition(t, string(raw))
 
 	for name, typ := range map[string]string{
-		"fetchd_analyze_requests_total":   "counter",
-		"fetchd_analyze_cache_hits_total": "counter",
-		"fetchd_analyze_errors_total":     "counter",
-		"fetchd_queue_rejected_total":     "counter",
-		"fetchd_queue_cancelled_total":    "counter",
-		"fetchd_in_flight":                "gauge",
-		"fetchd_in_flight_max":            "gauge",
-		"fetchd_queued":                   "gauge",
-		"fetchd_queue_wait_seconds":       "histogram",
-		"fetchd_analyze_duration_seconds": "histogram",
-		"fetchd_cache_hits_total":         "counter",
-		"fetchd_cache_entries":            "gauge",
-		"fetchd_jobs_submitted_total":     "counter",
-		"fetchd_http_requests_total":      "counter",
+		"fetchd_analyze_requests_total":    "counter",
+		"fetchd_analyze_cache_hits_total":  "counter",
+		"fetchd_analyze_errors_total":      "counter",
+		"fetchd_queue_rejected_total":      "counter",
+		"fetchd_queue_cancelled_total":     "counter",
+		"fetchd_in_flight":                 "gauge",
+		"fetchd_in_flight_max":             "gauge",
+		"fetchd_queued":                    "gauge",
+		"fetchd_queue_wait_seconds":        "histogram",
+		"fetchd_analyze_duration_seconds":  "histogram",
+		"fetchd_cache_hits_total":          "counter",
+		"fetchd_cache_entries":             "gauge",
+		"fetchd_cache_disk_bytes":          "gauge",
+		"fetchd_cache_manifest_hits_total": "counter",
+		"fetchd_cache_fn_tier_hits_total":  "counter",
+		"fetchd_cache_delta_hits_total":    "counter",
+		"fetchd_jobs_submitted_total":      "counter",
+		"fetchd_http_requests_total":       "counter",
 	} {
 		if got := types[name]; got != typ {
 			t.Errorf("family %s: type %q, want %q", name, got, typ)
@@ -160,13 +164,18 @@ func TestMetricsExpositionValidAndConsistent(t *testing.T) {
 
 	st := svc.Stats()
 	for key, want := range map[string]int64{
-		"fetchd_analyze_requests_total":     st.Analyze.Requests,
-		"fetchd_analyze_cache_hits_total":   st.Analyze.CacheHits,
-		"fetchd_analyze_cache_misses_total": st.Analyze.CacheMisses,
-		"fetchd_analyze_errors_total":       st.Analyze.Errors,
-		"fetchd_in_flight_max":              int64(st.MaxInFlight),
-		"fetchd_cache_hits_total":           st.Cache.Hits,
-		"fetchd_cache_misses_total":         st.Cache.Misses,
+		"fetchd_analyze_requests_total":      st.Analyze.Requests,
+		"fetchd_analyze_cache_hits_total":    st.Analyze.CacheHits,
+		"fetchd_analyze_cache_misses_total":  st.Analyze.CacheMisses,
+		"fetchd_analyze_errors_total":        st.Analyze.Errors,
+		"fetchd_in_flight_max":               int64(st.MaxInFlight),
+		"fetchd_cache_hits_total":            st.Cache.Hits,
+		"fetchd_cache_misses_total":          st.Cache.Misses,
+		"fetchd_cache_manifest_hits_total":   st.Cache.ManifestHits,
+		"fetchd_cache_fn_tier_hits_total":    st.Cache.FnTierHits,
+		"fetchd_cache_delta_puts_total":      st.Cache.DeltaPuts,
+		"fetchd_cache_delta_hits_total":      st.Cache.DeltaHits,
+		"fetchd_cache_delta_fallbacks_total": st.Cache.DeltaFallbacks,
 	} {
 		if got := samples[key]; got != float64(want) {
 			t.Errorf("%s = %v, /v1/stats says %d", key, got, want)

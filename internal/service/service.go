@@ -121,6 +121,11 @@ type Server struct {
 	analyzeHits     atomic.Int64
 	analyzeMisses   atomic.Int64
 	analyzeErrors   atomic.Int64
+	// analyzeRejected counts the synchronous-analyze share of
+	// queueRejected, so every analyzeRequests increment has exactly one
+	// terminal counter (hit, miss, error, cancelled, timeout, or
+	// rejected) — the accounting identity the load test asserts.
+	analyzeRejected atomic.Int64
 	queueRejected   atomic.Int64
 	queueCancelled  atomic.Int64
 	queueTimeouts   atomic.Int64
@@ -367,6 +372,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.queueRejected.Add(1)
+		s.analyzeRejected.Add(1)
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		jsonError(w, http.StatusTooManyRequests,
 			"admission queue full (%d in flight, %d queued); retry later",

@@ -185,6 +185,29 @@ type Config struct {
 	// must iterate to convergence (the historical 3-round cap silently
 	// dropped every link past the third).
 	XrefChainLen int
+
+	// Version-pair knobs: recompile-style perturbation applied to the
+	// assembled image after ground truth is recorded, modeling the next
+	// build of the same program for delta re-analysis testing. Layout,
+	// .eh_frame, and symbols are untouched; only bytes inside function
+	// bodies change.
+
+	// PerturbK rewrites filler immediates inside K true function bodies
+	// in place (size-preserving, analysis-equivalent): the "same
+	// source, new embedded constants" recompilation shape. Zero
+	// disables perturbation — the default corpus is byte-identical with
+	// the knob absent.
+	PerturbK int
+	// PerturbSeed decouples the perturbation choices from Seed, so one
+	// base binary (PerturbK = 0) admits many perturbed versions.
+	PerturbSeed int64
+	// PerturbRetarget redirects one direct call per perturbed function
+	// to a different call-reachable function instead of touching
+	// immediates — an in-place, layout-preserving change that DOES
+	// alter analysis facts, so a sound delta re-analysis must detect it
+	// and fall back to the cold pipeline. Ground-truth starts stay
+	// exact; reachability classes are not updated.
+	PerturbRetarget bool
 }
 
 // Validate checks rate sanity.
@@ -202,7 +225,7 @@ func (c *Config) Validate() error {
 	}
 	for _, n := range []int{c.DataIslandCount, c.CodeIslandCount,
 		c.CFIErrorCount, c.ICFCount, c.TruncFDECount, c.OverlapFDECount,
-		c.XrefChainLen} {
+		c.XrefChainLen, c.PerturbK} {
 		if n < 0 {
 			return fmt.Errorf("synth: count %d negative", n)
 		}

@@ -446,6 +446,9 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 			IncompleteCFI: ch.spec.frame == frameRBP,
 		})
 	}
+	if err := perturb(im, truth, &cfg); err != nil {
+		return nil, nil, err
+	}
 	return im, truth, nil
 }
 

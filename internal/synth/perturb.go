@@ -1,0 +1,192 @@
+package synth
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+	"fetch/internal/x64"
+)
+
+// perturb applies the Config version-pair knobs to the assembled image:
+// an in-place, layout-preserving rewrite of PerturbK function bodies
+// modeling the next build of the same program. In the default immediate
+// mode the rewrite is analysis-equivalent (only unmapped constant
+// values change); with PerturbRetarget it redirects one direct call per
+// function, changing real analysis facts while still preserving layout.
+func perturb(img *elfx.Image, truth *groundtruth.Truth, cfg *Config) error {
+	if cfg.PerturbK <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.PerturbSeed ^ 0x5bf03635))
+
+	// Candidate bodies: compiled FDE-carrying functions whose extents
+	// lie inside the FDE ranges the delta roster is built from, and
+	// whose control flow stays inside the extent — split functions jump
+	// to their cold part and tail-callers jump to their target, both of
+	// which a range-local verification walk rightly refuses to certify.
+	splitParent := make(map[uint64]bool, len(truth.Parts))
+	for i := range truth.Parts {
+		splitParent[truth.Parts[i].Parent] = true
+	}
+	var cands []*groundtruth.Func
+	for i := range truth.Funcs {
+		f := &truth.Funcs[i]
+		if f.Class == groundtruth.ClassNormal && f.HasFDE && f.Size >= 10 &&
+			!splitParent[f.Addr] && len(f.TailTargets) == 0 {
+			cands = append(cands, f)
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	// Retarget pool: call-reachable compiled functions (redirecting a
+	// call there keeps the callee a plausible, FDE-covered function).
+	var pool []uint64
+	if cfg.PerturbRetarget {
+		for i := range truth.Funcs {
+			f := &truth.Funcs[i]
+			if f.Class == groundtruth.ClassNormal && f.HasFDE &&
+				f.Reach == groundtruth.ReachCall && !f.NonRet {
+				pool = append(pool, f.Addr)
+			}
+		}
+		if len(pool) < 2 {
+			return fmt.Errorf("synth: too few retarget candidates (%d)", len(pool))
+		}
+	}
+
+	done := 0
+	for _, f := range cands {
+		if done >= cfg.PerturbK {
+			break
+		}
+		if !cfg.PerturbRetarget && !certifiable(img, f) {
+			// The delta verifier enumerates non-return environments: in
+			// the one where every callee returns, fall-through must still
+			// terminate before the extent end, or the local walk escapes
+			// and the range soundly falls back. Perturbing such a body
+			// would make the version pair unservable by construction.
+			continue
+		}
+		if perturbFunc(img, f, rng, pool, cfg.PerturbRetarget) {
+			done++
+		}
+	}
+	if done < cfg.PerturbK {
+		return fmt.Errorf("synth: perturbed only %d of %d requested functions", done, cfg.PerturbK)
+	}
+	return nil
+}
+
+// certifiable reports whether a range-local verification walk can
+// certify the function's extent under every non-return environment:
+// the whole extent decodes linearly (no in-text jump-table data, which
+// would also pin the range via its table reads) and the last
+// instruction is a terminator, so no fall-through run — not even one
+// treating every callee as returning — can reach the extent end.
+func certifiable(img *elfx.Image, f *groundtruth.Func) bool {
+	sec, ok := img.SectionAt(f.Addr)
+	if !ok || f.Addr+f.Size > sec.End() {
+		return false
+	}
+	off := f.Addr - sec.Addr
+	end := off + f.Size
+	terminates := false
+	for off < end {
+		in, err := x64.Decode(sec.Data[off:end], sec.Addr+off)
+		if err != nil || in.Op == x64.OpJmpInd {
+			return false
+		}
+		terminates = in.Terminates()
+		off += uint64(in.Len)
+	}
+	return terminates
+}
+
+// perturbFunc rewrites one function body in place. It walks the body
+// linearly from the entry, stopping at the first terminator or decode
+// failure (past either, linear decode may be out of sync with real
+// instruction boundaries — in-text jump tables follow their indirect
+// jump). Returns whether at least one rewrite landed.
+func perturbFunc(img *elfx.Image, f *groundtruth.Func, rng *rand.Rand, pool []uint64, retarget bool) bool {
+	sec, ok := img.SectionAt(f.Addr)
+	if !ok || sec.Flags&elfx.FlagExec == 0 || f.Addr+f.Size > sec.End() {
+		return false
+	}
+	off := f.Addr - sec.Addr
+	end := off + f.Size
+	patched := false
+	for off < end {
+		in, err := x64.Decode(sec.Data[off:end], sec.Addr+off)
+		if err != nil {
+			break
+		}
+		b := sec.Data[off : off+uint64(in.Len)]
+		if retarget {
+			if rewriteCallTarget(b, &in, rng, pool) {
+				return true
+			}
+		} else if rewriteMovImm(b, img, rng) {
+			patched = true
+		}
+		if in.Terminates() {
+			break
+		}
+		off += uint64(in.Len)
+	}
+	return patched
+}
+
+// rewriteMovImm replaces the immediate of a plain `mov r32, imm32`
+// (the filler shape: optional 0x41 REX, 0xB8+r, imm32) with a fresh
+// unmapped value. Both the old and new immediates must be unmapped
+// addresses, so the disassembler's constant harvest — and with it every
+// recorded analysis fact — is unchanged: the rewrite is
+// analysis-equivalent by construction.
+func rewriteMovImm(b []byte, img *elfx.Image, rng *rand.Rand) bool {
+	switch {
+	case len(b) == 5 && b[0] >= 0xB8 && b[0] <= 0xBF:
+	case len(b) == 6 && b[0] == 0x41 && b[1] >= 0xB8 && b[1] <= 0xBF:
+	default:
+		return false
+	}
+	imm := b[len(b)-4:]
+	old := binary.LittleEndian.Uint32(imm)
+	if img.IsMapped(uint64(old)) {
+		// A mapped value would have been harvested as a pointer-sized
+		// constant; leave it alone so the constant set stays equal.
+		return false
+	}
+	// New values stay in (0, 0xF00): below every image base (PIE maps
+	// at 0x1000), hence never harvested either.
+	nv := uint32(1 + rng.Intn(0xefe))
+	if nv == old {
+		nv++
+	}
+	binary.LittleEndian.PutUint32(imm, nv)
+	return true
+}
+
+// rewriteCallTarget redirects a direct near call (E8 rel32) to a
+// different function from the pool, when the displacement fits.
+func rewriteCallTarget(b []byte, in *x64.Inst, rng *rand.Rand, pool []uint64) bool {
+	if in.Op != x64.OpCall || !in.HasTarget || len(b) != 5 || b[0] != 0xE8 {
+		return false
+	}
+	next := in.Addr + uint64(in.Len)
+	for _, i := range rng.Perm(len(pool)) {
+		t := pool[i]
+		if t == in.Target {
+			continue
+		}
+		rel := int64(t) - int64(next)
+		if rel < -1<<31 || rel >= 1<<31 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(b[1:], uint32(int32(rel)))
+		return true
+	}
+	return false
+}

@@ -58,6 +58,34 @@ type Input struct {
 	// requirement from tail-call detection — the ablation showing why
 	// the criterion is needed to avoid false tail calls.
 	DisableRefCriterion bool
+
+	// Obs, when set, observes the pure per-site quantities Algorithm 1
+	// consumed: every calling-convention verdict at its consumption
+	// point, and every candidate jump with its height lookup. The
+	// delta-analysis recorder replays decisions from these without
+	// re-running the sweep.
+	Obs *Observer
+}
+
+// Observer receives Algorithm 1's per-site inputs as they are
+// consumed (see Input.Obs). Either hook may be nil.
+type Observer struct {
+	// OnConv reports one calling-convention verdict consumption.
+	OnConv func(addr uint64, ok bool)
+	// OnJump reports one candidate jump considered within the FDE
+	// starting at fde: the jump site, its target, and the height
+	// lookup's outcome.
+	OnJump func(fde uint64, j JumpObs)
+}
+
+// JumpObs is one observed candidate jump.
+type JumpObs struct {
+	Addr   uint64
+	Target uint64
+	// HOK reports whether a height was known at the jump site; HZero
+	// reports that the known height was zero (the tail-call
+	// precondition).
+	HOK, HZero bool
 }
 
 // Output reports the corrections.
@@ -122,10 +150,14 @@ func Run(in Input) Output {
 		}
 	}
 	entryOK := func(a uint64) bool {
-		if v, ok := convOK[a]; ok {
-			return v
+		v, ok := convOK[a]
+		if !ok {
+			v = callconv.Validate(in.Img, a)
 		}
-		return callconv.Validate(in.Img, a)
+		if in.Obs != nil && in.Obs.OnConv != nil {
+			in.Obs.OnConv(a, v)
+		}
+		return v
 	}
 
 	// Hand-written FDE errors: an FDE start that violates the calling
@@ -199,6 +231,11 @@ func Run(in Input) Output {
 				h, ok = s.H, found && s.Known
 			} else {
 				h, ok = ht.HeightAt(inst.Addr)
+			}
+			if in.Obs != nil && in.Obs.OnJump != nil {
+				in.Obs.OnJump(fde.PCBegin, JumpObs{
+					Addr: inst.Addr, Target: t, HOK: ok, HZero: ok && h == 0,
+				})
 			}
 			if !ok {
 				continue

@@ -170,6 +170,13 @@ type Options struct {
 	// collection from the precomputed DataIndex instead of rescanning
 	// the sections each round. Output is identical either way.
 	Index *DataIndex
+	// Observer, when set, receives every candidate validation in the
+	// exact order the sequential accept loop consults verdicts: the
+	// candidate, the verdict, and the validation walk's result (nil
+	// when the candidate was rejected before walking). The delta-
+	// analysis recorder uses it to capture each verdict together with
+	// the byte extent it depends on. Observers must not mutate v.
+	Observer func(c uint64, ok bool, v *disasm.Result)
 }
 
 // Detect validates candidates against the current disassembly and
@@ -229,6 +236,9 @@ func Detect(img *elfx.Image, res *disasm.Result, funcs map[uint64]bool, opts Opt
 				newRes, ok = v.res, v.ok
 			} else {
 				newRes, ok = validate(img, res, c, opts, probe)
+			}
+			if opts.Observer != nil {
+				opts.Observer(c, ok, newRes)
 			}
 			if !ok {
 				continue
@@ -321,6 +331,30 @@ func contiguousEnd(v *disasm.Result, c uint64) uint64 {
 		end = v.Insts[a].Next()
 	}
 	return end
+}
+
+// ContiguousEnd exposes contiguousEnd for the delta-analysis recorder:
+// the approximate extent of a validated function, needed to replay the
+// accept loop's interior-skip rule without re-walking.
+func ContiguousEnd(v *disasm.Result, c uint64) uint64 {
+	return contiguousEnd(v, c)
+}
+
+// ValidateCandidate applies the §IV-E rules to one candidate outside a
+// Detect run — the delta path re-validates exactly the candidates
+// whose recorded verdicts depend on changed bytes. res supplies the
+// committed-coverage queries (a coverage-only result suffices); a
+// non-nil sess provides cached decoding via a fork. The verdict is
+// identical to the one Detect would compute against the same state.
+func ValidateCandidate(img *elfx.Image, res *disasm.Result, c uint64, opts Options, sess *disasm.Session) (*disasm.Result, bool) {
+	if opts.MaxValidationInsts == 0 {
+		opts.MaxValidationInsts = 2000
+	}
+	var probe *disasm.Session
+	if sess != nil {
+		probe = sess.Fork()
+	}
+	return validate(img, res, c, opts, probe)
 }
 
 // validate applies rules (i)-(iv) to one candidate. A non-nil probe
