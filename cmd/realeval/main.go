@@ -1,0 +1,183 @@
+// Command realeval evaluates the pipeline on real, unstripped x64 ELF
+// binaries. Each binary is made self-validating: the symbol
+// information it ships (.symtab, Go's .gopclntab, or partially
+// .dynsym) becomes the ground truth, a stripped in-memory copy is
+// analyzed with the paper's full strategy ladder, and the detections
+// are scored with the same precision/recall metrics as the synthetic
+// lane.
+//
+// Usage:
+//
+//	realeval [-jobs N] [-json] [-v] [-golden FILE] [-max-bytes N] BINARY...
+//	realeval -corpus DIR [flags]         evaluate every ELF under DIR
+//	realeval -scan [flags] DIR...        walk host directories for ELFs
+//
+// With no inputs at all, the committed mini-corpus at testdata/realbin
+// is used when present. -golden checks the run against minimum
+// precision/recall floors and fails the command on any violation; a
+// binary that hard-fails analysis always fails the command. Skipped
+// binaries (not x64, too large, no derivable truth) never do — scan
+// mode is expected to meet many of those.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"fetch/internal/realbin"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "realeval:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultCorpus is the committed mini-corpus, relative to the repo
+// root (where CI invokes the command).
+const defaultCorpus = "testdata/realbin"
+
+// run executes the command against args, writing reports to w and
+// diagnostics to errW.
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("realeval", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	var (
+		corpus   = fs.String("corpus", "", "evaluate every ELF found under this directory")
+		scan     = fs.Bool("scan", false, "treat positional arguments as directories to walk for ELFs")
+		jobs     = fs.Int("jobs", 0, "concurrent evaluations (0 = one per CPU)")
+		maxBytes = fs.Int64("max-bytes", 64<<20, "skip binaries larger than this (0 = no limit)")
+		golden   = fs.String("golden", "", "check scores against the floors in this JSON file")
+		jsonOut  = fs.Bool("json", false, "emit the full report as JSON")
+		verbose  = fs.Bool("v", false, "list skipped binaries and per-strategy rows for every binary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var paths []string
+	var scanStats *realbin.ScanResult
+	switch {
+	case *scan:
+		if fs.NArg() == 0 {
+			return errors.New("-scan needs at least one directory")
+		}
+		scanStats = realbin.Scan(fs.Args(), *maxBytes)
+		paths = scanStats.Candidates
+	default:
+		paths = fs.Args()
+		dir := *corpus
+		if dir == "" && len(paths) == 0 {
+			if _, err := os.Stat(defaultCorpus); err != nil {
+				return errors.New("no binaries given and no testdata/realbin corpus here (see -h)")
+			}
+			dir = defaultCorpus
+		}
+		if dir != "" {
+			found := realbin.Scan([]string{dir}, *maxBytes)
+			if len(found.Candidates) == 0 {
+				return fmt.Errorf("no ELF binaries under %s", dir)
+			}
+			paths = append(found.Candidates, paths...)
+		}
+	}
+
+	rep := realbin.EvalFiles(nil, paths, *jobs, *maxBytes)
+	// Golden floors key on basenames so the same file works from any
+	// checkout location.
+	for _, b := range rep.Binaries {
+		if b.Path != "" {
+			b.Name = filepath.Base(b.Path)
+		}
+	}
+
+	var violations []string
+	if *golden != "" {
+		g, err := realbin.LoadGolden(*golden)
+		if err != nil {
+			return err
+		}
+		violations = g.Check(rep)
+	}
+
+	if *jsonOut {
+		doc, err := json.MarshalIndent(struct {
+			Scan       *realbin.ScanResult   `json:"scan,omitempty"`
+			Report     *realbin.CorpusReport `json:"report"`
+			Violations []string              `json:"violations,omitempty"`
+		}{scanStats, rep, violations}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(doc))
+	} else {
+		printReport(w, rep, scanStats, *verbose)
+		for _, v := range violations {
+			fmt.Fprintf(w, "GOLDEN VIOLATION: %s\n", v)
+		}
+	}
+
+	if n := len(rep.Errs()); n > 0 {
+		return fmt.Errorf("%d binary(ies) failed analysis", n)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d golden floor violation(s)", len(violations))
+	}
+	return nil
+}
+
+// printReport renders the text form: one block per binary with its
+// truth provenance and strategy rows, then the corpus aggregate.
+func printReport(w io.Writer, rep *realbin.CorpusReport, scan *realbin.ScanResult, verbose bool) {
+	if scan != nil {
+		fmt.Fprintf(w, "scan: %d candidates, %d non-ELF, %d too large, %d unreadable\n\n",
+			len(scan.Candidates), scan.NonELF, scan.TooLarge, scan.Unreadable)
+	}
+	for _, b := range rep.Binaries {
+		switch {
+		case b.Err != "":
+			fmt.Fprintf(w, "%s: ERROR: %s\n", b.Name, b.Err)
+			continue
+		case !b.Evaluated():
+			if verbose {
+				fmt.Fprintf(w, "%s: skipped: %s\n", b.Name, b.Skip)
+			}
+			continue
+		}
+		src := b.Truth.Source
+		if b.Truth.Partial {
+			src += " (partial)"
+		}
+		fmt.Fprintf(w, "%s: truth=%s funcs=%d parts=%d", b.Name, src, b.TruthFuncs, b.TruthParts)
+		if b.SyntheticEHFrame {
+			fmt.Fprint(w, " synthetic-eh-frame")
+		}
+		if b.EHStats.Skipped() || b.EHStats.DWARF64 > 0 {
+			fmt.Fprintf(w, " eh[entries=%d dwarf64=%d skipped-cies=%d skipped-fdes=%d]",
+				b.EHStats.Entries, b.EHStats.DWARF64, b.EHStats.SkippedCIEs, b.EHStats.SkippedFDEs)
+		}
+		fmt.Fprintln(w)
+		for _, s := range b.Scores {
+			if !verbose && s.Strategy != "FETCH" {
+				continue
+			}
+			fmt.Fprintf(w, "  %-14s funcs=%-6d tp=%-6d fp=%-5d fn=%-5d P=%.4f R=%.4f F1=%.4f %8.1fms\n",
+				s.Strategy, s.Funcs, s.TP, s.FP, s.FN, s.Precision, s.Recall, s.F1, s.WallMS)
+		}
+	}
+	fmt.Fprintf(w, "\ncorpus: %d evaluated, %d skipped, %d failed\n",
+		rep.Evaluated, rep.Skipped, rep.Failed)
+	for _, a := range rep.Aggregate {
+		fmt.Fprintf(w, "  %-14s tp=%-7d fp=%-6d fn=%-6d P=%.4f R=%.4f F1=%.4f\n",
+			a.Strategy, a.TP, a.FP, a.FN, a.Precision, a.Recall, a.F1)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fetch/internal/realbin"
+)
+
+const corpus = "../../testdata/realbin"
+
+// TestRunCorpus drives the committed mini-corpus through the text
+// path with its golden floors: every binary must evaluate and hold
+// the line.
+func TestRunCorpus(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-corpus", corpus, "-golden", filepath.Join(corpus, "golden.json")}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"hello-gcc-o2.bin", "synth-gcc-c-o2.bin", "FETCH", "corpus: 4 evaluated, 0 skipped, 0 failed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunGoldenViolation pins the failure mode: an impossible floor
+// must fail the command and name the violation.
+func TestRunGoldenViolation(t *testing.T) {
+	dir := t.TempDir()
+	g := realbin.Golden{"hello-gcc-o2.bin": {{MinPrecision: 1.01}}}
+	blob, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join(dir, "golden.json")
+	if err := os.WriteFile(goldenPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-golden", goldenPath, filepath.Join(corpus, "hello-gcc-o2.bin")}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("err = %v, want golden violation", err)
+	}
+	if !strings.Contains(out.String(), "GOLDEN VIOLATION") {
+		t.Errorf("violation not printed:\n%s", out.String())
+	}
+}
+
+// TestRunJSON pins the machine-readable path: the document must parse
+// and carry the same shape the realbin package serializes.
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json", filepath.Join(corpus, "synth-gcc-c-o2.bin")}, &out, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc struct {
+		Report *realbin.CorpusReport `json:"report"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Report == nil || doc.Report.Evaluated != 1 {
+		t.Fatalf("report = %+v, want 1 evaluated binary", doc.Report)
+	}
+	b := doc.Report.Binaries[0]
+	if b.Name != "synth-gcc-c-o2.bin" || len(b.Scores) != len(realbin.StrategyNames) {
+		t.Errorf("row = %+v, want full strategy ladder under basename", b)
+	}
+}
+
+// TestRunScanMode walks a directory with junk mixed in: the junk is
+// counted, the ELF evaluates, nothing fails.
+func TestRunScanMode(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join(corpus, "synth-gcc-c-o2.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bin"), src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.sh"), []byte("#!/bin/sh\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-scan", "-v", dir}, &out, &out); err != nil {
+		t.Fatalf("scan run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "scan: 1 candidates, 1 non-ELF") {
+		t.Errorf("scan counters wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "corpus: 1 evaluated") {
+		t.Errorf("scanned binary not evaluated:\n%s", text)
+	}
+}
+
+// TestRunUsageErrors pins the argument contract.
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scan"}, &out, &out); err == nil {
+		t.Error("-scan with no dirs accepted")
+	}
+	if err := run([]string{"-corpus", filepath.Join(t.TempDir(), "empty")}, &out, &out); err == nil {
+		t.Error("empty corpus dir accepted")
+	}
+}

@@ -50,6 +50,20 @@ const (
 	CFAUndefined        // Reg
 	CFASameValue        // Reg
 	CFARegister         // Reg, Reg2
+	// CFAValOffset records that reg's value (not its save slot) is
+	// CFA+Offset — DW_CFA_val_offset/val_offset_sf, emitted by GCC for
+	// unwound-but-unsaved registers. It never affects the CFA rule.
+	CFAValOffset // Reg, Offset
+	// CFAValExpression records reg's value as a DWARF expression —
+	// DW_CFA_val_expression, seen in hand-written glibc assembly.
+	CFAValExpression // Reg, Expr
+	// CFAGNUArgsSize is DW_CFA_GNU_args_size: the size of outgoing
+	// arguments pushed for a call, emitted by GCC in C++ code around
+	// calls inside try blocks. It does not change the CFA rule.
+	CFAGNUArgsSize // Offset
+	// CFAGNUWindowSave is DW_CFA_GNU_window_save (also reused as
+	// DW_CFA_AARCH64_negate_ra_state); a no-op for x64 unwinding.
+	CFAGNUWindowSave
 )
 
 // CFI is one decoded call-frame instruction. Offsets are in bytes
@@ -94,6 +108,14 @@ func (c CFI) String() string {
 		return fmt.Sprintf("DW_CFA_same_value: %s", DwarfRegName(c.Reg))
 	case CFARegister:
 		return fmt.Sprintf("DW_CFA_register: %s in %s", DwarfRegName(c.Reg), DwarfRegName(c.Reg2))
+	case CFAValOffset:
+		return fmt.Sprintf("DW_CFA_val_offset: %s at cfa%+d", DwarfRegName(c.Reg), c.Offset)
+	case CFAValExpression:
+		return fmt.Sprintf("DW_CFA_val_expression: %s", DwarfRegName(c.Reg))
+	case CFAGNUArgsSize:
+		return fmt.Sprintf("DW_CFA_GNU_args_size: %d", c.Offset)
+	case CFAGNUWindowSave:
+		return "DW_CFA_GNU_window_save"
 	}
 	return fmt.Sprintf("DW_CFA_?(%d)", c.Op)
 }
@@ -119,6 +141,15 @@ const (
 	rawDefCFAOfs   = 0x0E
 	rawDefCFAExpr  = 0x0F
 	rawExpression  = 0x10
+	rawOffsetExtSF = 0x11
+	rawDefCFASF    = 0x12
+	rawDefCFAOfsSF = 0x13
+	rawValOffset   = 0x14
+	rawValOffsetSF = 0x15
+	rawValExpr     = 0x16
+	rawGNUWinSave  = 0x2D
+	rawGNUArgsSize = 0x2E
+	rawGNUNegOfs   = 0x2F
 )
 
 // encodeCFIs serializes a CFI program using the given CIE alignment
@@ -193,6 +224,35 @@ func encodeCFIs(prog []CFI, codeAlign uint64, dataAlign int64) ([]byte, error) {
 			out = append(out, rawRegister)
 			out = appendULEB(out, c.Reg)
 			out = appendULEB(out, c.Reg2)
+		case CFAValOffset:
+			// Both wire forms carry a dataAlign-factored offset; pick
+			// the one whose factored value the sign admits.
+			if c.Offset%dataAlign != 0 {
+				return nil, fmt.Errorf("ehframe: val_offset %d not a multiple of data alignment %d", c.Offset, dataAlign)
+			}
+			f := c.Offset / dataAlign
+			if f >= 0 {
+				out = append(out, rawValOffset)
+				out = appendULEB(out, c.Reg)
+				out = appendULEB(out, uint64(f))
+			} else {
+				out = append(out, rawValOffsetSF)
+				out = appendULEB(out, c.Reg)
+				out = appendSLEB(out, f)
+			}
+		case CFAValExpression:
+			out = append(out, rawValExpr)
+			out = appendULEB(out, c.Reg)
+			out = appendULEB(out, uint64(len(c.Expr)))
+			out = append(out, c.Expr...)
+		case CFAGNUArgsSize:
+			if c.Offset < 0 {
+				return nil, fmt.Errorf("ehframe: negative GNU_args_size %d", c.Offset)
+			}
+			out = append(out, rawGNUArgsSize)
+			out = appendULEB(out, uint64(c.Offset))
+		case CFAGNUWindowSave:
+			out = append(out, rawGNUWinSave)
 		default:
 			return nil, fmt.Errorf("ehframe: cannot encode CFI op %d", c.Op)
 		}
@@ -315,6 +375,94 @@ func decodeCFIs(b []byte, codeAlign uint64, dataAlign int64) ([]CFI, error) {
 				prog = append(prog, CFI{Op: CFARememberState})
 			case rawRestoreSt:
 				prog = append(prog, CFI{Op: CFARestoreState})
+			case rawOffsetExtSF, rawDefCFASF:
+				// Signed-factored forms of offset_extended / def_cfa:
+				// same semantics, SLEB-factored operand.
+				r, n, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n
+				s, n2, err := readSLEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n2
+				if op == rawOffsetExtSF {
+					prog = append(prog, CFI{Op: CFAOffset, Reg: r, Offset: s * -dataAlign})
+				} else {
+					prog = append(prog, CFI{Op: CFADefCFA, Reg: r, Offset: s * dataAlign})
+				}
+			case rawDefCFAOfsSF:
+				s, n, err := readSLEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n
+				prog = append(prog, CFI{Op: CFADefCFAOffset, Offset: s * dataAlign})
+			case rawValOffset:
+				r, n, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n
+				f, n2, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n2
+				prog = append(prog, CFI{Op: CFAValOffset, Reg: r, Offset: int64(f) * dataAlign})
+			case rawValOffsetSF:
+				r, n, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n
+				s, n2, err := readSLEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n2
+				prog = append(prog, CFI{Op: CFAValOffset, Reg: r, Offset: s * dataAlign})
+			case rawValExpr:
+				r, n, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n
+				ln, n2, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n2
+				if ln > uint64(len(b)-i) {
+					return nil, ErrTruncated
+				}
+				prog = append(prog, CFI{Op: CFAValExpression, Reg: r, Expr: append([]byte(nil), b[i:i+int(ln)]...)})
+				i += int(ln)
+			case rawGNUArgsSize:
+				sz, n, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n
+				prog = append(prog, CFI{Op: CFAGNUArgsSize, Offset: int64(sz)})
+			case rawGNUWinSave:
+				prog = append(prog, CFI{Op: CFAGNUWindowSave})
+			case rawGNUNegOfs:
+				// Obsolete GNU form: the factored offset is subtracted,
+				// the negation of offset_extended.
+				r, n, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n
+				f, n2, err := readULEB(b[i:])
+				if err != nil {
+					return nil, err
+				}
+				i += n2
+				prog = append(prog, CFI{Op: CFAOffset, Reg: r, Offset: int64(f) * dataAlign})
 			case rawDefCFAExpr:
 				ln, n, err := readULEB(b[i:])
 				if err != nil {
@@ -343,7 +491,7 @@ func decodeCFIs(b []byte, codeAlign uint64, dataAlign int64) ([]CFI, error) {
 				prog = append(prog, CFI{Op: CFAExpression, Reg: r, Expr: append([]byte(nil), b[i:i+int(ln)]...)})
 				i += int(ln)
 			default:
-				return nil, fmt.Errorf("ehframe: unknown CFI opcode %#x", op)
+				return nil, fmt.Errorf("%w: unknown CFI opcode %#x", ErrUnsupported, op)
 			}
 		}
 	}

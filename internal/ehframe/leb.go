@@ -17,6 +17,12 @@ import "errors"
 // the end of its buffer.
 var ErrTruncated = errors.New("ehframe: truncated data")
 
+// ErrUnsupported marks a well-framed entry that uses a feature the
+// codec does not understand (unknown CFI opcode, unsupported pointer
+// encoding or CIE version). Decode skips such entries with a
+// DecodeStats record instead of failing the whole section.
+var ErrUnsupported = errors.New("ehframe: unsupported feature")
+
 // appendULEB appends an unsigned LEB128 value.
 func appendULEB(b []byte, v uint64) []byte {
 	for {

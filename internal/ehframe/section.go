@@ -2,6 +2,7 @@ package ehframe
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -55,6 +56,31 @@ func (f *FDE) End() uint64 { return f.PCBegin + f.PCRange }
 // Covers reports whether addr falls inside the FDE's range.
 func (f *FDE) Covers(addr uint64) bool { return addr >= f.PCBegin && addr < f.End() }
 
+// DecodeStats counts what Decode saw beyond the entries it returned.
+// Real toolchains emit encodings the synthetic lane never produces —
+// 64-bit DWARF initial lengths, vendor CFI opcodes, exotic pointer
+// encodings — and an analysis over real binaries needs to know how
+// much of the section it actually understood.
+type DecodeStats struct {
+	// Entries counts every non-terminator entry encountered (CIEs and
+	// FDEs, decoded or skipped).
+	Entries int
+	// DWARF64 counts entries framed with the 64-bit DWARF initial
+	// length (0xffffffff escape + 8-byte length). They are parsed like
+	// 32-bit entries; the counter records that the path was exercised.
+	DWARF64 int
+	// SkippedCIEs counts CIEs dropped because they use a feature the
+	// codec does not support (unknown CFI opcode, unsupported
+	// version). Structurally malformed entries are still hard errors.
+	SkippedCIEs int
+	// SkippedFDEs counts FDEs dropped for the same reason, including
+	// FDEs whose owning CIE was itself skipped.
+	SkippedFDEs int
+}
+
+// Skipped reports whether any entry was dropped as unsupported.
+func (d DecodeStats) Skipped() bool { return d.SkippedCIEs+d.SkippedFDEs > 0 }
+
 // Section is a decoded (or to-be-encoded) .eh_frame section.
 type Section struct {
 	// Addr is the virtual address where the section is (or will be)
@@ -62,6 +88,9 @@ type Section struct {
 	Addr uint64
 	CIEs []*CIE
 	FDEs []*FDE
+	// Stats describes what Decode understood; zero for sections built
+	// programmatically.
+	Stats DecodeStats
 }
 
 // FunctionStarts returns the sorted-by-position list of PC Begin values,
@@ -174,34 +203,70 @@ func (s *Section) Encode() ([]byte, error) {
 }
 
 // Decode parses a .eh_frame section mapped at addr.
+//
+// Structural damage — lengths that overrun the section, truncated
+// bodies, FDEs pointing at byte offsets where no CIE starts — is a
+// hard error: the framing itself cannot be trusted past it. An entry
+// that is well-framed but uses a feature the codec does not support
+// (an unknown CFI opcode, an exotic pointer encoding, an unsupported
+// CIE version) is skipped instead, with the drop recorded in
+// Section.Stats, so one vendor extension in one object file no longer
+// aborts the analysis of a whole real binary.
 func Decode(data []byte, addr uint64) (*Section, error) {
 	s := &Section{Addr: addr}
+	// cies maps entry offset to the decoded CIE; a nil value marks a
+	// CIE that was skipped as unsupported, so its FDEs skip too rather
+	// than failing as orphans.
 	cies := make(map[int]*CIE)
 	i := 0
 	for i+4 <= len(data) {
-		length := binary.LittleEndian.Uint32(data[i:])
+		length := uint64(binary.LittleEndian.Uint32(data[i:]))
 		if length == 0 {
 			break // terminator
 		}
-		if length == 0xFFFFFFFF {
-			return nil, fmt.Errorf("ehframe: 64-bit DWARF format not supported")
-		}
 		start := i
 		i += 4
-		if length < 4 {
+		idSize := 4 // bytes of the CIE-id/pointer field
+		dwarf64 := false
+		if length == 0xFFFFFFFF {
+			// 64-bit DWARF initial length: the real length follows as
+			// a uint64, and the id field widens to 8 bytes.
+			if i+8 > len(data) {
+				return nil, fmt.Errorf("ehframe: entry at %#x: 64-bit length field: %w", start, ErrTruncated)
+			}
+			length = binary.LittleEndian.Uint64(data[i:])
+			i += 8
+			idSize = 8
+			dwarf64 = true
+		}
+		if length < uint64(idSize) {
 			// The body must at least hold the CIE-id/pointer field.
 			return nil, fmt.Errorf("ehframe: entry at %#x has length %d: %w", start, length, ErrTruncated)
 		}
-		if i+int(length) > len(data) {
+		if length > uint64(len(data)-i) {
 			return nil, ErrTruncated
 		}
 		body := data[i : i+int(length)]
 		i += int(length)
+		s.Stats.Entries++
+		if dwarf64 {
+			s.Stats.DWARF64++
+		}
 
-		id := binary.LittleEndian.Uint32(body)
+		var id uint64
+		if idSize == 8 {
+			id = binary.LittleEndian.Uint64(body)
+		} else {
+			id = uint64(binary.LittleEndian.Uint32(body))
+		}
 		if id == 0 {
-			cie, err := decodeCIE(body[4:])
-			if err != nil {
+			cie, err := decodeCIE(body[idSize:])
+			switch {
+			case errors.Is(err, ErrUnsupported):
+				cies[start] = nil
+				s.Stats.SkippedCIEs++
+				continue
+			case err != nil:
 				return nil, fmt.Errorf("ehframe: CIE at %#x: %w", start, err)
 			}
 			cies[start] = cie
@@ -209,13 +274,24 @@ func Decode(data []byte, addr uint64) (*Section, error) {
 			continue
 		}
 		// FDE: id is the back-distance from the id field to the CIE.
-		ciePtr := start + 4 - int(id)
+		ciePtr := start + (i - start - len(body)) - int(id)
 		cie, ok := cies[ciePtr]
 		if !ok {
 			return nil, fmt.Errorf("ehframe: FDE at %#x references unknown CIE %#x", start, ciePtr)
 		}
-		fde, err := decodeFDE(body[4:], cie, addr+uint64(start)+8)
-		if err != nil {
+		if cie == nil {
+			// The owning CIE was skipped as unsupported; the FDE's
+			// pointer encoding and program are uninterpretable.
+			s.Stats.SkippedFDEs++
+			continue
+		}
+		pcFieldAddr := addr + uint64(i-len(body)) + uint64(idSize)
+		fde, err := decodeFDE(body[idSize:], cie, pcFieldAddr)
+		switch {
+		case errors.Is(err, ErrUnsupported):
+			s.Stats.SkippedFDEs++
+			continue
+		case err != nil:
 			return nil, fmt.Errorf("ehframe: FDE at %#x: %w", start, err)
 		}
 		s.FDEs = append(s.FDEs, fde)
@@ -229,7 +305,7 @@ func decodeCIE(b []byte) (*CIE, error) {
 	}
 	version := b[0]
 	if version != 1 && version != 3 {
-		return nil, fmt.Errorf("unsupported CIE version %d", version)
+		return nil, fmt.Errorf("%w: CIE version %d", ErrUnsupported, version)
 	}
 	i := 1
 	augStart := i
@@ -318,30 +394,94 @@ func pointerSize(enc byte) int {
 	return 8
 }
 
+// peFormatSize returns the byte width of a fixed-size DW_EH_PE format
+// nibble, or 0 when the format is variable-length or unknown.
+func peFormatSize(enc byte) int {
+	switch enc & 0x0F {
+	case 0x00, 0x04, 0x0C: // absptr, udata8, sdata8
+		return 8
+	case 0x02, 0x0A: // udata2, sdata2
+		return 2
+	case 0x03, 0x0B: // udata4, sdata4
+		return 4
+	}
+	return 0
+}
+
+// peSigned reports whether the format nibble is sign-extended.
+func peSigned(enc byte) bool {
+	switch enc & 0x0F {
+	case 0x09, 0x0A, 0x0B, 0x0C: // sleb128, sdata2, sdata4, sdata8
+		return true
+	}
+	return false
+}
+
+// readEncodedPC reads one DW_EH_PE-encoded code pointer. fieldAddr is
+// the virtual address of the field, for pcrel application. Indirect,
+// datarel, and aligned applications are not resolvable from the
+// section alone and come back ErrUnsupported.
+func readEncodedPC(b []byte, enc byte, fieldAddr uint64) (uint64, int, error) {
+	if enc&0x80 != 0 { // DW_EH_PE_indirect
+		return 0, 0, fmt.Errorf("%w: indirect pointer encoding %#x", ErrUnsupported, enc)
+	}
+	size := peFormatSize(enc)
+	if size == 0 {
+		return 0, 0, fmt.Errorf("%w: pointer encoding %#x", ErrUnsupported, enc)
+	}
+	if len(b) < size {
+		return 0, 0, ErrTruncated
+	}
+	var v uint64
+	switch size {
+	case 2:
+		v = uint64(binary.LittleEndian.Uint16(b))
+		if peSigned(enc) {
+			v = uint64(int64(int16(v)))
+		}
+	case 4:
+		v = uint64(binary.LittleEndian.Uint32(b))
+		if peSigned(enc) {
+			v = uint64(int64(int32(v)))
+		}
+	case 8:
+		v = binary.LittleEndian.Uint64(b)
+	}
+	switch enc & 0x70 {
+	case 0x00: // absolute
+	case PEPCRel:
+		v = fieldAddr + v // two's complement: signed add ≡ unsigned add
+	default:
+		return 0, 0, fmt.Errorf("%w: pointer application %#x", ErrUnsupported, enc)
+	}
+	return v, size, nil
+}
+
 // decodeFDE parses an FDE body; pcFieldAddr is the virtual address of
 // the PC Begin field (needed for pcrel encodings).
 func decodeFDE(b []byte, cie *CIE, pcFieldAddr uint64) (*FDE, error) {
 	f := &FDE{CIE: cie}
-	i := 0
-	switch cie.FDEEnc {
-	case PEPCRelSData4:
-		if len(b) < 8 {
-			return nil, ErrTruncated
-		}
-		rel := int32(binary.LittleEndian.Uint32(b))
-		f.PCBegin = uint64(int64(pcFieldAddr) + int64(rel))
-		f.PCRange = uint64(binary.LittleEndian.Uint32(b[4:]))
-		i = 8
-	case PEAbsptr:
-		if len(b) < 16 {
-			return nil, ErrTruncated
-		}
-		f.PCBegin = binary.LittleEndian.Uint64(b)
-		f.PCRange = binary.LittleEndian.Uint64(b[8:])
-		i = 16
-	default:
-		return nil, fmt.Errorf("unsupported FDE pointer encoding %#x", cie.FDEEnc)
+	begin, n, err := readEncodedPC(b, cie.FDEEnc, pcFieldAddr)
+	if err != nil {
+		return nil, err
 	}
+	f.PCBegin = begin
+	i := n
+	// The range field reuses the format nibble but is always an
+	// unsigned extent, never pcrel-adjusted.
+	size := peFormatSize(cie.FDEEnc)
+	if len(b) < i+size {
+		return nil, ErrTruncated
+	}
+	switch size {
+	case 2:
+		f.PCRange = uint64(binary.LittleEndian.Uint16(b[i:]))
+	case 4:
+		f.PCRange = uint64(binary.LittleEndian.Uint32(b[i:]))
+	case 8:
+		f.PCRange = binary.LittleEndian.Uint64(b[i:])
+	}
+	i += size
 	augLen, n, err := readULEB(b[i:])
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"debug/elf"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -245,19 +246,55 @@ func LoadELF(data []byte) (*Image, error) {
 			Flags: flags,
 		})
 	}
+	// A missing .symtab is normal (stripped binary); a symtab that is
+	// present but unparseable is not — swallowing that error made a
+	// corrupt table indistinguishable from a stripped binary.
 	syms, err := f.Symbols()
-	if err == nil {
-		for _, sym := range syms {
-			if sym.Name == "" {
-				continue
-			}
-			im.Symbols = append(im.Symbols, Symbol{
-				Name: sym.Name,
-				Addr: sym.Value,
-				Size: sym.Size,
-				Func: elf.ST_TYPE(sym.Info) == elf.STT_FUNC,
-			})
+	if err != nil && !errors.Is(err, elf.ErrNoSymbols) {
+		return nil, fmt.Errorf("elfx: .symtab: %w", err)
+	}
+	for _, sym := range syms {
+		if sym.Name == "" {
+			continue
 		}
+		im.Symbols = append(im.Symbols, Symbol{
+			Name: sym.Name,
+			Addr: sym.Value,
+			Size: sym.Size,
+			Func: elf.ST_TYPE(sym.Info) == elf.STT_FUNC,
+		})
+	}
+	// Dynamic symbols survive stripping, so PIE system binaries with
+	// no .symtab still yield partial truth. Only defined symbols are
+	// taken (imports carry no address), deduplicated against .symtab.
+	seen := make(map[symKey]bool, len(im.Symbols))
+	for _, s := range im.Symbols {
+		seen[symKey{s.Name, s.Addr}] = true
+	}
+	dsyms, err := f.DynamicSymbols()
+	if err != nil && !errors.Is(err, elf.ErrNoSymbols) {
+		return nil, fmt.Errorf("elfx: .dynsym: %w", err)
+	}
+	for _, sym := range dsyms {
+		if sym.Name == "" || sym.Section == elf.SHN_UNDEF {
+			continue
+		}
+		if seen[symKey{sym.Name, sym.Value}] {
+			continue
+		}
+		im.Symbols = append(im.Symbols, Symbol{
+			Name: sym.Name,
+			Addr: sym.Value,
+			Size: sym.Size,
+			Func: elf.ST_TYPE(sym.Info) == elf.STT_FUNC,
+			Dyn:  true,
+		})
 	}
 	return im, nil
+}
+
+// symKey identifies a symbol for .symtab/.dynsym deduplication.
+type symKey struct {
+	name string
+	addr uint64
 }

@@ -8,6 +8,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 )
 
 // SectionFlags describe mapping permissions of a section.
@@ -40,6 +42,11 @@ type Symbol struct {
 	Addr uint64
 	Size uint64
 	Func bool
+	// Dyn marks symbols ingested from .dynsym rather than .symtab.
+	// Stripped system binaries keep their dynamic symbols, so these
+	// provide partial ground truth when .symtab is gone; WriteELF
+	// serializes every symbol into .symtab regardless.
+	Dyn bool
 }
 
 // Image is a loaded or synthesized binary.
@@ -53,6 +60,15 @@ type Image struct {
 	// addresses are the link-time ones either way; the flag only
 	// selects the ELF type on write.
 	PIE bool
+
+	// secIdx caches the sorted-range section index behind the address
+	// queries (SectionAt, IsExec, IsMapped, Bytes). It is accessed
+	// with sync/atomic so concurrent readers (sharded analysis walks)
+	// may share one image, and it revalidates against the identity of
+	// the Sections slice, so appending or replacing Sections
+	// invalidates it automatically. Replacing an element of the slice
+	// in place does not; no builder in this codebase does that.
+	secIdx unsafe.Pointer // *sectionIndex
 }
 
 // Section returns the section with the given name, if present.
@@ -65,12 +81,107 @@ func (im *Image) Section(name string) (*Section, bool) {
 	return nil, false
 }
 
-// SectionAt returns the section containing addr, if any.
-func (im *Image) SectionAt(addr uint64) (*Section, bool) {
-	for _, s := range im.Sections {
-		if s.Contains(addr) {
-			return s, true
+// sectionIndex is a binary-searchable snapshot of the image's
+// non-empty sections, sorted by address. Synthetic images have a
+// handful of sections, but real binaries carry 25+ and the address
+// queries run once per decoded instruction — the linear scans they
+// replaced dominated decode profiles on real inputs.
+type sectionIndex struct {
+	// from is the exact Sections slice the index was built over; the
+	// index is valid only while the image still holds that slice
+	// (same length and same backing array).
+	from []*Section
+	// linear marks images with overlapping sections, where a sorted
+	// lookup could disagree with first-match-in-slice-order semantics;
+	// queries fall back to the reference linear scan.
+	linear bool
+	starts []uint64
+	secs   []*Section
+}
+
+// valid reports whether the index still describes secs.
+func (ix *sectionIndex) valid(secs []*Section) bool {
+	if len(ix.from) != len(secs) {
+		return false
+	}
+	return len(secs) == 0 || &ix.from[0] == &secs[0]
+}
+
+// buildSectionIndex sorts the non-empty sections by address. Zero-length
+// sections can never contain an address, so they are dropped; any
+// overlap among the rest (including two non-empty sections at one
+// address) forces the linear fallback.
+func buildSectionIndex(secs []*Section) *sectionIndex {
+	ix := &sectionIndex{from: secs}
+	for _, s := range secs {
+		if len(s.Data) > 0 {
+			ix.secs = append(ix.secs, s)
 		}
+	}
+	sort.SliceStable(ix.secs, func(i, j int) bool { return ix.secs[i].Addr < ix.secs[j].Addr })
+	for i, s := range ix.secs {
+		if i > 0 && ix.secs[i-1].End() > s.Addr {
+			ix.linear = true
+			ix.secs, ix.starts = nil, nil
+			return ix
+		}
+		ix.starts = append(ix.starts, s.Addr)
+	}
+	return ix
+}
+
+// index returns the current section index, rebuilding it when the
+// Sections slice changed. Concurrent callers may race on the rebuild;
+// the build is deterministic, so whichever snapshot lands last is
+// equivalent.
+func (im *Image) index() *sectionIndex {
+	if p := (*sectionIndex)(atomic.LoadPointer(&im.secIdx)); p != nil && p.valid(im.Sections) {
+		return p
+	}
+	return im.rebuildIndex()
+}
+
+// rebuildIndex is the slow path of index, kept out of line so the
+// validity check inlines into the address queries.
+func (im *Image) rebuildIndex() *sectionIndex {
+	p := buildSectionIndex(im.Sections)
+	atomic.StorePointer(&im.secIdx, unsafe.Pointer(p))
+	return p
+}
+
+// SectionAt returns the section containing addr, if any. The binary
+// search is open-coded in the one function body: this runs per decoded
+// instruction and per candidate pointer word, where the call overhead
+// of a sort.Search-style helper chain is larger than the lookup.
+func (im *Image) SectionAt(addr uint64) (*Section, bool) {
+	ix := (*sectionIndex)(atomic.LoadPointer(&im.secIdx))
+	if ix == nil || !ix.valid(im.Sections) {
+		ix = im.rebuildIndex()
+	}
+	if ix.linear {
+		for _, s := range im.Sections {
+			if s.Contains(addr) {
+				return s, true
+			}
+		}
+		return nil, false
+	}
+	// The only candidate is the last section starting at or before addr.
+	starts := ix.starts
+	lo, hi := 0, len(starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil, false
+	}
+	if s := ix.secs[lo-1]; s.Contains(addr) {
+		return s, true
 	}
 	return nil, false
 }

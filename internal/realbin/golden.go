@@ -1,0 +1,81 @@
+package realbin
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Floor is the minimum acceptable score of one binary under one
+// strategy. Floors, not exact pins: real-toolchain output varies
+// across compiler versions, so the golden file encodes "never worse
+// than" thresholds rather than byte-exact expectations.
+type Floor struct {
+	// Strategy to check; empty means "FETCH".
+	Strategy     string  `json:"strategy,omitempty"`
+	MinPrecision float64 `json:"min_precision"`
+	MinRecall    float64 `json:"min_recall"`
+}
+
+// Golden maps binary names (as reported, e.g. corpus file basenames)
+// to their score floors.
+type Golden map[string][]Floor
+
+// LoadGolden reads a golden floor file.
+func LoadGolden(path string) (Golden, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Golden
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("realbin: golden %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Check compares a corpus run against the floors. Every violation is
+// one string: a golden-listed binary that is missing, failed, was
+// skipped, or scored below a floor. An empty result means the run
+// holds the line.
+func (g Golden) Check(rep *CorpusReport) []string {
+	byName := make(map[string]*BinaryReport, len(rep.Binaries))
+	for _, b := range rep.Binaries {
+		byName[b.Name] = b
+	}
+	var bad []string
+	for name, floors := range g {
+		b, ok := byName[name]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("%s: not in run", name))
+			continue
+		case b.Err != "":
+			bad = append(bad, fmt.Sprintf("%s: failed: %s", name, b.Err))
+			continue
+		case !b.Evaluated():
+			bad = append(bad, fmt.Sprintf("%s: skipped: %s", name, b.Skip))
+			continue
+		}
+		for _, fl := range floors {
+			strat := fl.Strategy
+			if strat == "" {
+				strat = "FETCH"
+			}
+			s, ok := b.Score(strat)
+			if !ok {
+				bad = append(bad, fmt.Sprintf("%s: no %s score", name, strat))
+				continue
+			}
+			if s.Precision < fl.MinPrecision {
+				bad = append(bad, fmt.Sprintf("%s: %s precision %.4f < floor %.4f",
+					name, strat, s.Precision, fl.MinPrecision))
+			}
+			if s.Recall < fl.MinRecall {
+				bad = append(bad, fmt.Sprintf("%s: %s recall %.4f < floor %.4f",
+					name, strat, s.Recall, fl.MinRecall))
+			}
+		}
+	}
+	return bad
+}

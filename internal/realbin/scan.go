@@ -1,0 +1,84 @@
+package realbin
+
+import (
+	"encoding/binary"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ScanResult is the outcome of a host-directory walk: the candidate
+// ELF files worth evaluating, plus counters for everything passed
+// over. The walk itself never fails on a single bad entry —
+// unreadable files and directories are counted and skipped.
+type ScanResult struct {
+	Candidates []string `json:"candidates"`
+	// NonELF counts regular files that are not 64-bit little-endian
+	// x86-64 ELFs (scripts, 32-bit binaries, data).
+	NonELF int `json:"non_elf"`
+	// TooLarge counts ELFs above the size cap.
+	TooLarge int `json:"too_large"`
+	// Unreadable counts entries stat/open refused.
+	Unreadable int `json:"unreadable"`
+}
+
+// isX64ELF sniffs the 20-byte header prefix for a 64-bit LE x86-64
+// ELF, without parsing the file.
+func isX64ELF(hdr []byte) bool {
+	return len(hdr) >= 20 &&
+		hdr[0] == 0x7F && hdr[1] == 'E' && hdr[2] == 'L' && hdr[3] == 'F' &&
+		hdr[4] == 2 && // ELFCLASS64
+		hdr[5] == 1 && // little-endian
+		binary.LittleEndian.Uint16(hdr[18:]) == 0x3E // EM_X86_64
+}
+
+// Scan walks directories for evaluable binaries. maxBytes > 0 skips
+// larger files; symlinks are not followed (system bin dirs alias the
+// same binary many times). Stripped binaries are still candidates —
+// whether truth is derivable is only known after a full load, so that
+// skip happens at evaluation time.
+func Scan(dirs []string, maxBytes int64) *ScanResult {
+	res := &ScanResult{}
+	var hdr [20]byte
+	for _, dir := range dirs {
+		// The walk function swallows per-entry errors by design: one
+		// unreadable subtree must not abort a host scan.
+		_ = filepath.Walk(dir, func(path string, fi fs.FileInfo, err error) error {
+			if err != nil {
+				res.Unreadable++
+				return nil
+			}
+			if !fi.Mode().IsRegular() {
+				return nil
+			}
+			if maxBytes > 0 && fi.Size() > maxBytes {
+				if f, err := os.Open(path); err == nil {
+					if n, _ := io.ReadFull(f, hdr[:]); n == len(hdr) && isX64ELF(hdr[:]) {
+						res.TooLarge++
+					} else {
+						res.NonELF++
+					}
+					f.Close()
+				} else {
+					res.Unreadable++
+				}
+				return nil
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				res.Unreadable++
+				return nil
+			}
+			n, _ := io.ReadFull(f, hdr[:])
+			f.Close()
+			if n < len(hdr) || !isX64ELF(hdr[:]) {
+				res.NonELF++
+				return nil
+			}
+			res.Candidates = append(res.Candidates, path)
+			return nil
+		})
+	}
+	return res
+}

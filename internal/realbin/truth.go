@@ -1,0 +1,185 @@
+// Package realbin evaluates the pipeline on real, unstripped x64 ELF
+// binaries by making them self-validating: the symbol information the
+// binary itself ships (.symtab, Go's .gopclntab, or — partially —
+// .dynsym) is the ground truth, a stripped copy of the same image is
+// the input, and internal/metrics scores the detections exactly as the
+// synthetic lane does. The paper builds its dataset by intercepting
+// the compiler; this lane is the closest equivalent available for
+// binaries we did not build, and it is where decoder assumptions meet
+// encodings real toolchains actually emit.
+package realbin
+
+import (
+	"debug/gosym"
+	"fmt"
+	"strings"
+
+	"fetch/internal/elfx"
+	"fetch/internal/groundtruth"
+)
+
+// Truth sources, strongest first. The precedence is pclntab > symtab >
+// dynsym: the Go runtime's function table is authoritative for Go
+// binaries (assembly helpers included), .symtab is complete for normal
+// unstripped binaries, and .dynsym survives stripping but only names
+// exported functions, so truth derived from it is partial.
+const (
+	SourcePclntab = "pclntab"
+	SourceSymtab  = "symtab"
+	SourceDynsym  = "dynsym"
+	SourceNone    = "none"
+)
+
+// TruthInfo describes where a binary's ground truth came from.
+type TruthInfo struct {
+	// Source is one of the Source* constants.
+	Source string `json:"source"`
+	// Partial marks truth that understates the real function set
+	// (dynsym-only). False-positive counts against partial truth are
+	// upper bounds: a "false" positive may be a real unexported
+	// function, so precision floors must be read accordingly.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// partBase splits a non-contiguous-part symbol name ("f.cold",
+// "f.cold.3", "f.part.2") into its parent function name. Isolated
+// clones like "f.isra.0" or "f.constprop.1" are NOT parts — they are
+// real functions with their own entry — so only the GCC/Clang cold /
+// part spellings count.
+func partBase(name string) (string, bool) {
+	for _, marker := range []string{".cold", ".part."} {
+		if i := strings.Index(name, marker); i > 0 {
+			rest := name[i+len(marker):]
+			if marker == ".cold" && rest != "" && !strings.HasPrefix(rest, ".") {
+				continue // e.g. ".coldfn" — not the marker
+			}
+			return name[:i], true
+		}
+	}
+	return "", false
+}
+
+// DeriveTruth extracts function-start ground truth from an unstripped
+// image, using the strongest source present. A binary with no usable
+// source returns Source "none" and a nil truth — callers treat that as
+// "skip", not as an error, since stripped system binaries are expected
+// in scan mode.
+func DeriveTruth(im *elfx.Image) (*groundtruth.Truth, TruthInfo) {
+	if t := pclntabTruth(im); t != nil && len(t.Funcs) > 0 {
+		return t, TruthInfo{Source: SourcePclntab}
+	}
+	if t := symbolTruth(im, false); t != nil && len(t.Funcs) > 0 {
+		return t, TruthInfo{Source: SourceSymtab}
+	}
+	if t := symbolTruth(im, true); t != nil && len(t.Funcs) > 0 {
+		return t, TruthInfo{Source: SourceDynsym, Partial: true}
+	}
+	return nil, TruthInfo{Source: SourceNone}
+}
+
+// pclntabTruth derives truth from a Go binary's runtime function
+// table. It is authoritative when present: every function the runtime
+// can unwind is listed, including assembly routines with no DWARF.
+// debug/gosym parses attacker-ish inputs in scan mode, so a panic
+// inside it degrades to "no pclntab truth" instead of killing the run.
+func pclntabTruth(im *elfx.Image) (t *groundtruth.Truth) {
+	defer func() {
+		if recover() != nil {
+			t = nil
+		}
+	}()
+	pcln, ok := im.Section(".gopclntab")
+	if !ok {
+		return nil
+	}
+	text, ok := im.Section(".text")
+	if !ok {
+		return nil
+	}
+	tab, err := gosym.NewTable(nil, gosym.NewLineTable(pcln.Data, text.Addr))
+	if err != nil {
+		return nil
+	}
+	t = &groundtruth.Truth{}
+	seen := make(map[uint64]bool, len(tab.Funcs))
+	for i := range tab.Funcs {
+		fn := &tab.Funcs[i]
+		if seen[fn.Entry] || !im.IsExec(fn.Entry) {
+			continue
+		}
+		seen[fn.Entry] = true
+		t.Funcs = append(t.Funcs, groundtruth.Func{
+			Name:  fn.Name,
+			Addr:  fn.Entry,
+			Size:  fn.End - fn.Entry,
+			Class: groundtruth.ClassNormal,
+		})
+	}
+	return t
+}
+
+// symbolTruth derives truth from the symbol table: function symbols in
+// executable sections, with cold/part symbols recorded as
+// non-contiguous Parts (detecting one is a false positive, same as the
+// synthetic lane). dyn selects the .dynsym-sourced subset instead of
+// .symtab.
+func symbolTruth(im *elfx.Image, dyn bool) *groundtruth.Truth {
+	t := &groundtruth.Truth{}
+	byName := make(map[string]uint64)
+	seen := make(map[uint64]bool)
+	type part struct {
+		name string
+		addr uint64
+		size uint64
+		base string
+	}
+	var parts []part
+	for _, s := range im.Symbols {
+		if s.Dyn != dyn || !s.Func || !im.IsExec(s.Addr) {
+			continue
+		}
+		if base, isPart := partBase(s.Name); isPart {
+			parts = append(parts, part{name: s.Name, addr: s.Addr, size: s.Size, base: base})
+			continue
+		}
+		if seen[s.Addr] {
+			continue // aliases: first name wins
+		}
+		seen[s.Addr] = true
+		byName[s.Name] = s.Addr
+		t.Funcs = append(t.Funcs, groundtruth.Func{
+			Name:  s.Name,
+			Addr:  s.Addr,
+			Size:  s.Size,
+			Class: groundtruth.ClassNormal,
+		})
+	}
+	partSeen := make(map[uint64]bool)
+	for _, p := range parts {
+		// A part whose address doubles as a true start (ICF folding)
+		// stays a start; and parts dedup among themselves too.
+		if seen[p.addr] || partSeen[p.addr] {
+			continue
+		}
+		partSeen[p.addr] = true
+		t.Parts = append(t.Parts, groundtruth.Part{
+			Name:   p.name,
+			Addr:   p.addr,
+			Size:   p.size,
+			Parent: byName[p.base],
+		})
+	}
+	return t
+}
+
+// describeTruth renders a one-line provenance summary for reports.
+func describeTruth(info TruthInfo, t *groundtruth.Truth) string {
+	if t == nil {
+		return "none"
+	}
+	s := fmt.Sprintf("%s (%d funcs, %d parts)", info.Source, len(t.Funcs), len(t.Parts))
+	if info.Partial {
+		s += " [partial]"
+	}
+	return s
+}
