@@ -183,6 +183,16 @@ func (c *Cache) Analyze(data []byte, opts ...Option) (res *Result, cached bool, 
 	return analyzeCached(data, o)
 }
 
+// AnalyzeFile is Analyze for a binary on disk, through the file-backed
+// image path: the cache key is a streaming hash and a miss analyzes an
+// mmap-backed image instead of buffering the file. Servers use it to
+// analyze spooled uploads without holding binary bytes on the heap.
+func (c *Cache) AnalyzeFile(path string, opts ...Option) (res *Result, cached bool, err error) {
+	o := buildOptions(opts)
+	o.Cache = c
+	return analyzeFilePath(path, o)
+}
+
 // lookup returns the decoded entry for a key, if present and valid.
 func (c *Cache) lookup(k resultcache.Key) (*Result, bool) {
 	blob, ok := c.rc.Get(k)

@@ -8,7 +8,7 @@
 //	fetchd [-addr :8421] [-jobs N] [-intra-jobs N] [-max-queued N]
 //	       [-queue-timeout D] [-cache-entries N] [-cache-dir DIR]
 //	       [-cache-max-bytes N]
-//	       [-max-upload BYTES] [-log-format text|json|none]
+//	       [-max-upload BYTES] [-spool-dir DIR] [-log-format text|json|none]
 //
 // Endpoints (documented with examples in docs/API.md):
 //
@@ -26,8 +26,11 @@
 // beyond both bounds are rejected immediately with 429 and a
 // Retry-After hint. -intra-jobs > 1 additionally shards each admitted
 // analysis inside the binary (same output, more cores per request).
-// -cache-dir persists results across restarts. -log-format selects the
-// structured access-log encoding on stderr. On SIGINT/SIGTERM the
+// -cache-dir persists results across restarts. Uploads stream to temp
+// files under -spool-dir (system temp dir by default) and are analyzed
+// file-backed, so accepting a large binary never buffers it on the
+// heap. -log-format selects the structured access-log encoding on
+// stderr. On SIGINT/SIGTERM the
 // server stops accepting connections and drains in-flight requests
 // before exiting.
 package main
@@ -107,6 +110,7 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (empty = memory only)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "disk cache byte budget, oldest entries evicted first (0 = unbounded)")
 	maxUpload := fs.Int64("max-upload", service.DefaultMaxUploadBytes, "max accepted binary size in bytes")
+	spoolDir := fs.String("spool-dir", "", "upload spool directory (empty = system temp dir)")
 	logFormat := fs.String("log-format", "text", "access log encoding: text, json, or none")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +140,7 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 		MaxQueued:      *maxQueued,
 		QueueTimeout:   *queueTimeout,
 		MaxUploadBytes: *maxUpload,
+		SpoolDir:       *spoolDir,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -169,9 +174,9 @@ func run(args []string, errW io.Writer, ready chan<- string) error {
 	go func() { errc <- srv.Serve(ln) }()
 	// Log the RESOLVED configuration — what the server actually runs
 	// with — not the raw flag values (jobs=0 resolves to one per CPU).
-	fmt.Fprintf(out, "fetchd: listening on %s (jobs=%d, intra-jobs=%d, max-queued=%d, queue-timeout=%s, max-upload=%d, cache=%d entries, dir=%q, log-format=%s)\n",
+	fmt.Fprintf(out, "fetchd: listening on %s (jobs=%d, intra-jobs=%d, max-queued=%d, queue-timeout=%s, max-upload=%d, spool-dir=%q, cache=%d entries, dir=%q, log-format=%s)\n",
 		ln.Addr(), svc.MaxInFlight(), svc.IntraJobs(), svc.MaxQueued(),
-		svc.QueueTimeout(), svc.MaxUploadBytes(), *cacheEntries, *cacheDir, *logFormat)
+		svc.QueueTimeout(), svc.MaxUploadBytes(), svc.SpoolDir(), *cacheEntries, *cacheDir, *logFormat)
 
 	select {
 	case err := <-errc:

@@ -24,7 +24,10 @@ import (
 // Version 3 added the function-granular delta re-analysis trace
 // (stats.delta_path, stats.delta_dirty_ranges, stats.delta_total_ranges,
 // stats.delta_fallback_reason).
-const ResultSchemaVersion = 3
+//
+// Version 4 added the memory accounting of the file-backed image path
+// (stats.peak_image_bytes, stats.peak_aux_bytes).
+const ResultSchemaVersion = 4
 
 // hexAddr serializes a code address as a 0x-prefixed hex string. JSON
 // numbers are IEEE-754 doubles in most consumers, which silently
@@ -89,6 +92,9 @@ type jsonStats struct {
 	DeltaDirtyRanges    int    `json:"delta_dirty_ranges"`
 	DeltaTotalRanges    int    `json:"delta_total_ranges"`
 	DeltaFallbackReason string `json:"delta_fallback_reason"`
+
+	PeakImageBytes int64 `json:"peak_image_bytes"`
+	PeakAuxBytes   int64 `json:"peak_aux_bytes"`
 }
 
 // jsonPass is the wire form of PassStat.
@@ -161,6 +167,9 @@ func EncodeResult(res *Result) ([]byte, error) {
 			DeltaDirtyRanges:    res.Stats.DeltaDirtyRanges,
 			DeltaTotalRanges:    res.Stats.DeltaTotalRanges,
 			DeltaFallbackReason: res.Stats.DeltaFallbackReason,
+
+			PeakImageBytes: res.Stats.PeakImageBytes,
+			PeakAuxBytes:   res.Stats.PeakAuxBytes,
 		},
 	}
 	if res.Stats.Shards != nil {
@@ -245,6 +254,9 @@ func DecodeResult(data []byte) (*Result, error) {
 			DeltaDirtyRanges:    jr.Stats.DeltaDirtyRanges,
 			DeltaTotalRanges:    jr.Stats.DeltaTotalRanges,
 			DeltaFallbackReason: jr.Stats.DeltaFallbackReason,
+
+			PeakImageBytes: jr.Stats.PeakImageBytes,
+			PeakAuxBytes:   jr.Stats.PeakAuxBytes,
 		},
 	}
 	if jr.Stats.Shards != nil {

@@ -23,7 +23,7 @@ func main() {
 	}
 
 	eh, _ := img.Section(".eh_frame")
-	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	sec, err := ehframe.Decode(eh.Bytes(), eh.Addr)
 	if err != nil {
 		log.Fatal(err)
 	}

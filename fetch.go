@@ -35,7 +35,6 @@ package fetch
 import (
 	"context"
 	"fmt"
-	"os"
 	"time"
 
 	"fetch/internal/core"
@@ -143,6 +142,18 @@ type Stats struct {
 	DeltaDirtyRanges    int
 	DeltaTotalRanges    int
 	DeltaFallbackReason string
+
+	// PeakImageBytes is the section content the analysis held on the
+	// Go heap: the whole binary for buffered images (Analyze), only
+	// materialized copies for file-backed ones (AnalyzeFile serves
+	// executable sections zero-copy from an mmap). PeakAuxBytes is the
+	// high-water accounted estimate of analysis data structures
+	// (owner-index chunks, decode cache, data-pointer index) at
+	// documented per-entry costs. Both describe how the analysis ran,
+	// never what it found — buffered and file-backed runs differ here
+	// and nowhere else, so StripSchedule zeroes them.
+	PeakImageBytes int64
+	PeakAuxBytes   int64
 }
 
 // ShardStat is one shard slot's accumulated work across an analysis.
@@ -184,6 +195,8 @@ func StripSchedule(r *Result) *Result {
 	cp.Stats.DeltaDirtyRanges = 0
 	cp.Stats.DeltaTotalRanges = 0
 	cp.Stats.DeltaFallbackReason = ""
+	cp.Stats.PeakImageBytes = 0
+	cp.Stats.PeakAuxBytes = 0
 	return &cp
 }
 
@@ -253,13 +266,17 @@ func Analyze(elfData []byte, opts ...Option) (*Result, error) {
 	return analyzeData(elfData, buildOptions(opts))
 }
 
-// AnalyzeFile runs the FETCH pipeline on an ELF binary on disk.
+// AnalyzeFile runs the FETCH pipeline on an ELF binary on disk through
+// the file-backed image path: the binary is never materialized whole —
+// the cache key is a streaming hash, executable sections are read as
+// zero-copy windows of an mmap (pread copies where mapping is
+// unavailable), and non-executable sections the analysis never touches
+// are never read at all. The result is codec-byte-identical to
+// Analyze over the same bytes after StripSchedule (only the
+// peak-memory accounting differs).
 func AnalyzeFile(path string, opts ...Option) (*Result, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("fetch: %w", err)
-	}
-	return analyzeData(data, buildOptions(opts))
+	res, _, err := analyzeFilePath(path, buildOptions(opts))
+	return res, err
 }
 
 // analyzeData is the shared analysis entry point under resolved
@@ -292,16 +309,52 @@ func analyzeCached(data []byte, o Options) (*Result, bool, error) {
 	if res, ok := o.Cache.lookup(key); ok {
 		return res, true, nil
 	}
-
 	img, err := elfx.LoadELF(data)
 	if err != nil {
 		return nil, false, err
 	}
+	return analyzeImageCached(key, img, o)
+}
+
+// analyzeFilePath is analyzeCached for on-disk binaries: the cache key
+// comes from a streaming hash (the file is never read whole), a miss
+// loads the image file-backed, and the backing is closed once the
+// pipeline finishes.
+func analyzeFilePath(path string, o Options) (*Result, bool, error) {
+	if o.Cache == nil {
+		img, err := elfx.LoadELFFile(path)
+		if err != nil {
+			return nil, false, err
+		}
+		defer img.Close()
+		res, err := analyzeImageCold(img, o)
+		return res, false, err
+	}
+	sum, err := resultcache.HashFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("fetch: %w", err)
+	}
+	key := cacheKey(sum, o.Strategy)
+	if res, ok := o.Cache.lookup(key); ok {
+		return res, true, nil
+	}
+	img, err := elfx.LoadELFFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer img.Close()
+	return analyzeImageCached(key, img, o)
+}
+
+// analyzeImageCached is the shared post-lookup tail of the cached
+// paths: try delta replay, then run cold (recording a trace when the
+// delta tier is enabled) and store.
+func analyzeImageCached(key resultcache.Key, img *elfx.Image, o Options) (*Result, bool, error) {
 	simg := img.Strip()
 
 	var sec *ehframe.Section
 	if eh, ok := simg.Section(".eh_frame"); ok {
-		sec, _ = ehframe.Decode(eh.Data, eh.Addr)
+		sec, _ = ehframe.Decode(eh.Bytes(), eh.Addr)
 	}
 	res, outcome, served := o.Cache.tryDelta(simg, sec, o)
 	if served {
@@ -316,7 +369,7 @@ func analyzeCached(data []byte, o Options) (*Result, bool, error) {
 	}
 
 	if !o.Cache.delta {
-		res, err := analyzeCold(data, o)
+		res, err := analyzeImageCold(img, o)
 		if err != nil {
 			return nil, false, err
 		}
@@ -348,6 +401,11 @@ func analyzeCold(data []byte, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return analyzeImageCold(img, o)
+}
+
+// analyzeImageCold runs the pipeline over an already-loaded image.
+func analyzeImageCold(img *elfx.Image, o Options) (*Result, error) {
 	rep, err := core.AnalyzeConfig(img.Strip(), core.Config{Strategy: o.Strategy, Jobs: o.Jobs})
 	if err != nil {
 		return nil, err
@@ -372,6 +430,8 @@ func reportToResult(rep *core.Report) *Result {
 		ShardedPasses:  rep.Stats.Disasm.ShardedPasses,
 		ShardFallbacks: rep.Stats.Disasm.ShardFallbacks,
 		MergeWall:      rep.Stats.Disasm.MergeWall,
+		PeakImageBytes: rep.Stats.PeakImageBytes,
+		PeakAuxBytes:   rep.Stats.PeakAuxBytes,
 	}
 	for _, sh := range rep.Stats.Disasm.Shards {
 		st.Shards = append(st.Shards, ShardStat{
@@ -484,15 +544,13 @@ func AnalyzeBatch(inputs []Input, opts BatchOptions) []BatchResult {
 
 	rs := pool.Map(opts.Context, opts.Jobs, uniq,
 		func(_ context.Context, _ int, in Input) (*Result, error) {
-			data := in.Data
-			if data == nil {
-				var err error
-				data, err = os.ReadFile(in.Path)
-				if err != nil {
-					return nil, fmt.Errorf("fetch: %w", err)
-				}
+			// Path items go through the file-backed path: a corpus
+			// batch never materializes whole binaries.
+			if in.Data == nil {
+				res, _, err := analyzeFilePath(in.Path, o)
+				return res, err
 			}
-			return analyzeData(data, o)
+			return analyzeData(in.Data, o)
 		})
 
 	out := make([]BatchResult, len(inputs))

@@ -62,7 +62,7 @@ func FDE(img *elfx.Image) (*Detection, error) {
 	if !ok {
 		return &Detection{Funcs: map[uint64]bool{}}, nil
 	}
-	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	sec, err := ehframe.Decode(eh.Bytes(), eh.Addr)
 	if err != nil {
 		return nil, err
 	}

@@ -87,6 +87,16 @@ type Stats struct {
 	// ran with (1 when sequential). Like wall times, it is a property
 	// of the execution, not of the analysis result.
 	Jobs int
+	// PeakImageBytes is the section content the image held on the heap
+	// by the end of the run: the whole binary for buffered images, only
+	// the materialized (pread/NOBITS) copies for file-backed ones —
+	// zero-copy mmap windows are excluded. PeakAuxBytes is the
+	// high-water accounted estimate of analysis-side data structures
+	// (owner-index chunks, decode cache, data-pointer index). Both
+	// describe the execution, not the result, and are zeroed by
+	// StripSchedule.
+	PeakImageBytes int64
+	PeakAuxBytes   int64
 }
 
 // Report is the analysis outcome.
@@ -259,6 +269,11 @@ func analyzeWith(img *elfx.Image, cfg Config, rec *recorder) (*Report, *disasm.S
 	if p.sess != nil {
 		p.rep.Stats.Disasm = p.sess.Stats()
 	}
+	p.rep.Stats.PeakImageBytes = img.MemStats().MaterializedBytes
+	p.rep.Stats.PeakAuxBytes = p.rep.Stats.Disasm.PeakAuxBytes
+	if p.dataIdx != nil {
+		p.rep.Stats.PeakAuxBytes += p.dataIdx.AccountedBytes()
+	}
 	return p.rep, p.sess, nil
 }
 
@@ -269,7 +284,11 @@ func (p *pipeline) runFDE() error {
 	if !ok {
 		return fmt.Errorf("core: binary has no .eh_frame section")
 	}
-	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	ehBody, err := eh.BytesErr()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	sec, err := ehframe.Decode(ehBody, eh.Addr)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}

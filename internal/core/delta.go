@@ -544,10 +544,19 @@ func patchImage(img *elfx.Image, roster []RangeInfo, oldRange map[int][]byte) *e
 	cp := *img
 	cp.Sections = make([]*elfx.Section, len(img.Sections))
 	for i, s := range img.Sections {
-		sc := *s
 		if s.Flags&elfx.FlagExec != 0 {
-			sc.Data = append([]byte(nil), s.Data...)
+			// A fresh in-memory section, not a struct copy: file-backed
+			// sections must not carry their lazy state alongside the
+			// patched heap copy.
+			cp.Sections[i] = &elfx.Section{
+				Name:  s.Name,
+				Addr:  s.Addr,
+				Data:  append([]byte(nil), s.Bytes()...),
+				Flags: s.Flags,
+			}
+			continue
 		}
+		sc := *s
 		cp.Sections[i] = &sc
 	}
 	for i, old := range oldRange {
@@ -556,7 +565,7 @@ func patchImage(img *elfx.Image, roster []RangeInfo, oldRange map[int][]byte) *e
 			if s.Flags&elfx.FlagExec == 0 {
 				continue
 			}
-			if start >= s.Addr && end <= s.Addr+uint64(len(s.Data)) {
+			if start >= s.Addr && end <= s.End() {
 				copy(s.Data[start-s.Addr:end-s.Addr], old)
 				break
 			}

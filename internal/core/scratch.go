@@ -24,7 +24,11 @@ func ScratchAnalyze(img *elfx.Image, strat Strategy) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: binary has no .eh_frame section")
 	}
-	sec, err := ehframe.Decode(eh.Data, eh.Addr)
+	ehBody, err := eh.BytesErr()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	sec, err := ehframe.Decode(ehBody, eh.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -337,7 +337,7 @@ func rangeInOneExecSection(img *elfx.Image, start, end uint64) bool {
 		if s.Flags&elfx.FlagExec == 0 {
 			continue
 		}
-		if start >= s.Addr && end <= s.Addr+uint64(len(s.Data)) {
+		if start >= s.Addr && end <= s.End() {
 			return true
 		}
 	}
@@ -351,8 +351,12 @@ func rangeBytes(img *elfx.Image, start, end uint64) []byte {
 		if s.Flags&elfx.FlagExec == 0 {
 			continue
 		}
-		if start >= s.Addr && end <= s.Addr+uint64(len(s.Data)) {
-			return s.Data[start-s.Addr : end-s.Addr]
+		if start >= s.Addr && end <= s.End() {
+			body := s.Bytes()
+			if body == nil {
+				return nil
+			}
+			return body[start-s.Addr : end-s.Addr]
 		}
 	}
 	return nil
@@ -383,23 +387,24 @@ func residueHash(img *elfx.Image, roster []RangeInfo) [32]byte {
 		h.writeString(s.Name)
 		h.writeU64(s.Addr)
 		h.writeU64(uint64(s.Flags))
-		h.writeU64(uint64(len(s.Data)))
+		body := s.Bytes()
+		h.writeU64(s.Size())
 		if s.Flags&elfx.FlagExec == 0 {
-			h.write(s.Data)
+			h.write(body)
 			continue
 		}
 		// Executable section: hash the bytes with roster spans carved
 		// out. Roster is sorted and non-overlapping.
 		pos := s.Addr
-		secEnd := s.Addr + uint64(len(s.Data))
+		secEnd := s.End()
 		for _, r := range roster {
 			if r.End <= pos || r.Start >= secEnd {
 				continue
 			}
-			h.write(s.Data[pos-s.Addr : r.Start-s.Addr])
+			h.write(body[pos-s.Addr : r.Start-s.Addr])
 			pos = r.End
 		}
-		h.write(s.Data[pos-s.Addr:])
+		h.write(body[pos-s.Addr:])
 	}
 	return h.sum()
 }

@@ -586,14 +586,15 @@ func BuildCoverage(facts []InstFact) *Result {
 			}
 			j++
 		}
-		sp := ownerSpan{base: base, offs: make([]int32, end-base)}
+		res.owner.spans = append(res.owner.spans, newOwnerSpan(base, int(end-base)))
+		sp := &res.owner.spans[len(res.owner.spans)-1]
 		for k := i; k < j; k++ {
-			off := int32(facts[k].Addr - base)
-			for b := int32(0); b < int32(facts[k].Len); b++ {
-				sp.offs[off+b] = off + 1
+			d := facts[k].Addr - base
+			v := int32(d) + 1
+			for b := uint64(0); b < uint64(facts[k].Len); b++ {
+				res.owner.chunk(sp, d+b)[(d+b)&ownerChunkMask] = v
 			}
 		}
-		res.owner.spans = append(res.owner.spans, sp)
 		i = j
 	}
 	return res

@@ -53,6 +53,34 @@ type Stats struct {
 	// they depend on scheduling and on the shard count, never on the
 	// analysis result.
 	Shards []ShardStat
+
+	// PeakAuxBytes is the high-water accounted estimate of one pass's
+	// auxiliary memory: owner-index chunk allocations plus the decode
+	// cache and sparse-owner entries at documented per-entry costs. It
+	// is an accounting of data-structure growth (deterministic for a
+	// given call sequence), not a heap measurement; like the decode
+	// counters it is an execution trace, so StripSchedule zeroes it.
+	PeakAuxBytes int64
+}
+
+// Accounted per-entry costs behind PeakAuxBytes: a decode-cache entry
+// is a map slot plus a heap x64.Inst; a sparse-owner entry is one
+// uint64→uint64 map slot.
+const (
+	decodeEntryCost = 160
+	sparseOwnerCost = 16
+)
+
+// notePassMem folds one finished pass's data-structure footprint into
+// the PeakAuxBytes high-water mark.
+func (s *Session) notePassMem(res *Result) {
+	aux := res.owner.alloc + int64(len(s.cache))*decodeEntryCost
+	if res.owner.m != nil {
+		aux += int64(len(res.owner.m)) * sparseOwnerCost
+	}
+	if aux > s.stats.PeakAuxBytes {
+		s.stats.PeakAuxBytes = aux
+	}
 }
 
 // ShardStat is the accumulated work of one shard slot across every
@@ -96,6 +124,11 @@ func (s *Stats) Add(other Stats) {
 			s.Shards = append(s.Shards, ShardStat{})
 		}
 		s.Shards[k].add(sh)
+	}
+	// A high-water mark merges by max: forks ran against the same
+	// budget, not after each other.
+	if other.PeakAuxBytes > s.PeakAuxBytes {
+		s.PeakAuxBytes = other.PeakAuxBytes
 	}
 }
 
@@ -236,7 +269,7 @@ func NewSession(img *elfx.Image, opts Options) *Session {
 		s.ownerProto = append(s.ownerProto, struct {
 			base uint64
 			size int
-		}{sec.Addr, len(sec.Data)})
+		}{sec.Addr, int(sec.Size())})
 	}
 	return s
 }
@@ -261,7 +294,7 @@ func (s *Session) newOwner(opts Options) ownerMap {
 	}
 	spans := make([]ownerSpan, len(s.ownerProto))
 	for i, p := range s.ownerProto {
-		spans[i] = ownerSpan{base: p.base, offs: make([]int32, p.size)}
+		spans[i] = newOwnerSpan(p.base, p.size)
 	}
 	return ownerMap{spans: spans}
 }

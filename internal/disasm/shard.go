@@ -68,13 +68,19 @@ func shardable(opts Options) bool {
 func (s *Session) runPass(seeds []uint64, opts Options,
 	nonRet, condNonRet map[uint64]bool) *Result {
 
+	var res *Result
 	if s.jobs > 1 && len(seeds) >= minShardSeeds && shardable(opts) {
-		if res, ok := s.passSharded(seeds, opts, nonRet, condNonRet); ok {
-			return res
+		if r, ok := s.passSharded(seeds, opts, nonRet, condNonRet); ok {
+			res = r
+		} else {
+			s.stats.ShardFallbacks++
 		}
-		s.stats.ShardFallbacks++
 	}
-	return s.pass(seeds, opts, nonRet, condNonRet)
+	if res == nil {
+		res = s.pass(seeds, opts, nonRet, condNonRet)
+	}
+	s.notePassMem(res)
+	return res
 }
 
 // passSharded runs one pass as concurrent shard walks plus a

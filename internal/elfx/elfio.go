@@ -113,7 +113,7 @@ func WriteELF(im *Image) ([]byte, error) {
 			off += (want - off%pageAlign + pageAlign) % pageAlign
 		}
 		outs[k].fileOff = off
-		off += uint64(len(outs[k].sec.Data))
+		off += outs[k].sec.Size()
 	}
 	symtabOff := align(off, 8)
 	strtabOff := symtabOff + uint64(len(symtab))
@@ -157,14 +157,18 @@ func WriteELF(im *Image) ([]byte, error) {
 		binary.LittleEndian.PutUint64(p[8:], o.fileOff)
 		binary.LittleEndian.PutUint64(p[16:], o.sec.Addr)
 		binary.LittleEndian.PutUint64(p[24:], o.sec.Addr)
-		binary.LittleEndian.PutUint64(p[32:], uint64(len(o.sec.Data)))
-		binary.LittleEndian.PutUint64(p[40:], uint64(len(o.sec.Data)))
+		binary.LittleEndian.PutUint64(p[32:], o.sec.Size())
+		binary.LittleEndian.PutUint64(p[40:], o.sec.Size())
 		binary.LittleEndian.PutUint64(p[48:], pageAlign)
 	}
 
 	// Section data.
 	for _, o := range outs {
-		copy(out[o.fileOff:], o.sec.Data)
+		body, err := o.sec.BytesErr()
+		if err != nil {
+			return nil, fmt.Errorf("elfx: serializing section %s: %w", o.sec.Name, err)
+		}
+		copy(out[o.fileOff:], body)
 	}
 	copy(out[symtabOff:], symtab)
 	copy(out[strtabOff:], strtab)
@@ -194,7 +198,7 @@ func WriteELF(im *Image) ([]byte, error) {
 			flags |= uint64(elf.SHF_WRITE)
 		}
 		putShdr(k+1, o.nameOff, elf.SHT_PROGBITS, flags,
-			o.sec.Addr, o.fileOff, uint64(len(o.sec.Data)), 0, 0, 0)
+			o.sec.Addr, o.fileOff, o.sec.Size(), 0, 0, 0)
 	}
 	strtabIdx := uint32(len(outs) + 2)
 	putShdr(len(outs)+1, symtabName, elf.SHT_SYMTAB, 0, 0, symtabOff,
@@ -246,12 +250,22 @@ func LoadELF(data []byte) (*Image, error) {
 			Flags: flags,
 		})
 	}
+	if err := loadSymbols(f, im); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// loadSymbols ingests .symtab and .dynsym into the image, shared by
+// the buffered (LoadELF) and file-backed (LoadELFFile) loaders so the
+// two paths stay symbol-identical.
+func loadSymbols(f *elf.File, im *Image) error {
 	// A missing .symtab is normal (stripped binary); a symtab that is
 	// present but unparseable is not — swallowing that error made a
 	// corrupt table indistinguishable from a stripped binary.
 	syms, err := f.Symbols()
 	if err != nil && !errors.Is(err, elf.ErrNoSymbols) {
-		return nil, fmt.Errorf("elfx: .symtab: %w", err)
+		return fmt.Errorf("elfx: .symtab: %w", err)
 	}
 	for _, sym := range syms {
 		if sym.Name == "" {
@@ -273,7 +287,7 @@ func LoadELF(data []byte) (*Image, error) {
 	}
 	dsyms, err := f.DynamicSymbols()
 	if err != nil && !errors.Is(err, elf.ErrNoSymbols) {
-		return nil, fmt.Errorf("elfx: .dynsym: %w", err)
+		return fmt.Errorf("elfx: .dynsym: %w", err)
 	}
 	for _, sym := range dsyms {
 		if sym.Name == "" || sym.Section == elf.SHN_UNDEF {
@@ -290,7 +304,7 @@ func LoadELF(data []byte) (*Image, error) {
 			Dyn:  true,
 		})
 	}
-	return im, nil
+	return nil
 }
 
 // symKey identifies a symbol for .symtab/.dynsym deduplication.

@@ -1,0 +1,185 @@
+package elfx
+
+import (
+	"debug/elf"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"fetch/internal/mmapfile"
+)
+
+// fileBacking is the shared state behind every lazy section of one
+// LoadELFFile image: the open mmapfile plus the windows and byte
+// accounting the sections accumulate as they materialize.
+type fileBacking struct {
+	f *mmapfile.File
+
+	mu     sync.Mutex
+	closed bool
+	wins   []*mmapfile.Window
+	// winLZs are the sections whose cached body aliases a window; close
+	// must drop those caches before unmapping so a later access falls
+	// back into materialize and errors instead of touching freed memory.
+	winLZs []*lazySection
+
+	// materialized counts section bytes copied onto the Go heap
+	// (pread fallback, NOBITS zero fill, compressed sections);
+	// mapped counts bytes served zero-copy from the mapping.
+	materialized atomic.Int64
+	mapped       atomic.Int64
+}
+
+// close releases windows, mapping and descriptor. Sections not yet
+// materialized error from then on; already-materialized pread/NOBITS
+// copies stay valid (they are plain heap bytes), while mmap-window
+// content is dropped so no reader sequenced after close can touch
+// unmapped memory.
+func (bk *fileBacking) close() error {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if bk.closed {
+		return nil
+	}
+	bk.closed = true
+	for _, lz := range bk.winLZs {
+		lz.data.Store(nil)
+	}
+	bk.winLZs = nil
+	for _, w := range bk.wins {
+		w.Close()
+	}
+	bk.wins = nil
+	return bk.f.Close()
+}
+
+// lazySection defers a section body to the backing file until first
+// access. size is authoritative from the section header; data holds
+// the materialized body once loaded (published with atomic.Pointer so
+// concurrent readers share one copy without locking on the fast path).
+type lazySection struct {
+	bk     *fileBacking
+	off    int64
+	size   uint64
+	nobits bool
+	data   atomic.Pointer[[]byte]
+}
+
+// materialize loads the section body, preferring a zero-copy mmap
+// window and falling back to a pread copy. Failures (backing closed,
+// file truncated underneath) return errors and leave the section
+// unmaterialized.
+func (lz *lazySection) materialize(name string) ([]byte, error) {
+	bk := lz.bk
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if p := lz.data.Load(); p != nil {
+		return *p, nil
+	}
+	if bk.closed {
+		return nil, fmt.Errorf("elfx: section %s: image closed", name)
+	}
+	var body []byte
+	switch {
+	case lz.nobits:
+		body = make([]byte, lz.size)
+		bk.materialized.Add(int64(lz.size))
+	default:
+		if w, err := bk.f.Window(lz.off, int64(lz.size)); err == nil {
+			bk.wins = append(bk.wins, w)
+			bk.winLZs = append(bk.winLZs, lz)
+			body = w.Bytes()
+			bk.mapped.Add(int64(lz.size))
+			break
+		} else if !errors.Is(err, mmapfile.ErrNotMapped) {
+			return nil, fmt.Errorf("elfx: section %s: %w", name, err)
+		}
+		body = make([]byte, lz.size)
+		if _, err := io.ReadFull(io.NewSectionReader(bk.f, lz.off, int64(lz.size)), body); err != nil {
+			return nil, fmt.Errorf("elfx: section %s: reading %d bytes at offset %d: %w",
+				name, lz.size, lz.off, err)
+		}
+		bk.materialized.Add(int64(lz.size))
+	}
+	lz.data.Store(&body)
+	return body, nil
+}
+
+// LoadELFFile parses an ELF binary from disk into a file-backed Image:
+// section headers and symbols load eagerly, section bodies stay on
+// disk until first access and then come up as zero-copy windows of one
+// shared mmap (pread copies when mapping is unavailable). The result
+// analyzes identically to LoadELF over the same bytes; callers own the
+// image and must Close it after the last access. The openFile hook is
+// the test seam for forcing the pread path.
+func LoadELFFile(path string) (*Image, error) {
+	return loadELFFile(path, mmapfile.Open)
+}
+
+// LoadELFFilePread is LoadELFFile with the memory mapping disabled:
+// every section body is a pread copy. Tests use it to pin fallback
+// behavior; production callers want LoadELFFile.
+func LoadELFFilePread(path string) (*Image, error) {
+	return loadELFFile(path, mmapfile.OpenPread)
+}
+
+func loadELFFile(path string, openFile func(string) (*mmapfile.File, error)) (*Image, error) {
+	mf, err := openFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := elf.NewFile(io.NewSectionReader(mf, 0, mf.Size()))
+	if err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("elfx: %w", err)
+	}
+	defer f.Close()
+	if f.Machine != elf.EM_X86_64 {
+		mf.Close()
+		return nil, fmt.Errorf("elfx: not an x86-64 binary (machine %v)", f.Machine)
+	}
+	bk := &fileBacking{f: mf}
+	im := &Image{Entry: f.Entry, PIE: f.Type == elf.ET_DYN, bk: bk}
+	for _, s := range f.Sections {
+		if s.Type == elf.SHT_NULL || s.Flags&elf.SHF_ALLOC == 0 {
+			continue
+		}
+		sec := &Section{Name: s.Name, Addr: s.Addr, Flags: sectionFlags(s.Flags)}
+		switch {
+		case s.Type == elf.SHT_NOBITS:
+			sec.lz = &lazySection{bk: bk, size: s.Size, nobits: true}
+		case s.Flags&elf.SHF_COMPRESSED != 0 || s.FileSize != s.Size:
+			// Rare shapes where file bytes are not the section body
+			// one-to-one: let debug/elf produce the body eagerly.
+			body, err := s.Data()
+			if err != nil {
+				mf.Close()
+				return nil, fmt.Errorf("elfx: section %s: %w", s.Name, err)
+			}
+			sec.Data = body
+			bk.materialized.Add(int64(len(body)))
+		default:
+			sec.lz = &lazySection{bk: bk, off: int64(s.Offset), size: s.Size}
+		}
+		im.Sections = append(im.Sections, sec)
+	}
+	if err := loadSymbols(f, im); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	return im, nil
+}
+
+// sectionFlags converts ELF section header flags to the image's.
+func sectionFlags(fl elf.SectionFlag) SectionFlags {
+	flags := FlagAlloc
+	if fl&elf.SHF_EXECINSTR != 0 {
+		flags |= FlagExec
+	}
+	if fl&elf.SHF_WRITE != 0 {
+		flags |= FlagWrite
+	}
+	return flags
+}

@@ -1,0 +1,287 @@
+package elfx
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// writeTestELF serializes the shared test image to a temp file and
+// returns both the path and the raw bytes.
+func writeTestELF(t *testing.T) (string, []byte) {
+	t.Helper()
+	raw, err := WriteELF(testImage())
+	if err != nil {
+		t.Fatalf("WriteELF: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "test.elf")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("writing temp ELF: %v", err)
+	}
+	return path, raw
+}
+
+// loaders are the two file-backed open paths the suite sweeps: the
+// mmap-preferring default and the forced-pread fallback.
+var loaders = []struct {
+	name string
+	open func(string) (*Image, error)
+}{
+	{"mmap", LoadELFFile},
+	{"pread", LoadELFFilePread},
+}
+
+// TestLoadELFFileEquivalence pins the core contract: a file-backed
+// image must expose byte-for-byte the sections and symbols of LoadELF
+// over the same bytes.
+func TestLoadELFFileEquivalence(t *testing.T) {
+	path, raw := writeTestELF(t)
+	want, err := LoadELF(raw)
+	if err != nil {
+		t.Fatalf("LoadELF: %v", err)
+	}
+	for _, ld := range loaders {
+		t.Run(ld.name, func(t *testing.T) {
+			got, err := ld.open(path)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer got.Close()
+			if !got.FileBacked() {
+				t.Fatal("image does not report FileBacked")
+			}
+			if got.Entry != want.Entry || got.PIE != want.PIE {
+				t.Fatalf("header mismatch: entry %#x/%v, want %#x/%v",
+					got.Entry, got.PIE, want.Entry, want.PIE)
+			}
+			if len(got.Sections) != len(want.Sections) {
+				t.Fatalf("%d sections, want %d", len(got.Sections), len(want.Sections))
+			}
+			for i, ws := range want.Sections {
+				gs := got.Sections[i]
+				if gs.Name != ws.Name || gs.Addr != ws.Addr || gs.Flags != ws.Flags {
+					t.Fatalf("section %d header mismatch: %+v vs %+v", i, gs, ws)
+				}
+				if gs.Size() != ws.Size() {
+					t.Fatalf("section %s size %d, want %d", gs.Name, gs.Size(), ws.Size())
+				}
+				gb, err := gs.BytesErr()
+				if err != nil {
+					t.Fatalf("section %s: %v", gs.Name, err)
+				}
+				if !bytes.Equal(gb, ws.Bytes()) {
+					t.Fatalf("section %s bytes differ", gs.Name)
+				}
+			}
+			if len(got.Symbols) != len(want.Symbols) {
+				t.Fatalf("%d symbols, want %d", len(got.Symbols), len(want.Symbols))
+			}
+		})
+	}
+}
+
+// TestFileBackedLaziness asserts sections cost nothing until touched
+// and that the accounting attributes bytes to the right bucket: mapped
+// for zero-copy windows, materialized for pread copies.
+func TestFileBackedLaziness(t *testing.T) {
+	path, _ := writeTestELF(t)
+	for _, ld := range loaders {
+		t.Run(ld.name, func(t *testing.T) {
+			img, err := ld.open(path)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer img.Close()
+			ms := img.MemStats()
+			if ms.MaterializedBytes != 0 || ms.MappedBytes != 0 {
+				t.Fatalf("bytes accounted before any access: %+v", ms)
+			}
+			text, ok := img.Section(".text")
+			if !ok {
+				t.Fatal("no .text")
+			}
+			if _, err := text.BytesErr(); err != nil {
+				t.Fatalf("materializing .text: %v", err)
+			}
+			ms = img.MemStats()
+			total := ms.MaterializedBytes + ms.MappedBytes
+			if total != int64(text.Size()) {
+				t.Fatalf("accounted %d bytes after touching .text (%d bytes): %+v",
+					total, text.Size(), ms)
+			}
+			if ld.name == "pread" && ms.MaterializedBytes == 0 {
+				t.Fatal("pread path accounted no materialized bytes")
+			}
+		})
+	}
+}
+
+// TestFileBackedCloseSemantics pins the lifetime contract: after Close
+// every not-yet-materialized access errors cleanly, window-backed
+// caches are dropped rather than left pointing into unmapped memory,
+// and double Close is a no-op.
+func TestFileBackedCloseSemantics(t *testing.T) {
+	path, _ := writeTestELF(t)
+	for _, ld := range loaders {
+		t.Run(ld.name, func(t *testing.T) {
+			img, err := ld.open(path)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			text, _ := img.Section(".text")
+			if _, err := text.BytesErr(); err != nil {
+				t.Fatalf("materializing .text: %v", err)
+			}
+			if err := img.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := img.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			// Untouched sections must error, not return content.
+			rodata, _ := img.Section(".rodata")
+			if _, err := rodata.BytesErr(); err == nil || !strings.Contains(err.Error(), "closed") {
+				t.Fatalf("access after Close = %v, want image-closed error", err)
+			}
+			// The already-touched section: pread copies are heap bytes and
+			// stay valid; mmap windows are dropped and must error too.
+			b, err := text.BytesErr()
+			switch ld.name {
+			case "pread":
+				if err != nil || len(b) == 0 {
+					t.Fatalf("pread copy lost after Close: %v", err)
+				}
+			case "mmap":
+				if err == nil {
+					t.Fatal("window-backed bytes survived Close")
+				}
+			}
+		})
+	}
+}
+
+// TestFileBackedConcurrentReaders races many goroutines materializing
+// and re-reading sections (exercising both the atomic fast path and
+// the locked materialize path) against the section index rebuilds the
+// read helpers trigger. Run under -race this is the memory-model check
+// for the lazy-section publication.
+func TestFileBackedConcurrentReaders(t *testing.T) {
+	path, raw := writeTestELF(t)
+	want, err := LoadELF(raw)
+	if err != nil {
+		t.Fatalf("LoadELF: %v", err)
+	}
+	for _, ld := range loaders {
+		t.Run(ld.name, func(t *testing.T) {
+			img, err := ld.open(path)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer img.Close()
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 100; i++ {
+						for si, s := range img.Sections {
+							b, err := s.BytesErr()
+							if err != nil {
+								t.Errorf("section %s: %v", s.Name, err)
+								return
+							}
+							if !bytes.Equal(b, want.Sections[si].Bytes()) {
+								t.Errorf("section %s bytes differ", s.Name)
+								return
+							}
+							// Address-based reads rebuild the section index
+							// on demand; mixing them in races the rebuild
+							// against the window readers.
+							if _, err := img.Bytes(s.Addr, 1); s.Size() > 0 && err != nil {
+								t.Errorf("Bytes(%#x): %v", s.Addr, err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			close(start)
+			wg.Wait()
+		})
+	}
+}
+
+// TestFileBackedConcurrentCloseNoFault closes a pread-backed image
+// while readers are mid-materialize: every access must return either
+// valid bytes or a clean image-closed error. (The pread loader keeps
+// this memory-safe by construction — bodies are heap copies — so the
+// race detector can vet the close/materialize interleaving itself.)
+func TestFileBackedConcurrentCloseNoFault(t *testing.T) {
+	path, _ := writeTestELF(t)
+	for i := 0; i < 20; i++ {
+		img, err := LoadELFFilePread(path)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for _, s := range img.Sections {
+					b, err := s.BytesErr()
+					if err == nil && int(s.Size()) != len(b) {
+						t.Errorf("section %s: %d bytes, want %d", s.Name, len(b), s.Size())
+					}
+					if err != nil && !strings.Contains(err.Error(), "closed") {
+						t.Errorf("section %s: unexpected error %v", s.Name, err)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			img.Close()
+		}()
+		close(start)
+		wg.Wait()
+	}
+}
+
+// TestLoadELFFileTruncatedUnderfoot truncates the backing file between
+// open and first access: the pread materialization must surface an
+// error, never a silently short or zero-filled section.
+func TestLoadELFFileTruncatedUnderfoot(t *testing.T) {
+	path, _ := writeTestELF(t)
+	img, err := LoadELFFilePread(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer img.Close()
+	// Cut the file off right after the ELF header so section bodies are
+	// gone but the parse (done eagerly at open) already succeeded.
+	if err := os.Truncate(path, 64); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	sawErr := false
+	for _, s := range img.Sections {
+		if s.Size() == 0 {
+			continue
+		}
+		if _, err := s.BytesErr(); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("no section errored after truncation")
+	}
+}

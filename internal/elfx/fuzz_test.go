@@ -1,0 +1,81 @@
+package elfx
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadELFFile is the differential fuzz target of the two loaders:
+// whatever bytes LoadELF accepts, LoadELFFile over a file holding the
+// same bytes must accept too and expose identical headers, sections,
+// and symbols. (The converse is weaker by design: LoadELF validates
+// every section body eagerly while the file-backed loader defers to
+// first access, so the file path may accept inputs whose bodies only
+// error later — those must error or match on access, never fault.)
+func FuzzLoadELFFile(f *testing.F) {
+	raw, err := WriteELF(testImage())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	if len(raw) > 64 {
+		f.Add(raw[:64])          // header only
+		f.Add(raw[:len(raw)-16]) // truncated section data
+	}
+	f.Add([]byte("\x7fELF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem, memErr := LoadELF(data)
+		path := filepath.Join(t.TempDir(), "fuzz.elf")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip("cannot write temp file")
+		}
+		fb, fbErr := LoadELFFile(path)
+		if fbErr == nil {
+			defer fb.Close()
+		}
+		if memErr != nil {
+			// The file path may still open (lazy bodies); accessing the
+			// sections must then return bytes or errors, never fault.
+			if fbErr == nil {
+				for _, s := range fb.Sections {
+					s.BytesErr()
+				}
+			}
+			return
+		}
+		if fbErr != nil {
+			t.Fatalf("LoadELF accepted %d bytes but LoadELFFile rejected them: %v", len(data), fbErr)
+		}
+		if fb.Entry != mem.Entry || fb.PIE != mem.PIE {
+			t.Fatalf("header mismatch: entry %#x/%v vs %#x/%v", fb.Entry, fb.PIE, mem.Entry, mem.PIE)
+		}
+		if len(fb.Sections) != len(mem.Sections) {
+			t.Fatalf("%d sections vs %d", len(fb.Sections), len(mem.Sections))
+		}
+		for i, ms := range mem.Sections {
+			fs := fb.Sections[i]
+			if fs.Name != ms.Name || fs.Addr != ms.Addr || fs.Flags != ms.Flags || fs.Size() != ms.Size() {
+				t.Fatalf("section %d header mismatch: %s@%#x/%d vs %s@%#x/%d",
+					i, fs.Name, fs.Addr, fs.Size(), ms.Name, ms.Addr, ms.Size())
+			}
+			fbBody, err := fs.BytesErr()
+			if err != nil {
+				t.Fatalf("section %s: file-backed body errored where buffered succeeded: %v", fs.Name, err)
+			}
+			if !bytes.Equal(fbBody, ms.Bytes()) {
+				t.Fatalf("section %s bodies differ", fs.Name)
+			}
+		}
+		if len(fb.Symbols) != len(mem.Symbols) {
+			t.Fatalf("%d symbols vs %d", len(fb.Symbols), len(mem.Symbols))
+		}
+		for i, msym := range mem.Symbols {
+			if fb.Symbols[i] != msym {
+				t.Fatalf("symbol %d mismatch: %+v vs %+v", i, fb.Symbols[i], msym)
+			}
+		}
+	})
+}

@@ -23,15 +23,60 @@ const (
 )
 
 // Section is one named, contiguous address range of the image.
+//
+// In-memory sections (synth, LoadELF) carry their content in Data.
+// File-backed sections (LoadELFFile) leave Data nil and materialize
+// content on first access through Bytes — zero-copy out of the backing
+// mmap when possible. Code that reads content or length must go
+// through Bytes/Size; Data remains the construction-time field for
+// in-memory images and mutation-based tests.
 type Section struct {
 	Name  string
 	Addr  uint64
 	Data  []byte
 	Flags SectionFlags
+
+	// lz, when non-nil, marks the section file-backed and lazy. It is
+	// a plain pointer (not embedded state) so the shallow struct
+	// copies around the codebase (Image.Strip, delta patching) stay
+	// copy-safe under go vet.
+	lz *lazySection
+}
+
+// Size returns the section length in bytes without materializing
+// file-backed content.
+func (s *Section) Size() uint64 {
+	if s.lz != nil {
+		return s.lz.size
+	}
+	return uint64(len(s.Data))
+}
+
+// Bytes returns the section content, materializing file-backed
+// sections on first access (a zero-copy window of the backing mapping
+// when available, a pread copy otherwise). It returns nil when the
+// backing has failed or been closed; use BytesErr where the cause
+// matters.
+func (s *Section) Bytes() []byte {
+	b, _ := s.BytesErr()
+	return b
+}
+
+// BytesErr is Bytes with the materialization error: file-backed
+// sections whose backing file was closed, truncated underneath, or
+// otherwise unreadable report why instead of faulting.
+func (s *Section) BytesErr() ([]byte, error) {
+	if s.lz == nil {
+		return s.Data, nil
+	}
+	if p := s.lz.data.Load(); p != nil {
+		return *p, nil
+	}
+	return s.lz.materialize(s.Name)
 }
 
 // End returns the first address past the section.
-func (s *Section) End() uint64 { return s.Addr + uint64(len(s.Data)) }
+func (s *Section) End() uint64 { return s.Addr + s.Size() }
 
 // Contains reports whether addr falls inside the section.
 func (s *Section) Contains(addr uint64) bool { return addr >= s.Addr && addr < s.End() }
@@ -69,6 +114,11 @@ type Image struct {
 	// invalidates it automatically. Replacing an element of the slice
 	// in place does not; no builder in this codebase does that.
 	secIdx unsafe.Pointer // *sectionIndex
+
+	// bk, when non-nil, is the shared file backing of the image's lazy
+	// sections (LoadELFFile). Shallow copies (Strip) share it; Close
+	// releases it.
+	bk *fileBacking
 }
 
 // Section returns the section with the given name, if present.
@@ -114,7 +164,7 @@ func (ix *sectionIndex) valid(secs []*Section) bool {
 func buildSectionIndex(secs []*Section) *sectionIndex {
 	ix := &sectionIndex{from: secs}
 	for _, s := range secs {
-		if len(s.Data) > 0 {
+		if s.Size() > 0 {
 			ix.secs = append(ix.secs, s)
 		}
 	}
@@ -206,10 +256,14 @@ func (im *Image) Bytes(addr uint64, n int) ([]byte, error) {
 		return nil, fmt.Errorf("elfx: address %#x not mapped", addr)
 	}
 	off := addr - s.Addr
-	if off+uint64(n) > uint64(len(s.Data)) {
+	if off+uint64(n) > s.Size() {
 		return nil, fmt.Errorf("elfx: range [%#x,+%d) leaves section %s", addr, n, s.Name)
 	}
-	return s.Data[off : off+uint64(n)], nil
+	body, err := s.BytesErr()
+	if err != nil {
+		return nil, err
+	}
+	return body[off : off+uint64(n)], nil
 }
 
 // BytesToSectionEnd returns the bytes from addr to the end of its
@@ -219,7 +273,11 @@ func (im *Image) BytesToSectionEnd(addr uint64) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	return s.Data[addr-s.Addr:], true
+	body := s.Bytes()
+	if body == nil {
+		return nil, false
+	}
+	return body[addr-s.Addr:], true
 }
 
 // ReadU64 reads a little-endian 64-bit word at addr.
@@ -288,9 +346,53 @@ func (im *Image) SymbolNamed(name string) (Symbol, bool) {
 }
 
 // Strip returns a shallow copy of the image without symbols, as a
-// distributor would ship it.
+// distributor would ship it. The copy shares sections and file
+// backing with the original; closing either closes both.
 func (im *Image) Strip() *Image {
 	cp := *im
 	cp.Symbols = nil
 	return &cp
+}
+
+// FileBacked reports whether the image reads sections lazily from a
+// backing file (LoadELFFile) rather than from memory.
+func (im *Image) FileBacked() bool { return im.bk != nil }
+
+// Close releases the image's file backing: the descriptor closes, the
+// mapping is released, and not-yet-materialized sections return errors
+// from then on instead of content. Close must be sequenced after the
+// last access to section bytes (analyses synchronize this naturally);
+// it is a no-op for in-memory images and when called twice.
+func (im *Image) Close() error {
+	if im.bk == nil {
+		return nil
+	}
+	return im.bk.close()
+}
+
+// ImageMemStats accounts the heap and mapping footprint of an image.
+type ImageMemStats struct {
+	// MaterializedBytes is section content held on the Go heap: all of
+	// it for in-memory images, only pread/NOBITS/compressed copies for
+	// file-backed ones.
+	MaterializedBytes int64
+	// MappedBytes is section content served zero-copy out of the
+	// backing mmap (file-backed images only).
+	MappedBytes int64
+}
+
+// MemStats reports how many section bytes the image currently holds on
+// the heap versus serves zero-copy from its mapping.
+func (im *Image) MemStats() ImageMemStats {
+	var ms ImageMemStats
+	for _, s := range im.Sections {
+		if s.lz == nil {
+			ms.MaterializedBytes += int64(len(s.Data))
+		}
+	}
+	if im.bk != nil {
+		ms.MaterializedBytes += im.bk.materialized.Load()
+		ms.MappedBytes += im.bk.mapped.Load()
+	}
+	return ms
 }

@@ -79,7 +79,7 @@ func TableIJobs(seed int64, jobs int) (*TableIResult, error) {
 			eh, ok := img.Section(".eh_frame")
 			p.row.EHFrame = ok
 			if ok && w.HasSymbols {
-				sec, err := ehframe.Decode(eh.Data, eh.Addr)
+				sec, err := ehframe.Decode(eh.Bytes(), eh.Addr)
 				if err != nil {
 					return p, err
 				}
@@ -167,7 +167,7 @@ func TableII(c *Corpus) (*TableIIResult, error) {
 			return p, nil
 		}
 		p.ehFrame = true
-		sec, err := ehframe.Decode(eh.Data, eh.Addr)
+		sec, err := ehframe.Decode(eh.Bytes(), eh.Addr)
 		if err != nil {
 			return p, err
 		}
@@ -368,7 +368,7 @@ func TableIV(c *Corpus) (*TableIVResult, error) {
 			if !ok {
 				return tally, nil
 			}
-			sec, err := ehframe.Decode(eh.Data, eh.Addr)
+			sec, err := ehframe.Decode(eh.Bytes(), eh.Addr)
 			if err != nil {
 				return nil, err
 			}

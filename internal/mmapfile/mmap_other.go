@@ -1,0 +1,14 @@
+//go:build !unix
+
+package mmapfile
+
+import "os"
+
+// mapFile always fails on platforms without a mapping implementation;
+// the File then serves pread-only and Window returns ErrNotMapped.
+func mapFile(*os.File, int64) ([]byte, error) {
+	return nil, ErrNotMapped
+}
+
+// unmapFile is unreachable without mapFile ever succeeding.
+func unmapFile([]byte) {}

@@ -1,0 +1,19 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

@@ -1,0 +1,284 @@
+package mmapfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// writeTemp writes content to a fresh file under the test's temp dir.
+func writeTemp(t *testing.T, content []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatalf("writing temp file: %v", err)
+	}
+	return path
+}
+
+// testContent is 1 MiB of position-dependent bytes, so any off-by-one
+// in a window or pread shows up as a value mismatch.
+func testContent() []byte {
+	b := make([]byte, 1<<20)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+func TestReadAtMatchesContent(t *testing.T) {
+	content := testContent()
+	path := writeTemp(t, content)
+	for _, mode := range []struct {
+		name string
+		open func(string) (*File, error)
+	}{{"mapped", Open}, {"pread", OpenPread}} {
+		t.Run(mode.name, func(t *testing.T) {
+			f, err := mode.open(path)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer f.Close()
+			if f.Size() != int64(len(content)) {
+				t.Fatalf("Size = %d, want %d", f.Size(), len(content))
+			}
+			buf := make([]byte, 4096)
+			for _, off := range []int64{0, 1, 4095, int64(len(content)) - 4096} {
+				n, err := f.ReadAt(buf, off)
+				if err != nil || n != len(buf) {
+					t.Fatalf("ReadAt(%d) = %d, %v", off, n, err)
+				}
+				if !bytes.Equal(buf, content[off:off+int64(n)]) {
+					t.Fatalf("ReadAt(%d) bytes differ", off)
+				}
+			}
+			// Reading past the end is a short read ending in io.EOF.
+			n, err := f.ReadAt(buf, f.Size()-100)
+			if n != 100 || err != io.EOF {
+				t.Fatalf("short ReadAt = %d, %v; want 100, EOF", n, err)
+			}
+			if _, err := f.ReadAt(buf, f.Size()); err != io.EOF {
+				t.Fatalf("ReadAt past end = %v, want EOF", err)
+			}
+			if _, err := f.ReadAt(buf, -1); err == nil {
+				t.Fatal("ReadAt(-1) should fail")
+			}
+		})
+	}
+}
+
+func TestWindowZeroCopyAndBounds(t *testing.T) {
+	content := testContent()
+	f, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if !f.Mapped() {
+		t.Skip("platform refused the mapping; window path not available")
+	}
+	w, err := f.Window(4096, 8192)
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	defer w.Close()
+	if !bytes.Equal(w.Bytes(), content[4096:4096+8192]) {
+		t.Fatal("window bytes differ from file content")
+	}
+	for _, bad := range [][2]int64{{-1, 10}, {0, -1}, {f.Size(), 1}, {f.Size() - 10, 11}} {
+		if _, err := f.Window(bad[0], bad[1]); err == nil {
+			t.Fatalf("Window(%d,%d) should fail", bad[0], bad[1])
+		}
+	}
+}
+
+func TestPreadModeHasNoWindows(t *testing.T) {
+	f, err := OpenPread(writeTemp(t, []byte("hello")))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if f.Mapped() {
+		t.Fatal("OpenPread reported a mapping")
+	}
+	if _, err := f.Window(0, 5); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("Window on pread file = %v, want ErrNotMapped", err)
+	}
+}
+
+// TestCloseWhileWindowsHeld is the lifetime contract: Close while a
+// reader still holds a window must keep that window's bytes valid, and
+// every new request after Close errors cleanly instead of faulting.
+func TestCloseWhileWindowsHeld(t *testing.T) {
+	content := testContent()
+	f, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !f.Mapped() {
+		f.Close()
+		t.Skip("platform refused the mapping")
+	}
+	w, err := f.Window(0, f.Size())
+	if err != nil {
+		t.Fatalf("Window: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The held window survives Close: every byte still reads correctly.
+	if !bytes.Equal(w.Bytes(), content) {
+		t.Fatal("window bytes invalid after file Close")
+	}
+	// New requests fail cleanly.
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadAt after Close = %v, want ErrClosed", err)
+	}
+	if _, err := f.Window(0, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Window after Close = %v, want ErrClosed", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	w.Close()
+	w.Close() // idempotent
+	if w.Bytes() != nil {
+		t.Fatal("window bytes non-nil after window Close")
+	}
+}
+
+// TestConcurrentReadersAndClose hammers the refcount under the race
+// detector: many goroutines take windows and pread while the file is
+// closed mid-flight. Every access must either succeed with correct
+// bytes or fail with ErrClosed — never fault, never return garbage.
+func TestConcurrentReadersAndClose(t *testing.T) {
+	content := testContent()
+	f, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	mapped := f.Mapped()
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			buf := make([]byte, 512)
+			for i := 0; i < 200; i++ {
+				off := int64((g*200 + i) * 512 % (len(content) - 512))
+				if mapped && i%2 == 0 {
+					w, err := f.Window(off, 512)
+					if errors.Is(err, ErrClosed) {
+						continue
+					}
+					if err != nil {
+						t.Errorf("Window(%d): %v", off, err)
+						return
+					}
+					if !bytes.Equal(w.Bytes(), content[off:off+512]) {
+						t.Errorf("window bytes differ at %d", off)
+					}
+					w.Close()
+					continue
+				}
+				n, err := f.ReadAt(buf, off)
+				if errors.Is(err, ErrClosed) {
+					continue
+				}
+				if err != nil || n != 512 {
+					t.Errorf("ReadAt(%d) = %d, %v", off, n, err)
+					return
+				}
+				if !bytes.Equal(buf, content[off:off+512]) {
+					t.Errorf("pread bytes differ at %d", off)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		f.Close()
+	}()
+	close(start)
+	wg.Wait()
+	f.Close()
+}
+
+// TestTruncatedUnderfoot shrinks the file after Open: the pread path
+// must degrade to errors (short reads), never serve stale bytes as a
+// full read.
+func TestTruncatedUnderfoot(t *testing.T) {
+	content := testContent()
+	path := writeTemp(t, content)
+	f, err := OpenPread(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if err := os.Truncate(path, 1024); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	// Within the surviving prefix reads still work.
+	buf := make([]byte, 512)
+	if n, err := f.ReadAt(buf, 0); err != nil || n != 512 {
+		t.Fatalf("ReadAt(0) after truncate = %d, %v", n, err)
+	}
+	// Past the new end the snapshotted size promises bytes the file no
+	// longer has: that must surface as an error, not silent zeros.
+	n, err := f.ReadAt(buf, 2048)
+	if err == nil && n == len(buf) {
+		t.Fatal("full read past truncation point should fail")
+	}
+}
+
+// TestGrowingUnderfoot appends after Open: the Open-time size snapshot
+// must keep new bytes invisible.
+func TestGrowingUnderfoot(t *testing.T) {
+	path := writeTemp(t, []byte("0123456789"))
+	f, err := OpenPread(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	g, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("reopen for append: %v", err)
+	}
+	if _, err := g.Write(bytes.Repeat([]byte{0xFF}, 1024)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	g.Close()
+	if f.Size() != 10 {
+		t.Fatalf("Size changed after growth: %d", f.Size())
+	}
+	buf := make([]byte, 64)
+	n, err := f.ReadAt(buf, 0)
+	if n != 10 || err != io.EOF {
+		t.Fatalf("ReadAt over grown file = %d, %v; want 10, EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("ReadAt at snapshotted end = %v, want EOF", err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if f.Mapped() {
+		t.Fatal("empty file should not map")
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Fatalf("ReadAt on empty file = %v, want EOF", err)
+	}
+}

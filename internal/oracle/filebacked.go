@@ -1,0 +1,67 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"fetch"
+	"fetch/internal/core"
+)
+
+// CheckFileBackedEqualsBuffered asserts the file-backed image path is
+// semantically invisible: for every public strategy option set,
+// analyzing a binary from a file on disk (mmap-backed, lazily
+// materialized sections) must produce a result codec-byte-identical to
+// analyzing the same bytes buffered in memory. StripSchedule removes
+// the execution trace first — wall times and the peak-memory
+// accounting are exactly the fields the two backings legitimately
+// disagree on — and the comparison is on EncodeResult bytes, so any
+// drift the codec can express is a violation.
+func CheckFileBackedEqualsBuffered(shape string, elfBytes []byte) []Violation {
+	tmp, err := os.CreateTemp("", "oracle-filebacked-*.elf")
+	if err != nil {
+		return []Violation{{shape, core.FETCH, "file-backed", "creating temp file: " + err.Error()}}
+	}
+	path := tmp.Name()
+	defer os.Remove(path)
+	if _, err := tmp.Write(elfBytes); err != nil {
+		tmp.Close()
+		return []Violation{{shape, core.FETCH, "file-backed", "writing temp file: " + err.Error()}}
+	}
+	if err := tmp.Close(); err != nil {
+		return []Violation{{shape, core.FETCH, "file-backed", "closing temp file: " + err.Error()}}
+	}
+
+	var vs []Violation
+	for _, variant := range cacheVariants {
+		bad := func(format string, args ...any) {
+			vs = append(vs, Violation{shape, core.FETCH, "file-backed",
+				fmt.Sprintf("[%s] %s", variant.name, fmt.Sprintf(format, args...))})
+		}
+		buffered, err := fetch.Analyze(elfBytes, variant.opts...)
+		if err != nil {
+			bad("buffered analyze: %v", err)
+			continue
+		}
+		fileBacked, err := fetch.AnalyzeFile(path, variant.opts...)
+		if err != nil {
+			bad("file-backed analyze: %v", err)
+			continue
+		}
+		bufBytes, err := fetch.EncodeResult(fetch.StripSchedule(buffered))
+		if err != nil {
+			bad("encoding buffered result: %v", err)
+			continue
+		}
+		fileBytes, err := fetch.EncodeResult(fetch.StripSchedule(fileBacked))
+		if err != nil {
+			bad("encoding file-backed result: %v", err)
+			continue
+		}
+		if !bytes.Equal(bufBytes, fileBytes) {
+			bad("file-backed result encoding differs from buffered")
+		}
+	}
+	return vs
+}

@@ -77,6 +77,7 @@ func CheckShape(cfg synth.Config) ([]Violation, error) {
 	vs = append(vs, CheckBatchDeterminism(cfg.Name, raw, 4, 8)...)
 	vs = append(vs, CheckCachedEqualsRecomputed(cfg.Name, raw)...)
 	vs = append(vs, CheckDeltaEqualsCold(cfg)...)
+	vs = append(vs, CheckFileBackedEqualsBuffered(cfg.Name, raw)...)
 	return vs, nil
 }
 

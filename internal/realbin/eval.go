@@ -164,8 +164,12 @@ func EvalData(name string, data []byte) *BinaryReport {
 	return out
 }
 
-// EvalFile evaluates one binary from disk. maxBytes > 0 caps the input
-// size; larger files are skipped, not failed.
+// EvalFile evaluates one binary from disk through the file-backed
+// image path: section bodies stay on disk (zero-copy mmap windows, or
+// pread copies where mapping is unavailable) instead of the whole file
+// being read onto the heap, so corpus scans over binaries far larger
+// than memory budgets work. maxBytes > 0 caps the input size; larger
+// files are skipped, not failed.
 func EvalFile(path string, maxBytes int64) *BinaryReport {
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -175,12 +179,15 @@ func EvalFile(path string, maxBytes int64) *BinaryReport {
 		return &BinaryReport{Name: path, Path: path, SizeBytes: int(fi.Size()),
 			Skip: fmt.Sprintf("larger than %d bytes", maxBytes)}
 	}
-	data, err := os.ReadFile(path)
+	im, err := elfx.LoadELFFile(path)
 	if err != nil {
-		return &BinaryReport{Name: path, Path: path, Err: err.Error()}
+		return &BinaryReport{Name: path, Path: path, SizeBytes: int(fi.Size()),
+			Skip: fmt.Sprintf("not loadable: %v", err)}
 	}
-	rep := EvalData(path, data)
+	defer im.Close()
+	rep := EvalImage(path, im)
 	rep.Path = path
+	rep.SizeBytes = int(fi.Size())
 	return rep
 }
 

@@ -376,3 +376,83 @@ func TestScan(t *testing.T) {
 		t.Errorf("missing dir: %+v, want one unreadable entry", res2)
 	}
 }
+
+// TestEvalFileLargerThanBudgetDoesNotMaterialize is the regression
+// test for the file-backed evaluation path: a scan over a binary far
+// larger than any in-memory budget must evaluate successfully while
+// keeping heap-materialized section bytes a small fraction of the file
+// — the bulk stays on disk behind mmap windows. The buffered-era
+// EvalFile (os.ReadFile + LoadELF) materialized everything and fails
+// the MemStats assertion by construction.
+func TestEvalFileLargerThanBudgetDoesNotMaterialize(t *testing.T) {
+	blobSize := 48 << 20
+	if testing.Short() {
+		blobSize = 16 << 20
+	}
+	cfg := synth.DefaultConfig("bigscan", 11, synth.O2, synth.GCC, synth.LangC)
+	cfg.NumFuncs = 20
+	im, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("synth.Generate: %v", err)
+	}
+	// Bolt a huge non-executable blob onto the image, placed past
+	// everything mapped so it shadows nothing.
+	var top uint64
+	for _, s := range im.Sections {
+		if s.End() > top {
+			top = s.End()
+		}
+	}
+	im.Sections = append(im.Sections, &elfx.Section{
+		Name:  ".blob",
+		Addr:  (top + 0xFFF) &^ 0xFFF,
+		Data:  make([]byte, blobSize),
+		Flags: elfx.FlagAlloc,
+	})
+	raw, err := elfx.WriteELF(im)
+	if err != nil {
+		t.Fatalf("WriteELF: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "big.elf")
+	if err := os.WriteFile(path, raw, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// The public entry point: evaluation over the big file succeeds.
+	rep := EvalFile(path, 0)
+	if rep.Err != "" || rep.Skip != "" {
+		t.Fatalf("EvalFile on big binary: err=%q skip=%q", rep.Err, rep.Skip)
+	}
+	if rep.SizeBytes != len(raw) {
+		t.Errorf("SizeBytes = %d, want %d", rep.SizeBytes, len(raw))
+	}
+	// A cap below the file size still skips cleanly, never fails.
+	if capped := EvalFile(path, int64(len(raw)-1)); capped.Skip == "" || capped.Err != "" {
+		t.Fatalf("capped EvalFile: err=%q skip=%q, want a skip", capped.Err, capped.Skip)
+	}
+
+	// The same evaluation with an observable image: heap-materialized
+	// bytes stay a small fraction of the file while mmap serves the
+	// rest. (Without a working mmap the pread fallback materializes
+	// whatever the analysis touches; only assert where mapping works.)
+	img, err := elfx.LoadELFFile(path)
+	if err != nil {
+		t.Fatalf("LoadELFFile: %v", err)
+	}
+	defer img.Close()
+	rep2 := EvalImage("bigscan", img)
+	if rep2.Err != "" || rep2.Skip != "" {
+		t.Fatalf("EvalImage on big binary: err=%q skip=%q", rep2.Err, rep2.Skip)
+	}
+	ms := img.MemStats()
+	if ms.MappedBytes == 0 {
+		t.Skip("platform did not mmap the image; materialization bound not applicable")
+	}
+	if limit := int64(len(raw)) / 4; ms.MaterializedBytes > limit {
+		t.Errorf("materialized %d bytes of a %d-byte file (limit %d): the blob went on the heap",
+			ms.MaterializedBytes, len(raw), limit)
+	}
+	if runtime.GOOS == "linux" && ms.MaterializedBytes > 4<<20 {
+		t.Errorf("materialized %d bytes on linux; expected well under 4 MiB", ms.MaterializedBytes)
+	}
+}

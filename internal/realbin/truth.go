@@ -96,7 +96,7 @@ func pclntabTruth(im *elfx.Image) (t *groundtruth.Truth) {
 	if !ok {
 		return nil
 	}
-	tab, err := gosym.NewTable(nil, gosym.NewLineTable(pcln.Data, text.Addr))
+	tab, err := gosym.NewTable(nil, gosym.NewLineTable(pcln.Bytes(), text.Addr))
 	if err != nil {
 		return nil
 	}

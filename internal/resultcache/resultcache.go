@@ -60,6 +60,23 @@ func HashBytes(data []byte) [sha256.Size]byte {
 	return sha256.Sum256(data)
 }
 
+// HashFile streams a file through the content hash without loading it
+// into memory — the file-backed analysis path's key derivation.
+func HashFile(path string) ([sha256.Size]byte, error) {
+	var sum [sha256.Size]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return sum, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return sum, err
+	}
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
+}
+
 // HashRange returns the content hash for one FDE-delimited byte range
 // of a binary. The hash binds the range's start address in addition to
 // its bytes: x86-64 code is position-dependent (RIP-relative operands,

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -38,9 +39,12 @@ type job struct {
 	expires time.Time // zero until terminal, then created+TTL from completion
 	sum     [32]byte
 	hexSum  string
-	opts    []fetch.Option
-	cached  bool
-	errMsg  string
+	// spoolPath is the temp file the upload was streamed to; the job
+	// worker analyzes it file-backed and removes it when done.
+	spoolPath string
+	opts      []fetch.Option
+	cached    bool
+	errMsg    string
 }
 
 // jobStore is the TTL-bounded in-memory registry behind /v1/jobs.
@@ -158,21 +162,23 @@ type jobResponse struct {
 // admission position, and return 202 with a job ID immediately — the
 // analysis runs in the background so large uploads don't pin an HTTP
 // connection for the analysis's duration. Body-size and error
-// semantics match POST /v1/analyze (413 oversize, 400 bad read).
-// Admission bounds are shared with the synchronous path: a submit
-// beyond MaxInFlight+MaxQueued is rejected 429 rather than queued
-// invisibly, so the queue bound still caps buffered-upload memory.
+// semantics match POST /v1/analyze (413 oversize, 400 bad read), and
+// like the synchronous path the upload streams to a spool file rather
+// than the heap. Admission bounds are shared with the synchronous
+// path: a submit beyond MaxInFlight+MaxQueued is rejected 429 rather
+// than queued invisibly, so the queue bound caps concurrent spool
+// files too.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		jsonError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 
-	// Reserve capacity BEFORE buffering the upload, exactly like the
+	// Reserve capacity BEFORE spooling the upload, exactly like the
 	// synchronous path: a free slot admits directly, otherwise the job
 	// takes a queue position (or is bounced 429 like any other request
-	// past the bound), so MaxInFlight+MaxQueued caps job-buffered
-	// memory too.
+	// past the bound), so MaxInFlight+MaxQueued caps concurrent job
+	// spool files too.
 	admitted := s.adm.tryAcquire()
 	if !admitted && !s.adm.reserve() {
 		s.queueRejected.Add(1)
@@ -190,22 +196,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	body, ok := s.readUpload(w, r)
+	path, sum, ok := s.spoolUpload(w, r)
 	if !ok {
 		unreserve()
 		return
 	}
 
 	j := &job{
-		id:      s.newJobID(),
-		state:   JobQueued,
-		created: time.Now(),
-		sum:     fetch.HashBinary(body),
-		opts:    optionsFromQuery(r),
+		id:        s.newJobID(),
+		state:     JobQueued,
+		created:   time.Now(),
+		sum:       sum,
+		spoolPath: path,
+		opts:      optionsFromQuery(r),
 	}
 	j.hexSum = hex.EncodeToString(j.sum[:])
 	if err := s.jobs.add(j); err != nil {
 		unreserve()
+		os.Remove(path)
 		if errors.Is(err, errQueueFull) {
 			s.queueRejected.Add(1)
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
@@ -219,7 +227,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobsSubmitted.Add(1)
 	s.jobsActive.Add(1)
 	s.jobs.wg.Add(1)
-	go s.runJob(j, body, admitted)
+	go s.runJob(j, admitted)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -227,12 +235,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob is the background worker of one job: wait for an analysis
-// slot (unless the submit already owned one), run the analysis under
-// the same in-flight accounting as synchronous requests, and park the
-// result in the shared cache where GET /v1/jobs/{id} serves it from.
-func (s *Server) runJob(j *job, body []byte, admitted bool) {
+// slot (unless the submit already owned one), run the file-backed
+// analysis of the spooled upload under the same in-flight accounting
+// as synchronous requests, and park the result in the shared cache
+// where GET /v1/jobs/{id} serves it from. The spool file is removed on
+// every exit path, including shutdown-before-run.
+func (s *Server) runJob(j *job, admitted bool) {
 	defer s.jobs.wg.Done()
 	defer s.jobsActive.Add(-1)
+	defer os.Remove(j.spoolPath)
 	if !admitted {
 		waitStart := time.Now()
 		select {
@@ -257,7 +268,7 @@ func (s *Server) runJob(j *job, body []byte, admitted bool) {
 		opts = append(opts[:len(opts):len(opts)], fetch.WithJobs(s.intraJobs))
 	}
 	t0 := time.Now()
-	_, cached, err := s.cache.Analyze(body, opts...)
+	_, cached, err := s.cache.AnalyzeFile(j.spoolPath, opts...)
 	s.analyzeDur.observe(time.Since(t0))
 	if err != nil {
 		s.jobsFailed.Add(1)

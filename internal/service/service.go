@@ -30,6 +30,7 @@
 package service
 
 import (
+	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -37,6 +38,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -66,6 +68,11 @@ type Config struct {
 	// MaxUploadBytes bounds the accepted binary size; non-positive
 	// selects DefaultMaxUploadBytes.
 	MaxUploadBytes int64
+	// SpoolDir is where uploads are streamed to before analysis.
+	// Uploads never sit whole in memory: the body is copied straight to
+	// a temp file under SpoolDir (hashed on the way through) and the
+	// analysis runs file-backed against it. Empty selects os.TempDir().
+	SpoolDir string
 	// IntraJobs sets each analysis's intra-binary shard parallelism
 	// (fetch.Options.Jobs). The in-flight bound still caps the number
 	// of concurrent analyses; IntraJobs multiplies the worker
@@ -113,6 +120,7 @@ type Server struct {
 	adm       *admission
 	jobs      *jobStore
 	maxUpload int64
+	spoolDir  string
 	intraJobs int
 	logger    *slog.Logger
 	start     time.Time
@@ -167,6 +175,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = DefaultMaxUploadBytes
 	}
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = os.TempDir()
+	}
 	if cfg.JobTTL <= 0 {
 		cfg.JobTTL = DefaultJobTTL
 	}
@@ -178,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 		adm:        newAdmission(cfg.MaxInFlight, cfg.MaxQueued, cfg.QueueTimeout),
 		jobs:       newJobStore(cfg.MaxJobs, cfg.JobTTL),
 		maxUpload:  cfg.MaxUploadBytes,
+		spoolDir:   cfg.SpoolDir,
 		intraJobs:  cfg.IntraJobs,
 		logger:     cfg.Logger,
 		start:      time.Now(),
@@ -202,6 +214,9 @@ func (s *Server) QueueTimeout() time.Duration { return s.adm.timeout }
 
 // MaxUploadBytes returns the resolved upload size cap.
 func (s *Server) MaxUploadBytes() int64 { return s.maxUpload }
+
+// SpoolDir returns the resolved upload spool directory.
+func (s *Server) SpoolDir() string { return s.spoolDir }
 
 // IntraJobs returns the configured per-analysis shard parallelism
 // (≤ 1 means sequential).
@@ -322,15 +337,31 @@ func (s *Server) enterFlight() {
 // exitFlight undoes enterFlight.
 func (s *Server) exitFlight() { s.inFlight.Add(-1) }
 
-// readUpload reads a bounded request body with the admission-hardened
-// error semantics: exceeding the upload cap is 413 (detected via
+// spoolUpload streams a bounded request body to a temp file under the
+// spool directory, hashing it on the way through, so an upload's heap
+// cost is one copy buffer rather than the binary. Error semantics stay
+// admission-hardened: exceeding the upload cap is 413 (detected via
 // *http.MaxBytesError, never inferred from "some read error"), any
-// other read failure — a client that disconnected mid-upload, a
-// broken transport — is 400, and an empty body is 400. On false the
-// response has been written and the error counted.
-func (s *Server) readUpload(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxUpload))
+// other read failure — a client that disconnected mid-upload, a broken
+// transport — is 400, and an empty body is 400. On false the response
+// has been written, the error counted, and the temp file removed; on
+// true the caller owns the returned path and must os.Remove it.
+func (s *Server) spoolUpload(w http.ResponseWriter, r *http.Request) (string, [32]byte, bool) {
+	var sum [32]byte
+	tmp, err := os.CreateTemp(s.spoolDir, "fetchd-upload-*")
 	if err != nil {
+		s.analyzeErrors.Add(1)
+		jsonError(w, http.StatusInternalServerError, "spooling upload: %v", err)
+		return "", sum, false
+	}
+	discard := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+	h := sha256.New()
+	n, err := io.Copy(tmp, io.TeeReader(http.MaxBytesReader(w, r.Body, s.maxUpload), h))
+	if err != nil {
+		discard()
 		s.analyzeErrors.Add(1)
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -339,22 +370,33 @@ func (s *Server) readUpload(w http.ResponseWriter, r *http.Request) ([]byte, boo
 		} else {
 			jsonError(w, http.StatusBadRequest, "reading request body: %v", err)
 		}
-		return nil, false
+		return "", sum, false
 	}
-	if len(body) == 0 {
+	if n == 0 {
+		discard()
 		s.analyzeErrors.Add(1)
 		jsonError(w, http.StatusBadRequest, "empty body; POST the ELF bytes")
-		return nil, false
+		return "", sum, false
 	}
-	return body, true
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.analyzeErrors.Add(1)
+		jsonError(w, http.StatusInternalServerError, "spooling upload: %v", err)
+		return "", sum, false
+	}
+	copy(sum[:], h.Sum(nil))
+	return tmp.Name(), sum, true
 }
 
 // handleAnalyze serves POST /v1/analyze. A JSON body is a by-hash
 // lookup of an already-analyzed binary; any other body is the binary
-// itself. Uploads pass the admission gate BEFORE the body is buffered,
-// so MaxInFlight+MaxQueued caps memory as well as CPU; a request
-// beyond both bounds gets an immediate 429 with Retry-After, a queued
-// request is bounded by the client context and the queue deadline.
+// itself. Uploads pass the admission gate BEFORE the body is spooled,
+// so MaxInFlight+MaxQueued bounds concurrent spool files as well as
+// CPU — and since the body streams to disk and the analysis runs
+// file-backed, no request ever holds the whole binary on the heap; a
+// request beyond both bounds gets an immediate 429 with Retry-After, a
+// queued request is bounded by the client context and the queue
+// deadline.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		jsonError(w, http.StatusMethodNotAllowed, "POST required")
@@ -399,16 +441,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.enterFlight()
 	defer s.exitFlight()
 
-	body, ok := s.readUpload(w, r)
+	path, sum, ok := s.spoolUpload(w, r)
 	if !ok {
 		return
 	}
+	defer os.Remove(path)
 
 	t0 := time.Now()
 	if s.intraJobs > 1 {
 		opts = append(opts, fetch.WithJobs(s.intraJobs))
 	}
-	res, cached, err := s.cache.Analyze(body, opts...)
+	res, cached, err := s.cache.AnalyzeFile(path, opts...)
 	s.analyzeDur.observe(time.Since(t0))
 
 	if err != nil {
@@ -421,7 +464,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.analyzeMisses.Add(1)
 	}
-	sum := fetch.HashBinary(body)
 	respondResult(w, hex.EncodeToString(sum[:]), cached, res)
 }
 

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fetch"
+)
+
+// newSpoolServer builds a Server whose spool directory is private to
+// the test, so leftover spool files are directly observable.
+func newSpoolServer(t *testing.T, cfg Config) (*Server, *httptest.Server, string) {
+	t.Helper()
+	spool := t.TempDir()
+	cache, err := fetch.NewCache(fetch.CacheConfig{MaxEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = cache
+	cfg.SpoolDir = spool
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
+	return svc, ts, spool
+}
+
+// waitSpoolEmpty polls until the spool directory has no files left
+// (handlers remove them in deferred cleanup, which may run just after
+// the response reaches the client).
+func waitSpoolEmpty(t *testing.T, spool string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, err := os.ReadDir(spool)
+		if err != nil {
+			t.Fatalf("reading spool dir: %v", err)
+		}
+		if len(ents) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			names := make([]string, len(ents))
+			for i, e := range ents {
+				names[i] = e.Name()
+			}
+			t.Fatalf("spool files leaked: %v", names)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSpoolCleanupAcrossOutcomes drives every upload outcome — success,
+// analysis failure, oversize, empty body — and asserts the spool
+// directory ends empty each time: no outcome may leak a temp file.
+func TestSpoolCleanupAcrossOutcomes(t *testing.T) {
+	_, ts, spool := newSpoolServer(t, Config{MaxInFlight: 2, MaxUploadBytes: 1 << 20})
+
+	// Success: a valid binary analyzes and the spool file goes away.
+	code, ar := postBinary(t, ts, "/v1/analyze", sampleELF(t, 31))
+	if code != http.StatusOK {
+		t.Fatalf("analyze: status %d", code)
+	}
+	if len(ar.Result) == 0 {
+		t.Fatal("no result payload")
+	}
+	waitSpoolEmpty(t, spool)
+
+	// Analysis failure: garbage spools fine, fails analysis 422, and
+	// still cleans up.
+	code, _ = postBinary(t, ts, "/v1/analyze", bytes.Repeat([]byte{0xAB}, 4096))
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage analyze: status %d, want 422", code)
+	}
+	waitSpoolEmpty(t, spool)
+
+	// Oversize: the cap surfaces as 413 (never a misclassified read
+	// error) and the partial spool is removed.
+	code, _ = postBinary(t, ts, "/v1/analyze", make([]byte, 1<<20+1))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize analyze: status %d, want 413", code)
+	}
+	waitSpoolEmpty(t, spool)
+
+	// Empty body stays 400.
+	code, _ = postBinary(t, ts, "/v1/analyze", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty analyze: status %d, want 400", code)
+	}
+	waitSpoolEmpty(t, spool)
+}
+
+// TestSpoolCleanupOnClientAbort aborts an upload mid-body: the server
+// must classify it as a client error (400 territory, though the client
+// never reads it) and remove the partial spool file.
+func TestSpoolCleanupOnClientAbort(t *testing.T) {
+	svc, ts, spool := newSpoolServer(t, Config{MaxInFlight: 2, MaxUploadBytes: 64 << 20})
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = 32 << 20 // promise far more than we deliver
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+	if _, err := pw.Write(make([]byte, 1<<20)); err != nil {
+		t.Fatalf("writing first chunk: %v", err)
+	}
+	pw.CloseWithError(io.ErrClosedPipe) // abort mid-upload
+	<-errCh
+
+	waitSpoolEmpty(t, spool)
+	// The abort was counted as an analyze error, not silently dropped.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Analyze.Errors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("aborted upload was not counted as an error")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJobSpoolCleanup runs an upload through the async path and
+// asserts the job's spool file is removed once the job completes.
+func TestJobSpoolCleanup(t *testing.T) {
+	_, ts, spool := newSpoolServer(t, Config{MaxInFlight: 2})
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/octet-stream",
+		bytes.NewReader(sampleELF(t, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job submit: status %d (%s)", resp.StatusCode, raw)
+	}
+	var jr jobResponse
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var poll jobResponse
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+jr.JobID, &poll); code != http.StatusOK {
+			t.Fatalf("job poll: status %d", code)
+		}
+		if poll.State == JobDone {
+			break
+		}
+		if poll.State == JobFailed {
+			t.Fatalf("job failed: %s", poll.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", poll.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitSpoolEmpty(t, spool)
+}
+
+// zeroReader serves n zero bytes without any backing allocation — the
+// "multi-hundred-MB upload" generator.
+type zeroReader struct{ n int64 }
+
+func (z *zeroReader) Read(p []byte) (int, error) {
+	if z.n <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > z.n {
+		p = p[:z.n]
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	z.n -= int64(len(p))
+	return len(p), nil
+}
+
+// TestHugeUploadStreamsToDisk streams a simulated multi-hundred-MB
+// upload and asserts the server's heap never grows by anything near
+// the body size: the body goes to the spool file, the (failing) parse
+// reads only what it needs, and the spool file is removed. This is the
+// regression test for the buffered-upload era, where accepting this
+// request meant holding all of it in memory.
+func TestHugeUploadStreamsToDisk(t *testing.T) {
+	bodySize := int64(256 << 20)
+	if testing.Short() {
+		bodySize = 96 << 20
+	}
+	_, ts, spool := newSpoolServer(t, Config{MaxInFlight: 1, MaxUploadBytes: bodySize + 1})
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var peakHeap atomic.Uint64
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				for {
+					old := peakHeap.Load()
+					if ms.HeapAlloc <= old || peakHeap.CompareAndSwap(old, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/octet-stream",
+		&zeroReader{n: bodySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	close(samplerStop)
+	<-samplerDone
+
+	// All zeros is not an ELF: the upload itself must succeed (i.e. not
+	// 4xx from the transport) and fail only in analysis.
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("huge upload: status %d, want 422", resp.StatusCode)
+	}
+	waitSpoolEmpty(t, spool)
+
+	// The heap budget: far below the body size. 32 MiB of headroom
+	// covers the copy buffers, the HTTP stack, and allocator slack.
+	budget := before.HeapAlloc + 32<<20
+	if peak := peakHeap.Load(); peak > budget {
+		t.Fatalf("peak heap %d MiB while streaming a %d MiB body (budget %d MiB): upload is buffering",
+			peak>>20, bodySize>>20, budget>>20)
+	}
+}
+
+// TestSpoolDirResolved pins the default: an unset SpoolDir resolves to
+// the system temp directory, a set one is used as given.
+func TestSpoolDirResolved(t *testing.T) {
+	cache, err := fetch.NewCache(fetch.CacheConfig{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.SpoolDir() != os.TempDir() {
+		t.Fatalf("default spool dir %q, want %q", svc.SpoolDir(), os.TempDir())
+	}
+	dir := filepath.Join(t.TempDir(), "spool")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := New(Config{Cache: cache, SpoolDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if svc2.SpoolDir() != dir {
+		t.Fatalf("spool dir %q, want %q", svc2.SpoolDir(), dir)
+	}
+}

@@ -47,8 +47,9 @@ func candidates(img *elfx.Image, res *disasm.Result, ix *DataIndex) []uint64 {
 		}
 	} else {
 		for _, sec := range img.DataSections() {
-			for off := 0; off+8 <= len(sec.Data); off++ {
-				add(binary.LittleEndian.Uint64(sec.Data[off:]))
+			body := sec.Bytes()
+			for off := 0; off+8 <= len(body); off++ {
+				add(binary.LittleEndian.Uint64(body[off:]))
 			}
 		}
 	}
@@ -87,13 +88,14 @@ func NewDataIndex(img *elfx.Image, jobs int) *DataIndex {
 	var chunks []chunk
 	const chunkWindows = 1 << 16
 	for _, sec := range img.DataSections() {
-		n := len(sec.Data) - 7 // number of windows
+		body := sec.Bytes()
+		n := len(body) - 7 // number of windows
 		for lo := 0; lo < n; lo += chunkWindows {
 			hi := lo + chunkWindows
 			if hi > n {
 				hi = n
 			}
-			chunks = append(chunks, chunk{data: sec.Data, lo: lo, hi: hi})
+			chunks = append(chunks, chunk{data: body, lo: lo, hi: hi})
 		}
 	}
 	outs := pool.Map(nil, jobs, chunks, func(_ context.Context, _ int, c chunk) (map[uint64]int, error) {
@@ -118,6 +120,13 @@ func NewDataIndex(img *elfx.Image, jobs int) *DataIndex {
 	return ix
 }
 
+// AccountedBytes estimates the index's memory at documented per-entry
+// costs (a count-map slot plus a sorted-value word) for the analysis
+// memory accounting; deterministic, not a heap measurement.
+func (ix *DataIndex) AccountedBytes() int64 {
+	return int64(len(ix.counts))*24 + int64(len(ix.execVals))*8
+}
+
 // Count returns how many data-section windows hold the value addr —
 // the same answer as DataRefCount: constant-time for executable
 // addresses (the only hot query), a direct scan otherwise.
@@ -134,8 +143,9 @@ func (ix *DataIndex) Count(addr uint64) int {
 func DataRefCount(img *elfx.Image, addr uint64) int {
 	n := 0
 	for _, sec := range img.DataSections() {
-		for off := 0; off+8 <= len(sec.Data); off++ {
-			if binary.LittleEndian.Uint64(sec.Data[off:]) == addr {
+		body := sec.Bytes()
+		for off := 0; off+8 <= len(body); off++ {
+			if binary.LittleEndian.Uint64(body[off:]) == addr {
 				n++
 			}
 		}

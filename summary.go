@@ -56,6 +56,8 @@ func Summarize(res *Result, verbose bool) []SummaryLine {
 		SummaryLine{"stats.xref_converged", fmt.Sprintf("%v", st.XrefConverged)},
 		SummaryLine{"stats.truncated", fmt.Sprintf("%v", st.Truncated)},
 		SummaryLine{"stats.jobs", fmt.Sprintf("%d", st.Jobs)},
+		SummaryLine{"stats.peak_image_bytes", fmt.Sprintf("%d", st.PeakImageBytes)},
+		SummaryLine{"stats.peak_aux_bytes", fmt.Sprintf("%d", st.PeakAuxBytes)},
 	)
 	if st.Jobs > 1 {
 		lines = append(lines,
