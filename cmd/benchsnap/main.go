@@ -9,7 +9,10 @@
 // header, so speedup claims in docs and PRs can be diffed against a
 // measured baseline instead of prose. Output is stable JSON: one
 // object per benchmark, sorted by name, environment header separate —
-// two snapshots from the same machine diff cleanly.
+// two snapshots from the same machine diff cleanly. Multi-package runs
+// (go test -bench ./pkg1 ./pkg2) qualify each benchmark name with its
+// package path, so cross-backend twins like the x64/a64
+// DecodeThroughput pair stay distinct.
 package main
 
 import (
@@ -60,6 +63,12 @@ func run(r io.Reader, w io.Writer) error {
 	snap := Snapshot{Schema: "fetch-benchsnap-1"}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Multi-package runs (go test -bench ./pkg1 ./pkg2) repeat the pkg
+	// header; each benchmark remembers the package it ran in so
+	// same-named benchmarks from different packages stay distinct.
+	var curPkg string
+	pkgs := map[string]bool{}
+	var pkgOf []string
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -70,13 +79,16 @@ func run(r io.Reader, w io.Writer) error {
 		case strings.HasPrefix(line, "cpu:"):
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "pkg:"):
+			curPkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkgs[curPkg] = true
 			if snap.Pkg == "" {
-				snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+				snap.Pkg = curPkg
 			}
 		case strings.HasPrefix(line, "Benchmark"):
 			b, ok := parseLine(line)
 			if ok {
 				snap.Benchmarks = append(snap.Benchmarks, b)
+				pkgOf = append(pkgOf, curPkg)
 			}
 		}
 	}
@@ -85,6 +97,16 @@ func run(r io.Reader, w io.Writer) error {
 	}
 	if len(snap.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines in input")
+	}
+	if len(pkgs) > 1 {
+		// More than one package: the single Pkg header is dropped and
+		// every name is qualified by its package path instead.
+		snap.Pkg = ""
+		for i := range snap.Benchmarks {
+			if pkgOf[i] != "" {
+				snap.Benchmarks[i].Name = pkgOf[i] + "." + snap.Benchmarks[i].Name
+			}
+		}
 	}
 	sort.Slice(snap.Benchmarks, func(i, j int) bool {
 		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name

@@ -53,6 +53,49 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	}
 }
 
+const multiPkgOutput = `goos: linux
+goarch: amd64
+pkg: fetch/internal/x64
+cpu: AMD EPYC 7B13
+BenchmarkDecodeThroughput 	     769	   1597393 ns/op	  41.04 MB/s
+PASS
+ok  	fetch/internal/x64	1.393s
+pkg: fetch/internal/a64
+BenchmarkDecodeThroughput 	     967	   1203367 ns/op	  54.50 MB/s
+PASS
+ok  	fetch/internal/a64	1.299s
+`
+
+// TestRunMultiPackage pins the cross-package disambiguation: two
+// same-named benchmarks from different packages get package-qualified
+// names and the single-package header field is dropped.
+func TestRunMultiPackage(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(multiPkgOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pkg != "" {
+		t.Errorf("Pkg = %q, want empty on a multi-package run", snap.Pkg)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	byName := make(map[string]Benchmark)
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	if byName["fetch/internal/x64.BenchmarkDecodeThroughput"].Metrics["MB/s"] != 41.04 {
+		t.Errorf("x64 entry missing or wrong: %+v", snap.Benchmarks)
+	}
+	if byName["fetch/internal/a64.BenchmarkDecodeThroughput"].Metrics["MB/s"] != 54.50 {
+		t.Errorf("a64 entry missing or wrong: %+v", snap.Benchmarks)
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
 	if err := run(strings.NewReader("PASS\nok fetch 1s\n"), &out); err == nil {

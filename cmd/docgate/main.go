@@ -37,7 +37,7 @@ import (
 // gatedPackages are the default package directories whose exported
 // surface must be fully documented (the acceptance list of issue 4
 // plus the packages this PR introduced).
-const gatedPackages = ".,internal/disasm,internal/oracle,internal/pool,internal/synth,internal/core,internal/resultcache,internal/service,internal/mmapfile"
+const gatedPackages = ".,internal/disasm,internal/oracle,internal/pool,internal/synth,internal/core,internal/resultcache,internal/service,internal/mmapfile,internal/arch,internal/a64"
 
 // gatedDocs are the markdown files whose go fences must build.
 const gatedDocs = "README.md,docs/ARCHITECTURE.md,docs/API.md"

@@ -1,13 +1,14 @@
-// Command fetch analyzes System-V x64 ELF binaries and prints the
-// detected function starts along with the corrections the pipeline
-// applied (merged non-contiguous parts, removed bogus FDEs, starts
-// recovered from function pointers and tail calls).
+// Command fetch analyzes System-V ELF binaries (x86-64 and aarch64,
+// dispatched on the ELF header's e_machine) and prints the detected
+// function starts along with the corrections the pipeline applied
+// (merged non-contiguous parts, removed bogus FDEs, starts recovered
+// from function pointers and tail calls).
 //
 // Usage:
 //
 //	fetch [-fde-only] [-no-xref] [-no-tailcall] [-jobs N] [-cache-dir DIR]
 //	      [-cache-max-bytes N] [-json] [-v] BINARY...
-//	fetch -sample [-seed N] [-v]        analyze a generated sample
+//	fetch -sample [-seed N] [-arch a64] [-v]   analyze a generated sample
 //
 // Multiple binaries are analyzed concurrently (-jobs bounds the worker
 // count, 0 = one per CPU) and reported in argument order; a failure on
@@ -108,6 +109,7 @@ func run(args []string, w, errW io.Writer) error {
 	noTail := fs.Bool("no-tailcall", false, "disable Algorithm 1 error fixing")
 	sample := fs.Bool("sample", false, "analyze a generated sample binary instead of a file")
 	seed := fs.Int64("seed", 1, "sample generation seed")
+	arch := fs.String("arch", "", "sample ISA: x64 (default) or a64; real binaries dispatch on their ELF header")
 	jobs := fs.Int("jobs", 0, "parallelism: across binaries when several are given, inside the binary when one is (0 = one per CPU)")
 	cacheDir := fs.String("cache-dir", "", "persistent result cache directory (reuses results across runs)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "disk cache byte budget, oldest entries evicted first (0 = unbounded, needs -cache-dir)")
@@ -151,7 +153,7 @@ func run(args []string, w, errW io.Writer) error {
 
 	switch {
 	case *sample:
-		raw, _, err := fetch.GenerateSample(fetch.SampleConfig{Seed: *seed, Stripped: true})
+		raw, _, err := fetch.GenerateSample(fetch.SampleConfig{Seed: *seed, Arch: *arch, Stripped: true})
 		if err != nil {
 			return err
 		}

@@ -1,5 +1,6 @@
-// Command realeval evaluates the pipeline on real, unstripped x64 ELF
-// binaries. Each binary is made self-validating: the symbol
+// Command realeval evaluates the pipeline on real, unstripped ELF
+// binaries of any supported ISA (x86-64, aarch64). Each binary is made
+// self-validating: the symbol
 // information it ships (.symtab, Go's .gopclntab, or partially
 // .dynsym) becomes the ground truth, a stripped in-memory copy is
 // analyzed with the paper's full strategy ladder, and the detections
@@ -16,8 +17,8 @@
 // is used when present. -golden checks the run against minimum
 // precision/recall floors and fails the command on any violation; a
 // binary that hard-fails analysis always fails the command. Skipped
-// binaries (not x64, too large, no derivable truth) never do — scan
-// mode is expected to meet many of those.
+// binaries (unsupported ISA, too large, no derivable truth) never do —
+// scan mode is expected to meet many of those.
 package main
 
 import (
@@ -139,8 +140,8 @@ func run(args []string, w, errW io.Writer) error {
 // truth provenance and strategy rows, then the corpus aggregate.
 func printReport(w io.Writer, rep *realbin.CorpusReport, scan *realbin.ScanResult, verbose bool) {
 	if scan != nil {
-		fmt.Fprintf(w, "scan: %d candidates, %d non-ELF, %d too large, %d unreadable\n\n",
-			len(scan.Candidates), scan.NonELF, scan.TooLarge, scan.Unreadable)
+		fmt.Fprintf(w, "scan: %d candidates, %d non-ELF, %d other-ISA, %d too large, %d unreadable\n\n",
+			len(scan.Candidates), scan.NonELF, scan.OtherISA, scan.TooLarge, scan.Unreadable)
 	}
 	for _, b := range rep.Binaries {
 		switch {

@@ -8,10 +8,10 @@ import (
 	"fmt"
 	"log"
 
+	"fetch/internal/arch"
 	"fetch/internal/core"
 	"fetch/internal/ehframe"
 	"fetch/internal/synth"
-	"fetch/internal/x64"
 )
 
 func main() {
@@ -53,7 +53,8 @@ func main() {
 	fmt.Printf("  cold part FDE: [%#x, %#x)  <- a false function start\n", partFDE.PCBegin, partFDE.End())
 
 	// Find the connecting jump and its CFI-recorded stack height.
-	heights := parentFDE.Heights()
+	isa := img.ISA()
+	heights := parentFDE.HeightsABI(isa.CFISPReg(), isa.CFIEntryOffset())
 	fmt.Printf("  parent CFI heights complete: %v\n", heights.Complete)
 	addr := parentFDE.PCBegin
 	for addr < parentFDE.End() {
@@ -61,11 +62,11 @@ func main() {
 		if !ok {
 			break
 		}
-		in, err := x64.Decode(w, addr)
+		in, err := img.ISA().Decode(w, addr)
 		if err != nil {
 			break
 		}
-		if (in.Op == x64.OpJcc || in.Op == x64.OpJmp) && in.HasTarget && in.Target == part.addr {
+		if (in.Op == arch.OpJcc || in.Op == arch.OpJmp) && in.HasTarget && in.Target == part.addr {
 			h, _ := heights.HeightAt(in.Addr)
 			fmt.Printf("  connecting jump at %#x, stack height %d bytes\n", in.Addr, h)
 			if h != 0 {

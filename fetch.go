@@ -582,6 +582,7 @@ type SampleConfig struct {
 	Opt      string // "O2" (default), "O3", "Os", "Ofast"
 	Compiler string // "gcc" (default) or "clang"
 	Lang     string // "c" (default) or "c++"
+	Arch     string // "x64" (default) or "a64"
 	Stripped bool
 }
 
@@ -596,13 +597,15 @@ type SampleTruth struct {
 	Names map[uint64]string
 }
 
-// GenerateSample synthesizes a small x64 ELF executable with known
+// GenerateSample synthesizes a small ELF executable with known
 // ground truth — real machine code, .eh_frame, jump tables, tail
-// calls, and non-contiguous functions. Useful for demos, tests, and
-// fuzzing harnesses.
+// calls, and non-contiguous functions — on the requested ISA
+// (x86-64 by default, aarch64 with Arch "a64"). Useful for demos,
+// tests, and fuzzing harnesses.
 func GenerateSample(cfg SampleConfig) ([]byte, *SampleTruth, error) {
 	sc := synth.DefaultConfig("sample", cfg.Seed, parseOpt(cfg.Opt),
 		parseCompiler(cfg.Compiler), parseLang(cfg.Lang))
+	sc.Arch = cfg.Arch
 	if cfg.NumFuncs > 0 {
 		sc.NumFuncs = cfg.NumFuncs
 	}

@@ -1,0 +1,448 @@
+package a64
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fetch/internal/arch"
+)
+
+// Fixup kinds this backend emits. The kinds live in arch (shared with
+// the x86-64 assembler); the aarch64 assembler patches bit fields of
+// instruction words rather than byte fields.
+const (
+	FixBranch26 = arch.FixA64Branch26
+	FixCond19   = arch.FixA64Cond19
+	FixPage21   = arch.FixA64Page21
+	FixLo12     = arch.FixA64Lo12
+	FixAdr21    = arch.FixA64Adr21
+	FixAbs64    = arch.FixAbs64
+)
+
+// Fixup is an unresolved reference to a symbol defined outside the
+// assembled chunk. Offsets are relative to the chunk start.
+type Fixup = arch.Fixup
+
+// a64Cond maps the shared condition codes back to A64 condition
+// nibbles (the inverse of the decoder's translation).
+var a64Cond = map[arch.Cond]uint32{
+	arch.CondE:  0, // EQ
+	arch.CondNE: 1, // NE
+	arch.CondAE: 2, // HS
+	arch.CondB:  3, // LO
+	arch.CondS:  4, // MI
+	arch.CondNS: 5, // PL
+	arch.CondO:  6, // VS
+	arch.CondNO: 7, // VC
+	arch.CondA:  8, // HI
+	arch.CondBE: 9, // LS
+	arch.CondGE: 10,
+	arch.CondL:  11,
+	arch.CondG:  12,
+	arch.CondLE: 13,
+}
+
+// Asm assembles a chunk of A64 machine code with local labels and
+// external fixups. The zero value is ready to use. Every emission is
+// one 4-byte little-endian word; chunk offsets are always
+// word-aligned.
+type Asm struct {
+	buf    []byte
+	labels map[string]int
+	// pending local references, patched at Finish.
+	localRefs []localRef
+	fixups    []Fixup
+	err       error
+}
+
+type localRef struct {
+	off   int // offset of the instruction word to patch
+	kind  arch.FixupKind
+	label string
+}
+
+func (a *Asm) setErr(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Len returns the current chunk length.
+func (a *Asm) Len() int { return len(a.buf) }
+
+// Label defines a local label at the current position.
+func (a *Asm) Label(name string) {
+	if a.labels == nil {
+		a.labels = make(map[string]int)
+	}
+	if _, dup := a.labels[name]; dup {
+		a.setErr("duplicate label %q", name)
+		return
+	}
+	a.labels[name] = len(a.buf)
+}
+
+// LabelOff returns the chunk offset of a defined label.
+func (a *Asm) LabelOff(name string) (int, bool) {
+	off, ok := a.labels[name]
+	return off, ok
+}
+
+// Finish resolves local references and returns the machine code and
+// the remaining external fixups.
+func (a *Asm) Finish() ([]byte, []Fixup, error) {
+	for _, r := range a.localRefs {
+		target, ok := a.labels[r.label]
+		if !ok {
+			a.setErr("undefined local label %q", r.label)
+			break
+		}
+		rel := int64(target-r.off) / 4
+		w := binary.LittleEndian.Uint32(a.buf[r.off:])
+		switch r.kind {
+		case FixBranch26:
+			if rel < -(1<<25) || rel >= 1<<25 {
+				a.setErr("label %q out of branch26 range (%d)", r.label, rel)
+			}
+			w |= uint32(rel) & 0x03FFFFFF
+		case FixCond19:
+			if rel < -(1<<18) || rel >= 1<<18 {
+				a.setErr("label %q out of cond19 range (%d)", r.label, rel)
+			}
+			w |= (uint32(rel) & 0x7FFFF) << 5
+		}
+		binary.LittleEndian.PutUint32(a.buf[r.off:], w)
+	}
+	if a.err != nil {
+		return nil, nil, a.err
+	}
+	return a.buf, a.fixups, nil
+}
+
+// word appends one instruction word.
+func (a *Asm) word(w uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], w)
+	a.buf = append(a.buf, tmp[:]...)
+}
+
+// AppendRaw appends raw bytes verbatim (data islands, deliberately
+// malformed words).
+func (a *Asm) AppendRaw(bs ...byte) { a.buf = append(a.buf, bs...) }
+
+// --- Stack and frame ---
+
+// StpPre emits stp rt, rt2, [sp, #imm]! (the frame-save prologue;
+// imm must be a multiple of 8 in [-512, 504]).
+func (a *Asm) StpPre(rt, rt2 arch.Reg, imm int32) {
+	if imm%8 != 0 || imm < -512 || imm > 504 {
+		a.setErr("stp writeback %d out of imm7 range", imm)
+		return
+	}
+	a.word(0xA9800000 | (uint32(imm/8)&0x7F)<<15 | uint32(rt2)<<10 | uint32(SP)<<5 | uint32(rt))
+}
+
+// LdpPost emits ldp rt, rt2, [sp], #imm (the frame-restore epilogue).
+func (a *Asm) LdpPost(rt, rt2 arch.Reg, imm int32) {
+	if imm%8 != 0 || imm < -512 || imm > 504 {
+		a.setErr("ldp writeback %d out of imm7 range", imm)
+		return
+	}
+	a.word(0xA8C00000 | (uint32(imm/8)&0x7F)<<15 | uint32(rt2)<<10 | uint32(SP)<<5 | uint32(rt))
+}
+
+// StrPre emits str rt, [sp, #imm]! (single-register save; imm in
+// [-256, 255]).
+func (a *Asm) StrPre(rt arch.Reg, imm int32) {
+	a.word(0xF8000C00 | (uint32(imm)&0x1FF)<<12 | uint32(SP)<<5 | uint32(rt))
+}
+
+// LdrPost emits ldr rt, [sp], #imm (single-register restore).
+func (a *Asm) LdrPost(rt arch.Reg, imm int32) {
+	a.word(0xF8400400 | (uint32(imm)&0x1FF)<<12 | uint32(SP)<<5 | uint32(rt))
+}
+
+// SubSP emits sub sp, sp, #imm.
+func (a *Asm) SubSP(imm int32) { a.addImm(SP, SP, imm, true, false) }
+
+// AddSP emits add sp, sp, #imm.
+func (a *Asm) AddSP(imm int32) { a.addImm(SP, SP, imm, false, false) }
+
+// MovFPSP emits mov x29, sp (the frame-pointer establishment).
+func (a *Asm) MovFPSP() { a.addImm(X29, SP, 0, false, false) }
+
+// Ret emits ret (x30).
+func (a *Asm) Ret() { a.word(0xD65F0000 | uint32(X30)<<5) }
+
+// --- Moves and arithmetic ---
+
+// MovRegReg emits mov dst, src (orr dst, xzr, src).
+func (a *Asm) MovRegReg(dst, src arch.Reg) {
+	a.word(0xAA0003E0 | uint32(src)<<16 | uint32(dst))
+}
+
+// MovRegImm emits the shortest movz/movn(+movk) sequence putting v in
+// dst.
+func (a *Asm) MovRegImm(dst arch.Reg, v int64) {
+	u := uint64(v)
+	if v < 0 && ^u&0xFFFFFFFFFFFF0000 == 0 {
+		// movn dst, #^imm16
+		a.word(0x92800000 | uint32(^u&0xFFFF)<<5 | uint32(dst))
+		return
+	}
+	// movz for the lowest 16 bits, movk for each higher non-zero half.
+	a.word(0xD2800000 | uint32(u&0xFFFF)<<5 | uint32(dst))
+	for hw := uint32(1); hw <= 3; hw++ {
+		half := (u >> (16 * hw)) & 0xFFFF
+		if half != 0 {
+			a.word(0xF2800000 | hw<<21 | uint32(half)<<5 | uint32(dst))
+		}
+	}
+}
+
+// addImm emits add/sub dst, src, #imm (imm in [0, 4095], or a
+// multiple of 4096 up to 1<<24).
+func (a *Asm) addImm(dst, src arch.Reg, imm int32, sub, setFlags bool) {
+	if imm < 0 {
+		sub = !sub
+		imm = -imm
+	}
+	base := uint32(0x91000000)
+	if sub {
+		base = 0xD1000000
+	}
+	if setFlags {
+		base |= 1 << 29
+	}
+	switch {
+	case imm < 1<<12:
+		a.word(base | uint32(imm)<<10 | uint32(src)<<5 | uint32(dst))
+	case imm%(1<<12) == 0 && imm < 1<<24:
+		a.word(base | 1<<22 | uint32(imm>>12)<<10 | uint32(src)<<5 | uint32(dst))
+	default:
+		a.setErr("add/sub immediate %d not encodable", imm)
+	}
+}
+
+// AddRegImm emits add dst, dst, #imm.
+func (a *Asm) AddRegImm(dst arch.Reg, imm int32) { a.addImm(dst, dst, imm, false, false) }
+
+// SubRegImm emits sub dst, dst, #imm.
+func (a *Asm) SubRegImm(dst arch.Reg, imm int32) { a.addImm(dst, dst, imm, true, false) }
+
+// AddRegRegImm emits add dst, src, #imm (the address-formation shape;
+// with imm 0 and dst ≠ src the decoder reads it back as mov dst, src).
+func (a *Asm) AddRegRegImm(dst, src arch.Reg, imm int32) { a.addImm(dst, src, imm, false, false) }
+
+// AddRegReg emits add dst, dst, src.
+func (a *Asm) AddRegReg(dst, src arch.Reg) {
+	a.word(0x8B000000 | uint32(src)<<16 | uint32(dst)<<5 | uint32(dst))
+}
+
+// AddRegRegReg emits add dst, x, y.
+func (a *Asm) AddRegRegReg(dst, x, y arch.Reg) {
+	a.word(0x8B000000 | uint32(y)<<16 | uint32(x)<<5 | uint32(dst))
+}
+
+// SubRegReg emits sub dst, dst, src.
+func (a *Asm) SubRegReg(dst, src arch.Reg) {
+	a.word(0xCB000000 | uint32(src)<<16 | uint32(dst)<<5 | uint32(dst))
+}
+
+// CmpRegImm emits cmp r, #imm (subs xzr, r, #imm).
+func (a *Asm) CmpRegImm(r arch.Reg, imm int32) {
+	if imm < 0 || imm >= 1<<12 {
+		a.setErr("cmp immediate %d not encodable", imm)
+		return
+	}
+	a.word(0xF1000000 | uint32(imm)<<10 | uint32(r)<<5 | 31)
+}
+
+// CmpRegReg emits cmp x, y.
+func (a *Asm) CmpRegReg(x, y arch.Reg) {
+	a.word(0xEB000000 | uint32(y)<<16 | uint32(x)<<5 | 31)
+}
+
+// TestRegReg emits tst x, y (ands xzr, x, y).
+func (a *Asm) TestRegReg(x, y arch.Reg) {
+	a.word(0xEA000000 | uint32(y)<<16 | uint32(x)<<5 | 31)
+}
+
+// MulRegReg emits mul dst, dst, src.
+func (a *Asm) MulRegReg(dst, src arch.Reg) {
+	a.word(0x9B007C00 | uint32(src)<<16 | uint32(dst)<<5 | uint32(dst))
+}
+
+// LslRegImm emits lsl dst, dst, #sh (ubfm).
+func (a *Asm) LslRegImm(dst arch.Reg, sh uint8) {
+	immr := uint32(64-sh) & 0x3F
+	imms := uint32(63 - sh)
+	a.word(0xD3400000 | immr<<16 | imms<<10 | uint32(dst)<<5 | uint32(dst))
+}
+
+// LdrRegMem emits ldr dst, [base, #imm] (imm a multiple of 8 in
+// [0, 32760]).
+func (a *Asm) LdrRegMem(dst, base arch.Reg, imm int32) {
+	if imm%8 != 0 || imm < 0 || imm/8 >= 1<<12 {
+		a.setErr("ldr offset %d not encodable", imm)
+		return
+	}
+	a.word(0xF9400000 | uint32(imm/8)<<10 | uint32(base)<<5 | uint32(dst))
+}
+
+// StrRegMem emits str src, [base, #imm].
+func (a *Asm) StrRegMem(src, base arch.Reg, imm int32) {
+	if imm%8 != 0 || imm < 0 || imm/8 >= 1<<12 {
+		a.setErr("str offset %d not encodable", imm)
+		return
+	}
+	a.word(0xF9000000 | uint32(imm/8)<<10 | uint32(base)<<5 | uint32(src))
+}
+
+// LdrIdx8 emits ldr dst, [base, index, lsl #3] (absolute jump-table
+// entry load).
+func (a *Asm) LdrIdx8(dst, base, index arch.Reg) {
+	a.word(0xF8607800 | uint32(index)<<16 | uint32(base)<<5 | uint32(dst))
+}
+
+// LdrswIdx4 emits ldrsw dst, [base, index, lsl #2] (PIC jump-table
+// entry load).
+func (a *Asm) LdrswIdx4(dst, base, index arch.Reg) {
+	a.word(0xB8A07800 | uint32(index)<<16 | uint32(base)<<5 | uint32(dst))
+}
+
+// --- PC-relative and externally-fixed-up forms ---
+
+// AdrpSym emits adrp dst, page(sym+addend), patched at link time.
+func (a *Asm) AdrpSym(dst arch.Reg, sym string, addend int64) {
+	off := len(a.buf)
+	a.word(0x90000000 | uint32(dst))
+	a.fixups = append(a.fixups, Fixup{Kind: FixPage21, Off: off, End: off + 4, Sym: sym, Addend: addend})
+}
+
+// AddLo12Sym emits add dst, dst, #:lo12:(sym+addend).
+func (a *Asm) AddLo12Sym(dst arch.Reg, sym string, addend int64) {
+	off := len(a.buf)
+	a.word(0x91000000 | uint32(dst)<<5 | uint32(dst))
+	a.fixups = append(a.fixups, Fixup{Kind: FixLo12, Off: off, End: off + 4, Sym: sym, Addend: addend})
+}
+
+// AdrSym emits the adrp+add pair materializing sym+addend into dst
+// (the canonical address-formation sequence).
+func (a *Asm) AdrSym(dst arch.Reg, sym string, addend int64) {
+	a.AdrpSym(dst, sym, addend)
+	a.AddLo12Sym(dst, sym, addend)
+}
+
+// AdrNearSym emits a single adr dst, sym — exact-address formation for
+// targets within ±1 MiB. Its immediate IS the target address after
+// resolution, so the §IV-E constant harvest lands on the symbol
+// directly (the shape function-pointer materialization uses).
+func (a *Asm) AdrNearSym(dst arch.Reg, sym string) {
+	off := len(a.buf)
+	a.word(0x10000000 | uint32(dst))
+	a.fixups = append(a.fixups, Fixup{Kind: FixAdr21, Off: off, End: off + 4, Sym: sym})
+}
+
+// LdrLitSym emits ldr dst, =sym — an LDR literal whose word offset is
+// patched to the symbol at link time (the literal itself must be
+// placed by the linker; Cond19 patches the imm19 field identically).
+func (a *Asm) LdrLitSym(dst arch.Reg, sym string) {
+	off := len(a.buf)
+	a.word(0x58000000 | uint32(dst))
+	a.fixups = append(a.fixups, Fixup{Kind: FixCond19, Off: off, End: off + 4, Sym: sym})
+}
+
+// BlSym emits bl sym.
+func (a *Asm) BlSym(sym string) {
+	off := len(a.buf)
+	a.word(0x94000000)
+	a.fixups = append(a.fixups, Fixup{Kind: FixBranch26, Off: off, End: off + 4, Sym: sym})
+}
+
+// BSym emits b sym (tail calls, part links).
+func (a *Asm) BSym(sym string) {
+	off := len(a.buf)
+	a.word(0x14000000)
+	a.fixups = append(a.fixups, Fixup{Kind: FixBranch26, Off: off, End: off + 4, Sym: sym})
+}
+
+// BcondSym emits b.cond sym to an external symbol.
+func (a *Asm) BcondSym(c arch.Cond, sym string) {
+	cc, ok := a64Cond[c]
+	if !ok {
+		a.setErr("condition %v has no a64 encoding", c)
+		return
+	}
+	off := len(a.buf)
+	a.word(0x54000000 | cc)
+	a.fixups = append(a.fixups, Fixup{Kind: FixCond19, Off: off, End: off + 4, Sym: sym})
+}
+
+// Blr emits blr r.
+func (a *Asm) Blr(r arch.Reg) { a.word(0xD63F0000 | uint32(r)<<5) }
+
+// Br emits br r.
+func (a *Asm) Br(r arch.Reg) { a.word(0xD61F0000 | uint32(r)<<5) }
+
+// --- Local control flow ---
+
+// B emits b to a local label.
+func (a *Asm) B(label string) {
+	a.localRefs = append(a.localRefs, localRef{off: len(a.buf), kind: FixBranch26, label: label})
+	a.word(0x14000000)
+}
+
+// Bcond emits b.cond to a local label.
+func (a *Asm) Bcond(c arch.Cond, label string) {
+	cc, ok := a64Cond[c]
+	if !ok {
+		a.setErr("condition %v has no a64 encoding", c)
+		return
+	}
+	a.localRefs = append(a.localRefs, localRef{off: len(a.buf), kind: FixCond19, label: label})
+	a.word(0x54000000 | cc)
+}
+
+// Cbz emits cbz r, label.
+func (a *Asm) Cbz(r arch.Reg, label string) {
+	a.localRefs = append(a.localRefs, localRef{off: len(a.buf), kind: FixCond19, label: label})
+	a.word(0xB4000000 | uint32(r))
+}
+
+// Cbnz emits cbnz r, label.
+func (a *Asm) Cbnz(r arch.Reg, label string) {
+	a.localRefs = append(a.localRefs, localRef{off: len(a.buf), kind: FixCond19, label: label})
+	a.word(0xB5000000 | uint32(r))
+}
+
+// --- Misc ---
+
+// Bti emits bti c (the BTI landing pad).
+func (a *Asm) Bti() { a.word(0xD503245F) }
+
+// Nop emits one nop word.
+func (a *Asm) Nop() { a.word(0xD503201F) }
+
+// Brk emits brk #0 (trap padding).
+func (a *Asm) Brk() { a.word(0xD4200000) }
+
+// Udf emits udf #0 (the permanently-undefined word).
+func (a *Asm) Udf() { a.word(0x00000000) }
+
+// Hlt emits hlt #0.
+func (a *Asm) Hlt() { a.word(0xD4400000) }
+
+// Svc emits svc #0.
+func (a *Asm) Svc() { a.word(0xD4000001) }
+
+// Pad emits n bytes of nop padding; n must be a multiple of 4.
+func (a *Asm) Pad(n int) {
+	if n%4 != 0 {
+		a.setErr("a64 padding %d not word-aligned", n)
+		return
+	}
+	for i := 0; i < n; i += 4 {
+		a.Nop()
+	}
+}

@@ -1,0 +1,193 @@
+package a64
+
+import (
+	"testing"
+
+	"fetch/internal/arch"
+)
+
+// decodeAll decodes an assembled chunk into its instruction sequence.
+func decodeAll(t *testing.T, code []byte, base uint64) []arch.Inst {
+	t.Helper()
+	var out []arch.Inst
+	for off := 0; off < len(code); off += instLen {
+		in, err := Decode(code[off:], base+uint64(off))
+		if err != nil {
+			t.Fatalf("decode at +%#x: %v", off, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// TestAsmDecodeRoundTrip assembles the canonical prologue/body/epilogue
+// shape and verifies the decoder classifies every word back into the
+// semantic classes the analyses expect.
+func TestAsmDecodeRoundTrip(t *testing.T) {
+	var a Asm
+	a.Bti()
+	a.StpPre(X29, X30, -16)
+	a.MovFPSP()
+	a.SubSP(0x20)
+	a.MovRegImm(X0, 0)
+	a.MovRegImm(X1, 7)
+	a.MovRegReg(X2, X1)
+	a.AddRegReg(X2, X1)
+	a.CmpRegImm(X2, 11)
+	a.Bcond(arch.CondA, "out")
+	a.TestRegReg(X0, X0)
+	a.Label("out")
+	a.AddSP(0x20)
+	a.LdpPost(X29, X30, 16)
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixups) != 0 {
+		t.Fatalf("unexpected fixups: %v", fixups)
+	}
+
+	const base = 0x401000
+	ins := decodeAll(t, code, base)
+	wantOps := []arch.Op{
+		arch.OpEndbr64, arch.OpPush, arch.OpMov, arch.OpSub,
+		arch.OpMov, arch.OpMov, arch.OpMov, arch.OpAdd,
+		arch.OpCmp, arch.OpJcc, arch.OpTest,
+		arch.OpAdd, arch.OpPop, arch.OpRet,
+	}
+	if len(ins) != len(wantOps) {
+		t.Fatalf("decoded %d instructions, want %d", len(ins), len(wantOps))
+	}
+	for k, in := range ins {
+		if in.Op != wantOps[k] {
+			t.Errorf("inst %d: op %v, want %v (%v)", k, in.Op, wantOps[k], &in)
+		}
+	}
+	// The local b.hi must land on the add-sp.
+	jcc := ins[9]
+	if jcc.Cond != arch.CondA || jcc.Target != base+11*instLen {
+		t.Errorf("b.hi target %#x cond %v", jcc.Target, jcc.Cond)
+	}
+	// Stack deltas over the whole body must balance.
+	var h int64
+	for k := range ins {
+		d, known := StackDelta(&ins[k])
+		if !known {
+			t.Errorf("inst %d: unknown stack delta (%v)", k, &ins[k])
+		}
+		h += d
+	}
+	if h != 0 {
+		t.Errorf("unbalanced stack: net delta %d", h)
+	}
+}
+
+// TestAsmLocalBranches exercises backward references and CBZ/CBNZ.
+func TestAsmLocalBranches(t *testing.T) {
+	var a Asm
+	a.Label("top")
+	a.SubRegImm(X1, 1)
+	a.Cbnz(X1, "top")
+	a.Cbz(X0, "done")
+	a.B("top")
+	a.Label("done")
+	a.Ret()
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, code, 0x1000)
+	if ins[1].Op != arch.OpJcc || ins[1].Cond != arch.CondNE || ins[1].Target != 0x1000 {
+		t.Errorf("cbnz: %v", &ins[1])
+	}
+	if ins[2].Op != arch.OpJcc || ins[2].Cond != arch.CondE || ins[2].Target != 0x1010 {
+		t.Errorf("cbz: %v", &ins[2])
+	}
+	if ins[3].Op != arch.OpJmp || ins[3].Target != 0x1000 {
+		t.Errorf("b: %v", &ins[3])
+	}
+}
+
+// TestAsmFixups verifies external references carry the right kinds and
+// that the emitted words decode to the expected classes before
+// patching.
+func TestAsmFixups(t *testing.T) {
+	var a Asm
+	a.BlSym("callee")
+	a.BSym("tail")
+	a.BcondSym(arch.CondNE, "other")
+	a.AdrSym(X1, "table", 0)
+	a.LdrIdx8(X2, X1, X3)
+	a.Br(X2)
+	code, fixups, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []arch.FixupKind{FixBranch26, FixBranch26, FixCond19, FixPage21, FixLo12}
+	if len(fixups) != len(wantKinds) {
+		t.Fatalf("got %d fixups, want %d", len(fixups), len(wantKinds))
+	}
+	for k, f := range fixups {
+		if f.Kind != wantKinds[k] {
+			t.Errorf("fixup %d: kind %v, want %v", k, f.Kind, wantKinds[k])
+		}
+		if f.Off%instLen != 0 || f.End != f.Off+instLen {
+			t.Errorf("fixup %d: misaligned site Off=%d End=%d", k, f.Off, f.End)
+		}
+	}
+	ins := decodeAll(t, code, 0x1000)
+	wantOps := []arch.Op{arch.OpCall, arch.OpJmp, arch.OpJcc, arch.OpLea, arch.OpAdd, arch.OpMov, arch.OpJmpInd}
+	for k, in := range ins {
+		if in.Op != wantOps[k] {
+			t.Errorf("inst %d: op %v, want %v", k, in.Op, wantOps[k])
+		}
+	}
+}
+
+// TestAsmMovRegImmWide verifies multi-halfword immediates round-trip
+// through movz+movk as a materialization the gate tracker degrades on.
+func TestAsmMovRegImmWide(t *testing.T) {
+	var a Asm
+	a.MovRegImm(X5, 0x12345678)
+	a.MovRegImm(X6, -2)
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := decodeAll(t, code, 0)
+	// movz x5, #0x5678; movk x5, #0x1234, lsl #16; movn x6, #1
+	if len(ins) != 3 {
+		t.Fatalf("got %d instructions", len(ins))
+	}
+	if ins[0].Op != arch.OpMov || ins[0].Args[1].Imm != 0x5678 {
+		t.Errorf("movz: %v", &ins[0])
+	}
+	if ins[1].Op != arch.OpOr { // movk
+		t.Errorf("movk: %v", &ins[1])
+	}
+	if ins[2].Op != arch.OpMov || ins[2].Args[1].Imm != -2 {
+		t.Errorf("movn: %v", &ins[2])
+	}
+}
+
+// TestAsmPad verifies padding decodes as IsPadding words.
+func TestAsmPad(t *testing.T) {
+	var a Asm
+	a.Pad(12)
+	a.Brk()
+	code, _, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range decodeAll(t, code, 0) {
+		if !in.IsPadding() {
+			t.Errorf("not padding: %v", &in)
+		}
+	}
+	var bad Asm
+	bad.Pad(3)
+	if _, _, err := bad.Finish(); err == nil {
+		t.Error("unaligned padding accepted")
+	}
+}

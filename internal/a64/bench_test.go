@@ -1,0 +1,60 @@
+package a64
+
+import "testing"
+
+// benchSink keeps the decode loop from being optimized away.
+var benchSink int
+
+// benchCode assembles ~64 KiB of representative straight-line code —
+// the frame/ALU/memory mix synth emits — for throughput runs.
+func benchCode(b *testing.B) []byte {
+	b.Helper()
+	var a Asm
+	for a.Len() < 1<<16 {
+		a.StpPre(X29, X30, -16)
+		a.MovFPSP()
+		a.SubSP(0x20)
+		a.MovRegImm(X9, 0x1234)
+		a.LdrRegMem(X10, X29, 8)
+		a.AddRegReg(X9, X10)
+		a.CmpRegImm(X9, 64)
+		a.TestRegReg(X0, X0)
+		a.MulRegReg(X9, X10)
+		a.LslRegImm(X9, 3)
+		a.AddRegRegImm(X11, SP, 0x10)
+		a.StrRegMem(X9, X29, 16)
+		a.AddSP(0x20)
+		a.LdpPost(X29, X30, 16)
+		a.Ret()
+	}
+	code, fixups, err := a.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(fixups) != 0 {
+		b.Fatalf("bench code has %d unresolved fixups", len(fixups))
+	}
+	return code
+}
+
+// BenchmarkDecodeThroughput measures raw linear decode speed over the
+// representative mix; MB/s is the headline cross-backend number
+// (BENCH_10.json pairs it with the x86-64 twin).
+func BenchmarkDecodeThroughput(b *testing.B) {
+	code := benchCode(b)
+	const base = 0x401000
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for off := 0; off < len(code); {
+			in, err := Decode(code[off:], base+uint64(off))
+			if err != nil {
+				b.Fatal(err)
+			}
+			off += int(in.Len)
+			n++
+		}
+		benchSink = n
+	}
+}

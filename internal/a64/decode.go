@@ -1,0 +1,424 @@
+package a64
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"fetch/internal/arch"
+)
+
+// instLen is the fixed A64 instruction length.
+const instLen = 4
+
+// ErrTruncated reports fewer than four bytes at the decode address.
+var ErrTruncated = errors.New("a64: truncated instruction")
+
+// condMap translates the A64 condition nibble to the shared semantic
+// condition codes (numbered in x86 encoding order), so generic
+// matchers — the jump-table bound's unsigned-above test in particular —
+// work unchanged: B.HI decodes as CondA, B.HS as CondAE.
+var condMap = [14]arch.Cond{
+	arch.CondE,  // 0  EQ
+	arch.CondNE, // 1  NE
+	arch.CondAE, // 2  CS/HS
+	arch.CondB,  // 3  CC/LO
+	arch.CondS,  // 4  MI
+	arch.CondNS, // 5  PL
+	arch.CondO,  // 6  VS
+	arch.CondNO, // 7  VC
+	arch.CondA,  // 8  HI
+	arch.CondBE, // 9  LS
+	arch.CondGE, // 10 GE
+	arch.CondL,  // 11 LT
+	arch.CondG,  // 12 GT
+	arch.CondLE, // 13 LE
+}
+
+// dataReg maps a 5-bit register field in a data position (where
+// encoding 31 means the zero register) to the shared model.
+func dataReg(n uint32) arch.Reg {
+	if n == 31 {
+		return RegNone // XZR: no dataflow
+	}
+	return arch.Reg(n)
+}
+
+// baseReg maps a 5-bit register field in a base/stack position (where
+// encoding 31 means SP).
+func baseReg(n uint32) arch.Reg { return arch.Reg(n) }
+
+// signExtend returns the low bits of v as a signed width-bit value.
+func signExtend(v uint32, width uint) int64 {
+	shift := 64 - width
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Decode decodes the A64 instruction at the start of b. The only
+// decode failure is a window shorter than four bytes: every well-formed
+// word decodes, with unmodeled encodings classified as OpOther of
+// length four, so sweeps and recursive walks advance uniformly.
+// Alignment is the caller's concern; the decoder accepts any address.
+func Decode(b []byte, addr uint64) (arch.Inst, error) {
+	if len(b) < instLen {
+		return arch.Inst{}, ErrTruncated
+	}
+	w := binary.LittleEndian.Uint32(b)
+	in := arch.Inst{Addr: addr, Len: instLen, Enc: w, OpSize: 8, Classified: true}
+
+	switch {
+	// UDF: permanently undefined (the all-zero word in particular).
+	case w&0xFFFF0000 == 0:
+		in.Op = arch.OpUd2
+
+	// B / BL: unconditional immediate branch and call.
+	case (w>>26)&0x1F == 0x05:
+		in.Op = arch.OpJmp
+		if w>>31 == 1 {
+			in.Op = arch.OpCall
+		}
+		in.HasTarget = true
+		in.Target = addr + uint64(signExtend(w&0x03FFFFFF, 26)*4)
+
+	// B.cond.
+	case w>>24 == 0x54 && w&0x10 == 0:
+		cond := w & 0xF
+		in.HasTarget = true
+		in.Target = addr + uint64(signExtend((w>>5)&0x7FFFF, 19)*4)
+		if cond >= 14 {
+			in.Op = arch.OpJmp // AL/NV: architecturally unconditional
+		} else {
+			in.Op = arch.OpJcc
+			in.Cond = condMap[cond]
+		}
+
+	// CBZ / CBNZ.
+	case (w>>25)&0x3F == 0x1A:
+		in.Op = arch.OpJcc
+		in.Cond = arch.CondE
+		if w&(1<<24) != 0 {
+			in.Cond = arch.CondNE
+		}
+		in.HasTarget = true
+		in.Target = addr + uint64(signExtend((w>>5)&0x7FFFF, 19)*4)
+		in.Args = []arch.Operand{arch.RegOp(dataReg(w & 0x1F))}
+		if w>>31 == 0 {
+			in.OpSize = 4
+		}
+
+	// TBZ / TBNZ.
+	case (w>>25)&0x3F == 0x1B:
+		in.Op = arch.OpJcc
+		in.Cond = arch.CondE
+		if w&(1<<24) != 0 {
+			in.Cond = arch.CondNE
+		}
+		in.HasTarget = true
+		in.Target = addr + uint64(signExtend((w>>5)&0x3FFF, 14)*4)
+		bit := (w>>19)&0x1F | (w>>26)&0x20
+		in.Args = []arch.Operand{arch.RegOp(dataReg(w & 0x1F)), arch.ImmOp(int64(bit))}
+
+	// BR / BLR / RET.
+	case w&0xFFFFFC1F == 0xD61F0000:
+		in.Op = arch.OpJmpInd
+		in.Args = []arch.Operand{arch.RegOp(dataReg((w >> 5) & 0x1F))}
+	case w&0xFFFFFC1F == 0xD63F0000:
+		in.Op = arch.OpCallInd
+		in.Args = []arch.Operand{arch.RegOp(dataReg((w >> 5) & 0x1F))}
+	case w&0xFFFFFC1F == 0xD65F0000:
+		in.Op = arch.OpRet
+
+	// BTI (branch target identification landing pad).
+	case w&^uint32(0xC0) == 0xD503241F:
+		in.Op = arch.OpEndbr64
+
+	// NOP and the rest of the hint space.
+	case w&0xFFFFF01F == 0xD503201F:
+		in.Op = arch.OpNop
+
+	// BRK / HLT / SVC.
+	case (w>>21)&0x7FF == 0x6A1 && w&0x1F == 0:
+		in.Op = arch.OpInt3
+	case (w>>21)&0x7FF == 0x6A2 && w&0x1F == 0:
+		in.Op = arch.OpHlt
+	case w&0xFFE0001F == 0xD4000001:
+		in.Op = arch.OpSyscall
+
+	// ADR / ADRP: PC-relative address materialization. The page
+	// arithmetic resolves into a PC-relative displacement so the
+	// generic constant harvest (Addr+Len+Disp) lands on the computed
+	// address exactly.
+	case (w>>24)&0x1F == 0x10:
+		in.Op = arch.OpLea
+		imm := signExtend((w>>29)&0x3|((w>>5)&0x7FFFF)<<2, 21)
+		var target uint64
+		if w>>31 == 1 { // ADRP
+			target = (addr &^ 0xFFF) + uint64(imm)<<12
+		} else { // ADR
+			target = addr + uint64(imm)
+		}
+		in.Args = []arch.Operand{
+			arch.RegOp(dataReg(w & 0x1F)),
+			arch.MemOp(arch.MemRef{Base: RegNone, Index: RegNone, RIPRel: true,
+				Disp: int64(target) - int64(addr) - instLen}),
+		}
+
+	// ADD / SUB immediate (MOV to/from SP and CMP aliases included).
+	case (w>>23)&0x3F == 0x22:
+		sub := w&(1<<30) != 0
+		setFlags := w&(1<<29) != 0
+		imm := int64((w >> 10) & 0xFFF)
+		if w&(1<<22) != 0 {
+			imm <<= 12
+		}
+		rn, rd := (w>>5)&0x1F, w&0x1F
+		if w>>31 == 0 {
+			in.OpSize = 4
+		}
+		switch {
+		case setFlags && rd == 31:
+			// CMP (SUBS xzr) and CMN (ADDS xzr).
+			in.Op = arch.OpCmp
+			in.Args = []arch.Operand{arch.RegOp(baseReg(rn)), arch.ImmOp(imm)}
+		case !sub && !setFlags && imm == 0 && rd != rn:
+			// MOV rd, rn between a GPR and SP. A self-targeted add of
+			// zero (a page-aligned :lo12: relocation site) stays OpAdd
+			// so the jump-table base chain keeps its shape.
+			in.Op = arch.OpMov
+			in.Args = []arch.Operand{arch.RegOp(baseReg(rd)), arch.RegOp(baseReg(rn))}
+		default:
+			in.Op = arch.OpAdd
+			if sub {
+				in.Op = arch.OpSub
+			}
+			in.Args = []arch.Operand{arch.RegOp(baseReg(rd)), arch.RegOp(baseReg(rn)), arch.ImmOp(imm)}
+		}
+
+	// ADD / SUB shifted register (CMP alias included).
+	case (w>>24)&0x1F == 0x0B && w&(1<<21) == 0:
+		sub := w&(1<<30) != 0
+		setFlags := w&(1<<29) != 0
+		rm, rn, rd := (w>>16)&0x1F, (w>>5)&0x1F, w&0x1F
+		if w>>31 == 0 {
+			in.OpSize = 4
+		}
+		if setFlags && rd == 31 {
+			in.Op = arch.OpCmp
+			in.Args = []arch.Operand{arch.RegOp(dataReg(rn)), arch.RegOp(dataReg(rm))}
+		} else {
+			in.Op = arch.OpAdd
+			if sub {
+				in.Op = arch.OpSub
+			}
+			in.Args = []arch.Operand{arch.RegOp(dataReg(rd)), arch.RegOp(dataReg(rn)), arch.RegOp(dataReg(rm))}
+		}
+
+	// Logical shifted register (MOV-register and TST aliases included).
+	case (w>>24)&0x1F == 0x0A:
+		opc := (w >> 29) & 0x3
+		rm, rn, rd := (w>>16)&0x1F, (w>>5)&0x1F, w&0x1F
+		noShift := (w>>10)&0x3F == 0 && (w>>22)&0x3 == 0 && w&(1<<21) == 0
+		if w>>31 == 0 {
+			in.OpSize = 4
+		}
+		switch {
+		case opc == 3 && rd == 31:
+			// TST (ANDS xzr).
+			in.Op = arch.OpTest
+			in.Args = []arch.Operand{arch.RegOp(dataReg(rn)), arch.RegOp(dataReg(rm))}
+		case opc == 1 && rn == 31 && noShift:
+			// MOV rd, rm (ORR rd, xzr, rm).
+			in.Op = arch.OpMov
+			in.Args = []arch.Operand{arch.RegOp(dataReg(rd)), arch.RegOp(dataReg(rm))}
+		default:
+			switch opc {
+			case 0, 3:
+				in.Op = arch.OpAnd
+			case 1:
+				in.Op = arch.OpOr
+			case 2:
+				in.Op = arch.OpXor
+			}
+			in.Args = []arch.Operand{arch.RegOp(dataReg(rd)), arch.RegOp(dataReg(rn)), arch.RegOp(dataReg(rm))}
+		}
+
+	// MOVZ / MOVN / MOVK.
+	case (w>>23)&0x3F == 0x25:
+		opc := (w >> 29) & 0x3
+		hw := (w >> 21) & 0x3
+		imm := int64((w>>5)&0xFFFF) << (16 * hw)
+		rd := dataReg(w & 0x1F)
+		sf := w>>31 == 1
+		if !sf {
+			in.OpSize = 4
+		}
+		switch opc {
+		case 2: // MOVZ
+			in.Op = arch.OpMov
+			in.Args = []arch.Operand{arch.RegOp(rd), arch.ImmOp(imm)}
+		case 0: // MOVN
+			v := ^imm
+			if !sf {
+				v &= 0xFFFFFFFF
+			}
+			in.Op = arch.OpMov
+			in.Args = []arch.Operand{arch.RegOp(rd), arch.ImmOp(v)}
+		case 3: // MOVK: inserts 16 bits, reads and writes rd
+			in.Op = arch.OpOr
+			in.Args = []arch.Operand{arch.RegOp(rd), arch.RegOp(rd), arch.ImmOp(imm)}
+		default:
+			in.Op = arch.OpOther
+			in.Classified = false
+		}
+
+	// MADD / MSUB (MUL and MNEG aliases when ra is XZR). The
+	// accumulator joins the read set; XZR resolves to RegNone, which
+	// RegSet.Add ignores.
+	case (w>>21)&0x3FF == 0x0D8:
+		rm, ra, rn, rd := (w>>16)&0x1F, (w>>10)&0x1F, (w>>5)&0x1F, w&0x1F
+		if w>>31 == 0 {
+			in.OpSize = 4
+		}
+		in.Op = arch.OpImul
+		in.Args = []arch.Operand{arch.RegOp(dataReg(rd)), arch.RegOp(dataReg(rn)),
+			arch.RegOp(dataReg(rm)), arch.RegOp(dataReg(ra))}
+
+	// SBFM / UBFM (the LSL/LSR/ASR/SXTW immediate-shift aliases):
+	// modeled as a generic shift — writes rd, reads rn. BFM (opc 01)
+	// inserts into rd and stays opaque.
+	case (w>>23)&0x3F == 0x26 && (w>>29)&0x3 != 1:
+		rn, rd := (w>>5)&0x1F, w&0x1F
+		if w>>31 == 0 {
+			in.OpSize = 4
+		}
+		in.Op = arch.OpShl
+		if (w>>29)&0x3 == 0 {
+			in.Op = arch.OpSar // SBFM: sign-extending forms
+		}
+		in.Args = []arch.Operand{arch.RegOp(dataReg(rd)), arch.RegOp(dataReg(rn)),
+			arch.ImmOp(int64((w >> 16) & 0x3F))}
+
+	// LDR / LDRSW literal.
+	case (w>>27)&0x7 == 0x3 && (w>>24)&0x7 == 0x0 && (w>>30)&0x3 != 0x3 && w&(1<<26) == 0:
+		off := signExtend((w>>5)&0x7FFFF, 19) * 4
+		rt := dataReg(w & 0x1F)
+		mem := arch.MemRef{Base: RegNone, Index: RegNone, RIPRel: true, Disp: off - instLen}
+		switch (w >> 30) & 0x3 {
+		case 1: // LDR Xt
+			in.Op = arch.OpMov
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case 0: // LDR Wt
+			in.Op = arch.OpMov
+			in.OpSize = 4
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case 2: // LDRSW Xt
+			in.Op = arch.OpMovsxd
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		}
+
+	// Load/store register offset: LDR/STR/LDRSW [Xn, Xm{, lsl #s}].
+	case (w>>27)&0x7 == 0x7 && w&(1<<26) == 0 && (w>>24)&0x3 == 0 &&
+		w&(1<<21) != 0 && (w>>10)&0x3 == 0x2:
+		size := (w >> 30) & 0x3
+		opc := (w >> 22) & 0x3
+		scale := uint8(1)
+		if w&(1<<12) != 0 { // shifted index
+			scale = 1 << size
+		}
+		mem := arch.MemRef{Base: baseReg((w >> 5) & 0x1F), Index: dataReg((w >> 16) & 0x1F), Scale: scale}
+		rt := dataReg(w & 0x1F)
+		switch {
+		case size == 3 && opc == 1: // LDR Xt
+			in.Op = arch.OpMov
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case size == 2 && opc == 1: // LDR Wt
+			in.Op = arch.OpMov
+			in.OpSize = 4
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case size == 2 && opc == 2: // LDRSW Xt
+			in.Op = arch.OpMovsxd
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case opc == 0: // STR
+			in.Op = arch.OpMov
+			if size == 2 {
+				in.OpSize = 4
+			}
+			in.Args = []arch.Operand{arch.MemOp(mem), arch.RegOp(rt)}
+		default:
+			in.Op = arch.OpOther
+			in.Classified = false
+		}
+
+	// Load/store pair.
+	case (w>>27)&0x7 == 0x5 && w&(1<<26) == 0:
+		mode := (w >> 23) & 0x7
+		load := w&(1<<22) != 0
+		rn := baseReg((w >> 5) & 0x1F)
+		rt, rt2 := dataReg(w&0x1F), dataReg((w>>10)&0x1F)
+		writeback := mode == 1 || mode == 3
+		if writeback && rn == SP {
+			// The frame save/restore shape: STP/LDP with SP writeback.
+			// The stack delta is recomputed from Enc by StackDelta.
+			if load {
+				in.Op = arch.OpPop
+			} else {
+				in.Op = arch.OpPush
+			}
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.RegOp(rt2)}
+		} else {
+			in.Op = arch.OpOther
+			in.Classified = false
+		}
+
+	// Load/store immediate pre/post-index.
+	case (w>>27)&0x7 == 0x7 && w&(1<<26) == 0 && (w>>24)&0x3 == 0 &&
+		w&(1<<21) == 0 && (w>>10)&0x3 != 0 && (w>>10)&0x3 != 0x2:
+		load := (w>>22)&0x3 != 0
+		rn := baseReg((w >> 5) & 0x1F)
+		rt := dataReg(w & 0x1F)
+		if rn == SP {
+			if load {
+				in.Op = arch.OpPop
+			} else {
+				in.Op = arch.OpPush
+			}
+			in.Args = []arch.Operand{arch.RegOp(rt)}
+		} else {
+			in.Op = arch.OpOther
+			in.Classified = false
+		}
+
+	// Load/store unsigned offset.
+	case (w>>27)&0x7 == 0x7 && w&(1<<26) == 0 && (w>>24)&0x3 == 0x1:
+		size := (w >> 30) & 0x3
+		opc := (w >> 22) & 0x3
+		disp := int64((w>>10)&0xFFF) << size
+		mem := arch.MemRef{Base: baseReg((w >> 5) & 0x1F), Index: RegNone, Disp: disp}
+		rt := dataReg(w & 0x1F)
+		switch {
+		case size == 3 && opc == 1: // LDR Xt
+			in.Op = arch.OpMov
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case size == 2 && opc == 1: // LDR Wt
+			in.Op = arch.OpMov
+			in.OpSize = 4
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case size == 2 && opc == 2: // LDRSW
+			in.Op = arch.OpMovsxd
+			in.Args = []arch.Operand{arch.RegOp(rt), arch.MemOp(mem)}
+		case opc == 0: // STR
+			in.Op = arch.OpMov
+			if size == 2 {
+				in.OpSize = 4
+			}
+			in.Args = []arch.Operand{arch.MemOp(mem), arch.RegOp(rt)}
+		default:
+			in.Op = arch.OpOther
+			in.Classified = false
+		}
+
+	default:
+		in.Op = arch.OpOther
+		in.Classified = false
+	}
+	return in, nil
+}

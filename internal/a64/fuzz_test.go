@@ -1,0 +1,64 @@
+package a64
+
+import "testing"
+
+// FuzzDecode throws arbitrary bytes at the A64 decoder. The contract
+// under fuzzing: never panic, succeed on every window of at least four
+// bytes with length exactly four, and keep the semantic accessors
+// total on whatever comes back.
+//
+// Reproduce a failure from its seed with
+//
+//	go test ./internal/a64 -run 'FuzzDecode/<seedname>'
+//
+// after dropping the crasher file into testdata/fuzz/FuzzDecode/.
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		{0xFD, 0x7B, 0xBF, 0xA9}, // stp x29, x30, [sp, #-16]!
+		{0xFD, 0x03, 0x00, 0x91}, // mov x29, sp
+		{0xFF, 0x83, 0x00, 0xD1}, // sub sp, sp, #0x20
+		{0x10, 0x00, 0x00, 0x94}, // bl +0x40
+		{0x48, 0x00, 0x00, 0x54}, // b.hi +8
+		{0x83, 0x00, 0x00, 0xB4}, // cbz x3, +16
+		{0xC0, 0x03, 0x5F, 0xD6}, // ret
+		{0x40, 0x00, 0x1F, 0xD6}, // br x2
+		{0x01, 0x00, 0x00, 0xB0}, // adrp x1, +1 page
+		{0x22, 0x78, 0x63, 0xF8}, // ldr x2, [x1, x3, lsl #3]
+		{0x22, 0x78, 0xA3, 0xB8}, // ldrsw x2, [x1, x3, lsl #2]
+		{0x1F, 0x00, 0x00, 0xEA}, // tst x0, x0
+		{0x20, 0x00, 0xA0, 0xF2}, // movk x0, #1, lsl #16
+		{0x1F, 0x20, 0x03, 0xD5}, // nop
+		{0x5F, 0x24, 0x03, 0xD5}, // bti c
+		{0x00, 0x00, 0x20, 0xD4}, // brk #0
+		{0x00, 0x00, 0x00, 0x00}, // udf #0
+		{0x20, 0x28, 0x62, 0x1E}, // fadd d0, d1, d2 (unmodeled)
+		{0x05, 0x01, 0x00, 0x58}, // ldr x5, .+0x20 (literal)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data, 0x401000)
+		if err != nil {
+			if len(data) >= instLen {
+				t.Fatalf("well-formed window rejected: %v", err)
+			}
+			return
+		}
+		if in.Len != instLen {
+			t.Fatalf("decoded length %d, want %d", in.Len, instLen)
+		}
+		if in.Len > len(data) {
+			t.Fatalf("decoded length %d exceeds window %d", in.Len, len(data))
+		}
+		// The semantic accessors must hold for any successful decode.
+		_ = Reads(&in)
+		_ = Writes(&in)
+		_, _ = StackDelta(&in)
+		_ = Arch.GateEffect(&in)
+		_ = in.Constants()
+		_, _ = in.IndirectMem()
+		_ = in.Next()
+		_ = in.String()
+	})
+}

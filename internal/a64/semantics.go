@@ -1,0 +1,171 @@
+package a64
+
+import "fetch/internal/arch"
+
+// This file derives dataflow facts from classified A64 instructions:
+// register read/write sets (for calling-convention validation) and
+// stack pointer deltas (for stack-height analysis). The modeling
+// choices mirror the x64 backend where the paper's rules are
+// ISA-neutral: a register save in a store-pair prologue is not a use,
+// and memory operands count their address registers as read.
+
+// regsOfMem returns the registers a memory operand reads. PC-relative
+// operands carry RegNone base/index, which RegSet.Add ignores.
+func regsOfMem(m arch.MemRef) arch.RegSet {
+	var s arch.RegSet
+	s = s.Add(m.Base)
+	s = s.Add(m.Index)
+	return s
+}
+
+// Reads returns the set of general-purpose registers the instruction
+// reads. For unclassified instructions it returns the empty set;
+// callers that need soundness must check Classified.
+func Reads(i *arch.Inst) arch.RegSet {
+	var s arch.RegSet
+	if !i.Classified {
+		return s
+	}
+	addOp := func(o arch.Operand, includeReg bool) {
+		switch o.Kind {
+		case arch.KindReg:
+			if includeReg {
+				s = s.Add(o.Reg)
+			}
+		case arch.KindMem:
+			s = s.Union(regsOfMem(o.Mem))
+		}
+	}
+	switch i.Op {
+	case arch.OpMov, arch.OpMovsxd:
+		// Register or load form: dst written only, source read. Store
+		// form (Args[0] is memory): address registers and source read.
+		if len(i.Args) == 2 {
+			addOp(i.Args[0], false)
+			addOp(i.Args[1], true)
+		}
+	case arch.OpLea:
+		// ADR/ADRP materialize from PC only.
+	case arch.OpAdd, arch.OpSub, arch.OpAnd, arch.OpOr, arch.OpXor,
+		arch.OpImul, arch.OpShl, arch.OpSar:
+		// Three-operand form (plus MADD's accumulator): the destination
+		// is not an input.
+		for _, a := range i.Args[1:] {
+			addOp(a, true)
+		}
+	case arch.OpCmp, arch.OpTest:
+		for _, a := range i.Args {
+			addOp(a, true)
+		}
+	case arch.OpJcc:
+		// CBZ/CBNZ/TBZ/TBNZ test their register operand.
+		for _, a := range i.Args {
+			addOp(a, true)
+		}
+	case arch.OpPush:
+		// Saving registers in the STP/STR prologue shape is not a use
+		// under the §IV-E rule.
+		s = s.Add(SP)
+	case arch.OpPop:
+		s = s.Add(SP)
+	case arch.OpCallInd, arch.OpJmpInd:
+		if len(i.Args) == 1 {
+			addOp(i.Args[0], true)
+		}
+	case arch.OpRet:
+		// The return address lives in the link register.
+		s = s.Add(X30)
+	}
+	return s
+}
+
+// Writes returns the set of general-purpose registers the instruction
+// writes. Flags are not modeled.
+func Writes(i *arch.Inst) arch.RegSet {
+	var s arch.RegSet
+	if !i.Classified {
+		return s
+	}
+	switch i.Op {
+	case arch.OpMov, arch.OpMovsxd, arch.OpLea, arch.OpAdd, arch.OpSub,
+		arch.OpAnd, arch.OpOr, arch.OpXor, arch.OpImul, arch.OpShl, arch.OpSar:
+		if len(i.Args) > 0 && i.Args[0].Kind == arch.KindReg {
+			s = s.Add(i.Args[0].Reg)
+		}
+	case arch.OpPush:
+		s = s.Add(SP)
+	case arch.OpPop:
+		// LDP/LDR with writeback restores its targets and moves SP.
+		for _, a := range i.Args {
+			if a.Kind == arch.KindReg {
+				s = s.Add(a.Reg)
+			}
+		}
+		s = s.Add(SP)
+	case arch.OpCall, arch.OpCallInd:
+		// Calls clobber the AAPCS64 caller-saved file (x0–x18) and
+		// write the link register. Modeling them as written makes later
+		// reads legitimate — conservative in the right direction for
+		// the §IV-E validation, matching the x64 backend's choice.
+		for r := X0; r <= X18; r++ {
+			s = s.Add(r)
+		}
+		s = s.Add(X30)
+	case arch.OpSyscall:
+		s = s.Add(X0)
+	}
+	return s
+}
+
+// StackDelta returns the change this instruction applies to SP, and
+// whether the change is statically known. BL/RET are stack-neutral on
+// aarch64 (the return address travels in x30, not on the stack).
+func StackDelta(i *arch.Inst) (delta int64, known bool) {
+	if !i.Classified {
+		return 0, true // treat opaque instructions as stack-neutral
+	}
+	switch i.Op {
+	case arch.OpPush, arch.OpPop:
+		// Pre/post-indexed STP/LDP and STR/LDR on SP: the delta is the
+		// signed writeback immediate, re-extracted from the encoding
+		// word (the shared operand model does not carry it).
+		return writebackDelta(i.Enc), true
+	case arch.OpAdd, arch.OpSub:
+		if len(i.Args) == 3 && i.Args[0].Kind == arch.KindReg && i.Args[0].Reg == SP {
+			if i.Args[2].Kind == arch.KindImm {
+				v := i.Args[2].Imm
+				if i.Op == arch.OpSub {
+					v = -v
+				}
+				return v, true
+			}
+			return 0, false
+		}
+	case arch.OpMov:
+		if len(i.Args) > 0 && i.Args[0].Kind == arch.KindReg && i.Args[0].Reg == SP {
+			return 0, false
+		}
+	case arch.OpCall, arch.OpCallInd, arch.OpRet:
+		return 0, true
+	}
+	if Writes(i).Has(SP) {
+		return 0, false
+	}
+	return 0, true
+}
+
+// writebackDelta extracts the signed SP adjustment from a pre/post
+// indexed load/store word.
+func writebackDelta(w uint32) int64 {
+	if (w>>27)&0x7 == 0x5 {
+		// Load/store pair: simm7 (bits [21:15]) scaled by register size.
+		imm7 := signExtend((w>>15)&0x7F, 7)
+		scale := int64(4)
+		if w>>31 == 1 {
+			scale = 8
+		}
+		return imm7 * scale
+	}
+	// Single register pre/post-index: simm9 (bits [20:12]), unscaled.
+	return signExtend((w>>12)&0x1FF, 9)
+}

@@ -1,0 +1,51 @@
+package arch
+
+// FixupKind describes how a linker must patch a fixup site. The kinds
+// are the union of what the backends' assemblers emit; each backend
+// produces only its own subset, and the synthetic linker's patch step
+// dispatches on the kind, not on the ISA.
+type FixupKind uint8
+
+// Fixup kinds.
+const (
+	// FixRel32: *site = sym+addend - (chunkBase + End), i.e. a
+	// PC-relative 32-bit displacement (x86-64 call/jmp rel32,
+	// RIP-relative addressing).
+	FixRel32 FixupKind = iota + 1
+	// FixAbs32: *site = sym+addend as a zero-extended 32-bit absolute
+	// address (jump-table bases in non-PIC code).
+	FixAbs32
+	// FixAbs64: *site = sym+addend as a full 64-bit absolute address
+	// (data-section function pointers).
+	FixAbs64
+
+	// FixA64Branch26: aarch64 B/BL — imm26 word-offset from the
+	// instruction address, patched into bits [25:0].
+	FixA64Branch26
+	// FixA64Cond19: aarch64 B.cond/CBZ/CBNZ/LDR-literal — imm19
+	// word-offset from the instruction address, bits [23:5].
+	FixA64Cond19
+	// FixA64Page21: aarch64 ADRP — 4 KiB page delta from the
+	// instruction's page, split across immlo [30:29] and immhi [23:5].
+	FixA64Page21
+	// FixA64Lo12: aarch64 ADD/LDR :lo12: — the low 12 bits of the
+	// target address, bits [21:10].
+	FixA64Lo12
+	// FixA64Adr21: aarch64 ADR — the exact byte delta from the
+	// instruction address (±1 MiB), split across immlo [30:29] and
+	// immhi [23:5]. Unlike ADRP this materializes the target address
+	// itself, so the §IV-E constant harvest sees it directly.
+	FixA64Adr21
+)
+
+// Fixup is an unresolved reference to a symbol defined outside the
+// assembled chunk. Offsets are relative to the chunk start; the x86-64
+// kinds patch a little-endian 4- or 8-byte field at Off, the aarch64
+// kinds patch bit fields of the 4-byte instruction word at Off.
+type Fixup struct {
+	Kind   FixupKind
+	Off    int    // offset of the field (or instruction word) to patch
+	End    int    // offset just past the instruction (for PC-relative)
+	Sym    string // target symbol
+	Addend int64
+}

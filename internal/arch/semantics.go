@@ -1,0 +1,42 @@
+package arch
+
+// ISA-generic dataflow facts: these inspect only the shared operand
+// model (no register numbering), so they are methods on Inst rather
+// than part of the ISA interface. Register-numbered facts —
+// reads/writes, stack deltas, the gate effect — live behind arch.ISA.
+
+// Constants returns the absolute-address constants this instruction
+// materializes: immediates wide enough to be pointers and resolved
+// PC-relative addresses. These feed the function-pointer super-set
+// collection of §IV-E.
+func (i *Inst) Constants() []uint64 {
+	if !i.Classified {
+		return nil
+	}
+	var out []uint64
+	for _, a := range i.Args {
+		switch a.Kind {
+		case KindImm:
+			if a.Imm > 0x1000 { // skip tiny values that cannot be text addresses
+				out = append(out, uint64(a.Imm))
+			}
+		case KindMem:
+			if a.Mem.RIPRel {
+				out = append(out, uint64(int64(i.Addr)+int64(i.Len)+a.Mem.Disp))
+			} else if a.Mem.Disp > 0x1000 {
+				out = append(out, uint64(a.Mem.Disp))
+			}
+		}
+	}
+	return out
+}
+
+// IndirectMem returns the memory operand of an indirect jump or call and
+// whether there is one (register-indirect forms return false).
+func (i *Inst) IndirectMem() (MemRef, bool) {
+	if (i.Op == OpJmpInd || i.Op == OpCallInd) && len(i.Args) == 1 &&
+		i.Args[0].Kind == KindMem {
+		return i.Args[0].Mem, true
+	}
+	return MemRef{}, false
+}

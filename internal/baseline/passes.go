@@ -8,11 +8,11 @@ package baseline
 import (
 	"sort"
 
+	"fetch/internal/arch"
 	"fetch/internal/disasm"
 	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
 	"fetch/internal/tailcall"
-	"fetch/internal/x64"
 	"fetch/internal/xref"
 )
 
@@ -109,7 +109,7 @@ func CFR(img *elfx.Image, d *Detection) *Detection {
 	}
 	starts := out.sortedFuncs()
 	for addr, in := range out.Res.Insts {
-		if in.Op != x64.OpCall || !sloppyNonRet[in.Target] {
+		if in.Op != arch.OpCall || !sloppyNonRet[in.Target] {
 			continue
 		}
 		// The next detected start after the call site, within a
@@ -140,8 +140,8 @@ func Thunk(img *elfx.Image, d *Detection) *Detection {
 		if !ok {
 			continue
 		}
-		in, err := x64.Decode(w, s)
-		if err != nil || in.Op != x64.OpJmp || !in.HasTarget {
+		in, err := img.ISA().Decode(w, s)
+		if err != nil || in.Op != arch.OpJmp || !in.HasTarget {
 			continue
 		}
 		if img.IsExec(in.Target) {
@@ -169,7 +169,7 @@ func Fmerg(img *elfx.Image, d *Detection) *Detection {
 			continue
 		}
 		j, ok := out.Res.Insts[refs[0]]
-		if !ok || j.Op != x64.OpJmp {
+		if !ok || j.Op != arch.OpJmp {
 			continue
 		}
 		// The jump must be the only transfer leaving [a, b).
@@ -205,7 +205,7 @@ func Align(img *elfx.Image, d *Detection) *Detection {
 			if !ok {
 				break
 			}
-			in, err := x64.Decode(w, addr)
+			in, err := img.ISA().Decode(w, addr)
 			if err != nil {
 				break
 			}
@@ -276,7 +276,7 @@ func validateBySweep(img *elfx.Image, addr uint64, n int) bool {
 		if !ok {
 			return false
 		}
-		in, err := x64.Decode(w, addr)
+		in, err := img.ISA().Decode(w, addr)
 		if err != nil {
 			return false
 		}
@@ -345,7 +345,7 @@ func Tcall(img *elfx.Image, d *Detection, style tcallStyle) *Detection {
 					addr++
 					continue
 				}
-				if (in.Op == x64.OpJmp || in.Op == x64.OpJcc) && in.HasTarget {
+				if (in.Op == arch.OpJmp || in.Op == arch.OpJcc) && in.HasTarget {
 					if (in.Target < s || in.Target >= end) && img.IsExec(in.Target) {
 						out.Funcs[in.Target] = true
 					}
@@ -356,7 +356,7 @@ func Tcall(img *elfx.Image, d *Detection, style tcallStyle) *Detection {
 	case tcallAngr:
 		ranges := fdeRangesOf(d)
 		for addr, in := range out.Res.Insts {
-			if in.Op != x64.OpJmp || !in.HasTarget || !img.IsExec(in.Target) {
+			if in.Op != arch.OpJmp || !in.HasTarget || !img.IsExec(in.Target) {
 				continue
 			}
 			r, ok := rangeCovering(ranges, addr)
@@ -380,12 +380,12 @@ func naiveExtentEnd(img *elfx.Image, s uint64) uint64 {
 		if !ok {
 			return addr
 		}
-		in, err := x64.Decode(w, addr)
+		in, err := img.ISA().Decode(w, addr)
 		if err != nil {
 			return addr
 		}
 		addr = in.Next()
-		if in.Op == x64.OpRet {
+		if in.Op == arch.OpRet {
 			return addr
 		}
 	}
@@ -432,9 +432,9 @@ func Scan(img *elfx.Image, d *Detection) *Detection {
 			if m := gap.End - addr; uint64(len(w)) > m {
 				w = w[:m]
 			}
-			in, err := x64.Decode(w, addr)
+			in, err := img.ISA().Decode(w, addr)
 			if err != nil {
-				addr++
+				addr += uint64(img.ISA().InstAlign())
 				pieceStart = true
 				continue
 			}

@@ -3,10 +3,10 @@ package baseline
 import (
 	"sort"
 
+	"fetch/internal/arch"
 	"fetch/internal/callconv"
 	"fetch/internal/disasm"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // Tool identifies a Table III comparator.
@@ -289,7 +289,7 @@ func nucleusTool(img *elfx.Image) map[uint64]bool {
 		for _, a := range addrs {
 			in := insts[a]
 			if in.HasTarget {
-				if in.Op == x64.OpCall {
+				if in.Op == arch.OpCall {
 					if img.IsExec(in.Target) {
 						callTargets[in.Target] = true
 					}
@@ -297,8 +297,8 @@ func nucleusTool(img *elfx.Image) map[uint64]bool {
 					incoming[in.Target] = true
 				}
 			}
-			if m, ok := in.IndirectMem(); ok && in.Op == x64.OpJmpInd &&
-				m.Base == x64.RegNone && m.Scale == 8 && m.Disp > 0 {
+			if m, ok := in.IndirectMem(); ok && in.Op == arch.OpJmpInd &&
+				m.Base == arch.RegNone && m.Scale == 8 && m.Disp > 0 {
 				// Table-resolution only looks at data sections; inline
 				// tables in .text stay opaque.
 				if s, ok2 := img.SectionAt(uint64(m.Disp)); ok2 && s.Flags&elfx.FlagExec == 0 {
@@ -327,14 +327,14 @@ func nucleusTool(img *elfx.Image) map[uint64]bool {
 		havePad := false
 		for _, a := range addrs {
 			in := insts[a]
-			if in.Op == x64.OpNop {
+			if in.Op == arch.OpNop {
 				if !alive && !havePad {
 					padStart = a
 					havePad = true
 				}
 				continue
 			}
-			if in.Op == x64.OpInt3 {
+			if in.Op == arch.OpInt3 {
 				alive = false
 				havePad = false
 				continue
@@ -394,7 +394,7 @@ func ninjaTool(img *elfx.Image) map[uint64]bool {
 				if !ok {
 					break
 				}
-				in, err := x64.Decode(w, addr)
+				in, err := img.ISA().Decode(w, addr)
 				if err != nil || !in.IsPadding() {
 					break
 				}

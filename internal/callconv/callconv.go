@@ -1,7 +1,7 @@
 // Package callconv implements the calling-convention validation rule of
-// §IV-E: at a legitimate System-V x64 function entry, every register
-// other than the integer argument registers (rdi, rsi, rdx, rcx, r8,
-// r9) and the stack pointer must be initialized before it is used.
+// §IV-E: at a legitimate function entry, every register other than the
+// ABI's integer argument registers (rdi..r9 on System-V x64, x0..x7 on
+// aarch64) and the stack pointer must be initialized before it is used.
 // Saving a callee-saved register with a push does not count as a use.
 //
 // The rule rejects pointers into the middle of functions (which read
@@ -11,8 +11,8 @@
 package callconv
 
 import (
+	"fetch/internal/arch"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // maxWalk bounds the validation walk; convention violations show up
@@ -25,38 +25,45 @@ const maxWalk = 48
 // fall-through side and through calls, which define the caller-saved
 // set) and ends at any unconditional transfer.
 func Validate(img *elfx.Image, addr uint64) bool {
-	var written x64.RegSet
-	// The stack pointer is always live. rbp is deliberately NOT
-	// pre-initialized: reading the caller's frame pointer at entry
-	// (other than push-saving it) is the tell of a mid-function
-	// address.
-	written = written.Add(x64.RSP)
+	isa := img.ISA()
+	var written arch.RegSet
+	// The stack pointer is always live. The frame register is
+	// deliberately NOT pre-initialized: reading the caller's frame
+	// pointer at entry (other than push-saving it) is the tell of a
+	// mid-function address.
+	written = written.Add(isa.SPReg())
+	// ABIs with a link register (aarch64) leave the return address in
+	// it: a leaf reading it back at RET is a legitimate entry.
+	if ra, ok := isa.RetAddrReg(); ok {
+		written = written.Add(ra)
+	}
 
 	for steps := 0; steps < maxWalk; steps++ {
 		window, ok := img.BytesToSectionEnd(addr)
 		if !ok {
 			return false
 		}
-		in, err := x64.Decode(window, addr)
+		in, err := isa.Decode(window, addr)
 		if err != nil {
 			return false
 		}
-		for r := x64.RAX; r <= x64.R15; r++ {
-			if !in.Reads().Has(r) {
+		reads := isa.Reads(&in)
+		for r := arch.Reg(0); int(r) < isa.RegCount(); r++ {
+			if !reads.Has(r) {
 				continue
 			}
-			if x64.IsArgumentReg(r) || written.Has(r) {
+			if isa.IsArgReg(r) || written.Has(r) {
 				continue
 			}
 			return false
 		}
-		written = written.Union(in.Writes())
-		if in.Op == x64.OpEnter || (in.Op == x64.OpMov && len(in.Args) == 2 &&
-			in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RBP) {
-			written = written.Add(x64.RBP)
+		written = written.Union(isa.Writes(&in))
+		if in.Op == arch.OpEnter || (in.Op == arch.OpMov && len(in.Args) == 2 &&
+			in.Args[0].Kind == arch.KindReg && in.Args[0].Reg == isa.FrameReg()) {
+			written = written.Add(isa.FrameReg())
 		}
 		switch in.Op {
-		case x64.OpRet, x64.OpJmp, x64.OpJmpInd, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+		case arch.OpRet, arch.OpJmp, arch.OpJmpInd, arch.OpUd2, arch.OpHlt, arch.OpInt3:
 			return true
 		}
 		addr = in.Next()

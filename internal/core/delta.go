@@ -277,7 +277,7 @@ func ReplayDelta(in DeltaInput) DeltaOutcome {
 				return fail("convention verdict at %#x changed", rec.Addr)
 			}
 		}
-		if reason := verifyTailJumps(in.Sec, tr, dirty, freshFacts); reason != "" {
+		if reason := verifyTailJumps(in.Img, in.Sec, tr, dirty, freshFacts); reason != "" {
 			return fail("%s", reason)
 		}
 	}
@@ -443,9 +443,10 @@ func checkQueried(qo, qn []uint64, tset, uNR, uCNR, ev map[uint64]bool) string {
 // verifyTailJumps compares each changed range's candidate tail-call
 // jumps — (target, height-known, height-zero) in address order —
 // against the recorded sequence Algorithm 1 consumed.
-func verifyTailJumps(sec *ehframe.Section, tr *Trace, dirty []int,
+func verifyTailJumps(img *elfx.Image, sec *ehframe.Section, tr *Trace, dirty []int,
 	freshFacts map[int]*disasm.LocalFacts) string {
 
+	isa := img.ISA()
 	fdeAt := make(map[uint64]*ehframe.FDE, len(sec.FDEs))
 	for _, f := range sec.FDEs {
 		fdeAt[f.PCBegin] = f
@@ -460,7 +461,7 @@ func verifyTailJumps(sec *ehframe.Section, tr *Trace, dirty []int,
 		if fde == nil {
 			return fmt.Sprintf("range %#x: no FDE", start)
 		}
-		ht := fde.Heights()
+		ht := fde.HeightsABI(isa.CFISPReg(), isa.CFIEntryOffset())
 		if !ht.Complete {
 			// Algorithm 1 skipped this frame on both sides (heights
 			// come from the residue-equal .eh_frame).

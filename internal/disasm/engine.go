@@ -13,8 +13,8 @@ package disasm
 import (
 	"sort"
 
+	"fetch/internal/arch"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // ErrorKind classifies strict-mode disassembly errors (§IV-E).
@@ -67,7 +67,7 @@ type Options struct {
 // Result is the outcome of a recursive disassembly.
 type Result struct {
 	// Insts maps each decoded instruction start to its decoding.
-	Insts map[uint64]*x64.Inst
+	Insts map[uint64]*arch.Inst
 	// Funcs is the detected function-start set: seeds plus direct
 	// call targets.
 	Funcs map[uint64]bool
@@ -104,6 +104,9 @@ type Result struct {
 	// walkers saw it cannot prove its union equal to the sequential
 	// walk and falls back.
 	sawMid bool
+	// isa is the backend the walk decoded with; the inference passes
+	// use it for the gate-register test and backward-scan bounds.
+	isa arch.ISA
 }
 
 // Covered reports whether addr lies inside any decoded instruction.

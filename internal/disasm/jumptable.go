@@ -1,204 +1,61 @@
 package disasm
 
 import (
+	"fetch/internal/arch"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // maxJumpTableEntries caps table reads to keep malformed bounds from
 // flooding the worklist.
 const maxJumpTableEntries = 512
 
-// resolveJumpTable implements the bounded, DYNINST-style jump-table
-// analysis (§IV-C). Two idioms are recognized, both requiring the
-// bounding compare on the index register:
-//
-// non-PIC (absolute 8-byte entries):
-//
-//	cmp  idx, N-1
-//	ja   default
-//	jmp  [idx*8 + table]
-//
-// PIC (table-relative 4-byte entries):
-//
-//	cmp  idx, N-1
-//	ja   default
-//	lea  base, [rip+table]
-//	movsxd tmp, dword [base + idx*4]
-//	add  tmp, base
-//	jmp  tmp
-//
-// Anything else is left unresolved (the safe choice).
-func resolveJumpTable(img *elfx.Image, res *Result, jmp *x64.Inst) []uint64 {
-	if mem, ok := jmp.IndirectMem(); ok {
-		return resolveAbsTable(img, res, jmp, mem)
-	}
-	if len(jmp.Args) == 1 && jmp.Args[0].Kind == x64.KindReg {
-		return resolvePICTable(img, res, jmp, jmp.Args[0].Reg)
-	}
-	return nil
+// jtCtx adapts a walk's image and in-progress Result to the
+// arch.JumpTableCtx surface the backend jump-table resolvers consume:
+// backward instruction context, data reads, and the two record sinks
+// (consulted intervals for delta invalidation, resolved table bases
+// for pointer-candidate suppression).
+type jtCtx struct {
+	img *elfx.Image
+	isa arch.ISA
+	res *Result
 }
 
-// resolveAbsTable handles the absolute-entry idiom.
-func resolveAbsTable(img *elfx.Image, res *Result, jmp *x64.Inst, mem x64.MemRef) []uint64 {
-	if mem.RIPRel || mem.Base != x64.RegNone || mem.Scale != 8 ||
-		!mem.Index.Valid() || mem.Disp <= 0 {
-		return nil
-	}
-	bound, ok := findBound(res, jmp.Addr, mem.Index)
+// InstEndingAt returns the decoded instruction that ends exactly at
+// addr, scanning the owner map back over the backend's maximum
+// instruction length.
+func (c jtCtx) InstEndingAt(addr uint64) (*arch.Inst, bool) {
+	start, ok := prevInstIn(c.res, c.isa, addr)
 	if !ok {
-		return nil
+		return nil, false
 	}
-	if bound > maxJumpTableEntries {
-		bound = maxJumpTableEntries
-	}
-	table := uint64(mem.Disp)
-	res.tableReads = append(res.tableReads, Interval{table, table + uint64(8*bound)})
-	var out []uint64
-	for k := int64(0); k < bound; k++ {
-		entry, err := img.ReadU64(table + uint64(8*k))
-		if err != nil {
-			return nil // table runs off its section: reject entirely
-		}
-		if !img.IsExec(entry) {
-			return nil // non-code entry: not a jump table we trust
-		}
-		out = append(out, entry)
-	}
-	return out
+	return c.res.Insts[start], true
 }
 
-// resolvePICTable handles the position-independent idiom by walking
-// the preceding decoded instructions for the add/movsxd/lea chain.
-func resolvePICTable(img *elfx.Image, res *Result, jmp *x64.Inst, target x64.Reg) []uint64 {
-	var (
-		base                       x64.Reg = x64.RegNone
-		index                      x64.Reg = x64.RegNone
-		table                      uint64
-		haveAdd, haveLoad, haveLea bool
-	)
-	addr := jmp.Addr
-	for steps := 0; steps < 10; steps++ {
-		prev, ok := prevInst(res, addr)
-		if !ok {
-			return nil
-		}
-		in := res.Insts[prev]
-		switch {
-		case !haveAdd:
-			// add target, base
-			if in.Op == x64.OpAdd && len(in.Args) == 2 &&
-				in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == target &&
-				in.Args[1].Kind == x64.KindReg {
-				base = in.Args[1].Reg
-				haveAdd = true
-			} else {
-				return nil
-			}
-		case !haveLoad:
-			// movsxd target, dword [base + idx*4]
-			if in.Op == x64.OpMovsxd && len(in.Args) == 2 &&
-				in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == target &&
-				in.Args[1].Kind == x64.KindMem &&
-				in.Args[1].Mem.Base == base && in.Args[1].Mem.Scale == 4 &&
-				in.Args[1].Mem.Index.Valid() {
-				index = in.Args[1].Mem.Index
-				haveLoad = true
-			} else {
-				return nil
-			}
-		case !haveLea:
-			// lea base, [rip+table]
-			if in.Op == x64.OpLea && len(in.Args) == 2 &&
-				in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == base &&
-				in.Args[1].Kind == x64.KindMem && in.Args[1].Mem.RIPRel {
-				table = uint64(int64(in.Addr) + int64(in.Len) + in.Args[1].Mem.Disp)
-				haveLea = true
-			}
-			// Tolerate unrelated instructions between load and lea.
-		default:
-			bound, ok := findBound(res, prev+uint64(in.Len), index)
-			if !ok {
-				// Keep walking: the compare may sit further back.
-				addr = prev
-				continue
-			}
-			n := bound
-			if n > maxJumpTableEntries {
-				n = maxJumpTableEntries
-			}
-			res.tableReads = append(res.tableReads, Interval{table, table + uint64(4*n)})
-			out := readPICEntries(img, table, bound)
-			if len(out) > 0 {
-				res.TableBases[table] = true
-			}
-			return out
-		}
-		addr = prev
-	}
-	return nil
+// ReadU64 reads a little-endian uint64 from the image.
+func (c jtCtx) ReadU64(addr uint64) (uint64, error) { return c.img.ReadU64(addr) }
+
+// ReadU32 reads a little-endian uint32 from the image.
+func (c jtCtx) ReadU32(addr uint64) (uint32, error) { return c.img.ReadU32(addr) }
+
+// IsExec reports whether addr lies in an executable section.
+func (c jtCtx) IsExec(addr uint64) bool { return c.img.IsExec(addr) }
+
+// RecordTableRead records a data interval the resolution consulted.
+func (c jtCtx) RecordTableRead(lo, hi uint64) {
+	c.res.tableReads = append(c.res.tableReads, Interval{lo, hi})
 }
 
-// readPICEntries loads bound int32 table-relative offsets.
-func readPICEntries(img *elfx.Image, table uint64, bound int64) []uint64 {
-	if bound > maxJumpTableEntries {
-		bound = maxJumpTableEntries
-	}
-	var out []uint64
-	for k := int64(0); k < bound; k++ {
-		raw, err := img.ReadU32(table + uint64(4*k))
-		if err != nil {
-			return nil
-		}
-		entry := uint64(int64(table) + int64(int32(raw)))
-		if !img.IsExec(entry) {
-			return nil
-		}
-		out = append(out, entry)
-	}
-	return out
-}
-
-// findBound scans recently decoded instructions immediately before the
-// indirect jump for the bounding `cmp idx, imm` guarded by an
-// above-branch.
-func findBound(res *Result, jmpAddr uint64, idx x64.Reg) (int64, bool) {
-	var sawAbove bool
-	// Walk backwards over the previous decoded instructions (by byte
-	// scan over the owner map; instructions are at most 15 bytes).
-	addr := jmpAddr
-	for steps := 0; steps < 8; steps++ {
-		prevStart, ok := prevInst(res, addr)
-		if !ok {
-			return 0, false
-		}
-		in := res.Insts[prevStart]
-		switch in.Op {
-		case x64.OpJcc:
-			if in.Cond == x64.CondA || in.Cond == x64.CondAE {
-				sawAbove = true
-			}
-		case x64.OpCmp:
-			if sawAbove && len(in.Args) == 2 &&
-				in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == idx &&
-				in.Args[1].Kind == x64.KindImm && in.Args[1].Imm >= 0 {
-				return in.Args[1].Imm + 1, true
-			}
-		case x64.OpMov, x64.OpMovzx, x64.OpMovsxd, x64.OpLea:
-			// Index massaging between the compare and the jump is
-			// tolerated.
-		default:
-			return 0, false
-		}
-		addr = prevStart
-	}
-	return 0, false
-}
+// RecordTableBase records a resolved table's base address.
+func (c jtCtx) RecordTableBase(table uint64) { c.res.TableBases[table] = true }
 
 // prevInst returns the start of the decoded instruction that ends
-// exactly at addr.
+// exactly at addr, using the result's own backend for the scan bound.
 func prevInst(res *Result, addr uint64) (uint64, bool) {
-	for back := uint64(1); back <= 15; back++ {
+	return prevInstIn(res, res.isa, addr)
+}
+
+func prevInstIn(res *Result, isa arch.ISA, addr uint64) (uint64, bool) {
+	for back := uint64(1); back <= uint64(isa.MaxInstLen()); back++ {
 		start, ok := res.owner.get(addr - back)
 		if !ok {
 			continue

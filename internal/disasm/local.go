@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"sort"
 
-	"fetch/internal/x64"
+	"fetch/internal/arch"
 )
 
 // This file implements the function-local replay machinery behind
@@ -225,7 +225,8 @@ func (s *Session) WalkLocal(rng FuncRange, entries []uint64,
 	img := s.img
 	facts := &LocalFacts{RefCounts: make(map[uint64]int)}
 	res := &Result{
-		Insts:      make(map[uint64]*x64.Inst),
+		isa:        s.isa,
+		Insts:      make(map[uint64]*arch.Inst),
 		Funcs:      make(map[uint64]bool),
 		Refs:       make(map[uint64][]uint64),
 		Constants:  make(map[uint64]bool),
@@ -312,16 +313,16 @@ func (s *Session) WalkLocal(rng FuncRange, entries []uint64,
 			}
 
 			switch e.rdi {
-			case rdiSetUnknown:
+			case arch.GateSetUnknown:
 				rdi = rdiUnknown
-			case rdiSetZero:
+			case arch.GateSetZero:
 				rdi = rdiZero
-			case rdiSetNonZero:
+			case arch.GateSetNonZero:
 				rdi = rdiNonZero
 			}
 
 			switch in.Op {
-			case x64.OpCall:
+			case arch.OpCall:
 				t := in.Target
 				if !img.IsExec(t) {
 					break // falls through below, like the global walk
@@ -339,7 +340,7 @@ func (s *Session) WalkLocal(rng FuncRange, entries []uint64,
 				rdi = rdiUnknown
 				addr = in.Next()
 				continue
-			case x64.OpJcc:
+			case arch.OpJcc:
 				t := in.Target
 				if img.IsExec(t) {
 					addRef(t, in.Addr)
@@ -350,7 +351,7 @@ func (s *Session) WalkLocal(rng FuncRange, entries []uint64,
 				}
 				addr = in.Next()
 				continue
-			case x64.OpJmp:
+			case arch.OpJmp:
 				t := in.Target
 				if img.IsExec(t) {
 					addRef(t, in.Addr)
@@ -360,8 +361,8 @@ func (s *Session) WalkLocal(rng FuncRange, entries []uint64,
 					facts.JmpOut = append(facts.JmpOut, JumpFact{in.Addr, t, false})
 				}
 				goto pathDone
-			case x64.OpJmpInd:
-				targets := resolveJumpTable(img, res, in)
+			case arch.OpJmpInd:
+				targets := s.isa.ResolveJumpTable(jtCtx{img: img, isa: s.isa, res: res}, in, maxJumpTableEntries)
 				if len(targets) > 0 {
 					res.JTTargets[in.Addr] = targets
 				}
@@ -370,7 +371,7 @@ func (s *Session) WalkLocal(rng FuncRange, entries []uint64,
 					push(t, rdiUnknown)
 				}
 				goto pathDone
-			case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+			case arch.OpRet, arch.OpUd2, arch.OpHlt, arch.OpInt3:
 				goto pathDone
 			}
 			addr = in.Next()
@@ -447,13 +448,13 @@ func (lw *LocalWalk) EntryReturns(entry uint64,
 			}
 			seen[a] = true
 			switch in.Op {
-			case x64.OpRet:
+			case arch.OpRet:
 				return true, queried, true
-			case x64.OpJcc:
+			case arch.OpJcc:
 				stack = append(stack, in.Target)
 				a = in.Next()
 				continue
-			case x64.OpJmp:
+			case arch.OpJmp:
 				t := in.Target
 				query(t)
 				if isFunc(t) && t != entry {
@@ -463,17 +464,17 @@ func (lw *LocalWalk) EntryReturns(entry uint64,
 				} else {
 					stack = append(stack, t)
 				}
-			case x64.OpJmpInd:
+			case arch.OpJmpInd:
 				for _, t := range res.JTTargets[a] {
 					stack = append(stack, t)
 				}
-			case x64.OpCall:
+			case arch.OpCall:
 				query(in.Target)
 				if returnsOf(in.Target) {
 					a = in.Next()
 					continue
 				}
-			case x64.OpUd2, x64.OpHlt, x64.OpInt3:
+			case arch.OpUd2, arch.OpHlt, arch.OpInt3:
 				// Terminal.
 			default:
 				a = in.Next()
@@ -496,14 +497,13 @@ func (lw *LocalWalk) CondFacts(entry uint64, isFunc func(uint64) bool) (hasTest 
 	inRange := func(a uint64) bool { return a >= lw.rng.Start && a < lw.rng.End }
 
 	a := entry
+	gate := res.isa.GateReg()
 	for k := 0; k < 3; k++ {
 		in, found := res.Insts[a]
 		if !found {
 			return false, nil, nil, true
 		}
-		if in.Op == x64.OpTest && len(in.Args) == 2 &&
-			in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI &&
-			in.Args[1].Kind == x64.KindReg && in.Args[1].Reg == x64.RDI {
+		if arch.IsGateTest(in, gate) {
 			hasTest = true
 			break
 		}
@@ -533,24 +533,24 @@ func (lw *LocalWalk) CondFacts(entry uint64, isFunc func(uint64) bool) (hasTest 
 				return false, nil, nil, false // escaped
 			}
 			seen[a] = true
-			if in.Op == x64.OpCall {
+			if in.Op == arch.OpCall {
 				bodyCalls = append(bodyCalls, in.Target)
 				a = in.Next()
 				continue
 			}
-			if in.Op == x64.OpJcc {
+			if in.Op == arch.OpJcc {
 				stack = append(stack, in.Target)
 				a = in.Next()
 				continue
 			}
-			if in.Op == x64.OpJmp {
+			if in.Op == arch.OpJmp {
 				queried = append(queried, in.Target)
 				if !isFunc(in.Target) {
 					stack = append(stack, in.Target)
 				}
 				break
 			}
-			if in.Terminates() || in.Op == x64.OpInt3 {
+			if in.Terminates() || in.Op == arch.OpInt3 {
 				break
 			}
 			a = in.Next()

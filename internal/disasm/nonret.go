@@ -1,7 +1,7 @@
 package disasm
 
 import (
-	"fetch/internal/x64"
+	"fetch/internal/arch"
 )
 
 // inferNonReturning computes the non-returning function set over a
@@ -70,13 +70,13 @@ func funcReturns(res *Result, f uint64, returns map[uint64]bool) bool {
 			}
 			seen[a] = true
 			switch in.Op {
-			case x64.OpRet:
+			case arch.OpRet:
 				return true
-			case x64.OpJcc:
+			case arch.OpJcc:
 				stack = append(stack, in.Target)
 				a = in.Next()
 				continue
-			case x64.OpJmp:
+			case arch.OpJmp:
 				t := in.Target
 				if res.Funcs[t] && t != f {
 					// Tail edge: f returns iff the target does.
@@ -86,18 +86,18 @@ func funcReturns(res *Result, f uint64, returns map[uint64]bool) bool {
 				} else {
 					stack = append(stack, t)
 				}
-			case x64.OpJmpInd:
+			case arch.OpJmpInd:
 				for _, t := range res.JTTargets[a] {
 					stack = append(stack, t)
 				}
-			case x64.OpCall:
+			case arch.OpCall:
 				if returns[in.Target] {
 					a = in.Next()
 					continue
 				}
 				// Callee not (yet) proven returning: stop this path;
 				// the outer fixed point revisits when it flips.
-			case x64.OpUd2, x64.OpHlt, x64.OpInt3:
+			case arch.OpUd2, arch.OpHlt, arch.OpInt3:
 				// Terminal.
 			default:
 				a = in.Next()
@@ -115,15 +115,14 @@ func funcReturns(res *Result, f uint64, returns map[uint64]bool) bool {
 func isCondNonRet(res *Result, f uint64, nonRet map[uint64]bool) bool {
 	// Entry test within the first three instructions.
 	a := f
+	gate := res.isa.GateReg()
 	sawTest := false
 	for k := 0; k < 3; k++ {
 		in, ok := res.Insts[a]
 		if !ok {
 			return false
 		}
-		if in.Op == x64.OpTest && len(in.Args) == 2 &&
-			in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI &&
-			in.Args[1].Kind == x64.KindReg && in.Args[1].Reg == x64.RDI {
+		if arch.IsGateTest(in, gate) {
 			sawTest = true
 			break
 		}
@@ -150,21 +149,21 @@ func isCondNonRet(res *Result, f uint64, nonRet map[uint64]bool) bool {
 				break
 			}
 			seen[a] = true
-			if in.Op == x64.OpCall && nonRet[in.Target] {
+			if in.Op == arch.OpCall && nonRet[in.Target] {
 				return true
 			}
-			if in.Op == x64.OpJcc {
+			if in.Op == arch.OpJcc {
 				stack = append(stack, in.Target)
 				a = in.Next()
 				continue
 			}
-			if in.Op == x64.OpJmp {
+			if in.Op == arch.OpJmp {
 				if !res.Funcs[in.Target] {
 					stack = append(stack, in.Target)
 				}
 				break
 			}
-			if in.Terminates() || in.Op == x64.OpInt3 {
+			if in.Terminates() || in.Op == arch.OpInt3 {
 				break
 			}
 			a = in.Next()

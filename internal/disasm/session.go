@@ -3,8 +3,8 @@ package disasm
 import (
 	"time"
 
+	"fetch/internal/arch"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // Stats counts the work a Session (and its forks) performed. All
@@ -12,7 +12,7 @@ import (
 // parallel corpus analysis never changes them.
 type Stats struct {
 	// InstsDecoded counts decode-cache misses: addresses whose bytes
-	// were actually fed through the x64 decoder.
+	// were actually fed through the backend decoder.
 	InstsDecoded int64
 	// InstsReused counts decode-cache hits: instruction lookups served
 	// from a previous decode of the same address.
@@ -64,7 +64,7 @@ type Stats struct {
 }
 
 // Accounted per-entry costs behind PeakAuxBytes: a decode-cache entry
-// is a map slot plus a heap x64.Inst; a sparse-owner entry is one
+// is a map slot plus a heap arch.Inst; a sparse-owner entry is one
 // uint64→uint64 map slot.
 const (
 	decodeEntryCost = 160
@@ -143,51 +143,19 @@ const (
 	decodeBad
 )
 
-// rdiEffect is the memoized first-argument classification of one
-// instruction (the §IV-C error/error_at_line slice step).
-type rdiEffect uint8
-
-const (
-	// rdiKeep: the instruction leaves the tracked state alone (no RDI
-	// write, or a call — calls are gated separately).
-	rdiKeep rdiEffect = iota
-	rdiSetUnknown
-	rdiSetZero
-	rdiSetNonZero
-)
-
 // decodeEntry is one memoized decode. Everything here — the
 // instruction, the failure mode, the mapped constant operands, and the
-// rdi classification — is a pure function of the image bytes at the
-// address, so entries never invalidate and can be shared across
-// passes, forks, and strategy variants.
+// gate-register classification (the §IV-C error/error_at_line slice
+// step; RDI on x86-64, X0 on aarch64) — is a pure function of the
+// image bytes at the address, so entries never invalidate and can be
+// shared across passes, forks, and strategy variants.
 type decodeEntry struct {
-	inst *x64.Inst
+	inst *arch.Inst
 	kind decodeKind
 	// consts are the instruction's pointer-sized constants that land
 	// in mapped sections (the image is fixed per session).
 	consts []uint64
-	rdi    rdiEffect
-}
-
-// classifyRDI computes the memoized first-argument effect.
-func classifyRDI(in *x64.Inst) rdiEffect {
-	if w := in.Writes(); in.IsCall() || !w.Has(x64.RDI) {
-		return rdiKeep
-	}
-	if in.Op == x64.OpXor && len(in.Args) == 2 &&
-		in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI {
-		return rdiSetZero
-	}
-	if in.Op == x64.OpMov && len(in.Args) == 2 &&
-		in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RDI &&
-		in.Args[1].Kind == x64.KindImm {
-		if in.Args[1].Imm == 0 {
-			return rdiSetZero
-		}
-		return rdiSetNonZero
-	}
-	return rdiSetUnknown
+	rdi    arch.GateEffect
 }
 
 // Session owns the reusable disassembly state of one binary: the
@@ -205,6 +173,7 @@ func classifyRDI(in *x64.Inst) rdiEffect {
 // binaries, never within one).
 type Session struct {
 	img   *elfx.Image
+	isa   arch.ISA
 	opts  Options
 	cache map[uint64]decodeEntry
 	stats *Stats
@@ -261,6 +230,7 @@ func (s *Session) SetExecObserver(o ExecObserver) { s.obs = o }
 func NewSession(img *elfx.Image, opts Options) *Session {
 	s := &Session{
 		img:   img,
+		isa:   img.ISA(),
 		opts:  opts,
 		cache: make(map[uint64]decodeEntry),
 		stats: &Stats{ColdStarts: 1},
@@ -310,6 +280,7 @@ func (s *Session) Fork() *Session {
 	s.stats.Forks++
 	return &Session{
 		img:   s.img,
+		isa:   s.isa,
 		opts:  s.opts,
 		cache: s.cache,
 		stats: s.stats,
@@ -334,6 +305,7 @@ func (s *Session) ParallelFork() *Session {
 	// join.
 	return &Session{
 		img:   s.img,
+		isa:   s.isa,
 		opts:  s.opts,
 		cache: make(map[uint64]decodeEntry),
 		warm:  s.cache,
@@ -484,11 +456,11 @@ func (s *Session) decode(addr uint64) decodeEntry {
 	window, ok := s.img.BytesToSectionEnd(addr)
 	if !ok {
 		e = decodeEntry{kind: decodeNoWindow}
-	} else if in, err := x64.Decode(window, addr); err != nil {
+	} else if in, err := s.isa.Decode(window, addr); err != nil {
 		e = decodeEntry{kind: decodeBad}
 	} else {
 		inst := in
-		e = decodeEntry{inst: &inst, kind: decodeOK, rdi: classifyRDI(&inst)}
+		e = decodeEntry{inst: &inst, kind: decodeOK, rdi: s.isa.GateEffect(&inst)}
 		for _, c := range inst.Constants() {
 			if s.img.IsMapped(c) {
 				e.consts = append(e.consts, c)
@@ -508,7 +480,8 @@ func (s *Session) pass(seeds []uint64, opts Options,
 	s.stats.FixedPointPasses++
 	img := s.img
 	res := &Result{
-		Insts:      make(map[uint64]*x64.Inst, s.sizeHint),
+		isa:        s.isa,
+		Insts:      make(map[uint64]*arch.Inst, s.sizeHint),
 		Funcs:      make(map[uint64]bool, s.sizeHint/8),
 		Refs:       make(map[uint64][]uint64, s.sizeHint/8),
 		Constants:  make(map[uint64]bool, s.sizeHint/8),
@@ -607,16 +580,16 @@ func (s *Session) pass(seeds []uint64, opts Options,
 			// state: the clobber applies after the call-site gate below
 			// consumes it.
 			switch e.rdi {
-			case rdiSetUnknown:
+			case arch.GateSetUnknown:
 				rdi = rdiUnknown
-			case rdiSetZero:
+			case arch.GateSetZero:
 				rdi = rdiZero
-			case rdiSetNonZero:
+			case arch.GateSetNonZero:
 				rdi = rdiNonZero
 			}
 
 			switch in.Op {
-			case x64.OpCall:
+			case arch.OpCall:
 				t := in.Target
 				if !img.IsExec(t) {
 					strictErr(ErrOutOfSection, in.Addr)
@@ -640,7 +613,7 @@ func (s *Session) pass(seeds []uint64, opts Options,
 				rdi = rdiUnknown // the callee clobbers rdi
 				addr = in.Next()
 				continue
-			case x64.OpJcc:
+			case arch.OpJcc:
 				t := in.Target
 				if img.IsExec(t) {
 					if intoFunctionMiddle(t) {
@@ -653,7 +626,7 @@ func (s *Session) pass(seeds []uint64, opts Options,
 				}
 				addr = in.Next()
 				continue
-			case x64.OpJmp:
+			case arch.OpJmp:
 				t := in.Target
 				if img.IsExec(t) {
 					if intoFunctionMiddle(t) {
@@ -665,9 +638,9 @@ func (s *Session) pass(seeds []uint64, opts Options,
 					strictErr(ErrOutOfSection, in.Addr)
 				}
 				goto pathDone
-			case x64.OpJmpInd:
+			case arch.OpJmpInd:
 				if opts.ResolveJumpTables {
-					targets := resolveJumpTable(img, res, in)
+					targets := s.isa.ResolveJumpTable(jtCtx{img: img, isa: s.isa, res: res}, in, maxJumpTableEntries)
 					if len(targets) > 0 {
 						res.JTTargets[in.Addr] = targets
 						if m, ok := in.IndirectMem(); ok && m.Disp > 0 {
@@ -687,7 +660,7 @@ func (s *Session) pass(seeds []uint64, opts Options,
 					}
 				}
 				goto pathDone
-			case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+			case arch.OpRet, arch.OpUd2, arch.OpHlt, arch.OpInt3:
 				goto pathDone
 			}
 			addr = in.Next()

@@ -6,8 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fetch/internal/arch"
 	"fetch/internal/pool"
-	"fetch/internal/x64"
 )
 
 // This file implements intra-binary sharded analysis: one committed
@@ -184,6 +184,7 @@ func (s *Session) subScratch(k int) []*Session {
 	for len(s.subs) < k {
 		s.subs = append(s.subs, &Session{
 			img:        s.img,
+			isa:        s.isa,
 			opts:       s.opts,
 			cache:      make(map[uint64]decodeEntry),
 			warm:       s.cache,
@@ -312,14 +313,14 @@ func (s *Session) mergeShards(shards []*Result, seeds []uint64, opts Options,
 		}
 		for a, in := range merged {
 			switch {
-			case in.Op == x64.OpJmpInd && opts.ResolveJumpTables:
+			case in.Op == arch.OpJmpInd && opts.ResolveJumpTables:
 				targets, ok := s.jtInvariant(bres, in, pushable, nonRet, condNonRet, opts)
 				if !ok {
 					return nil
 				}
 				jtInv[a] = targets
-			case in.Op == x64.OpCall && needCond && condNonRet[in.Target]:
-				if !condGateInvariant(s.img, bres, in, pushable, nonRet, condNonRet, opts) {
+			case in.Op == arch.OpCall && needCond && condNonRet[in.Target]:
+				if !condGateInvariant(s.isa, s.img, bres, in, pushable, nonRet, condNonRet, opts) {
 					return nil
 				}
 			}
@@ -402,7 +403,7 @@ func pushableSet(img imgExec, merged *Result, seeds []uint64, shards []*Result) 
 	}
 	for _, in := range merged.Insts {
 		switch in.Op {
-		case x64.OpCall, x64.OpJcc, x64.OpJmp:
+		case arch.OpCall, arch.OpJcc, arch.OpJmp:
 			if in.HasTarget && img.IsExec(in.Target) {
 				pushable[in.Target] = true
 			}
@@ -425,8 +426,8 @@ type imgExec interface {
 
 // backChain returns the byte-adjacent previously decoded instructions
 // behind addr, nearest first, up to max links.
-func backChain(res *Result, addr uint64, max int) []*x64.Inst {
-	var chain []*x64.Inst
+func backChain(res *Result, addr uint64, max int) []*arch.Inst {
+	var chain []*arch.Inst
 	for len(chain) < max {
 		prev, ok := prevInst(res, addr)
 		if !ok {
@@ -447,10 +448,10 @@ func backChain(res *Result, addr uint64, max int) []*x64.Inst {
 // pushable, else the nearest pushable fall-through entry on the
 // chain), evaluates the resolution at every reachable depth, and
 // requires all outcomes equal.
-func (s *Session) jtInvariant(merged *Result, jmp *x64.Inst,
+func (s *Session) jtInvariant(merged *Result, jmp *arch.Inst,
 	pushable map[uint64]bool, nonRet, condNonRet map[uint64]bool, opts Options) ([]uint64, bool) {
 
-	full := resolveJumpTable(s.img, merged, jmp)
+	full := s.isa.ResolveJumpTable(jtCtx{img: s.img, isa: s.isa, res: merged}, jmp, maxJumpTableEntries)
 	chain := backChain(merged, jmp.Addr, jtGuardDepth+1)
 
 	// Minimum guaranteed depth over all possible arrivals.
@@ -484,7 +485,8 @@ func (s *Session) jtInvariant(merged *Result, jmp *x64.Inst,
 	}
 	for d := lmin; d <= maxd; d++ {
 		mini := &Result{
-			Insts:      make(map[uint64]*x64.Inst, d),
+			isa:        s.isa,
+			Insts:      make(map[uint64]*arch.Inst, d),
 			TableBases: make(map[uint64]bool),
 			owner:      ownerMap{m: make(map[uint64]uint64)},
 		}
@@ -493,7 +495,7 @@ func (s *Session) jtInvariant(merged *Result, jmp *x64.Inst,
 			mini.Insts[in.Addr] = in
 			mini.owner.setRange(in.Addr, int(in.Len))
 		}
-		if !equalAddrs(resolveJumpTable(s.img, mini, jmp), full) {
+		if !equalAddrs(s.isa.ResolveJumpTable(jtCtx{img: s.img, isa: s.isa, res: mini}, jmp, maxJumpTableEntries), full) {
 			return nil, false
 		}
 	}
@@ -510,7 +512,7 @@ func (s *Session) jtInvariant(merged *Result, jmp *x64.Inst,
 // and fails only when it is "known zero" while some arrival could
 // start between the determinant and the call (yielding unknown and
 // the opposite decision).
-func condGateInvariant(img imgExec, merged *Result, call *x64.Inst,
+func condGateInvariant(isa arch.ISA, img imgExec, merged *Result, call *arch.Inst,
 	pushable map[uint64]bool, nonRet, condNonRet map[uint64]bool, opts Options) bool {
 
 	chain := backChain(merged, call.Addr, rdiGuardDepth)
@@ -527,17 +529,17 @@ func condGateInvariant(img imgExec, merged *Result, call *x64.Inst,
 			found = true
 			break
 		}
-		if c.Op == x64.OpCall {
+		if c.Op == arch.OpCall {
 			// A crossed returning call clobbers rdi.
 			found = true
 			break
 		}
-		switch classifyRDI(c) {
-		case rdiSetZero:
+		switch isa.GateEffect(c) {
+		case arch.GateSetZero:
 			deep, found = rdiZero, true
-		case rdiSetNonZero:
+		case arch.GateSetNonZero:
 			deep, found = rdiNonZero, true
-		case rdiSetUnknown:
+		case arch.GateSetUnknown:
 			found = true
 		default:
 			// No rdi effect: an entry here contributes an unknown
@@ -562,11 +564,11 @@ func condGateInvariant(img imgExec, merged *Result, call *x64.Inst,
 // byte-adjacent instruction under the pass's rules, conservatively
 // treating conditionally non-returning callees as not falling through
 // (see condGateInvariant for why that is exact where it matters).
-func fallsThrough(img imgExec, in *x64.Inst, nonRet, condNonRet map[uint64]bool, opts Options) bool {
+func fallsThrough(img imgExec, in *arch.Inst, nonRet, condNonRet map[uint64]bool, opts Options) bool {
 	switch in.Op {
-	case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3, x64.OpJmp, x64.OpJmpInd:
+	case arch.OpRet, arch.OpUd2, arch.OpHlt, arch.OpInt3, arch.OpJmp, arch.OpJmpInd:
 		return false
-	case x64.OpCall:
+	case arch.OpCall:
 		if !img.IsExec(in.Target) {
 			return false // the walk stops at out-of-section call targets
 		}

@@ -3,8 +3,8 @@ package disasm
 import (
 	"sort"
 
+	"fetch/internal/arch"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // Range is a half-open address interval.
@@ -17,10 +17,12 @@ type Range struct {
 func (r Range) Len() uint64 { return r.End - r.Start }
 
 // LinearSweep decodes [start, end) sequentially, resynchronizing one
-// byte forward after undecodable bytes — the NUCLEUS-style front end
-// and the engine behind gap scans.
-func LinearSweep(img *elfx.Image, start, end uint64) map[uint64]*x64.Inst {
-	out := make(map[uint64]*x64.Inst)
+// instruction-alignment unit forward after undecodable bytes (one byte
+// on x86-64, four on aarch64) — the NUCLEUS-style front end and the
+// engine behind gap scans.
+func LinearSweep(img *elfx.Image, start, end uint64) map[uint64]*arch.Inst {
+	isa := img.ISA()
+	out := make(map[uint64]*arch.Inst)
 	addr := start
 	for addr < end {
 		window, ok := img.BytesToSectionEnd(addr)
@@ -30,9 +32,9 @@ func LinearSweep(img *elfx.Image, start, end uint64) map[uint64]*x64.Inst {
 		if max := end - addr; uint64(len(window)) > max {
 			window = window[:max]
 		}
-		in, err := x64.Decode(window, addr)
+		in, err := isa.Decode(window, addr)
 		if err != nil {
-			addr++
+			addr += uint64(isa.InstAlign())
 			continue
 		}
 		cp := in
@@ -74,6 +76,7 @@ func Gaps(img *elfx.Image, res *Result) []Range {
 // IsPaddingRun reports whether every instruction in [start, end)
 // decodes as padding (NOPs or int3).
 func IsPaddingRun(img *elfx.Image, start, end uint64) bool {
+	isa := img.ISA()
 	addr := start
 	for addr < end {
 		window, ok := img.BytesToSectionEnd(addr)
@@ -83,7 +86,7 @@ func IsPaddingRun(img *elfx.Image, start, end uint64) bool {
 		if max := end - addr; uint64(len(window)) > max {
 			window = window[:max]
 		}
-		in, err := x64.Decode(window, addr)
+		in, err := isa.Decode(window, addr)
 		if err != nil || !in.IsPadding() {
 			return false
 		}

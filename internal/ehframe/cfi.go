@@ -18,6 +18,14 @@ const (
 	DwRA = 16 // return address pseudo-register
 )
 
+// DWARF register numbers for aarch64 (AADWARF64: x0..x30 are 0..30,
+// SP is 31). The return-address column is the link register itself.
+const (
+	DwA64FP = 29
+	DwA64RA = 30 // x30, the link register
+	DwA64SP = 31
+)
+
 // DwarfRegName returns a human-readable name for an x86-64 DWARF
 // register number.
 func DwarfRegName(r uint64) string {

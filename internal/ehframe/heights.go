@@ -3,16 +3,19 @@ package ehframe
 // Stack-height evaluation of CFI programs (§V-B of the paper).
 //
 // The "stack height" at a code location is the number of bytes the
-// stack has grown since function entry: height = CFAOffset - 8 when the
-// CFA is defined relative to rsp (on entry CFA = rsp+8, so height 0).
-// A tail call requires height 0 — the stack pointer sits right below
-// the return address, so the target can return to the caller's caller.
+// stack has grown since function entry: height = CFAOffset - entry
+// offset when the CFA is defined relative to the stack pointer. The
+// entry offset is an ABI fact: on x86-64 the call pushes the return
+// address, so CFA = rsp+8 at entry (height 0); on aarch64 the return
+// address travels in x30 and CFA = sp+0 at entry. A tail call requires
+// height 0 — the stack pointer must sit exactly where the function
+// found it, so the target can return to the caller's caller.
 
 // HeightRow gives the stack height holding from Loc (inclusive) to the
 // next row's Loc (exclusive).
 type HeightRow struct {
 	Loc       uint64 // absolute code address
-	CFAOffset int64  // CFA = rsp + CFAOffset (valid only when rsp-based)
+	CFAOffset int64  // CFA = SP + CFAOffset (valid only when SP-based)
 }
 
 // HeightTable is the evaluated height profile of one FDE.
@@ -20,10 +23,15 @@ type HeightTable struct {
 	FDE  *FDE
 	Rows []HeightRow
 
+	// EntryOffset is the ABI's CFA offset from SP at function entry (8
+	// on x86-64, 0 on aarch64): the bias between a CFA offset and the
+	// paper's stack height.
+	EntryOffset int64
+
 	// Complete reports whether the CFI program gives trustworthy
-	// rsp-relative heights across the whole range, per the paper's
-	// conservativeness criteria: the CFA is rsp-based with initial
-	// offset 8, every CFA change is described by an rsp-relative
+	// SP-relative heights across the whole range, per the paper's
+	// conservativeness criteria: the CFA is SP-based with the ABI's
+	// initial offset, every CFA change is described by an SP-relative
 	// redefinition, and no expression forms are used.
 	Complete bool
 }
@@ -35,10 +43,17 @@ type cfaState struct {
 	valid  bool // rule is a plain reg+offset (no expression)
 }
 
-// Heights evaluates the FDE's CFI program (prepended with its CIE's
-// initial instructions) into a height table.
-func (f *FDE) Heights() HeightTable {
-	t := HeightTable{FDE: f, Complete: true}
+// Heights evaluates the FDE's CFI program under the x86-64 ABI facts
+// (CFA starts as rsp+8). Multi-ISA callers use HeightsABI with the
+// ISA's CFI constants instead.
+func (f *FDE) Heights() HeightTable { return f.HeightsABI(DwRSP, 8) }
+
+// HeightsABI evaluates the FDE's CFI program (prepended with its CIE's
+// initial instructions) into a height table, against the given ABI
+// facts: the DWARF number of the stack pointer and the CFA offset from
+// it at function entry (arch.ISA's CFISPReg and CFIEntryOffset).
+func (f *FDE) HeightsABI(spReg uint64, entryOffset int64) HeightTable {
+	t := HeightTable{FDE: f, EntryOffset: entryOffset, Complete: true}
 	loc := f.PCBegin
 	st := cfaState{}
 	var stack []cfaState // remember_state/restore_state
@@ -65,12 +80,12 @@ func (f *FDE) Heights() HeightTable {
 	}
 
 	emit := func() {
-		if st.valid && st.reg == DwRSP {
+		if st.valid && st.reg == spReg {
 			t.Rows = append(t.Rows, HeightRow{Loc: loc, CFAOffset: st.offset})
 		} else {
-			// The CFA is not rsp-relative here (frame-pointer
+			// The CFA is not SP-relative here (frame-pointer
 			// functions, expressions): heights are unknowable from
-			// CFI at this and later rsp-relative queries.
+			// CFI at this and later SP-relative queries.
 			t.Complete = false
 		}
 	}
@@ -78,8 +93,8 @@ func (f *FDE) Heights() HeightTable {
 	for _, c := range f.CIE.Initial {
 		apply(c)
 	}
-	if !st.valid || st.reg != DwRSP || st.offset != 8 {
-		// Paper criterion (i): CFA must start as rsp+8.
+	if !st.valid || st.reg != spReg || st.offset != entryOffset {
+		// Paper criterion (i): CFA must start at the ABI entry rule.
 		t.Complete = false
 	}
 	emit()
@@ -115,5 +130,5 @@ func (t *HeightTable) HeightAt(addr uint64) (int64, bool) {
 	if best == nil {
 		return 0, false
 	}
-	return best.CFAOffset - 8, true
+	return best.CFAOffset - t.EntryOffset, true
 }

@@ -42,6 +42,23 @@ func NewDefaultCIE() *CIE {
 	}
 }
 
+// NewDefaultCIEA64 returns the CIE GCC emits for aarch64: code align
+// 4 (there is no shorter instruction), data align -8, RA column 30
+// (the link register), pcrel|sdata4 FDE pointers, and the standard
+// initial program defining CFA = sp+0 — nothing is pushed by a call,
+// so the entry height bias is zero.
+func NewDefaultCIEA64() *CIE {
+	return &CIE{
+		CodeAlign:  4,
+		DataAlign:  -8,
+		RetAddrReg: DwA64RA,
+		FDEEnc:     PEPCRelSData4,
+		Initial: []CFI{
+			{Op: CFADefCFA, Reg: DwA64SP, Offset: 0},
+		},
+	}
+}
+
 // FDE is a Frame Description Entry covering one contiguous code range.
 type FDE struct {
 	CIE     *CIE

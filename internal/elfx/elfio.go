@@ -7,7 +7,31 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"fetch/internal/arch"
+	// The analysis backends register themselves with internal/arch at
+	// init time; importing them here guarantees any program that loads
+	// ELF images links every supported ISA.
+	_ "fetch/internal/a64"
+	_ "fetch/internal/x64"
 )
+
+// ErrUnsupportedMachine reports an ELF whose e_machine has no
+// registered analysis backend. Callers that sweep directories of real
+// binaries (realeval -scan) match it with errors.Is to bucket
+// other-ISA binaries separately from genuinely corrupt files.
+var ErrUnsupportedMachine = errors.New("unsupported machine")
+
+// checkMachine validates a parsed file's e_machine against the
+// registered arch backends and returns the value for Image.Machine.
+func checkMachine(f *elf.File) (uint16, error) {
+	m := uint16(f.Machine)
+	if arch.ForMachine(m) == nil || m == 0 {
+		return 0, fmt.Errorf("elfx: machine %v: %w (supported: x86-64, aarch64)",
+			f.Machine, ErrUnsupportedMachine)
+	}
+	return m, nil
+}
 
 // ELF constants not worth importing debug/elf values for at write time.
 const (
@@ -130,7 +154,11 @@ func WriteELF(im *Image) ([]byte, error) {
 		etype = elf.ET_DYN
 	}
 	binary.LittleEndian.PutUint16(out[16:], uint16(etype))
-	binary.LittleEndian.PutUint16(out[18:], uint16(elf.EM_X86_64))
+	machine := im.Machine
+	if machine == 0 {
+		machine = uint16(elf.EM_X86_64)
+	}
+	binary.LittleEndian.PutUint16(out[18:], machine)
 	binary.LittleEndian.PutUint32(out[20:], 1) // version
 	binary.LittleEndian.PutUint64(out[24:], im.Entry)
 	binary.LittleEndian.PutUint64(out[32:], ehdrSize) // phoff
@@ -219,10 +247,11 @@ func LoadELF(data []byte) (*Image, error) {
 		return nil, fmt.Errorf("elfx: %w", err)
 	}
 	defer f.Close()
-	if f.Machine != elf.EM_X86_64 {
-		return nil, fmt.Errorf("elfx: not an x86-64 binary (machine %v)", f.Machine)
+	machine, err := checkMachine(f)
+	if err != nil {
+		return nil, err
 	}
-	im := &Image{Entry: f.Entry, PIE: f.Type == elf.ET_DYN}
+	im := &Image{Entry: f.Entry, PIE: f.Type == elf.ET_DYN, Machine: machine}
 	for _, s := range f.Sections {
 		if s.Type == elf.SHT_NULL || s.Flags&elf.SHF_ALLOC == 0 {
 			continue

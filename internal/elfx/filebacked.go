@@ -136,12 +136,13 @@ func loadELFFile(path string, openFile func(string) (*mmapfile.File, error)) (*I
 		return nil, fmt.Errorf("elfx: %w", err)
 	}
 	defer f.Close()
-	if f.Machine != elf.EM_X86_64 {
+	machine, err := checkMachine(f)
+	if err != nil {
 		mf.Close()
-		return nil, fmt.Errorf("elfx: not an x86-64 binary (machine %v)", f.Machine)
+		return nil, err
 	}
 	bk := &fileBacking{f: mf}
-	im := &Image{Entry: f.Entry, PIE: f.Type == elf.ET_DYN, bk: bk}
+	im := &Image{Entry: f.Entry, PIE: f.Type == elf.ET_DYN, Machine: machine, bk: bk}
 	for _, s := range f.Sections {
 		if s.Type == elf.SHT_NULL || s.Flags&elf.SHF_ALLOC == 0 {
 			continue

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"unsafe"
+
+	"fetch/internal/arch"
 )
 
 // SectionFlags describe mapping permissions of a section.
@@ -105,6 +107,11 @@ type Image struct {
 	// addresses are the link-time ones either way; the flag only
 	// selects the ELF type on write.
 	PIE bool
+	// Machine is the ELF e_machine of the image's code. Loaders set it
+	// from the header; the synthetic compiler sets it from its target
+	// config. Zero means "never declared" and resolves to the default
+	// backend (x86-64), so historical hand-built images keep working.
+	Machine uint16
 
 	// secIdx caches the sorted-range section index behind the address
 	// queries (SectionAt, IsExec, IsMapped, Bytes). It is accessed
@@ -120,6 +127,11 @@ type Image struct {
 	// releases it.
 	bk *fileBacking
 }
+
+// ISA returns the instruction-set backend for the image's machine.
+// Loaders reject machines without a registered backend, so this never
+// returns nil for a loaded or synthesized image.
+func (im *Image) ISA() arch.ISA { return arch.ForMachine(im.Machine) }
 
 // Section returns the section with the given name, if present.
 func (im *Image) Section(name string) (*Section, bool) {

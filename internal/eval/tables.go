@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"fetch/internal/arch"
 	"fetch/internal/baseline"
 	"fetch/internal/disasm"
 	"fetch/internal/ehframe"
@@ -15,7 +16,6 @@ import (
 	"fetch/internal/pool"
 	"fetch/internal/stackan"
 	"fetch/internal/synth"
-	"fetch/internal/x64"
 )
 
 // --- Table I ---
@@ -375,8 +375,9 @@ func TableIV(c *Corpus) (*TableIVResult, error) {
 			// One session per binary: every per-FDE, per-style analysis
 			// shares the decode cache for its jump-table probes.
 			sess := disasm.NewSession(bin.Img, disasm.Options{})
+			isa := bin.Img.ISA()
 			for _, fde := range sec.FDEs {
-				ht := fde.Heights()
+				ht := fde.HeightsABI(isa.CFISPReg(), isa.CFIEntryOffset())
 				if !ht.Complete {
 					continue
 				}
@@ -457,11 +458,11 @@ func isJumpSite(img *elfx.Image, addr uint64) bool {
 	if !ok {
 		return false
 	}
-	in, err := x64.Decode(w, addr)
+	in, err := img.ISA().Decode(w, addr)
 	if err != nil {
 		return false
 	}
-	return (in.Op == x64.OpJmp || in.Op == x64.OpJcc) && in.HasTarget
+	return (in.Op == arch.OpJmp || in.Op == arch.OpJcc) && in.HasTarget
 }
 
 // --- Table V ---

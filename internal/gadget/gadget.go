@@ -6,8 +6,8 @@
 package gadget
 
 import (
+	"fetch/internal/arch"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // maxGadgetLen bounds gadget length in instructions, matching
@@ -29,22 +29,22 @@ func CountAt(img *elfx.Image, addr uint64) int {
 		if !ok {
 			break
 		}
-		in, err := x64.Decode(w, a)
+		in, err := img.ISA().Decode(w, a)
 		if err != nil {
 			break
 		}
 		pending++
 		switch in.Op {
-		case x64.OpRet, x64.OpJmpInd, x64.OpCallInd:
+		case arch.OpRet, arch.OpJmpInd, arch.OpCallInd:
 			if pending > maxGadgetLen {
 				pending = maxGadgetLen
 			}
 			total += pending
 			pending = 0
-			if in.Op == x64.OpRet {
+			if in.Op == arch.OpRet {
 				return total // past a ret lies another context
 			}
-		case x64.OpJmp, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+		case arch.OpJmp, arch.OpUd2, arch.OpHlt, arch.OpInt3:
 			return total
 		}
 		a = in.Next()

@@ -204,11 +204,18 @@ func CheckMetrics(shape string, strat core.Strategy, rep *core.Report, truth *gr
 			add("FP %#x is actually a true start", a)
 		}
 	}
-	// skewed marks true entries whose only FDE is the one-byte-early
-	// hand-written error: their FDE does not point at them.
+	// skewed marks true entries whose only FDE is the early hand-written
+	// error: their FDE does not point at them. The skew is one garbage
+	// instruction — one byte on x86-64, one word on aarch64 — so the
+	// skewed entry is the true start just past the erroneous PC Begin.
 	skewed := map[uint64]bool{}
 	for _, a := range truth.CFIErrorAddrs {
-		skewed[a+1] = true
+		for d := uint64(1); d <= 8; d++ {
+			if truth.IsStart(a + d) {
+				skewed[a+d] = true
+				break
+			}
+		}
 	}
 	merged := map[uint64]bool{}
 	for part := range rep.Merged {

@@ -31,6 +31,28 @@ func TestSweepAdversarialProfiles(t *testing.T) {
 	}
 }
 
+// TestSweepAdversarialProfilesA64 runs the identical profile × strategy
+// × invariant matrix over the aarch64 backend: every shape the
+// generator can emit for x86-64 it also emits in aarch64 idiom, and
+// every oracle — session ≡ scratch, jobs determinism, lattice
+// monotonicity, delta ≡ cold, file-backed ≡ buffered — must hold
+// unchanged on the second ISA.
+func TestSweepAdversarialProfilesA64(t *testing.T) {
+	for _, cfg := range synth.AdversarialCorpusArch(77100, "a64") {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			vs, err := CheckShape(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range vs {
+				t.Error(v)
+			}
+		})
+	}
+}
+
 // TestSweepBenignMix keeps the benign corpus under the same oracle:
 // both compilers and a second optimization level, via the Sweep
 // aggregator.

@@ -197,6 +197,31 @@ func TestEvalImageSynthetic(t *testing.T) {
 	}
 }
 
+// TestEvalImageA64 runs the real-binary lane end to end on an aarch64
+// image: symtab-derived truth, the full strategy ladder, near-oracle
+// scores — the second ISA rides the identical evaluation path.
+func TestEvalImageA64(t *testing.T) {
+	cfg := synth.DefaultConfig("realbin-a64", 7, synth.O2, synth.GCC, synth.LangC)
+	cfg.NumFuncs = 40
+	cfg.Arch = "a64"
+	im, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("synth.Generate: %v", err)
+	}
+	rep := EvalImage(cfg.Name, im)
+	if rep.Err != "" || rep.Skip != "" {
+		t.Fatalf("report not evaluated: err=%q skip=%q", rep.Err, rep.Skip)
+	}
+	if rep.Truth.Source != SourceSymtab || rep.TruthFuncs == 0 {
+		t.Fatalf("truth = %+v (%d funcs), want symtab truth", rep.Truth, rep.TruthFuncs)
+	}
+	fetch, _ := rep.Score("FETCH")
+	if fetch.Precision < 0.95 || fetch.Recall < 0.95 {
+		t.Errorf("FETCH scored P=%.3f R=%.3f on an aarch64 synthetic binary; expected near-oracle",
+			fetch.Precision, fetch.Recall)
+	}
+}
+
 // TestEvalImageStrippedSkips pins the graceful path for binaries with
 // no derivable truth.
 func TestEvalImageStrippedSkips(t *testing.T) {
@@ -361,6 +386,13 @@ func TestScan(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "elf32.bin"), elf32, 0o755); err != nil {
 		t.Fatal(err)
 	}
+	// A well-formed ELF64 header of an ISA without a registered backend
+	// (riscv64, e_machine 243) lands in its own bucket, not NonELF.
+	riscv := append([]byte{0x7F, 'E', 'L', 'F', 2, 1, 1, 0}, make([]byte, 32)...)
+	riscv[18], riscv[19] = 243, 0
+	if err := os.WriteFile(filepath.Join(dir, "riscv.bin"), riscv, 0o755); err != nil {
+		t.Fatal(err)
+	}
 
 	res := Scan([]string{dir}, maxBytes)
 	if len(res.Candidates) != 3 {
@@ -371,6 +403,9 @@ func TestScan(t *testing.T) {
 	}
 	if res.NonELF != 2 {
 		t.Errorf("NonELF = %d, want 2 (junk.txt, elf32.bin)", res.NonELF)
+	}
+	if res.OtherISA != 1 {
+		t.Errorf("OtherISA = %d, want 1 (riscv.bin)", res.OtherISA)
 	}
 	if res2 := Scan([]string{filepath.Join(dir, "does-not-exist")}, 0); len(res2.Candidates) != 0 || res2.Unreadable != 1 {
 		t.Errorf("missing dir: %+v, want one unreadable entry", res2)

@@ -6,6 +6,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"fetch/internal/arch"
 )
 
 // ScanResult is the outcome of a host-directory walk: the candidate
@@ -15,22 +17,31 @@ import (
 type ScanResult struct {
 	Candidates []string `json:"candidates"`
 	// NonELF counts regular files that are not 64-bit little-endian
-	// x86-64 ELFs (scripts, 32-bit binaries, data).
+	// ELFs (scripts, 32-bit binaries, data).
 	NonELF int `json:"non_elf"`
-	// TooLarge counts ELFs above the size cap.
+	// OtherISA counts well-formed 64-bit LE ELFs whose e_machine has no
+	// registered analysis backend (riscv64, s390x, ...). They are not
+	// corrupt — just not evaluable — so they get their own bucket.
+	OtherISA int `json:"other_isa"`
+	// TooLarge counts supported-ISA ELFs above the size cap.
 	TooLarge int `json:"too_large"`
 	// Unreadable counts entries stat/open refused.
 	Unreadable int `json:"unreadable"`
 }
 
-// isX64ELF sniffs the 20-byte header prefix for a 64-bit LE x86-64
-// ELF, without parsing the file.
-func isX64ELF(hdr []byte) bool {
-	return len(hdr) >= 20 &&
-		hdr[0] == 0x7F && hdr[1] == 'E' && hdr[2] == 'L' && hdr[3] == 'F' &&
-		hdr[4] == 2 && // ELFCLASS64
-		hdr[5] == 1 && // little-endian
-		binary.LittleEndian.Uint16(hdr[18:]) == 0x3E // EM_X86_64
+// sniffELF classifies the 20-byte header prefix without parsing the
+// file: whether it is a 64-bit LE ELF at all, and whether its
+// e_machine has a registered analysis backend (x86-64 and aarch64 in
+// this codebase).
+func sniffELF(hdr []byte) (isELF64, supported bool) {
+	if len(hdr) < 20 ||
+		hdr[0] != 0x7F || hdr[1] != 'E' || hdr[2] != 'L' || hdr[3] != 'F' ||
+		hdr[4] != 2 || // ELFCLASS64
+		hdr[5] != 1 { // little-endian
+		return false, false
+	}
+	m := binary.LittleEndian.Uint16(hdr[18:])
+	return true, m != 0 && arch.ForMachine(m) != nil
 }
 
 // Scan walks directories for evaluable binaries. maxBytes > 0 skips
@@ -41,6 +52,24 @@ func isX64ELF(hdr []byte) bool {
 func Scan(dirs []string, maxBytes int64) *ScanResult {
 	res := &ScanResult{}
 	var hdr [20]byte
+	classify := func(path string) {
+		f, err := os.Open(path)
+		if err != nil {
+			res.Unreadable++
+			return
+		}
+		n, _ := io.ReadFull(f, hdr[:])
+		f.Close()
+		isELF, supported := sniffELF(hdr[:n])
+		switch {
+		case !isELF:
+			res.NonELF++
+		case !supported:
+			res.OtherISA++
+		default:
+			res.TooLarge++
+		}
+	}
 	for _, dir := range dirs {
 		// The walk function swallows per-entry errors by design: one
 		// unreadable subtree must not abort a host scan.
@@ -53,16 +82,7 @@ func Scan(dirs []string, maxBytes int64) *ScanResult {
 				return nil
 			}
 			if maxBytes > 0 && fi.Size() > maxBytes {
-				if f, err := os.Open(path); err == nil {
-					if n, _ := io.ReadFull(f, hdr[:]); n == len(hdr) && isX64ELF(hdr[:]) {
-						res.TooLarge++
-					} else {
-						res.NonELF++
-					}
-					f.Close()
-				} else {
-					res.Unreadable++
-				}
+				classify(path)
 				return nil
 			}
 			f, err := os.Open(path)
@@ -72,11 +92,15 @@ func Scan(dirs []string, maxBytes int64) *ScanResult {
 			}
 			n, _ := io.ReadFull(f, hdr[:])
 			f.Close()
-			if n < len(hdr) || !isX64ELF(hdr[:]) {
+			isELF, supported := sniffELF(hdr[:n])
+			switch {
+			case !isELF:
 				res.NonELF++
-				return nil
+			case !supported:
+				res.OtherISA++
+			default:
+				res.Candidates = append(res.Candidates, path)
 			}
-			res.Candidates = append(res.Candidates, path)
 			return nil
 		})
 	}

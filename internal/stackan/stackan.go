@@ -12,9 +12,9 @@
 package stackan
 
 import (
+	"fetch/internal/arch"
 	"fetch/internal/disasm"
 	"fetch/internal/elfx"
-	"fetch/internal/x64"
 )
 
 // Height is an analysis result at one instruction address: the stack
@@ -71,6 +71,7 @@ func Analyze(img *elfx.Image, start, end uint64, style Style) map[uint64]Height 
 // ablation, the Table IV driver) instead of re-decoding from scratch.
 // Results are byte-identical with or without a session.
 func AnalyzeWithSession(sess *disasm.Session, img *elfx.Image, start, end uint64, style Style) map[uint64]Height {
+	isa := img.ISA()
 	out := make(map[uint64]Height)
 	// The resolution walk depends only on the function start, so one
 	// probe serves every indirect jump of the function.
@@ -131,7 +132,7 @@ func AnalyzeWithSession(sess *disasm.Session, img *elfx.Image, start, end uint64
 			if !ok {
 				break
 			}
-			in, err := x64.Decode(window, st.addr)
+			in, err := isa.Decode(window, st.addr)
 			if err != nil {
 				break
 			}
@@ -142,15 +143,15 @@ func AnalyzeWithSession(sess *disasm.Session, img *elfx.Image, start, end uint64
 			var delta int64
 			known := true
 			switch {
-			case in.Op == x64.OpEnter:
+			case in.Op == arch.OpEnter:
 				if style == DyninstStyle {
 					// Dyninst-style mis-models enter as a bare push.
 					delta = -8
 				} else {
-					delta, _ = in.StackDelta()
+					delta, _ = isa.StackDelta(&in)
 				}
 				enteredFrame = true
-			case in.Op == x64.OpLeave:
+			case in.Op == arch.OpLeave:
 				switch style {
 				case AngrStyle, DyninstStyle:
 					// The degraded variants mis-model leave as a bare
@@ -164,30 +165,30 @@ func AnalyzeWithSession(sess *disasm.Session, img *elfx.Image, start, end uint64
 						known = false
 					}
 				}
-			case in.Op == x64.OpMov && len(in.Args) == 2 &&
-				in.Args[0].Kind == x64.KindReg && in.Args[0].Reg == x64.RBP &&
-				in.Args[1].Kind == x64.KindReg && in.Args[1].Reg == x64.RSP:
+			case in.Op == arch.OpMov && len(in.Args) == 2 &&
+				in.Args[0].Kind == arch.KindReg && in.Args[0].Reg == isa.FrameReg() &&
+				in.Args[1].Kind == arch.KindReg && in.Args[1].Reg == isa.SPReg():
 				enteredFrame = true
 			default:
-				delta, known = in.StackDelta()
+				delta, known = isa.StackDelta(&in)
 			}
 			// Height counts bytes pushed: it moves opposite to rsp.
 			nextH := st.h - delta
 			nextOK := st.ok && known
 
 			switch in.Op {
-			case x64.OpJcc:
+			case arch.OpJcc:
 				if in.Target >= start && in.Target < end {
 					work = append(work, state{addr: in.Target, h: nextH, ok: nextOK})
 				}
 				st = state{addr: in.Next(), h: nextH, ok: nextOK}
 				continue
-			case x64.OpJmp:
+			case arch.OpJmp:
 				if in.Target >= start && in.Target < end {
 					st = state{addr: in.Target, h: nextH, ok: nextOK}
 					continue
 				}
-			case x64.OpJmpInd:
+			case arch.OpJmpInd:
 				resolve := true
 				if style == AngrStyle {
 					// The angr variant only resolves tables residing
@@ -209,7 +210,7 @@ func AnalyzeWithSession(sess *disasm.Session, img *elfx.Image, start, end uint64
 						}
 					}
 				}
-			case x64.OpRet, x64.OpUd2, x64.OpHlt, x64.OpInt3:
+			case arch.OpRet, arch.OpUd2, arch.OpHlt, arch.OpInt3:
 			default:
 				st = state{addr: in.Next(), h: nextH, ok: nextOK}
 				continue

@@ -1,0 +1,638 @@
+package synth
+
+// The aarch64 code generator. It emits the same structural taxonomy as
+// codegen.go — every funcSpec field has an A64 rendering — in the
+// native idiom of the ISA: stp/ldp frame records instead of push/pop,
+// adrp+add table-base formation instead of RIP-relative lea, BTI
+// landing pads instead of endbr64, and CFI against the aarch64 CIE
+// (code align 4, CFA = sp+0 at entry, return address in x30). The
+// x86-64 generator is untouched: the two backends never share an rng
+// stream, so existing x64 corpora stay byte-identical.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fetch/internal/a64"
+	"fetch/internal/arch"
+	"fetch/internal/ehframe"
+	"fetch/internal/x64"
+)
+
+// a64SaveReg maps the spec's callee-saved pool (named in x64 registers
+// by buildSpecs, which is ISA-agnostic about everything else) onto the
+// AAPCS64 callee-saved file.
+var a64SaveReg = map[x64.Reg]arch.Reg{
+	x64.RBX: a64.X19, x64.R12: a64.X20, x64.R13: a64.X21, x64.R14: a64.X22,
+}
+
+// a64ScratchRegs are the caller-saved temporaries filler code draws
+// from. They sit outside the argument registers so a read is legal
+// only after a tracked write — the property the §IV-E validation uses
+// against mid-function pointers.
+var a64ScratchRegs = []arch.Reg{a64.X9, a64.X10, a64.X11, a64.X12, a64.X13}
+
+// a64CalleeSaved lists the callee-saved registers the generator
+// allocates (the image of a64SaveReg).
+var a64CalleeSaved = []arch.Reg{a64.X19, a64.X20, a64.X21, a64.X22}
+
+// cgenA64 wraps the A64 assembler with CFI and stack-height tracking,
+// mirroring cgen. Heights carry no +8 bias: the aarch64 CFA equals SP
+// at entry (nothing is pushed by BL).
+type cgenA64 struct {
+	a      a64.Asm
+	cfi    []cfiAt
+	height int64 // bytes allocated below the entry SP
+	fpCFA  bool  // CFA has been re-based on x29: stop emitting offsets
+	rng    *rand.Rand
+	// written tracks registers initialized so far (for generating
+	// calling-convention-respecting filler).
+	written arch.RegSet
+}
+
+func (g *cgenA64) note(in ehframe.CFI) {
+	g.cfi = append(g.cfi, cfiAt{off: g.a.Len(), in: in})
+}
+
+func (g *cgenA64) noteOffset() {
+	if !g.fpCFA {
+		g.note(ehframe.CFI{Op: ehframe.CFADefCFAOffset, Offset: g.height})
+	}
+}
+
+// pushFrame emits the frame-record save stp x29, x30, [sp, #-16]!.
+func (g *cgenA64) pushFrame() {
+	g.a.StpPre(a64.X29, a64.X30, -16)
+	g.height += 16
+	g.noteOffset()
+	if !g.fpCFA {
+		g.note(ehframe.CFI{Op: ehframe.CFAOffset, Reg: ehframe.DwA64FP, Offset: g.height})
+		g.note(ehframe.CFI{Op: ehframe.CFAOffset, Reg: ehframe.DwA64RA, Offset: g.height - 8})
+	}
+}
+
+// popFrame restores the frame record and, when the CFA was x29-based,
+// re-bases it on SP.
+func (g *cgenA64) popFrame() {
+	g.a.LdpPost(a64.X29, a64.X30, 16)
+	g.height -= 16
+	if g.fpCFA {
+		g.fpCFA = false
+		g.note(ehframe.CFI{Op: ehframe.CFADefCFA, Reg: ehframe.DwA64SP, Offset: g.height})
+		return
+	}
+	g.noteOffset()
+}
+
+// push saves one callee-saved register in its own 16-byte slot (the
+// str pre-index shape keeps SP 16-aligned).
+func (g *cgenA64) push(r arch.Reg) {
+	g.a.StrPre(r, -16)
+	g.height += 16
+	g.noteOffset()
+	if !g.fpCFA {
+		g.note(ehframe.CFI{Op: ehframe.CFAOffset, Reg: uint64(r), Offset: g.height})
+	}
+}
+
+func (g *cgenA64) pop(r arch.Reg) {
+	g.a.LdrPost(r, 16)
+	g.height -= 16
+	g.noteOffset()
+}
+
+func (g *cgenA64) subSP(n int32) {
+	if n == 0 {
+		return
+	}
+	g.a.SubSP(n)
+	g.height += int64(n)
+	g.noteOffset()
+}
+
+func (g *cgenA64) addSP(n int32) {
+	if n == 0 {
+		return
+	}
+	g.a.AddSP(n)
+	g.height -= int64(n)
+	g.noteOffset()
+}
+
+// readable returns a register that is legal to read here: an argument
+// register or anything already written.
+func (g *cgenA64) readable() arch.Reg {
+	cands := []arch.Reg{a64.X0, a64.X1}
+	for _, r := range a64ScratchRegs {
+		if g.written.Has(r) {
+			cands = append(cands, r)
+		}
+	}
+	for _, r := range a64CalleeSaved {
+		if g.written.Has(r) {
+			cands = append(cands, r)
+		}
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// filler emits one semantically harmless, convention-respecting body
+// instruction.
+func (g *cgenA64) filler() {
+	dst := a64ScratchRegs[g.rng.Intn(len(a64ScratchRegs))]
+	switch g.rng.Intn(7) {
+	case 0:
+		g.a.MovRegReg(dst, g.readable())
+	case 1:
+		g.a.MovRegImm(dst, int64(g.rng.Intn(1<<16)))
+	case 2:
+		g.a.MovRegImm(dst, 0)
+	case 3:
+		g.a.MovRegReg(dst, g.readable())
+		g.a.AddRegImm(dst, int32(g.rng.Intn(256))+1)
+	case 4:
+		g.a.AddRegRegImm(dst, g.readable(), int32(g.rng.Intn(64)))
+	case 5:
+		if g.height >= 16 {
+			// A pure store writes no register: dst must not be
+			// marked initialized.
+			g.a.StrRegMem(g.readable(), a64.SP, int32(g.rng.Intn(2))*8)
+			return
+		}
+		g.a.MovRegReg(dst, g.readable())
+	case 6:
+		g.a.MovRegReg(dst, g.readable())
+		g.a.LslRegImm(dst, uint8(g.rng.Intn(4)+1))
+	}
+	g.written = g.written.Add(dst)
+}
+
+// emitCall sets up the first argument and calls the symbol.
+func (g *cgenA64) emitCall(c callRef) {
+	if c.isErr {
+		g.a.MovRegImm(a64.X0, int64(c.errArg))
+	} else {
+		switch g.rng.Intn(3) {
+		case 0:
+			g.a.MovRegImm(a64.X0, 0)
+		case 1:
+			g.a.MovRegImm(a64.X0, int64(g.rng.Intn(128)))
+		case 2: // leave x0 as-is (pass through)
+		}
+	}
+	g.a.BlSym(c.sym)
+	for _, r := range a64ScratchRegs {
+		g.written = g.written.Add(r)
+	}
+	g.written = g.written.Add(a64.X0)
+}
+
+// emitFuncA64 generates the chunk(s) for one function on aarch64.
+func emitFuncA64(spec *funcSpec, rng *rand.Rand) (*chunk, *chunk, error) {
+	switch spec.class {
+	case clsExit:
+		return emitExitA64(spec)
+	case clsError:
+		return emitErrorA64(spec)
+	case clsAsm, clsTailAsm, clsIndirAsm, clsUnreach:
+		return emitAsmA64(spec, rng)
+	case clsClangTerm:
+		return emitClangTermA64(spec)
+	case clsThunkMid:
+		return emitThunkA64(spec)
+	case clsICF:
+		return emitICFA64(spec)
+	case clsXrefChain:
+		return emitChainLinkA64(spec)
+	}
+	return emitCompiledA64(spec, rng)
+}
+
+// emitChainLinkA64 produces one xref-chain function. The next link's
+// address is materialized with a true ADR past the validation walk
+// bound — its immediate IS the resolved address, so the §IV-E constant
+// harvest lands on the symbol only once the link's body is committed.
+func emitChainLinkA64(spec *funcSpec) (*chunk, *chunk, error) {
+	var a a64.Asm
+	a.MovRegReg(a64.X9, a64.X0)
+	for k := 0; k < chainSpacerInsts; k++ {
+		a.AddRegImm(a64.X9, 1)
+	}
+	if spec.chainNext != "" {
+		a.AdrNearSym(a64.X10, spec.chainNext)
+	}
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: false, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// emitCompiledA64 produces a realistic compiled C/C++ function. The
+// body mirrors emitCompiled feature for feature; the frame record
+// (stp x29, x30) is always saved — the bodies contain calls — and the
+// useEnter flag degrades to the standard framing (A64 has no enter).
+func emitCompiledA64(spec *funcSpec, rng *rand.Rand) (*chunk, *chunk, error) {
+	g := &cgenA64{rng: rng}
+	exports := map[string]int{}
+
+	if spec.startPad > 0 {
+		g.a.Pad(spec.startPad)
+	}
+	if spec.class == clsCFIErr {
+		// One garbage word before the true entry; the hand-written FDE
+		// claims the function starts here (the Figure-6b shape, one
+		// instruction early instead of one byte). The word is
+		// mov x0, x19: decoding from the FDE start reads a callee-saved
+		// register before initialization, failing the §IV-E check.
+		g.a.AppendRaw(0xE0, 0x03, 0x13, 0xAA)
+	}
+	trueEntry := g.a.Len()
+
+	if rng.Intn(2) == 0 && !spec.noEndbr {
+		g.a.Bti()
+	}
+
+	// Prologue: frame record, frame-pointer establishment for the
+	// x29-CFA class, per-register saves, then the local frame.
+	g.pushFrame()
+	if spec.frame == frameRBP {
+		g.a.MovFPSP()
+		g.note(ehframe.CFI{Op: ehframe.CFADefCFARegister, Reg: ehframe.DwA64FP})
+		g.fpCFA = true
+	}
+	for _, r := range spec.pushRegs {
+		if rr, ok := a64SaveReg[r]; ok {
+			g.push(rr)
+		}
+	}
+	g.subSP(spec.frameSize)
+
+	// Initialize saved callee-saved registers so the body may read
+	// them (and so mid-function code reads registers a fresh "function"
+	// could not legally read — the §IV-E rejection property).
+	for _, r := range spec.pushRegs {
+		rr, ok := a64SaveReg[r]
+		if !ok {
+			continue
+		}
+		g.a.MovRegReg(rr, a64.X0)
+		g.written = g.written.Add(rr)
+	}
+
+	// Early return: a branch over a complete epilogue + ret.
+	if spec.earlyRet {
+		g.a.CmpRegImm(a64.X0, int32(rng.Intn(4)))
+		g.a.Bcond(arch.CondNE, "noearly")
+		g.note(ehframe.CFI{Op: ehframe.CFARememberState})
+		saveH, saveFP := g.height, g.fpCFA
+		g.emitEpilogue(spec)
+		g.a.Ret()
+		g.note(ehframe.CFI{Op: ehframe.CFARestoreState})
+		g.height, g.fpCFA = saveH, saveFP
+		g.a.Label("noearly")
+	}
+
+	// Non-contiguous split: conditionally branch to the cold part.
+	if spec.split {
+		g.a.CmpRegImm(a64.X0, 0x1F)
+		g.a.BcondSym(arch.CondE, spec.name+".cold")
+		exports[spec.name+".resume"] = g.a.Len()
+	}
+	splitHeight := g.height
+
+	// Body: filler interleaved with the assigned calls.
+	calls := append([]callRef(nil), spec.callees...)
+	for k := 0; k < spec.numOps; k++ {
+		g.filler()
+		if len(calls) > 0 && rng.Intn(3) == 0 {
+			g.emitCall(calls[0])
+			calls = calls[1:]
+		}
+	}
+	for _, c := range calls {
+		g.emitCall(c)
+	}
+	// Indirect calls through code-materialized pointers: the ADR
+	// immediate is what §IV-E xref collection harvests from code.
+	for _, sym := range spec.codePtrCalls {
+		g.a.AdrNearSym(a64.X9, sym)
+		g.a.Blr(a64.X9)
+		g.written = g.written.Add(a64.X9)
+	}
+
+	// Export a mid-function label for thunk targets.
+	exports[spec.name+".mid"] = g.a.Len()
+	g.filler()
+
+	// Jump table: the adrp-anchored absolute idiom or the PIC idiom
+	// (adrp+add / ldrsw / add / br with table-relative entries).
+	if spec.jumpTable > 0 {
+		n := spec.jumpTable
+		g.a.CmpRegImm(a64.X0, int32(n-1))
+		g.a.Bcond(arch.CondA, "jtdef")
+		g.a.AdrSym(a64.X10, spec.name+".tbl", 0)
+		if spec.picTable {
+			g.a.LdrswIdx4(a64.X9, a64.X10, a64.X0)
+			g.a.AddRegRegReg(a64.X9, a64.X10, a64.X9)
+		} else {
+			g.a.LdrIdx8(a64.X9, a64.X10, a64.X0)
+		}
+		g.a.Br(a64.X9)
+		g.written = g.written.Add(a64.X10)
+		caseCalls := append([]string(nil), spec.caseCallees...)
+		for k := 0; k < n; k++ {
+			g.a.Label(fmt.Sprintf("jtcase%d", k))
+			exports[fmt.Sprintf("%s.c%d", spec.name, k)] = g.a.Len()
+			g.a.MovRegImm(a64.X9, int64(k*3+1))
+			if len(caseCalls) > 0 {
+				// A call visible only to analyses that resolve the
+				// table — the callee's sole reference.
+				g.a.MovRegImm(a64.X0, int64(k))
+				g.a.BlSym(caseCalls[0])
+				caseCalls = caseCalls[1:]
+			}
+			g.a.B("jtend")
+		}
+		g.a.Label("jtdef")
+		g.a.MovRegImm(a64.X9, 0)
+		g.a.Label("jtend")
+		g.written = g.written.Add(a64.X9)
+	}
+
+	// Conditional non-returning branch into a block past the final ret.
+	if spec.nonRetTail {
+		g.a.CmpRegImm(a64.X0, 0x7F)
+		g.a.Bcond(arch.CondE, "errblk")
+	}
+
+	// Epilogue.
+	g.note(ehframe.CFI{Op: ehframe.CFARememberState})
+	preH := g.height
+	g.emitEpilogue(spec)
+	if spec.tailCall != "" {
+		g.a.BSym(spec.tailCall)
+	} else {
+		g.a.Ret()
+	}
+	g.note(ehframe.CFI{Op: ehframe.CFARestoreState})
+	g.height = preH
+
+	// Post-ret blocks.
+	if spec.nonRetTail {
+		g.a.Label("errblk")
+		g.a.MovRegImm(a64.X0, 2)
+		g.a.BlSym(symError)
+		// No code after: the error-like callee never returns here.
+	}
+
+	code, fixups, err := g.a.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: emit %s: %w", spec.name, err)
+	}
+	symOff := 0
+	if spec.class == clsCFIErr {
+		symOff = trueEntry // one word past the garbage prefix
+	}
+	hot := &chunk{
+		name:    spec.name,
+		code:    code,
+		fixups:  fixups,
+		exports: exports,
+		cfi:     g.cfi,
+		spec:    spec,
+		hasFDE:  spec.hasFDE,
+		hasSym:  spec.hasSym,
+		symOff:  symOff,
+		align:   16,
+	}
+
+	var cold *chunk
+	if spec.split {
+		cold, err = emitColdPartA64(spec, splitHeight, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return hot, cold, nil
+}
+
+// emitEpilogue restores the local frame, the saved registers, and the
+// frame record.
+func (g *cgenA64) emitEpilogue(spec *funcSpec) {
+	g.addSP(spec.frameSize)
+	for k := len(spec.pushRegs) - 1; k >= 0; k-- {
+		if rr, ok := a64SaveReg[spec.pushRegs[k]]; ok {
+			g.pop(rr)
+		}
+	}
+	g.popFrame()
+}
+
+// emitColdPartA64 generates the distant part of a non-contiguous
+// function.
+func emitColdPartA64(spec *funcSpec, height int64, rng *rand.Rand) (*chunk, error) {
+	g := &cgenA64{rng: rng, height: height}
+	if spec.frame == frameRBP {
+		// The owning function's CFA is x29-based: emit the matching
+		// (incomplete, non-sp) CFI so Algorithm 1 must skip it.
+		g.note(ehframe.CFI{Op: ehframe.CFADefCFAOffset, Offset: 16})
+		g.note(ehframe.CFI{Op: ehframe.CFADefCFARegister, Reg: ehframe.DwA64FP})
+		g.fpCFA = true
+	} else {
+		g.note(ehframe.CFI{Op: ehframe.CFADefCFAOffset, Offset: height})
+	}
+	// Cold parts begin with argument shuffles, so they pass the §IV-E
+	// convention check — the paper removes them by merging
+	// (Algorithm 1), never by validation.
+	g.a.MovRegReg(a64.X9, a64.X0)
+	for k := 0; k < 2+rng.Intn(4); k++ {
+		g.filler()
+	}
+	if rng.Intn(3) == 0 {
+		g.emitCall(callRef{sym: symExit1Arg()})
+	}
+	if spec.splitRet {
+		g.emitEpilogue(spec)
+		g.a.Ret()
+	} else {
+		g.a.BSym(spec.name + ".resume")
+	}
+	code, fixups, err := g.a.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("synth: emit %s.cold: %w", spec.name, err)
+	}
+	return &chunk{
+		name:   spec.name + ".cold",
+		code:   code,
+		fixups: fixups,
+		cfi:    g.cfi,
+		spec:   spec,
+		isPart: true,
+		parent: spec.name,
+		hasFDE: true,
+		hasSym: spec.hasSym,
+		align:  8,
+	}, nil
+}
+
+// emitExitA64 produces the exit-like non-returning leaf: the aarch64
+// syscall-exit sequence (x8 carries the syscall number) ending in a
+// permanently-undefined word.
+func emitExitA64(spec *funcSpec) (*chunk, *chunk, error) {
+	var a a64.Asm
+	a.MovRegImm(a64.X8, 93) // __NR_exit on aarch64
+	a.Svc()
+	a.Udf()
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: spec.hasFDE, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// emitErrorA64 produces the error/error_at_line-like function: returns
+// when the first argument is zero, exits otherwise (§IV-C).
+func emitErrorA64(spec *funcSpec) (*chunk, *chunk, error) {
+	var a a64.Asm
+	a.TestRegReg(a64.X0, a64.X0)
+	a.Bcond(arch.CondNE, "die")
+	a.Ret()
+	a.Label("die")
+	a.BlSym(symExit)
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: spec.hasFDE, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// emitAsmA64 produces a hand-written assembly function: no FDE, no
+// frame record (so prologue matchers cannot find it), reads only
+// argument registers and its own temporaries.
+func emitAsmA64(spec *funcSpec, rng *rand.Rand) (*chunk, *chunk, error) {
+	var a a64.Asm
+	a.MovRegReg(a64.X9, a64.X0)
+	switch rng.Intn(3) {
+	case 0:
+		a.AddRegReg(a64.X9, a64.X1)
+		a.LslRegImm(a64.X9, 2)
+	case 1:
+		a.MovRegImm(a64.X10, 0)
+		a.AddRegImm(a64.X9, 17)
+		a.MulRegReg(a64.X9, a64.X0)
+	case 2:
+		a.CmpRegImm(a64.X0, 16)
+		a.Bcond(arch.CondB, "small")
+		a.SubRegImm(a64.X9, 16)
+		a.Label("small")
+		a.AddRegImm(a64.X9, 1)
+	}
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: false, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// emitClangTermA64 produces a __clang_call_terminate clone: saves one
+// register, calls the exit-like function, no FDE.
+func emitClangTermA64(spec *funcSpec) (*chunk, *chunk, error) {
+	var a a64.Asm
+	a.StrPre(a64.X0, -16)
+	a.BlSym(symExit)
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: false, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// emitICFA64 produces an ICF-style clone: every instance emits the
+// exact same leaf body (no fixups, no rng), so all copies are
+// byte-identical at distinct addresses.
+func emitICFA64(spec *funcSpec) (*chunk, *chunk, error) {
+	var a a64.Asm
+	a.MovRegReg(a64.X9, a64.X0)
+	a.AddRegImm(a64.X9, 42)
+	a.LslRegImm(a64.X9, 1)
+	a.AddRegReg(a64.X9, a64.X1)
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: spec.hasFDE, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// emitThunkA64 produces a thunk branching into the middle of another
+// function.
+func emitThunkA64(spec *funcSpec) (*chunk, *chunk, error) {
+	var a a64.Asm
+	a.BSym(spec.thunkMidOf + ".mid")
+	code, fixups, err := a.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &chunk{
+		name: spec.name, code: code, fixups: fixups,
+		spec: spec, hasFDE: spec.hasFDE, hasSym: spec.hasSym, align: 16,
+	}, nil, nil
+}
+
+// makeIslandA64 produces a data blob that begins like a canonical
+// aarch64 prologue (stp x29, x30, [sp, #-16]!; mov x29, sp) and
+// continues with word-aligned noise.
+func makeIslandA64(rng *rand.Rand) []byte {
+	out := []byte{0xFD, 0x7B, 0xBF, 0xA9, 0xFD, 0x03, 0x00, 0x91}
+	n := 4 + rng.Intn(8)
+	for k := 0; k < n; k++ {
+		for b := 0; b < 4; b++ {
+			out = append(out, byte(rng.Intn(256)))
+		}
+	}
+	return out
+}
+
+// makeCodeIslandA64 produces .text data that decodes as a complete,
+// convention-respecting A64 function body — never referenced and
+// absent from the ground truth.
+func makeCodeIslandA64(rng *rand.Rand) ([]byte, error) {
+	var a a64.Asm
+	a.StpPre(a64.X29, a64.X30, -16)
+	a.MovFPSP()
+	sz := int32(16 + rng.Intn(3)*16)
+	a.SubSP(sz)
+	a.MovRegReg(a64.X9, a64.X0)
+	for k := 0; k < 2+rng.Intn(3); k++ {
+		a.AddRegImm(a64.X9, int32(rng.Intn(64)+1))
+	}
+	a.AddSP(sz)
+	a.LdpPost(a64.X29, a64.X30, 16)
+	a.Ret()
+	code, fixups, err := a.Finish()
+	if err != nil || len(fixups) != 0 {
+		return nil, fmt.Errorf("synth: a64 code island: %v", err)
+	}
+	return code, nil
+}

@@ -85,6 +85,14 @@ type Config struct {
 	Compiler Compiler
 	Lang     Lang
 
+	// Arch selects the target ISA: "" or "x64" emits x86-64 (the
+	// default; existing corpora are byte-identical with the field
+	// absent), "a64" emits aarch64. Every structural phenomenon above
+	// is produced for either ISA in its native idiom — stp/ldp frame
+	// records, adrp+add table bases, BTI landing pads — against the
+	// matching .eh_frame CIE (code align 4, CFA = sp+0 at entry).
+	Arch string
+
 	// Rates are fractions of functions exhibiting each phenomenon.
 
 	// NonContigRate: functions split into a hot part and a distant
@@ -210,10 +218,18 @@ type Config struct {
 	PerturbRetarget bool
 }
 
+// isA64 reports whether the config targets aarch64.
+func (c *Config) isA64() bool { return c.Arch == "a64" }
+
 // Validate checks rate sanity.
 func (c *Config) Validate() error {
 	if c.NumFuncs < 8 {
 		return fmt.Errorf("synth: NumFuncs %d too small (need ≥ 8)", c.NumFuncs)
+	}
+	switch c.Arch {
+	case "", "x64", "a64":
+	default:
+		return fmt.Errorf("synth: unknown arch %q", c.Arch)
 	}
 	for _, r := range []float64{c.NonContigRate, c.RBPFrameRate, c.AsmRate,
 		c.TailCallRate, c.TailOnlyRate, c.IndirectOnlyRate,

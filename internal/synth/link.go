@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sort"
 
+	"fetch/internal/a64"
+	"fetch/internal/arch"
 	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
 	"fetch/internal/groundtruth"
@@ -37,15 +39,22 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 		return nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	isA64 := cfg.isA64()
 	specs, err := buildSpecs(&cfg, rng)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	// Emit code chunks.
+	// Emit code chunks. The per-ISA generators draw from the same rng
+	// in the same spec order, but never share a stream across ISAs: the
+	// x64 byte stream is pinned by golden-hash tests and must not move.
+	emit := emitFunc
+	if isA64 {
+		emit = emitFuncA64
+	}
 	var hot, cold []*chunk
 	for _, s := range specs {
-		h, c, err := emitFunc(s, rng)
+		h, c, err := emit(s, rng)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -58,9 +67,13 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 	// Data islands: prologue-looking byte blobs inside .text.
 	var islands []*chunk
 	for k := 0; k < cfg.DataIslandCount; k++ {
+		island := makeIsland(rng)
+		if isA64 {
+			island = makeIslandA64(rng)
+		}
 		islands = append(islands, &chunk{
 			name:   fmt.Sprintf(".island%d", k),
-			code:   makeIsland(rng),
+			code:   island,
 			isData: true,
 			align:  16,
 		})
@@ -69,7 +82,12 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 	// respecting code. They sit 16-misaligned so strictly aligned
 	// matchers (GHIDRA Fsig) skip them while looser hybrids bite.
 	for k := 0; k < cfg.CodeIslandCount; k++ {
-		body, err := makeCodeIsland(rng)
+		var body []byte
+		if isA64 {
+			body, err = makeCodeIslandA64(rng)
+		} else {
+			body, err = makeCodeIsland(rng)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -102,6 +120,21 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 		fill = 0x00
 	}
 	pad := func(sb *secBuf, align int) {
+		if isA64 {
+			// A64 gaps are whole words: nop or brk #0 filler, or the
+			// all-zero udf word under ZeroPadGaps (the shape that traps
+			// linear sweeps into the permanently-undefined space).
+			for sb.addr()%uint64(align) != 0 {
+				if cfg.ZeroPadGaps {
+					sb.data = append(sb.data, 0x00, 0x00, 0x00, 0x00)
+				} else if rng.Intn(10) < 7 {
+					sb.data = append(sb.data, 0x1F, 0x20, 0x03, 0xD5) // nop
+				} else {
+					sb.data = append(sb.data, 0x00, 0x00, 0x20, 0xD4) // brk #0
+				}
+			}
+			return
+		}
 		for sb.addr()%uint64(align) != 0 {
 			if cfg.ZeroPadGaps {
 				sb.data = append(sb.data, 0x00)
@@ -119,8 +152,19 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 		}
 		pad(sb, align)
 		if ch.mis16 && sb.addr()%16 == 0 {
-			for k := 0; k < 8; k++ {
-				sb.data = append(sb.data, fill)
+			if isA64 {
+				// Two deterministic filler words keep the misalignment
+				// offset (8) identical across ISAs.
+				if cfg.ZeroPadGaps {
+					sb.data = append(sb.data, 0, 0, 0, 0, 0, 0, 0, 0)
+				} else {
+					sb.data = append(sb.data,
+						0x1F, 0x20, 0x03, 0xD5, 0x1F, 0x20, 0x03, 0xD5)
+				}
+			} else {
+				for k := 0; k < 8; k++ {
+					sb.data = append(sb.data, fill)
+				}
 			}
 		}
 		ch.addr = sb.addr()
@@ -266,6 +310,11 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 			}
 			target += uint64(f.Addend)
 			at := ch.off + f.Off
+			// The aarch64 kinds patch bit fields of the little-endian
+			// instruction word at the fixup site; site-relative deltas
+			// are measured from the instruction address itself (A64 has
+			// no end-of-instruction bias).
+			site := ch.addr + uint64(f.Off)
 			switch f.Kind {
 			case x64.FixRel32:
 				rel := int64(target) - int64(ch.addr+uint64(f.End))
@@ -274,6 +323,47 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 				binary.LittleEndian.PutUint32(ch.sec.data[at:], uint32(target))
 			case x64.FixAbs64:
 				binary.LittleEndian.PutUint64(ch.sec.data[at:], target)
+			case arch.FixA64Branch26, arch.FixA64Cond19:
+				delta := int64(target) - int64(site)
+				if delta%4 != 0 {
+					return fmt.Errorf("synth: %s: misaligned branch to %q", ch.name, f.Sym)
+				}
+				rel := delta / 4
+				w := binary.LittleEndian.Uint32(ch.sec.data[at:])
+				if f.Kind == arch.FixA64Branch26 {
+					if rel < -(1<<25) || rel >= 1<<25 {
+						return fmt.Errorf("synth: %s: %q out of branch26 range", ch.name, f.Sym)
+					}
+					w |= uint32(rel) & 0x03FFFFFF
+				} else {
+					if rel < -(1<<18) || rel >= 1<<18 {
+						return fmt.Errorf("synth: %s: %q out of cond19 range", ch.name, f.Sym)
+					}
+					w |= (uint32(rel) & 0x7FFFF) << 5
+				}
+				binary.LittleEndian.PutUint32(ch.sec.data[at:], w)
+			case arch.FixA64Page21:
+				pages := (int64(target)&^0xFFF - int64(site)&^0xFFF) >> 12
+				if pages < -(1<<20) || pages >= 1<<20 {
+					return fmt.Errorf("synth: %s: %q out of adrp range", ch.name, f.Sym)
+				}
+				w := binary.LittleEndian.Uint32(ch.sec.data[at:])
+				w |= (uint32(pages) & 0x3) << 29
+				w |= (uint32(pages>>2) & 0x7FFFF) << 5
+				binary.LittleEndian.PutUint32(ch.sec.data[at:], w)
+			case arch.FixA64Lo12:
+				w := binary.LittleEndian.Uint32(ch.sec.data[at:])
+				w |= (uint32(target) & 0xFFF) << 10
+				binary.LittleEndian.PutUint32(ch.sec.data[at:], w)
+			case arch.FixA64Adr21:
+				delta := int64(target) - int64(site)
+				if delta < -(1<<20) || delta >= 1<<20 {
+					return fmt.Errorf("synth: %s: %q out of adr range", ch.name, f.Sym)
+				}
+				w := binary.LittleEndian.Uint32(ch.sec.data[at:])
+				w |= (uint32(delta) & 0x3) << 29
+				w |= (uint32(delta>>2) & 0x7FFFF) << 5
+				binary.LittleEndian.PutUint32(ch.sec.data[at:], w)
 			}
 		}
 		return nil
@@ -322,6 +412,9 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 		want := i / 24
 		for len(cies) <= want {
 			c := ehframe.NewDefaultCIE()
+			if isA64 {
+				c = ehframe.NewDefaultCIEA64()
+			}
 			if cfg.AbsPtrFDEs {
 				c.FDEEnc = ehframe.PEAbsptr
 			}
@@ -383,6 +476,9 @@ func Generate(cfg Config) (*elfx.Image, *groundtruth.Truth, error) {
 		Name:  cfg.Name,
 		Entry: symAddr["main"],
 		PIE:   cfg.PIE,
+	}
+	if isA64 {
+		im.Machine = a64.EMachine
 	}
 	im.Sections = append(im.Sections,
 		&elfx.Section{Name: hotSec.name, Addr: hotSec.base, Data: hotSec.data, Flags: elfx.FlagAlloc | elfx.FlagExec})

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fetch/internal/arch"
 	"fetch/internal/elfx"
 	"fetch/internal/groundtruth"
-	"fetch/internal/x64"
 )
 
 // perturb applies the Config version-pair knobs to the assembled image:
@@ -16,11 +16,14 @@ import (
 // mode the rewrite is analysis-equivalent (only unmapped constant
 // values change); with PerturbRetarget it redirects one direct call per
 // function, changing real analysis facts while still preserving layout.
+// The walk decodes through the image's ISA; the byte-level rewrites
+// dispatch per backend.
 func perturb(img *elfx.Image, truth *groundtruth.Truth, cfg *Config) error {
 	if cfg.PerturbK <= 0 {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(cfg.PerturbSeed ^ 0x5bf03635))
+	isa := img.ISA()
 
 	// Candidate bodies: compiled FDE-carrying functions whose extents
 	// lie inside the FDE ranges the delta roster is built from, and
@@ -62,7 +65,7 @@ func perturb(img *elfx.Image, truth *groundtruth.Truth, cfg *Config) error {
 		if done >= cfg.PerturbK {
 			break
 		}
-		if !cfg.PerturbRetarget && !certifiable(img, f) {
+		if !cfg.PerturbRetarget && !certifiable(img, isa, f) {
 			// The delta verifier enumerates non-return environments: in
 			// the one where every callee returns, fall-through must still
 			// terminate before the extent end, or the local walk escapes
@@ -70,7 +73,7 @@ func perturb(img *elfx.Image, truth *groundtruth.Truth, cfg *Config) error {
 			// would make the version pair unservable by construction.
 			continue
 		}
-		if perturbFunc(img, f, rng, pool, cfg.PerturbRetarget) {
+		if perturbFunc(img, isa, f, rng, pool, cfg.PerturbRetarget) {
 			done++
 		}
 	}
@@ -86,7 +89,7 @@ func perturb(img *elfx.Image, truth *groundtruth.Truth, cfg *Config) error {
 // would also pin the range via its table reads) and the last
 // instruction is a terminator, so no fall-through run — not even one
 // treating every callee as returning — can reach the extent end.
-func certifiable(img *elfx.Image, f *groundtruth.Func) bool {
+func certifiable(img *elfx.Image, isa arch.ISA, f *groundtruth.Func) bool {
 	sec, ok := img.SectionAt(f.Addr)
 	if !ok || f.Addr+f.Size > sec.End() {
 		return false
@@ -95,8 +98,8 @@ func certifiable(img *elfx.Image, f *groundtruth.Func) bool {
 	end := off + f.Size
 	terminates := false
 	for off < end {
-		in, err := x64.Decode(sec.Data[off:end], sec.Addr+off)
-		if err != nil || in.Op == x64.OpJmpInd {
+		in, err := isa.Decode(sec.Data[off:end], sec.Addr+off)
+		if err != nil || in.Op == arch.OpJmpInd {
 			return false
 		}
 		terminates = in.Terminates()
@@ -110,26 +113,41 @@ func certifiable(img *elfx.Image, f *groundtruth.Func) bool {
 // failure (past either, linear decode may be out of sync with real
 // instruction boundaries — in-text jump tables follow their indirect
 // jump). Returns whether at least one rewrite landed.
-func perturbFunc(img *elfx.Image, f *groundtruth.Func, rng *rand.Rand, pool []uint64, retarget bool) bool {
+func perturbFunc(img *elfx.Image, isa arch.ISA, f *groundtruth.Func, rng *rand.Rand, pool []uint64, retarget bool) bool {
 	sec, ok := img.SectionAt(f.Addr)
 	if !ok || sec.Flags&elfx.FlagExec == 0 || f.Addr+f.Size > sec.End() {
 		return false
 	}
+	a64 := isa.Name() == "a64"
 	off := f.Addr - sec.Addr
 	end := off + f.Size
 	patched := false
 	for off < end {
-		in, err := x64.Decode(sec.Data[off:end], sec.Addr+off)
+		in, err := isa.Decode(sec.Data[off:end], sec.Addr+off)
 		if err != nil {
 			break
 		}
 		b := sec.Data[off : off+uint64(in.Len)]
 		if retarget {
-			if rewriteCallTarget(b, &in, rng, pool) {
+			ok := false
+			if a64 {
+				ok = rewriteBlTarget(b, &in, rng, pool)
+			} else {
+				ok = rewriteCallTarget(b, &in, rng, pool)
+			}
+			if ok {
 				return true
 			}
-		} else if rewriteMovImm(b, img, rng) {
-			patched = true
+		} else {
+			ok := false
+			if a64 {
+				ok = rewriteMovzImm(b, img, rng)
+			} else {
+				ok = rewriteMovImm(b, img, rng)
+			}
+			if ok {
+				patched = true
+			}
 		}
 		if in.Terminates() {
 			break
@@ -139,11 +157,11 @@ func perturbFunc(img *elfx.Image, f *groundtruth.Func, rng *rand.Rand, pool []ui
 	return patched
 }
 
-// rewriteMovImm replaces the immediate of a plain `mov r32, imm32`
-// (the filler shape: optional 0x41 REX, 0xB8+r, imm32) with a fresh
-// unmapped value. Both the old and new immediates must be unmapped
-// addresses, so the disassembler's constant harvest — and with it every
-// recorded analysis fact — is unchanged: the rewrite is
+// rewriteMovImm replaces the immediate of a plain x86-64 `mov r32,
+// imm32` (the filler shape: optional 0x41 REX, 0xB8+r, imm32) with a
+// fresh unmapped value. Both the old and new immediates must be
+// unmapped addresses, so the disassembler's constant harvest — and with
+// it every recorded analysis fact — is unchanged: the rewrite is
 // analysis-equivalent by construction.
 func rewriteMovImm(b []byte, img *elfx.Image, rng *rand.Rand) bool {
 	switch {
@@ -169,10 +187,36 @@ func rewriteMovImm(b []byte, img *elfx.Image, rng *rand.Rand) bool {
 	return true
 }
 
+// rewriteMovzImm is the aarch64 twin: it replaces the imm16 of a plain
+// 64-bit `movz xN, #imm16` (the MovRegImm filler shape, hw slot 0)
+// under the same unmapped-before/unmapped-after rule. A zero immediate
+// is left alone: movz to the gate register with #0 is the §IV-C
+// "error(0) returns" argument, and no non-zero replacement preserves
+// that gate state.
+func rewriteMovzImm(b []byte, img *elfx.Image, rng *rand.Rand) bool {
+	if len(b) != 4 {
+		return false
+	}
+	w := binary.LittleEndian.Uint32(b)
+	if w&0xFFE00000 != 0xD2800000 {
+		return false
+	}
+	old := (w >> 5) & 0xFFFF
+	if old == 0 || img.IsMapped(uint64(old)) {
+		return false
+	}
+	nv := uint32(1 + rng.Intn(0xefe))
+	if nv == old {
+		nv++
+	}
+	binary.LittleEndian.PutUint32(b, w&^uint32(0xFFFF<<5)|nv<<5)
+	return true
+}
+
 // rewriteCallTarget redirects a direct near call (E8 rel32) to a
 // different function from the pool, when the displacement fits.
-func rewriteCallTarget(b []byte, in *x64.Inst, rng *rand.Rand, pool []uint64) bool {
-	if in.Op != x64.OpCall || !in.HasTarget || len(b) != 5 || b[0] != 0xE8 {
+func rewriteCallTarget(b []byte, in *arch.Inst, rng *rand.Rand, pool []uint64) bool {
+	if in.Op != arch.OpCall || !in.HasTarget || len(b) != 5 || b[0] != 0xE8 {
 		return false
 	}
 	next := in.Addr + uint64(in.Len)
@@ -186,6 +230,31 @@ func rewriteCallTarget(b []byte, in *x64.Inst, rng *rand.Rand, pool []uint64) bo
 			continue
 		}
 		binary.LittleEndian.PutUint32(b[1:], uint32(int32(rel)))
+		return true
+	}
+	return false
+}
+
+// rewriteBlTarget redirects an aarch64 `bl` (imm26, relative to the
+// instruction word) to a different function from the pool.
+func rewriteBlTarget(b []byte, in *arch.Inst, rng *rand.Rand, pool []uint64) bool {
+	if in.Op != arch.OpCall || !in.HasTarget || len(b) != 4 {
+		return false
+	}
+	w := binary.LittleEndian.Uint32(b)
+	if w>>26 != 0x25 {
+		return false
+	}
+	for _, i := range rng.Perm(len(pool)) {
+		t := pool[i]
+		if t == in.Target {
+			continue
+		}
+		rel := int64(t) - int64(in.Addr)
+		if rel&3 != 0 || rel < -(1<<27) || rel >= 1<<27 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(b, 0x94000000|uint32(rel>>2)&0x03FFFFFF)
 		return true
 	}
 	return false

@@ -104,12 +104,25 @@ func ProfileNames() []string {
 // the profile's mutation applied. The same name and seed always yield
 // the same Config.
 func AdversarialProfile(name string, seed int64) (Config, error) {
+	return AdversarialProfileArch(name, seed, "")
+}
+
+// AdversarialProfileArch is AdversarialProfile retargeted at an ISA
+// ("" or "x64" for x86-64, "a64" for aarch64). Non-default ISAs are
+// suffixed into the config name so violation reports identify the
+// backend.
+func AdversarialProfileArch(name string, seed int64, arch string) (Config, error) {
 	mutate, ok := adversarialProfiles[name]
 	if !ok {
 		return Config{}, fmt.Errorf("synth: unknown profile %q (known: %v)", name, ProfileNames())
 	}
-	cfg := DefaultConfig("adv-"+name, seed, O2, GCC, LangC)
+	cfgName := "adv-" + name
+	if arch != "" && arch != "x64" {
+		cfgName += "-" + arch
+	}
+	cfg := DefaultConfig(cfgName, seed, O2, GCC, LangC)
 	cfg.NumFuncs = 72
+	cfg.Arch = arch
 	mutate(&cfg)
 	return cfg, nil
 }
@@ -117,10 +130,15 @@ func AdversarialProfile(name string, seed int64) (Config, error) {
 // AdversarialCorpus returns one Config per profile, seeded
 // deterministically from seed.
 func AdversarialCorpus(seed int64) []Config {
+	return AdversarialCorpusArch(seed, "")
+}
+
+// AdversarialCorpusArch is AdversarialCorpus for the given ISA.
+func AdversarialCorpusArch(seed int64, arch string) []Config {
 	names := ProfileNames()
 	out := make([]Config, 0, len(names))
 	for k, name := range names {
-		cfg, _ := AdversarialProfile(name, seed+int64(k))
+		cfg, _ := AdversarialProfileArch(name, seed+int64(k), arch)
 		out = append(out, cfg)
 	}
 	return out

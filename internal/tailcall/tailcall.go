@@ -19,13 +19,13 @@ import (
 	"context"
 	"sort"
 
+	"fetch/internal/arch"
 	"fetch/internal/callconv"
 	"fetch/internal/disasm"
 	"fetch/internal/ehframe"
 	"fetch/internal/elfx"
 	"fetch/internal/pool"
 	"fetch/internal/stackan"
-	"fetch/internal/x64"
 )
 
 // Input carries the state Algorithm 1 operates on.
@@ -123,6 +123,12 @@ func Run(in Input) Output {
 		fdeAt[f.PCBegin] = f
 	}
 
+	// CFI heights are evaluated against the image's ABI facts: the
+	// DWARF stack-pointer column and the CFA offset at entry (8 on
+	// x86-64, 0 on aarch64).
+	isa := in.Img.ISA()
+	cfiSP, cfiEntry := isa.CFISPReg(), isa.CFIEntryOffset()
+
 	// Sharded runs precompute the two pure per-FDE quantities the
 	// sequential loops below consume — entry-convention verdicts and
 	// CFI height tables — on the worker pool. The loops themselves
@@ -141,7 +147,7 @@ func Run(in Input) Output {
 		if !in.UseStaticHeights {
 			hs := pool.Map(nil, in.Jobs, in.Sec.FDEs,
 				func(_ context.Context, _ int, f *ehframe.FDE) (ehframe.HeightTable, error) {
-					return f.Heights(), nil
+					return f.HeightsABI(cfiSP, cfiEntry), nil
 				})
 			heights = make([]ehframe.HeightTable, len(hs))
 			for i, r := range hs {
@@ -206,7 +212,7 @@ func Run(in Input) Output {
 		if heights != nil {
 			ht = heights[fi]
 		} else {
-			ht = fde.Heights()
+			ht = fde.HeightsABI(cfiSP, cfiEntry)
 		}
 		var static map[uint64]stackan.Height
 		if in.UseStaticHeights {
@@ -217,7 +223,7 @@ func Run(in Input) Output {
 		}
 		for _, ia := range instsIn(fde.PCBegin, fde.End()) {
 			inst := in.Res.Insts[ia]
-			if (inst.Op != x64.OpJmp && inst.Op != x64.OpJcc) || !inst.HasTarget {
+			if (inst.Op != arch.OpJmp && inst.Op != arch.OpJcc) || !inst.HasTarget {
 				continue
 			}
 			t := inst.Target

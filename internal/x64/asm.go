@@ -3,34 +3,25 @@ package x64
 import (
 	"encoding/binary"
 	"fmt"
+
+	"fetch/internal/arch"
 )
 
-// FixupKind describes how a linker must patch a fixup site.
-type FixupKind uint8
+// FixupKind describes how a linker must patch a fixup site. The kinds
+// live in arch (shared with the aarch64 assembler); this backend emits
+// FixRel32, FixAbs32, and FixAbs64.
+type FixupKind = arch.FixupKind
 
 // Fixup kinds.
 const (
-	// FixRel32: *site = sym+addend - (chunkBase + End), i.e. a
-	// PC-relative 32-bit displacement (call/jmp rel32, RIP-relative
-	// addressing).
-	FixRel32 FixupKind = iota + 1
-	// FixAbs32: *site = sym+addend as a zero-extended 32-bit absolute
-	// address (jump-table bases in non-PIC code).
-	FixAbs32
-	// FixAbs64: *site = sym+addend as a full 64-bit absolute address
-	// (data-section function pointers).
-	FixAbs64
+	FixRel32 = arch.FixRel32
+	FixAbs32 = arch.FixAbs32
+	FixAbs64 = arch.FixAbs64
 )
 
 // Fixup is an unresolved reference to a symbol defined outside the
 // assembled chunk. Offsets are relative to the chunk start.
-type Fixup struct {
-	Kind   FixupKind
-	Off    int    // offset of the 4- or 8-byte field to patch
-	End    int    // offset just past the instruction (for PC-relative)
-	Sym    string // target symbol
-	Addend int64
-}
+type Fixup = arch.Fixup
 
 // Asm assembles a chunk of x86-64 machine code with local labels and
 // external fixups. The zero value is ready to use.
@@ -124,13 +115,13 @@ func rex(w bool, r, x, b Reg) byte {
 	if w {
 		v |= 8
 	}
-	if r.Valid() && r >= R8 {
+	if ValidReg(r) && r >= R8 {
 		v |= 4
 	}
-	if x.Valid() && x >= R8 {
+	if ValidReg(x) && x >= R8 {
 		v |= 2
 	}
-	if b.Valid() && b >= R8 {
+	if ValidReg(b) && b >= R8 {
 		v |= 1
 	}
 	return v

@@ -246,8 +246,8 @@ func TestQuickSubAddRSPRoundTrip(t *testing.T) {
 		if derr != nil || len(insts) != 2 {
 			return false
 		}
-		d0, k0 := insts[0].StackDelta()
-		d1, k1 := insts[1].StackDelta()
+		d0, k0 := StackDelta(&insts[0])
+		d1, k1 := StackDelta(&insts[1])
 		return k0 && k1 && d0 == -int64(amount) && d1 == int64(amount)
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -1,0 +1,60 @@
+package x64
+
+import "testing"
+
+// benchSink keeps the decode loop from being optimized away.
+var benchSink int
+
+// benchCode assembles ~64 KiB of representative straight-line code —
+// the prologue/ALU/memory mix synth emits — for throughput runs.
+func benchCode(b *testing.B) []byte {
+	b.Helper()
+	var a Asm
+	for a.Len() < 1<<16 {
+		a.PushReg(RBP)
+		a.MovRegReg(RBP, RSP)
+		a.SubRSP(0x20)
+		a.MovRegImm32(RAX, 0x1234)
+		a.MovRegMem(RCX, RBP, -8)
+		a.AddRegReg(RAX, RCX)
+		a.CmpRegImm(RAX, 64)
+		a.TestRegReg(RDI, RDI)
+		a.ImulRegReg(RAX, RCX)
+		a.ShlRegImm(RAX, 3)
+		a.LeaRegMem(RDX, RSP, 0x10)
+		a.MovMemReg(RBP, -16, RAX)
+		a.AddRSP(0x20)
+		a.PopReg(RBP)
+		a.Ret()
+	}
+	code, fixups, err := a.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(fixups) != 0 {
+		b.Fatalf("bench code has %d unresolved fixups", len(fixups))
+	}
+	return code
+}
+
+// BenchmarkDecodeThroughput measures raw linear decode speed over the
+// representative mix; MB/s is the headline cross-backend number
+// (BENCH_10.json pairs it with the aarch64 twin).
+func BenchmarkDecodeThroughput(b *testing.B) {
+	code := benchCode(b)
+	const base = 0x401000
+	b.SetBytes(int64(len(code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for off := 0; off < len(code); {
+			in, err := Decode(code[off:], base+uint64(off))
+			if err != nil {
+				b.Fatal(err)
+			}
+			off += int(in.Len)
+			n++
+		}
+		benchSink = n
+	}
+}

@@ -201,7 +201,7 @@ func TestStackDelta(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			in := decodeOne(t, tt.bytes, 0)
-			d, known := in.StackDelta()
+			d, known := StackDelta(&in)
 			if d != tt.delta || known != tt.known {
 				t.Errorf("StackDelta() = (%d, %v), want (%d, %v)", d, known, tt.delta, tt.known)
 			}
@@ -268,10 +268,10 @@ func TestReadsWrites(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			in := decodeOne(t, tt.bytes, 0)
-			if got := in.Reads(); got != tt.reads {
+			if got := Reads(&in); got != tt.reads {
 				t.Errorf("Reads() = %v, want %v", got, tt.reads)
 			}
-			if got := in.Writes(); got != tt.writes {
+			if got := Writes(&in); got != tt.writes {
 				t.Errorf("Writes() = %v, want %v", got, tt.writes)
 			}
 		})
@@ -321,7 +321,7 @@ func TestDecodePaperFigure4(t *testing.T) {
 	// Net stack delta over the whole body (push,push,sub 8, add 8,pop,pop,ret)
 	var total int64
 	for _, in := range insts[:len(insts)-1] { // exclude ret
-		d, known := in.StackDelta()
+		d, known := StackDelta(&in)
 		if !known {
 			t.Errorf("unexpected unknown delta at %#x", in.Addr)
 		}

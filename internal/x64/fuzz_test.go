@@ -45,7 +45,7 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("decoded length %d exceeds window %d", in.Len, len(data))
 		}
 		// The semantic accessors must hold for any successful decode.
-		_ = in.Writes()
+		_ = Writes(&in)
 		_ = in.Constants()
 		_, _ = in.IndirectMem()
 		_ = in.Next()

@@ -1,260 +1,129 @@
 package x64
 
-import "fmt"
+import "fetch/internal/arch"
 
-// Op is the semantic class of a decoded instruction. Instructions the
-// analyses do not need in detail decode to OpOther with a correct length.
-type Op uint8
+// The instruction model lives in package arch, shared by every backend;
+// these aliases keep the historical x64 names working for the decoder,
+// the encoder, and the synthetic compiler, which all speak natively in
+// terms of this ISA.
 
-// Semantic opcode classes. Enum starts at one so the zero value is
-// distinguishable from a real class.
+// Op is the semantic class of a decoded instruction.
+type Op = arch.Op
+
+// Semantic opcode classes (see arch for the full documentation).
 const (
-	OpInvalid Op = iota
-	OpAdd
-	OpSub
-	OpAdc
-	OpSbb
-	OpAnd
-	OpOr
-	OpXor
-	OpCmp
-	OpTest
-	OpMov
-	OpMovsxd
-	OpMovzx
-	OpMovsx
-	OpLea
-	OpPush
-	OpPop
-	OpXchg
-	OpInc
-	OpDec
-	OpNeg
-	OpNot
-	OpMul
-	OpImul
-	OpDiv
-	OpIdiv
-	OpShl
-	OpShr
-	OpSar
-	OpRol
-	OpRor
-	OpCall    // direct near call, rel32
-	OpCallInd // indirect call through register or memory
-	OpJmp     // direct unconditional jump, rel8/rel32
-	OpJmpInd  // indirect jump through register or memory
-	OpJcc     // conditional jump
-	OpRet
-	OpLeave
-	OpEnter
-	OpNop
-	OpInt3
-	OpInt
-	OpUd2
-	OpHlt
-	OpSyscall
-	OpCpuid
-	OpEndbr64
-	OpSetcc
-	OpCmovcc
-	OpCwd // cdq/cqo family
-	OpBt
-	OpBsf
-	OpBsr
-	OpPopcnt
-	OpBswap
-	OpXadd
-	OpCmpxchg
-	OpMovStr // string moves and friends
-	OpFpu    // x87 escape range
-	OpSse    // SSE/MMX range, treated opaquely
-	OpOther
+	OpInvalid = arch.OpInvalid
+	OpAdd     = arch.OpAdd
+	OpSub     = arch.OpSub
+	OpAdc     = arch.OpAdc
+	OpSbb     = arch.OpSbb
+	OpAnd     = arch.OpAnd
+	OpOr      = arch.OpOr
+	OpXor     = arch.OpXor
+	OpCmp     = arch.OpCmp
+	OpTest    = arch.OpTest
+	OpMov     = arch.OpMov
+	OpMovsxd  = arch.OpMovsxd
+	OpMovzx   = arch.OpMovzx
+	OpMovsx   = arch.OpMovsx
+	OpLea     = arch.OpLea
+	OpPush    = arch.OpPush
+	OpPop     = arch.OpPop
+	OpXchg    = arch.OpXchg
+	OpInc     = arch.OpInc
+	OpDec     = arch.OpDec
+	OpNeg     = arch.OpNeg
+	OpNot     = arch.OpNot
+	OpMul     = arch.OpMul
+	OpImul    = arch.OpImul
+	OpDiv     = arch.OpDiv
+	OpIdiv    = arch.OpIdiv
+	OpShl     = arch.OpShl
+	OpShr     = arch.OpShr
+	OpSar     = arch.OpSar
+	OpRol     = arch.OpRol
+	OpRor     = arch.OpRor
+	OpCall    = arch.OpCall
+	OpCallInd = arch.OpCallInd
+	OpJmp     = arch.OpJmp
+	OpJmpInd  = arch.OpJmpInd
+	OpJcc     = arch.OpJcc
+	OpRet     = arch.OpRet
+	OpLeave   = arch.OpLeave
+	OpEnter   = arch.OpEnter
+	OpNop     = arch.OpNop
+	OpInt3    = arch.OpInt3
+	OpInt     = arch.OpInt
+	OpUd2     = arch.OpUd2
+	OpHlt     = arch.OpHlt
+	OpSyscall = arch.OpSyscall
+	OpCpuid   = arch.OpCpuid
+	OpEndbr64 = arch.OpEndbr64
+	OpSetcc   = arch.OpSetcc
+	OpCmovcc  = arch.OpCmovcc
+	OpCwd     = arch.OpCwd
+	OpBt      = arch.OpBt
+	OpBsf     = arch.OpBsf
+	OpBsr     = arch.OpBsr
+	OpPopcnt  = arch.OpPopcnt
+	OpBswap   = arch.OpBswap
+	OpXadd    = arch.OpXadd
+	OpCmpxchg = arch.OpCmpxchg
+	OpMovStr  = arch.OpMovStr
+	OpFpu     = arch.OpFpu
+	OpSse     = arch.OpSse
+	OpOther   = arch.OpOther
 )
 
-var opNames = map[Op]string{
-	OpInvalid: "invalid", OpAdd: "add", OpSub: "sub", OpAdc: "adc",
-	OpSbb: "sbb", OpAnd: "and", OpOr: "or", OpXor: "xor", OpCmp: "cmp",
-	OpTest: "test", OpMov: "mov", OpMovsxd: "movsxd", OpMovzx: "movzx",
-	OpMovsx: "movsx", OpLea: "lea", OpPush: "push", OpPop: "pop",
-	OpXchg: "xchg", OpInc: "inc", OpDec: "dec", OpNeg: "neg", OpNot: "not",
-	OpMul: "mul", OpImul: "imul", OpDiv: "div", OpIdiv: "idiv",
-	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpRol: "rol", OpRor: "ror",
-	OpCall: "call", OpCallInd: "call*", OpJmp: "jmp", OpJmpInd: "jmp*",
-	OpJcc: "jcc", OpRet: "ret", OpLeave: "leave", OpEnter: "enter",
-	OpNop: "nop", OpInt3: "int3", OpInt: "int", OpUd2: "ud2", OpHlt: "hlt",
-	OpSyscall: "syscall", OpCpuid: "cpuid", OpEndbr64: "endbr64",
-	OpSetcc: "setcc", OpCmovcc: "cmovcc", OpCwd: "cwd", OpBt: "bt",
-	OpBsf: "bsf", OpBsr: "bsr", OpPopcnt: "popcnt", OpBswap: "bswap",
-	OpXadd: "xadd", OpCmpxchg: "cmpxchg", OpMovStr: "movs", OpFpu: "fpu",
-	OpSse: "sse", OpOther: "other",
-}
-
-// String returns a short mnemonic for the class.
-func (o Op) String() string {
-	if s, ok := opNames[o]; ok {
-		return s
-	}
-	return fmt.Sprintf("op(%d)", uint8(o))
-}
-
 // Cond is an x86 condition code (the low nibble of Jcc/SETcc/CMOVcc
-// opcodes).
-type Cond uint8
+// opcodes); the shared numbering is the x86 hardware encoding.
+type Cond = arch.Cond
 
 // Condition codes in hardware encoding order.
 const (
-	CondO  Cond = 0x0
-	CondNO Cond = 0x1
-	CondB  Cond = 0x2
-	CondAE Cond = 0x3
-	CondE  Cond = 0x4
-	CondNE Cond = 0x5
-	CondBE Cond = 0x6
-	CondA  Cond = 0x7
-	CondS  Cond = 0x8
-	CondNS Cond = 0x9
-	CondP  Cond = 0xA
-	CondNP Cond = 0xB
-	CondL  Cond = 0xC
-	CondGE Cond = 0xD
-	CondLE Cond = 0xE
-	CondG  Cond = 0xF
+	CondO  = arch.CondO
+	CondNO = arch.CondNO
+	CondB  = arch.CondB
+	CondAE = arch.CondAE
+	CondE  = arch.CondE
+	CondNE = arch.CondNE
+	CondBE = arch.CondBE
+	CondA  = arch.CondA
+	CondS  = arch.CondS
+	CondNS = arch.CondNS
+	CondP  = arch.CondP
+	CondNP = arch.CondNP
+	CondL  = arch.CondL
+	CondGE = arch.CondGE
+	CondLE = arch.CondLE
+	CondG  = arch.CondG
 )
 
-var condNames = [...]string{
-	"o", "no", "b", "ae", "e", "ne", "be", "a",
-	"s", "ns", "p", "np", "l", "ge", "le", "g",
-}
-
-// String returns the condition suffix ("e", "ne", ...).
-func (c Cond) String() string {
-	if int(c) < len(condNames) {
-		return condNames[c]
-	}
-	return fmt.Sprintf("cond(%d)", uint8(c))
-}
-
 // OperandKind distinguishes the three operand shapes the decoder models.
-type OperandKind uint8
+type OperandKind = arch.OperandKind
 
 // Operand kinds.
 const (
-	KindNone OperandKind = iota
-	KindReg
-	KindImm
-	KindMem
+	KindNone = arch.KindNone
+	KindReg  = arch.KindReg
+	KindImm  = arch.KindImm
+	KindMem  = arch.KindMem
 )
 
-// MemRef is a decoded memory operand: [Base + Index*Scale + Disp], or
-// [RIP + Disp] when RIPRel is set.
-type MemRef struct {
-	Base   Reg
-	Index  Reg
-	Scale  uint8 // 1, 2, 4 or 8
-	Disp   int64
-	RIPRel bool
-}
+// MemRef is a decoded memory operand.
+type MemRef = arch.MemRef
 
 // Operand is a single decoded operand.
-type Operand struct {
-	Kind OperandKind
-	Reg  Reg
-	Imm  int64
-	Mem  MemRef
-}
+type Operand = arch.Operand
 
 // RegOp constructs a register operand.
-func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+func RegOp(r Reg) Operand { return arch.RegOp(r) }
 
 // ImmOp constructs an immediate operand.
-func ImmOp(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+func ImmOp(v int64) Operand { return arch.ImmOp(v) }
 
 // MemOp constructs a memory operand.
-func MemOp(m MemRef) Operand { return Operand{Kind: KindMem, Mem: m} }
+func MemOp(m MemRef) Operand { return arch.MemOp(m) }
 
 // Inst is a decoded instruction.
-type Inst struct {
-	Addr uint64 // virtual address of the first byte
-	Len  int    // total encoded length in bytes
-
-	Op   Op
-	Cond Cond // valid for OpJcc, OpSetcc, OpCmovcc
-
-	// Args holds decoded operands, destination first, for classified
-	// instructions. Unclassified (OpOther/OpSse/OpFpu) instructions
-	// carry no operands.
-	Args []Operand
-
-	// Target is the absolute destination of a direct call/jmp/jcc.
-	HasTarget bool
-	Target    uint64
-
-	// OpSize is the operand size in bytes (1, 2, 4 or 8).
-	OpSize uint8
-
-	// Classified reports whether semantic information (Args,
-	// reads/writes, stack delta) is trustworthy for this instruction.
-	Classified bool
-}
-
-// IsBranch reports whether the instruction transfers control anywhere
-// other than the next instruction (excluding calls, which return).
-func (i *Inst) IsBranch() bool {
-	switch i.Op {
-	case OpJmp, OpJmpInd, OpJcc, OpRet:
-		return true
-	}
-	return false
-}
-
-// IsCall reports whether the instruction is a direct or indirect call.
-func (i *Inst) IsCall() bool { return i.Op == OpCall || i.Op == OpCallInd }
-
-// Terminates reports whether fall-through past this instruction is
-// impossible: unconditional jumps, returns, and traps.
-func (i *Inst) Terminates() bool {
-	switch i.Op {
-	case OpJmp, OpJmpInd, OpRet, OpUd2, OpHlt:
-		return true
-	}
-	return false
-}
-
-// IsPadding reports whether the instruction is inter-function padding:
-// any NOP form or an int3 trap.
-func (i *Inst) IsPadding() bool { return i.Op == OpNop || i.Op == OpInt3 }
-
-// Next returns the address of the following instruction.
-func (i *Inst) Next() uint64 { return i.Addr + uint64(i.Len) }
-
-// String renders a compact disassembly-ish form for diagnostics.
-func (i *Inst) String() string {
-	s := fmt.Sprintf("%#x: %s", i.Addr, i.Op)
-	if i.Op == OpJcc {
-		s = fmt.Sprintf("%#x: j%s", i.Addr, i.Cond)
-	}
-	if i.HasTarget {
-		s += fmt.Sprintf(" %#x", i.Target)
-	}
-	for n, a := range i.Args {
-		sep := " "
-		if n > 0 {
-			sep = ", "
-		}
-		switch a.Kind {
-		case KindReg:
-			s += sep + a.Reg.String()
-		case KindImm:
-			s += sep + fmt.Sprintf("%#x", a.Imm)
-		case KindMem:
-			m := a.Mem
-			if m.RIPRel {
-				s += sep + fmt.Sprintf("[rip%+#x]", m.Disp)
-			} else {
-				s += sep + fmt.Sprintf("[%s+%s*%d%+#x]", m.Base, m.Index, m.Scale, m.Disp)
-			}
-		}
-	}
-	return s
-}
+type Inst = arch.Inst

@@ -7,14 +7,18 @@
 // RIP-relative constant operands. The encoder emits genuine machine code
 // and is used by the synthetic binary generator, so every byte the rest
 // of the system analyzes round-trips through a real decode.
+//
+// The package implements the arch.ISA backend interface; the shared
+// instruction model (arch.Inst, arch.Op, ...) is aliased here so the
+// decoder and encoder keep their historical vocabulary.
 package x64
 
-import "fmt"
+import "fetch/internal/arch"
 
 // Reg identifies an x86-64 general-purpose register. The numbering
 // matches the hardware encoding (REX.B/R/X extends into 8-15) so that
 // ModRM/SIB fields map directly onto Reg values.
-type Reg uint8
+type Reg = arch.Reg
 
 // General-purpose registers in hardware encoding order.
 const (
@@ -37,28 +41,12 @@ const (
 	// RIP is a pseudo-register used for RIP-relative memory operands.
 	RIP
 	// RegNone marks an absent base or index register.
-	RegNone Reg = 0xFF
+	RegNone = arch.RegNone
 )
 
-var regNames = [...]string{
-	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
-	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "rip",
-}
-
-// String returns the conventional 64-bit register name.
-func (r Reg) String() string {
-	if r == RegNone {
-		return "none"
-	}
-	if int(r) < len(regNames) {
-		return regNames[r]
-	}
-	return fmt.Sprintf("reg(%d)", uint8(r))
-}
-
-// Valid reports whether r names a real general-purpose register
-// (RIP and RegNone are not).
-func (r Reg) Valid() bool { return r < RIP }
+// ValidReg reports whether r names a real x86-64 general-purpose
+// register (RIP and RegNone are not).
+func ValidReg(r Reg) bool { return r < RIP }
 
 // ArgumentRegs lists the System-V AMD64 integer argument registers in
 // call order. The calling-convention validation rule in the paper
@@ -89,35 +77,5 @@ func IsCalleeSaved(r Reg) bool {
 	return false
 }
 
-// RegSet is a bitmask over the 16 general-purpose registers.
-type RegSet uint16
-
-// Add returns s with r added; registers outside the GPR file are ignored.
-func (s RegSet) Add(r Reg) RegSet {
-	if !r.Valid() {
-		return s
-	}
-	return s | 1<<r
-}
-
-// Has reports whether r is in the set.
-func (s RegSet) Has(r Reg) bool {
-	return r.Valid() && s&(1<<r) != 0
-}
-
-// Union returns the union of both sets.
-func (s RegSet) Union(t RegSet) RegSet { return s | t }
-
-// String lists the members for debugging.
-func (s RegSet) String() string {
-	out := ""
-	for r := RAX; r <= R15; r++ {
-		if s.Has(r) {
-			if out != "" {
-				out += ","
-			}
-			out += r.String()
-		}
-	}
-	return "{" + out + "}"
-}
+// RegSet is a bitmask over general-purpose registers.
+type RegSet = arch.RegSet

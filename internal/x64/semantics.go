@@ -1,15 +1,22 @@
 package x64
 
 // This file derives dataflow facts from classified instructions:
-// register read/write sets (for calling-convention validation), stack
-// pointer deltas (for stack-height analysis), and constant operands
-// (for function-pointer detection).
+// register read/write sets (for calling-convention validation) and stack
+// pointer deltas (for stack-height analysis). These are the x86-64 half
+// of the arch.ISA dataflow surface; the ISA-generic facts (constant
+// operands, indirect memory operands) live on arch.Inst itself.
 
-// regsOfMem returns the registers a memory operand reads.
+// regsOfMem returns the registers a memory operand reads. RIP is a
+// pseudo-register, never part of the GPR file, so RIP-relative operands
+// contribute no register read.
 func regsOfMem(m MemRef) RegSet {
 	var s RegSet
-	s = s.Add(m.Base)
-	s = s.Add(m.Index)
+	if m.Base != RIP {
+		s = s.Add(m.Base)
+	}
+	if m.Index != RIP {
+		s = s.Add(m.Index)
+	}
 	return s
 }
 
@@ -21,7 +28,7 @@ func regsOfMem(m MemRef) RegSet {
 // rule (§IV-E): a PUSH of a register is treated as a *save*, not a use,
 // and reads through RSP/RBP-based memory operands still count the base
 // register as read.
-func (i *Inst) Reads() RegSet {
+func Reads(i *Inst) RegSet {
 	var s RegSet
 	if !i.Classified {
 		return s
@@ -110,7 +117,7 @@ func (i *Inst) Reads() RegSet {
 
 // Writes returns the set of general-purpose registers the instruction
 // writes. Flags are not modeled.
-func (i *Inst) Writes() RegSet {
+func Writes(i *Inst) RegSet {
 	var s RegSet
 	if !i.Classified {
 		return s
@@ -175,7 +182,7 @@ func (i *Inst) Writes() RegSet {
 // whether the change is statically known. CALL/RET pairs are modeled as
 // balanced (delta 0 across the call) because stack-height analyses track
 // heights within one frame.
-func (i *Inst) StackDelta() (delta int64, known bool) {
+func StackDelta(i *Inst) (delta int64, known bool) {
 	if !i.Classified {
 		return 0, true // treat opaque instructions as stack-neutral
 	}
@@ -194,26 +201,26 @@ func (i *Inst) StackDelta() (delta int64, known bool) {
 		// which the linear analyses cannot track without rbp state.
 		return 0, false
 	case OpAdd:
-		if i.targetsRSP() {
-			if v, ok := i.immArg(); ok {
+		if targetsRSP(i) {
+			if v, ok := immArg(i); ok {
 				return v, true
 			}
 			return 0, false
 		}
 	case OpSub:
-		if i.targetsRSP() {
-			if v, ok := i.immArg(); ok {
+		if targetsRSP(i) {
+			if v, ok := immArg(i); ok {
 				return -v, true
 			}
 			return 0, false
 		}
 	case OpAnd:
-		if i.targetsRSP() {
+		if targetsRSP(i) {
 			// Alignment such as and rsp, -16: height becomes unknown.
 			return 0, false
 		}
 	case OpMov, OpLea:
-		if i.targetsRSP() {
+		if targetsRSP(i) {
 			return 0, false
 		}
 	case OpCall, OpCallInd:
@@ -221,57 +228,21 @@ func (i *Inst) StackDelta() (delta int64, known bool) {
 	case OpRet:
 		return 8, true
 	}
-	if i.Writes().Has(RSP) && i.Op != OpCall && i.Op != OpCallInd {
+	if Writes(i).Has(RSP) && i.Op != OpCall && i.Op != OpCallInd {
 		return 0, false
 	}
 	return 0, true
 }
 
-func (i *Inst) targetsRSP() bool {
+func targetsRSP(i *Inst) bool {
 	return len(i.Args) > 0 && i.Args[0].Kind == KindReg && i.Args[0].Reg == RSP
 }
 
-func (i *Inst) immArg() (int64, bool) {
+func immArg(i *Inst) (int64, bool) {
 	for _, a := range i.Args {
 		if a.Kind == KindImm {
 			return a.Imm, true
 		}
 	}
 	return 0, false
-}
-
-// Constants returns the absolute-address constants this instruction
-// materializes: immediates wide enough to be pointers and resolved
-// RIP-relative addresses. These feed the function-pointer super-set
-// collection of §IV-E.
-func (i *Inst) Constants() []uint64 {
-	if !i.Classified {
-		return nil
-	}
-	var out []uint64
-	for _, a := range i.Args {
-		switch a.Kind {
-		case KindImm:
-			if a.Imm > 0x1000 { // skip tiny values that cannot be text addresses
-				out = append(out, uint64(a.Imm))
-			}
-		case KindMem:
-			if a.Mem.RIPRel {
-				out = append(out, uint64(int64(i.Addr)+int64(i.Len)+a.Mem.Disp))
-			} else if a.Mem.Disp > 0x1000 {
-				out = append(out, uint64(a.Mem.Disp))
-			}
-		}
-	}
-	return out
-}
-
-// IndirectMem returns the memory operand of an indirect jump or call and
-// whether there is one (register-indirect forms return false).
-func (i *Inst) IndirectMem() (MemRef, bool) {
-	if (i.Op == OpJmpInd || i.Op == OpCallInd) && len(i.Args) == 1 &&
-		i.Args[0].Kind == KindMem {
-		return i.Args[0].Mem, true
-	}
-	return MemRef{}, false
 }
